@@ -1,0 +1,46 @@
+// Ablation: communication-policy tuning (S V, "Communication
+// Autotuning").  What does picking the right policy buy at each scale —
+// and what would GPU Direct RDMA (unsupported on Sierra/Summit at
+// submission time; the paper's stated future gain) add?
+
+#include <cstdio>
+#include <vector>
+
+#include "machine/perf_model.hpp"
+
+int main() {
+  using namespace femto::machine;
+  LatticeProblem prob;
+  prob.extents = {48, 48, 48, 64};
+  prob.l5 = 12;
+  SolverPerfModel no_gdr(sierra(), prob, /*gdr_available=*/false);
+  SolverPerfModel gdr(sierra(), prob, /*gdr_available=*/true);
+
+  const auto policies = comm_policies();
+  std::printf("== Ablation: communication policy, Sierra 48^3 x 64 ==\n\n");
+  std::printf("%8s %14s %12s %14s %14s %12s\n", "GPUs", "host-staged",
+              "zero-copy", "rdma(ext.)", "tuned", "tuned-policy");
+  bool ok = true;
+  for (int n : {16, 64, 256, 1024, 4096}) {
+    const auto hs = no_gdr.point_with_policy(n, policies[0]);
+    const auto zc = no_gdr.point_with_policy(n, policies[1]);
+    const auto rd = gdr.point_with_policy(n, policies[2]);
+    const auto tuned = no_gdr.strong_scaling_point(n);
+    std::printf("%8d %14.2f %12.2f %14.2f %14.2f %12s\n", n, hs.tflops,
+                zc.tflops, rd.tflops, tuned.tflops, tuned.policy.c_str());
+    ok = ok && tuned.tflops >= hs.tflops && rd.tflops >= zc.tflops;
+  }
+
+  // Gain from tuning vs always-host-staged, and from the GDR extension.
+  const auto hs_4k = no_gdr.point_with_policy(4096, policies[0]);
+  const auto tuned_4k = no_gdr.strong_scaling_point(4096);
+  const auto gdr_4k = gdr.strong_scaling_point(4096);
+  std::printf("\nat 4096 GPUs: tuning vs fixed host-staged: +%.1f%%; "
+              "GDR extension over best available: +%.1f%%\n",
+              (tuned_4k.tflops / hs_4k.tflops - 1.0) * 100.0,
+              (gdr_4k.tflops / tuned_4k.tflops - 1.0) * 100.0);
+  std::printf("tuned policy always at least as fast as any fixed policy: "
+              "%s\n",
+              ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// Ablation: the Feynman-Hellmann cost advantage measured with REAL solves.
+//
+// "we designed a new type of propagator which yields all the temporal
+// distances for the cost of one temporal distance in the traditional
+// method."  Covering every insertion time traditionally costs T sequential
+// solves; the FH method costs one.  This bench runs both on a real lattice
+// and verifies the identity sum_tau fixed(tau) == fh to solver precision.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/propagator.hpp"
+#include "lattice/blas.hpp"
+#include "lattice/gauge.hpp"
+
+int main() {
+  using namespace femto;
+  auto g = std::make_shared<Geometry>(4, 4, 4, 8);
+  auto u = std::make_shared<GaugeField<double>>(g);
+  weak_gauge(*u, 2020, 0.2);
+  SolverParams sp;
+  sp.tol = 1e-9;
+  DwfSolver solver(u, MobiusParams{4, -1.8, 1.5, 0.5, 0.3}, sp);
+
+  std::printf("== Ablation: FH vs traditional insertion coverage "
+              "(4^3x8, L5=4, real solves) ==\n\n");
+
+  const auto base = core::compute_point_propagator(solver, {0, 0, 0, 0});
+
+  core::PropagatorSolveStats fh_stats;
+  const auto fh = core::compute_fh_propagator(solver, base, &fh_stats);
+  std::printf("FH method:            1 sequential solve set, %6d CG "
+              "iterations, %.2f s\n",
+              fh_stats.total_iterations, fh_stats.total_seconds);
+
+  const int nt = g->extent(3);
+  int traditional_iters = 0;
+  double traditional_seconds = 0;
+  core::Propagator sum(g);
+  for (int tau = 0; tau < nt; ++tau) {
+    core::PropagatorSolveStats st;
+    const auto fixed =
+        core::compute_fixed_insertion_propagator(solver, base, tau, &st);
+    traditional_iters += st.total_iterations;
+    traditional_seconds += st.total_seconds;
+    for (int s = 0; s < kNs; ++s)
+      for (int c = 0; c < kNc; ++c)
+        blas::axpy(1.0, fixed.column(s, c), sum.column(s, c));
+  }
+  std::printf("traditional coverage: %d sequential solve sets, %6d CG "
+              "iterations, %.2f s\n",
+              nt, traditional_iters, traditional_seconds);
+
+  double num = 0, den = 0;
+  for (int s = 0; s < kNs; ++s)
+    for (int c = 0; c < kNc; ++c) {
+      SpinorField<double> d = sum.column(s, c);
+      blas::axpy(-1.0, fh.column(s, c), d);
+      num += blas::norm2(d);
+      den += blas::norm2(fh.column(s, c));
+    }
+  const double rel = std::sqrt(num / den);
+  const double speedup = static_cast<double>(traditional_iters) /
+                         fh_stats.total_iterations;
+
+  std::printf("\nidentity |sum_tau fixed(tau) - fh| / |fh| = %.2e\n", rel);
+  std::printf("cost ratio (traditional / FH iterations): %.1fx "
+              "(T = %d timeslices -> the advantage grows linearly with "
+              "the time extent; production lattices have T = 64-144)\n",
+              speedup, nt);
+  const bool ok = rel < 1e-6 && speedup > 0.5 * nt;
+  std::printf("claim reproduced: %s\n", ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}

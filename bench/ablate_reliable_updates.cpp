@@ -1,0 +1,77 @@
+// Ablation: mixed-precision reliable updates on REAL solves.  Sweeps the
+// sloppy precision (double / single / half) and the reliable-update
+// trigger delta, reporting iterations, reliable updates and wall time on
+// a small Mobius system.  The design claim: half-precision storage does
+// most of the work, with occasional double-precision corrections, at the
+// same final accuracy.
+
+#include <cstdio>
+
+#include "dirac/mobius.hpp"
+#include "lattice/gauge.hpp"
+#include "solver/cg.hpp"
+
+int main() {
+  using namespace femto;
+  auto geom = std::make_shared<Geometry>(8, 8, 8, 8);
+  auto u = std::make_shared<GaugeField<double>>(geom);
+  weak_gauge(*u, 991, 0.25);
+  auto uf = std::make_shared<GaugeField<float>>(u->convert<float>());
+  const MobiusParams mp{8, -1.8, 1.5, 0.5, 0.05};
+  MobiusOperator<double> opd(u, mp);
+  MobiusOperator<float> opf(uf, mp);
+
+  SpinorField<double> b(geom, mp.l5, Subset::Odd);
+  b.gaussian(992);
+
+  ApplyFn<double> ad = [&](SpinorField<double>& out,
+                           const SpinorField<double>& in) {
+    opd.apply_normal(out, in);
+  };
+  ApplyFn<float> af = [&](SpinorField<float>& out,
+                          const SpinorField<float>& in) {
+    opf.apply_normal(out, in);
+  };
+
+  std::printf("== Ablation: mixed-precision reliable updates, 8^3x8 "
+              "Mobius L5=8, tol 1e-10 ==\n\n");
+  std::printf("%-22s %6s %9s %10s %12s\n", "configuration", "iters",
+              "updates", "time (s)", "true |r|/|b|");
+
+  // Pure double reference.
+  SpinorField<double> x(geom, mp.l5, Subset::Odd);
+  auto ref = cg<double>(ad, x, b, 1e-10, 20000);
+  auto verify = [&](const SpinorField<double>& sol) {
+    SpinorField<double> r(geom, mp.l5, Subset::Odd);
+    opd.apply_normal(r, sol);
+    blas::axpy(-1.0, b, r);
+    return std::sqrt(blas::norm2(r) / blas::norm2(b));
+  };
+  std::printf("%-22s %6d %9s %10.3f %12.2e\n", "double CG",
+              ref.iterations, "-", ref.seconds, verify(x));
+
+  double t_double = ref.seconds;
+  double t_half = 0;
+  for (Precision prec : {Precision::Single, Precision::Half}) {
+    for (double delta : {0.3, 0.1, 0.03}) {
+      SolverParams sp;
+      sp.tol = 1e-10;
+      sp.sloppy = prec;
+      sp.delta = delta;
+      SpinorField<double> xm(geom, mp.l5, Subset::Odd);
+      const auto res = mixed_cg(ad, af, xm, b, sp);
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s, delta=%.2f",
+                    to_string(prec), delta);
+      std::printf("%-22s %6d %9d %10.3f %12.2e\n", label, res.iterations,
+                  res.reliable_updates, res.seconds, verify(xm));
+      if (prec == Precision::Half && delta == 0.1) t_half = res.seconds;
+    }
+  }
+
+  std::printf("\nhalf-storage mixed CG vs pure double: %.2fx wall time "
+              "(GPU hardware rewards the 4x bandwidth saving far more "
+              "than a CPU does)\n",
+              t_half / t_double);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fig. 3 (a, b, c): strong scaling of the CG solver on a 48^3 x 64
+// lattice across three GPU generations (Titan, Ray, Sierra), with the
+// communication policy autotuned per point.
+//
+// Shape criteria vs the paper:
+//  (a) TFLOPS: Sierra > Ray > Titan at every GPU count, all rising with
+//      GPUs but sub-linearly;
+//  (b) percent of peak: the maximum achieved grows with GPU generation
+//      (cache amplification), and every machine declines with scale;
+//  (c) bandwidth per GPU at the most efficient point: ~139 / 516 / 975
+//      GB/s for Titan / Ray / Sierra.
+
+#include <cstdio>
+#include <vector>
+
+#include "machine/perf_model.hpp"
+
+int main() {
+  using namespace femto::machine;
+  LatticeProblem prob;
+  prob.extents = {48, 48, 48, 64};
+  prob.l5 = 12;
+
+  const std::vector<MachineSpec> machines{titan(), ray(), sierra()};
+  const std::vector<int> gpu_counts{4, 8, 16, 32, 48, 64, 96, 128, 160};
+
+  std::printf("== Fig. 3: strong scaling, 48^3 x 64 (L5 = %d) ==\n\n",
+              prob.l5);
+
+  std::printf("(a) performance (TFLOPS)\n%8s", "GPUs");
+  for (const auto& m : machines) std::printf("%10s", m.name.c_str());
+  std::printf("\n");
+  for (int n : gpu_counts) {
+    std::printf("%8d", n);
+    for (const auto& m : machines)
+      std::printf("%10.2f", SolverPerfModel(m, prob)
+                                .strong_scaling_point(n)
+                                .tflops);
+    std::printf("\n");
+  }
+
+  std::printf("\n(b) percent of peak (1.675x flops vs FP32 peak)\n%8s",
+              "GPUs");
+  for (const auto& m : machines) std::printf("%10s", m.name.c_str());
+  std::printf("\n");
+  for (int n : gpu_counts) {
+    std::printf("%8d", n);
+    for (const auto& m : machines)
+      std::printf("%10.2f", SolverPerfModel(m, prob)
+                                .strong_scaling_point(n)
+                                .pct_peak);
+    std::printf("\n");
+  }
+
+  std::printf("\n(c) effective bandwidth per GPU (GB/s, AI = %.1f)\n%8s",
+              prob.arithmetic_intensity, "GPUs");
+  for (const auto& m : machines) std::printf("%10s", m.name.c_str());
+  std::printf("\n");
+  for (int n : gpu_counts) {
+    std::printf("%8d", n);
+    for (const auto& m : machines)
+      std::printf("%10.1f", SolverPerfModel(m, prob)
+                                .strong_scaling_point(n)
+                                .bw_per_gpu_gbs);
+    std::printf("\n");
+  }
+
+  // Shape checks.
+  bool ok = true;
+  for (int n : gpu_counts) {
+    const double ti =
+        SolverPerfModel(titan(), prob).strong_scaling_point(n).tflops;
+    const double ra =
+        SolverPerfModel(ray(), prob).strong_scaling_point(n).tflops;
+    const double si =
+        SolverPerfModel(sierra(), prob).strong_scaling_point(n).tflops;
+    ok = ok && si > ra && ra > ti;
+  }
+  const double bw_t =
+      SolverPerfModel(titan(), prob).strong_scaling_point(1).bw_per_gpu_gbs;
+  const double bw_r =
+      SolverPerfModel(ray(), prob).strong_scaling_point(4).bw_per_gpu_gbs;
+  const double bw_s =
+      SolverPerfModel(sierra(), prob).strong_scaling_point(4).bw_per_gpu_gbs;
+  std::printf("\nbest-point bandwidths: Titan %.0f (paper 139), Ray %.0f "
+              "(516), Sierra %.0f (975) GB/s\n",
+              bw_t, bw_r, bw_s);
+  std::printf("machine ordering Sierra > Ray > Titan at every count: %s\n",
+              ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}

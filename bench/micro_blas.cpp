@@ -1,0 +1,68 @@
+// Microbenchmark: the BLAS-1 kernels of the CG solver ("50-100 flops per
+// lattice site, i.e., they are extremely bandwidth bound").
+
+#include <benchmark/benchmark.h>
+
+#include "lattice/blas.hpp"
+
+namespace {
+
+std::shared_ptr<const femto::Geometry> geom() {
+  static auto g = std::make_shared<femto::Geometry>(8, 8, 8, 16);
+  return g;
+}
+
+void bm_axpy(benchmark::State& state) {
+  femto::SpinorField<double> x(geom(), 8, femto::Subset::Odd),
+      y(geom(), 8, femto::Subset::Odd);
+  x.gaussian(1);
+  y.gaussian(2);
+  for (auto _ : state) {
+    femto::blas::axpy(1.00001, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 3 * x.bytes());
+}
+
+void bm_caxpy(benchmark::State& state) {
+  femto::SpinorField<float> x(geom(), 8, femto::Subset::Odd),
+      y(geom(), 8, femto::Subset::Odd);
+  x.gaussian(3);
+  y.gaussian(4);
+  for (auto _ : state) {
+    femto::blas::caxpy({0.999, 1e-4}, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 3 * x.bytes());
+}
+
+void bm_norm2(benchmark::State& state) {
+  femto::SpinorField<double> x(geom(), 8, femto::Subset::Odd);
+  x.gaussian(5);
+  double sink = 0;
+  for (auto _ : state) {
+    sink += femto::blas::norm2(x);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(state.iterations() * x.bytes());
+}
+
+void bm_cdot(benchmark::State& state) {
+  femto::SpinorField<double> x(geom(), 8, femto::Subset::Odd),
+      y(geom(), 8, femto::Subset::Odd);
+  x.gaussian(6);
+  y.gaussian(7);
+  double sink = 0;
+  for (auto _ : state) {
+    sink += femto::blas::cdot(x, y).re;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(state.iterations() * 2 * x.bytes());
+}
+
+}  // namespace
+
+BENCHMARK(bm_axpy)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_caxpy)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_norm2)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_cdot)->Unit(benchmark::kMicrosecond);

@@ -1,0 +1,58 @@
+// Microbenchmark: the nucleon tensor contraction (the CPU-only ~3% stage
+// that mpi_jm co-schedules for free).
+
+#include <benchmark/benchmark.h>
+
+#include "core/contractions.hpp"
+#include "lattice/gauge.hpp"
+
+namespace {
+
+struct Setup {
+  std::shared_ptr<const femto::Geometry> geom;
+  std::unique_ptr<femto::core::Propagator> up;
+  Setup() {
+    geom = std::make_shared<femto::Geometry>(4, 4, 4, 8);
+    auto u = std::make_shared<femto::GaugeField<double>>(geom);
+    femto::weak_gauge(*u, 21, 0.2);
+    femto::SolverParams sp;
+    sp.tol = 1e-7;
+    femto::DwfSolver solver(u, {4, -1.8, 1.5, 0.5, 0.3}, sp);
+    up = std::make_unique<femto::core::Propagator>(
+        femto::core::compute_point_propagator(solver, {0, 0, 0, 0}));
+  }
+  static Setup& get() {
+    static Setup s;
+    return s;
+  }
+};
+
+void bm_two_point(benchmark::State& state) {
+  auto& s = Setup::get();
+  const auto proj = femto::parity_projector();
+  for (auto _ : state) {
+    auto c = femto::core::nucleon_two_point(*s.up, *s.up, proj, 0);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["sites/s"] = benchmark::Counter(
+      static_cast<double>(s.geom->volume()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void bm_fh_three_point(benchmark::State& state) {
+  auto& s = Setup::get();
+  const auto proj = femto::polarized_projector();
+  for (auto _ : state) {
+    auto c = femto::core::nucleon_fh_three_point(*s.up, *s.up, *s.up,
+                                                 proj, 0);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["sites/s"] = benchmark::Counter(
+      static_cast<double>(s.geom->volume()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(bm_two_point)->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(bm_fh_three_point)->Unit(benchmark::kMillisecond)->Iterations(5);

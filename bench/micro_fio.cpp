@@ -1,0 +1,60 @@
+// Microbenchmark: propagator write/read through the femtoio container —
+// the I/O stage of Fig. 2 (0.5% of the application budget).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "fio/propagator_io.hpp"
+
+namespace {
+
+void bm_propagator_write(benchmark::State& state) {
+  auto geom = std::make_shared<femto::Geometry>(8, 8, 8, 8);
+  femto::SpinorField<double> prop(geom, 8, femto::Subset::Full);
+  prop.gaussian(31);
+  const std::string path = "/tmp/femto_bench_io.bin";
+  for (auto _ : state) {
+    femto::fio::File f;
+    femto::fio::write_propagator(f, "p", prop, {.ensemble = "bench"});
+    f.save(path);
+  }
+  state.SetBytesProcessed(state.iterations() * prop.bytes());
+  std::remove(path.c_str());
+}
+
+void bm_propagator_read(benchmark::State& state) {
+  auto geom = std::make_shared<femto::Geometry>(8, 8, 8, 8);
+  femto::SpinorField<double> prop(geom, 8, femto::Subset::Full);
+  prop.gaussian(32);
+  const std::string path = "/tmp/femto_bench_io.bin";
+  {
+    femto::fio::File f;
+    femto::fio::write_propagator(f, "p", prop, {.ensemble = "bench"});
+    f.save(path);
+  }
+  femto::SpinorField<double> back(geom, 8, femto::Subset::Full);
+  for (auto _ : state) {
+    auto f = femto::fio::File::load(path);  // includes CRC verification
+    femto::fio::read_propagator(f, "p", back);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(state.iterations() * prop.bytes());
+  std::remove(path.c_str());
+}
+
+void bm_crc32(benchmark::State& state) {
+  std::vector<char> buf(1 << 20, 'x');
+  for (auto _ : state) {
+    auto c = femto::fio::crc32(buf.data(), buf.size());
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buf.size()));
+}
+
+}  // namespace
+
+BENCHMARK(bm_propagator_write)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_propagator_read)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_crc32)->Unit(benchmark::kMicrosecond);

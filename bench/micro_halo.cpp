@@ -1,0 +1,51 @@
+// Microbenchmark: halo exchange over the ranks-as-threads communicator,
+// across policies and granularities (the functional layer underneath the
+// communication-policy autotuner).
+
+#include <benchmark/benchmark.h>
+
+#include "comm/halo.hpp"
+
+namespace {
+
+void bm_halo(benchmark::State& state, femto::comm::CommPolicy policy,
+             femto::comm::Granularity gran) {
+  const femto::comm::ProcessGrid grid({2, 1, 1, 2});
+  for (auto _ : state) {
+    femto::comm::HaloStats total;
+    femto::comm::run_ranks(grid.size(), [&](femto::comm::RankHandle& h) {
+      femto::comm::HaloField f({8, 8, 8, 8}, 24);
+      femto::comm::HaloExchanger ex(grid, policy, gran);
+      femto::comm::HaloStats stats;
+      ex.exchange(h, f, &stats);
+      if (h.rank() == 0) total = stats;
+    });
+    benchmark::DoNotOptimize(total.bytes_sent);
+  }
+  // 2 split dims x 2 faces x 512 face sites x 24 reals x 8 B x 4 ranks.
+  state.SetBytesProcessed(state.iterations() * 2LL * 2 * 512 * 24 * 8 * 4);
+}
+
+void bm_halo_staged_fused(benchmark::State& state) {
+  bm_halo(state, femto::comm::CommPolicy::HostStaged,
+          femto::comm::Granularity::Fused);
+}
+void bm_halo_zerocopy_fused(benchmark::State& state) {
+  bm_halo(state, femto::comm::CommPolicy::ZeroCopy,
+          femto::comm::Granularity::Fused);
+}
+void bm_halo_zerocopy_perdim(benchmark::State& state) {
+  bm_halo(state, femto::comm::CommPolicy::ZeroCopy,
+          femto::comm::Granularity::PerDimension);
+}
+void bm_halo_rdma_fused(benchmark::State& state) {
+  bm_halo(state, femto::comm::CommPolicy::DirectRdma,
+          femto::comm::Granularity::Fused);
+}
+
+}  // namespace
+
+BENCHMARK(bm_halo_staged_fused)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_halo_zerocopy_fused)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_halo_zerocopy_perdim)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_halo_rdma_fused)->Unit(benchmark::kMicrosecond);

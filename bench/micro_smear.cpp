@@ -1,0 +1,68 @@
+// Microbenchmark: APE link smearing and Wuppertal source smearing — the
+// gauge/source conditioning steps of production nucleon measurements.
+
+#include <benchmark/benchmark.h>
+
+#include "lattice/gauge.hpp"
+#include "lattice/observables.hpp"
+#include "lattice/smear.hpp"
+
+namespace {
+
+std::shared_ptr<const femto::Geometry> geom() {
+  static auto g = std::make_shared<femto::Geometry>(8, 8, 8, 8);
+  return g;
+}
+
+void bm_ape_step(benchmark::State& state) {
+  femto::GaugeField<double> u(geom());
+  femto::weak_gauge(u, 1, 0.25);
+  for (auto _ : state) {
+    femto::ape_smear_step(u, 0.5);
+    benchmark::DoNotOptimize(u.data());
+  }
+  state.counters["links/s"] = benchmark::Counter(
+      4.0 * static_cast<double>(geom()->volume()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void bm_wuppertal(benchmark::State& state) {
+  femto::GaugeField<double> u(geom());
+  femto::weak_gauge(u, 2, 0.25);
+  femto::SpinorField<double> psi(geom(), 1, femto::Subset::Full);
+  psi.gaussian(3);
+  for (auto _ : state) {
+    femto::wuppertal_smear(psi, u, {0.25, 1});
+    benchmark::DoNotOptimize(psi.data());
+  }
+  state.counters["sites/s"] = benchmark::Counter(
+      static_cast<double>(geom()->volume()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void bm_wilson_loop_2x2(benchmark::State& state) {
+  femto::GaugeField<double> u(geom());
+  femto::weak_gauge(u, 4, 0.25);
+  double sink = 0;
+  for (auto _ : state) {
+    sink += femto::wilson_loop(u, 2, 2);
+    benchmark::DoNotOptimize(sink);
+  }
+}
+
+void bm_action_density(benchmark::State& state) {
+  femto::GaugeField<double> u(geom());
+  femto::weak_gauge(u, 5, 0.25);
+  double sink = 0;
+  for (auto _ : state) {
+    sink += femto::action_density(u);
+    benchmark::DoNotOptimize(sink);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(bm_ape_step)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_wuppertal)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_wilson_loop_2x2)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(bm_action_density)->Unit(benchmark::kMillisecond)->Iterations(3);

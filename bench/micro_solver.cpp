@@ -1,0 +1,70 @@
+// Microbenchmark: full Mobius CGNE solves in the three precision modes —
+// the end-to-end cost the paper's mixed-precision design optimises.
+
+#include <benchmark/benchmark.h>
+
+#include "lattice/gauge.hpp"
+#include "solver/dwf_solve.hpp"
+
+namespace {
+
+struct Setup {
+  std::shared_ptr<const femto::Geometry> geom;
+  std::shared_ptr<const femto::GaugeField<double>> u;
+  femto::MobiusParams params{6, -1.8, 1.5, 0.5, 0.1};
+  Setup() {
+    geom = std::make_shared<femto::Geometry>(4, 4, 4, 8);
+    auto ug = std::make_shared<femto::GaugeField<double>>(geom);
+    femto::weak_gauge(*ug, 11, 0.2);
+    u = ug;
+  }
+  static Setup& get() {
+    static Setup s;
+    return s;
+  }
+};
+
+void bm_solve(benchmark::State& state, femto::Precision prec,
+              bool pure_double) {
+  auto& s = Setup::get();
+  femto::SolverParams sp;
+  sp.tol = 1e-8;
+  sp.sloppy = prec;
+  femto::DwfSolver solver(s.u, s.params, sp);
+  femto::SpinorField<double> b(s.geom, s.params.l5, femto::Subset::Full),
+      x(s.geom, s.params.l5, femto::Subset::Full);
+  b.gaussian(12);
+
+  std::int64_t iters = 0;
+  std::int64_t flop0 = femto::flops::get();
+  for (auto _ : state) {
+    x.zero();
+    const auto res =
+        pure_double ? solver.solve_double(x, b) : solver.solve(x, b);
+    iters += res.iterations;
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["iters/solve"] = static_cast<double>(iters) /
+                                  static_cast<double>(state.iterations());
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(femto::flops::get() - flop0) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void bm_solve_double(benchmark::State& state) {
+  bm_solve(state, femto::Precision::Double, true);
+}
+void bm_solve_mixed_single(benchmark::State& state) {
+  bm_solve(state, femto::Precision::Single, false);
+}
+void bm_solve_mixed_half(benchmark::State& state) {
+  bm_solve(state, femto::Precision::Half, false);
+}
+
+}  // namespace
+
+BENCHMARK(bm_solve_double)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(bm_solve_mixed_single)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK(bm_solve_mixed_half)->Unit(benchmark::kMillisecond)->Iterations(3);

@@ -1,0 +1,68 @@
+// The sustained-performance accounting of S VI-VII:
+//   * application split 96.5% propagators / 3% contractions / 0.5% I/O,
+//   * co-scheduled contractions cost nothing, I/O excluded,
+//   * "a sustained performance of 20% on the minimal number of nodes",
+//   * "15%" at scale with the untuned MVAPICH2 build, 20% anticipated,
+//   * ~20 PFLOPS peak sustained on Sierra,
+//   * machine-to-machine speedups over Titan.
+
+#include <cstdio>
+
+#include "core/sustained.hpp"
+
+int main() {
+  using namespace femto;
+  machine::LatticeProblem prob;
+  prob.extents = {48, 48, 48, 64};
+  prob.l5 = 12;
+
+  std::printf("== Sustained application performance (S VI-VII) ==\n\n");
+
+  const auto minimal = core::sustained_performance(
+      machine::sierra(), prob, /*gpus=*/4, /*jm_eff=*/1.0);
+  std::printf("minimal nodes (1 node / 4 GPUs): %s\n",
+              minimal.description.c_str());
+
+  // At scale: 13500 GPUs of 4-node jobs -> per-job rate times the fleet,
+  // with the untuned MVAPICH2 factor.
+  machine::SolverPerfModel model(machine::sierra(), prob);
+  const double per_group = model.strong_scaling_point(16).tflops;
+  const int groups = 844;  // ~13500 GPUs
+  const double jm_eff = 0.97;
+  for (double mpi_factor : {0.75, 1.0}) {
+    const double pf = per_group * groups * jm_eff * mpi_factor / 1000.0;
+    const double pct = model.strong_scaling_point(16).pct_peak * jm_eff *
+                       mpi_factor;
+    std::printf("at 13500 GPUs, MPI rate factor %.2f: %.1f PFLOPS "
+                "sustained, %.1f%% of peak\n",
+                mpi_factor, pf, pct);
+  }
+  std::printf("(paper: ~20 PFLOPS, 15%% of peak with MVAPICH2; 20%% "
+              "anticipated once tuned)\n\n");
+
+  // Contraction amortisation.
+  core::ApplicationSplit separate;
+  separate.contractions_coscheduled = false;
+  const auto with = core::sustained_performance(machine::sierra(), prob,
+                                                4, 1.0, 1.0, {});
+  const auto without = core::sustained_performance(machine::sierra(), prob,
+                                                   4, 1.0, 1.0, separate);
+  std::printf("co-scheduling the 3%% contraction stage: %.2f%% -> %.2f%% "
+              "of peak (cost amortised to zero)\n",
+              without.application_pct_peak, with.application_pct_peak);
+
+  const double sierra_x = core::machine_speedup(
+      machine::titan(), machine::sierra(), prob, 16, 16);
+  const double summit_x = core::machine_speedup(
+      machine::titan(), machine::summit(), prob, 16, 24);
+  std::printf("\nmachine-to-machine campaign speedup over Titan: Sierra "
+              "%.1fx, Summit %.1fx\n(paper: ~12x and ~15x; our model "
+              "underestimates Titan's real-world penalties — see "
+              "EXPERIMENTS.md)\n",
+              sierra_x, summit_x);
+
+  const bool ok = minimal.application_pct_peak > 14 &&
+                  minimal.application_pct_peak < 26 && summit_x > sierra_x;
+  std::printf("claims reproduced: %s\n", ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}

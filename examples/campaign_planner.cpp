@@ -1,0 +1,95 @@
+// Campaign planner: the whole reproduction stack in one pipeline.
+//
+//   1. run ONE real mixed-precision Mobius solve to calibrate the
+//      iteration count of the target quark mass,
+//   2. project the per-solve wall time at production scale (48^3 x 64 on
+//      16 Sierra GPUs) with the machine performance model,
+//   3. generate the full gA campaign task list (propagators +
+//      contractions) and schedule it through naive bundling, METAQ, and
+//      mpi_jm on a simulated Sierra partition,
+//   4. report the projected campaign wall time and GPU-hour bill under
+//      each job manager.
+
+#include <cstdio>
+
+#include "jobmgr/schedulers.hpp"
+#include "jobmgr/workload.hpp"
+#include "lattice/gauge.hpp"
+#include "machine/perf_model.hpp"
+#include "solver/dwf_solve.hpp"
+
+int main() {
+  using namespace femto;
+
+  // --- 1. calibrate with a real solve -----------------------------------
+  std::printf("calibrating: one real solve on 4^3x8 (L5=8, mf=0.05)...\n");
+  auto g = std::make_shared<Geometry>(4, 4, 4, 8);
+  auto u = std::make_shared<GaugeField<double>>(
+      quenched_config(g, 6.0, 10, 777));
+  SolverParams sp;
+  sp.tol = 1e-10;
+  DwfSolver solver(u, MobiusParams{8, -1.8, 1.5, 0.5, 0.05}, sp);
+  SpinorField<double> b(g, 8, Subset::Full), x(g, 8, Subset::Full);
+  b.gaussian(778);
+  const auto res = solver.solve(x, b);
+  std::printf("  %s\n\n", res.summary().c_str());
+
+  // --- 2. project to production scale ------------------------------------
+  machine::LatticeProblem prob;
+  prob.extents = {48, 48, 48, 64};
+  prob.l5 = 12;
+  machine::SolverPerfModel model(machine::sierra(), prob);
+  const auto pt = model.strong_scaling_point(16);
+  // One propagator = 12 solves x iterations x 2 Schur applies / solve.
+  const double flops_per_prop = 12.0 * res.iterations * 2.0 *
+                                static_cast<double>(prob.volume5()) *
+                                prob.flops_per_site5;
+  const double seconds_per_prop =
+      flops_per_prop / (pt.tflops * 1e12);
+  std::printf("production projection (Sierra, 16 GPUs/job): %.2f TFLOPS "
+              "per group, ~%.0f s per propagator (%d-iteration solves)\n\n",
+              pt.tflops, seconds_per_prop, res.iterations);
+
+  // --- 3. schedule the campaign ------------------------------------------
+  cluster::ClusterSpec spec;
+  spec.n_nodes = 512;
+  spec.nodes_per_block = 4;
+  spec.node.gpus = 4;
+  spec.perf_jitter_sigma = 0.03;
+  spec.seed = 779;
+  cluster::Cluster cl(spec);
+
+  jm::WorkloadOptions w;
+  w.n_propagators = 2000;  // one ensemble's worth
+  w.nodes_per_solve = 4;
+  w.solve_seconds = seconds_per_prop;
+  w.contraction_seconds = seconds_per_prop * 0.03 / 0.965;
+  w.duration_jitter = 0.15;
+  w.seed = 780;
+  const auto tasks = jm::make_campaign(w);
+
+  const auto naive = jm::run_naive_bundling(cl, tasks);
+  const auto metaq = jm::run_metaq(cl, tasks);
+  const auto mjm = jm::run_mpi_jm(cl, tasks, {.lump_nodes = 64});
+
+  std::printf("campaign of %d propagators on %d simulated Sierra "
+              "nodes:\n\n",
+              w.n_propagators, spec.n_nodes);
+  std::printf("%-16s %12s %14s %12s\n", "scheduler", "wall (h)",
+              "node-hours", "idle");
+  for (const auto& r : {naive, metaq, mjm})
+    std::printf("%-16s %12.2f %14.0f %11.1f%%\n", r.scheduler.c_str(),
+                r.makespan / 3600.0,
+                r.alloc_node_seconds / 3600.0,
+                100.0 * r.idle_fraction());
+
+  // --- 4. the punchline ----------------------------------------------------
+  const double saved = (naive.alloc_node_seconds - mjm.alloc_node_seconds) /
+                       3600.0;
+  std::printf("\nmpi_jm vs naive bundling saves %.0f node-hours on this "
+              "single-ensemble campaign (%.1fx speed-up) — multiplied "
+              "across the paper's many ensembles, this is the difference "
+              "that made the 1%% gA determination affordable.\n",
+              saved, naive.makespan / mjm.makespan);
+  return res.converged ? 0 : 1;
+}

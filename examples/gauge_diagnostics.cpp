@@ -1,0 +1,69 @@
+// Gauge-ensemble diagnostics: the battery of checks run on every new
+// ensemble before fermion measurements are trusted — plaquette
+// thermalisation, Wilson loops / Creutz ratio (confinement), Polyakov
+// loop (center symmetry), and the Wilson-flow t^2<E> curve (scale
+// setting), plus APE smearing as a cross-check that the UV roughness is
+// where it should be.
+
+#include <cstdio>
+
+#include "lattice/flow.hpp"
+#include "lattice/gauge.hpp"
+#include "lattice/observables.hpp"
+#include "lattice/smear.hpp"
+
+int main() {
+  using namespace femto;
+  auto geom = std::make_shared<Geometry>(6, 6, 6, 8);
+
+  std::printf("thermalising a quenched ensemble member (6^3 x 8, "
+              "beta = 6.0)...\n\n");
+  GaugeField<double> u(geom);
+  hot_gauge(u, 1234);
+  std::printf("%8s %12s\n", "sweep", "plaquette");
+  for (int sweep = 0; sweep < 24; ++sweep) {
+    heatbath_sweep(u, 6.0, 1235, sweep);
+    if (sweep % 4 == 3)
+      std::printf("%8d %12.5f\n", sweep + 1, plaquette(u));
+  }
+
+  std::printf("\n-- confinement diagnostics --\n");
+  std::printf("Wilson loops: W(1,1)=%.4f  W(1,2)=%.4f  W(2,2)=%.4f  "
+              "W(2,3)=%.4f\n",
+              wilson_loop(u, 1, 1), wilson_loop(u, 1, 2),
+              wilson_loop(u, 2, 2), wilson_loop(u, 2, 3));
+  std::printf("Creutz ratio chi(2,2) = %.4f (string tension estimate; "
+              "positive = confined)\n",
+              creutz_ratio(u, 2, 2));
+  const auto poly = polyakov_loop(u);
+  std::printf("Polyakov loop = (%.4f, %.4f), |P| = %.4f "
+              "(near zero = center symmetry intact)\n",
+              poly.re, poly.im, abs(poly));
+
+  std::printf("\n-- Wilson flow (scale setting) --\n");
+  GaugeField<double> flowed = u;
+  FlowParams fp;
+  fp.epsilon = 0.02;
+  fp.steps = 12;
+  const auto t2e = wilson_flow(flowed, fp);
+  std::printf("%8s %14s %12s\n", "t", "t^2 <E(t)>", "plaquette");
+  for (std::size_t k = 0; k < t2e.size(); k += 2)
+    std::printf("%8.2f %14.5f %12.5f\n",
+                fp.epsilon * static_cast<double>(k + 1), t2e[k],
+                k + 1 == t2e.size() ? plaquette(flowed) : 0.0);
+  std::printf("(t0 is defined by t^2<E> = 0.3; on this coarse toy "
+              "lattice the curve's monotone rise is the check)\n");
+
+  std::printf("\n-- smearing cross-check --\n");
+  const double rough = action_density(u);
+  const auto smeared = ape_smear(u, {0.5, 3});
+  std::printf("action density: %.4f raw -> %.4f after 3 APE sweeps "
+              "(UV roughness removed)\n",
+              rough, action_density(smeared));
+
+  const bool ok = plaquette(u) > 0.5 && creutz_ratio(u, 2, 2) > 0 &&
+                  abs(poly) < 0.5;
+  std::printf("\nensemble passes the standard sanity battery: %s\n",
+              ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// Job management demo: a production-shaped campaign (4-node propagator
+// solves feeding CPU-only contractions) scheduled three ways on a
+// simulated 512-node Sierra slice, plus the paper's Summit placement
+// trick: three 16-GPU jobs sharing eight 6-GPU nodes.
+
+#include <cstdio>
+
+#include "jobmgr/schedulers.hpp"
+#include "jobmgr/workload.hpp"
+
+int main() {
+  using namespace femto;
+
+  cluster::ClusterSpec spec;
+  spec.n_nodes = 512;
+  spec.nodes_per_block = 4;
+  spec.node.gpus = 4;
+  spec.node.cpu_slots = 40;
+  spec.perf_jitter_sigma = 0.03;
+  spec.bad_node_prob = 0.004;  // a couple of flaky nodes
+  spec.seed = 4224;
+  cluster::Cluster cl(spec);
+
+  jm::WorkloadOptions w;
+  w.n_propagators = 1024;
+  w.nodes_per_solve = 4;
+  w.solve_seconds = 600;
+  w.duration_jitter = 0.15;
+  w.with_contractions = true;
+  w.seed = 1;
+  const auto tasks = jm::make_campaign(w);
+
+  std::printf("campaign: %zu tasks on %d nodes (%.1f%% healthy)\n\n",
+              tasks.size(), spec.n_nodes, 100 * cl.healthy_fraction());
+
+  const auto naive = jm::run_naive_bundling(cl, tasks);
+  const auto metaq = jm::run_metaq(cl, tasks);
+  const auto mjm = jm::run_mpi_jm(cl, tasks, {.lump_nodes = 64});
+
+  std::printf("%-16s %10s %12s %8s %10s %12s\n", "scheduler", "makespan",
+              "utilization", "idle", "fragmented", "co-scheduled");
+  for (const auto& r : {naive, metaq, mjm})
+    std::printf("%-16s %9.0fs %11.1f%% %7.1f%% %10d %12d\n",
+                r.scheduler.c_str(), r.makespan, 100 * r.utilization(),
+                100 * r.idle_fraction(), r.fragmented_placements,
+                r.cpu_tasks_coscheduled);
+
+  std::printf("\nmpi_jm is %.2fx faster than naive bundling; METAQ "
+              "recovers %.0f%% of the gap.\n",
+              naive.makespan / mjm.makespan,
+              100.0 * (naive.makespan - metaq.makespan) /
+                  (naive.makespan - mjm.makespan));
+
+  // --- the Summit 6-GPU placement example (paper S VII) ----------------
+  std::printf("\n-- Summit placement: three 16-GPU jobs on eight 6-GPU "
+              "nodes --\n");
+  cluster::ClusterSpec sspec;
+  sspec.n_nodes = 8;
+  sspec.nodes_per_block = 8;
+  sspec.node.gpus = 6;
+  sspec.seed = 6;
+  cluster::Cluster summit(sspec);
+  std::vector<jm::Task> three;
+  for (int j = 0; j < 3; ++j) {
+    jm::Task t;
+    t.id = j;
+    t.nodes = 8;
+    t.gpus_per_node = 2;  // 16 GPUs as 2 per node across all 8 nodes
+    t.cpu_slots_per_node = 2;
+    t.duration = 600;
+    three.push_back(t);
+  }
+  const auto srep = jm::run_mpi_jm(summit, three, {.lump_nodes = 8});
+  double start_max = 0, end_min = 1e30;
+  for (const auto& r : srep.records) {
+    start_max = std::max(start_max, r.start);
+    end_min = std::min(end_min, r.end);
+  }
+  std::printf("all three jobs ran concurrently: %s (48 of 48 GPUs "
+              "occupied)\n",
+              start_max < end_min ? "YES" : "NO");
+
+  return srep.tasks_completed == 3 && start_max < end_min ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Scaling explorer: a small CLI over the machine performance model.
+//
+//   scaling_explorer [machine] [Lx Ly Lz Lt L5] [gpu counts...]
+//
+// With no arguments, prints the Sierra 48^3 x 64 strong-scaling table.
+// Example:
+//   ./build/examples/scaling_explorer summit 96 96 96 144 12 768 3072
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "machine/perf_model.hpp"
+
+namespace {
+
+femto::machine::MachineSpec pick_machine(const char* name) {
+  for (const auto& m : femto::machine::all_machines()) {
+    std::string lower = m.name;
+    for (auto& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower == name) return m;
+  }
+  std::fprintf(stderr, "unknown machine '%s' (use titan/ray/sierra/summit)\n",
+               name);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace femto::machine;
+
+  MachineSpec machine = sierra();
+  LatticeProblem prob;
+  prob.extents = {48, 48, 48, 64};
+  prob.l5 = 12;
+  std::vector<int> counts{4, 16, 64, 256, 1024};
+
+  int arg = 1;
+  if (arg < argc && !std::isdigit(static_cast<unsigned char>(*argv[arg])))
+    machine = pick_machine(argv[arg++]);
+  if (arg + 4 < argc) {
+    for (int i = 0; i < 4; ++i)
+      prob.extents[static_cast<std::size_t>(i)] = std::atoi(argv[arg++]);
+    prob.l5 = std::atoi(argv[arg++]);
+  }
+  if (arg < argc) {
+    counts.clear();
+    while (arg < argc) counts.push_back(std::atoi(argv[arg++]));
+  }
+
+  std::printf("machine: %s (%d nodes x %d %s)\n", machine.name.c_str(),
+              machine.nodes, machine.gpus_per_node, machine.gpu.c_str());
+  std::printf("lattice: %d x %d x %d x %d, L5 = %d (%lld 5D sites)\n\n",
+              prob.extents[0], prob.extents[1], prob.extents[2],
+              prob.extents[3], prob.l5,
+              static_cast<long long>(prob.volume5()));
+
+  SolverPerfModel model(machine, prob);
+  std::printf("%8s %12s %10s %14s %10s %16s\n", "GPUs", "TFLOPS",
+              "pct peak", "GB/s per GPU", "surface", "tuned policy");
+  for (int n : counts) {
+    const auto pt = model.strong_scaling_point(n);
+    std::printf("%8d %12.2f %10.2f %14.1f %9.1f%% %16s\n", n, pt.tflops,
+                pt.pct_peak, pt.bw_per_gpu_gbs,
+                100.0 * pt.surface_fraction, pt.policy.c_str());
+  }
+  return 0;
+}

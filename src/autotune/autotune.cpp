@@ -1,0 +1,145 @@
+#include "autotune/autotune.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace femto::tune {
+
+std::string TuneParam::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, value] : knobs) {
+    if (!first) os << ",";
+    os << name << "=" << value;
+    first = false;
+  }
+  return os.str();
+}
+
+Autotuner& Autotuner::global() {
+  static Autotuner tuner;
+  return tuner;
+}
+
+const TuneEntry& Autotuner::tune(Tunable& t) {
+  const std::string key = t.key();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Miss: brute-force outside the lock (searches can be slow; concurrent
+  // misses on the same key just race to insert the same answer).
+  TuneEntry entry = search(t);
+  std::lock_guard<std::mutex> lk(mu_);
+  ++misses_;
+  auto [it, inserted] = cache_.emplace(key, std::move(entry));
+  (void)inserted;
+  return it->second;
+}
+
+TuneEntry Autotuner::search(Tunable& t) const {
+  t.backup();
+  TuneEntry best;
+  best.seconds = std::numeric_limits<double>::infinity();
+  const auto cands = t.candidates();
+  for (const auto& p : cands) {
+    // Warm-up call, then take the min over reps_ timed calls.
+    t.apply(p);
+    double best_time = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps_; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      t.apply(p);
+      const double dt = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      best_time = std::min(best_time, dt);
+    }
+    if (best_time < best.seconds) {
+      best.seconds = best_time;
+      best.param = p;
+    }
+  }
+  t.restore();
+  best.candidates_tried = static_cast<int>(cands.size());
+  if (best.seconds > 0 && best.seconds < 1e30) {
+    best.gflops = static_cast<double>(t.flops_per_call()) / best.seconds / 1e9;
+    best.gbytes = static_cast<double>(t.bytes_per_call()) / best.seconds / 1e9;
+  }
+  return best;
+}
+
+bool Autotuner::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cache_.count(key) > 0;
+}
+
+void Autotuner::insert(const std::string& key, TuneEntry entry) {
+  std::lock_guard<std::mutex> lk(mu_);
+  cache_[key] = std::move(entry);
+}
+
+std::size_t Autotuner::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cache_.size();
+}
+
+void Autotuner::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  cache_.clear();
+  hits_ = misses_ = 0;
+}
+
+namespace {
+constexpr char kMagic[] = "femtotune-v1";
+}
+
+void Autotuner::save(const std::string& path) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ofstream out(path);
+  out << kMagic << "\n";
+  for (const auto& [key, e] : cache_) {
+    out << key << "\t" << e.seconds << "\t" << e.gflops << "\t" << e.gbytes
+        << "\t" << e.candidates_tried << "\t" << e.param.knobs.size();
+    for (const auto& [name, value] : e.param.knobs)
+      out << "\t" << name << "\t" << value;
+    out << "\n";
+  }
+}
+
+int Autotuner::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kMagic) return 0;
+  int loaded = 0;
+  std::string line;
+  std::lock_guard<std::mutex> lk(mu_);
+  while (std::getline(in, line)) {
+    std::istringstream is(line);
+    std::string key;
+    if (!std::getline(is, key, '\t')) continue;
+    TuneEntry e;
+    std::size_t n_knobs = 0;
+    is >> e.seconds >> e.gflops >> e.gbytes >> e.candidates_tried >> n_knobs;
+    for (std::size_t k = 0; k < n_knobs; ++k) {
+      std::string name;
+      std::int64_t value;
+      is >> name >> value;
+      e.param.knobs[name] = value;
+    }
+    if (!is.fail()) {
+      cache_[key] = std::move(e);
+      ++loaded;
+    }
+  }
+  return loaded;
+}
+
+}  // namespace femto::tune

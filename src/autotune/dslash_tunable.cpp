@@ -1,0 +1,73 @@
+#include "autotune/dslash_tunable.hpp"
+
+#include <sstream>
+
+#include "lattice/flops.hpp"
+
+namespace femto::tune {
+
+template <typename T>
+std::string DslashTunable<T>::key() const {
+  std::ostringstream os;
+  const auto& d = u_->geom();
+  os << "dslash,vol=" << d.extent(0) << "x" << d.extent(1) << "x"
+     << d.extent(2) << "x" << d.extent(3) << ",l5=" << l5_
+     << ",parity=" << out_parity_ << ",prec=" << sizeof(T);
+  return os.str();
+}
+
+template <typename T>
+std::vector<TuneParam> DslashTunable<T>::candidates() const {
+  std::vector<TuneParam> cands;
+  const std::int64_t volh = u_->geom().half_volume();
+  for (std::int64_t grain = 16; grain <= volh; grain *= 4) {
+    TuneParam p;
+    p.knobs["grain"] = grain;
+    cands.push_back(p);
+  }
+  TuneParam whole;
+  whole.knobs["grain"] = volh;
+  if (cands.empty() || !(cands.back() == whole)) cands.push_back(whole);
+  return cands;
+}
+
+template <typename T>
+void DslashTunable<T>::apply(const TuneParam& p) {
+  DslashTuning tune;
+  tune.grain = static_cast<std::size_t>(p.get("grain", 512));
+  dslash<T>(view(out_), *u_, cview(in_), out_parity_, false, tune);
+}
+
+template <typename T>
+std::int64_t DslashTunable<T>::flops_per_call() const {
+  return flops::kWilsonDslashPerSite * u_->geom().half_volume() * l5_;
+}
+
+template <typename T>
+std::int64_t DslashTunable<T>::bytes_per_call() const {
+  // Read 8 neighbour spinors + 8 links, write 1 spinor, per site and slice
+  // (links re-read per slice in this layout).
+  const std::int64_t volh = u_->geom().half_volume();
+  const std::int64_t spinor = kSpinorReals * sizeof(T);
+  const std::int64_t link = kLinkReals * sizeof(T);
+  return volh * l5_ * (9 * spinor + 8 * link);
+}
+
+template <typename T>
+DslashTuning tuned_dslash_grain(std::shared_ptr<const GaugeField<T>> u,
+                                int l5, int out_parity) {
+  DslashTunable<T> tunable(std::move(u), l5, out_parity);
+  const TuneEntry& e = Autotuner::global().tune(tunable);
+  DslashTuning t;
+  t.grain = static_cast<std::size_t>(e.param.get("grain", 512));
+  return t;
+}
+
+template class DslashTunable<double>;
+template class DslashTunable<float>;
+template DslashTuning tuned_dslash_grain<double>(
+    std::shared_ptr<const GaugeField<double>>, int, int);
+template DslashTuning tuned_dslash_grain<float>(
+    std::shared_ptr<const GaugeField<float>>, int, int);
+
+}  // namespace femto::tune

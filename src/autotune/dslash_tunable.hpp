@@ -1,0 +1,60 @@
+#pragma once
+// Autotuned dslash: sweeps the stencil kernel's work-partition grain (our
+// analogue of a CUDA launch geometry) and remembers the winner per
+// (volume, L5, precision, parity) key.  This is the integration point
+// between femtotune and the production kernels: DwfSolver and the benches
+// call tuned_dslash_grain() to pick launch parameters exactly the way
+// Chroma+QUDA pick theirs.
+
+#include <memory>
+#include <string>
+
+#include "autotune/autotune.hpp"
+#include "dirac/wilson.hpp"
+#include "lattice/field.hpp"
+
+namespace femto::tune {
+
+/// A Tunable wrapping one dslash application on scratch fields.
+template <typename T>
+class DslashTunable : public Tunable {
+ public:
+  DslashTunable(std::shared_ptr<const GaugeField<T>> u, int l5,
+                int out_parity)
+      : u_(std::move(u)),
+        l5_(l5),
+        out_parity_(out_parity),
+        in_(u_->geom_ptr(), l5,
+            out_parity == 0 ? Subset::Odd : Subset::Even),
+        out_(u_->geom_ptr(), l5,
+             out_parity == 0 ? Subset::Even : Subset::Odd) {
+    in_.gaussian(0xD51A5);
+  }
+
+  std::string key() const override;
+  std::vector<TuneParam> candidates() const override;
+  void apply(const TuneParam& p) override;
+  std::int64_t flops_per_call() const override;
+  std::int64_t bytes_per_call() const override;
+
+ private:
+  std::shared_ptr<const GaugeField<T>> u_;
+  int l5_;
+  int out_parity_;
+  SpinorField<T> in_, out_;
+};
+
+/// Convenience: returns the tuned grain for this gauge/l5/parity, running
+/// the brute-force search on first call.
+template <typename T>
+DslashTuning tuned_dslash_grain(std::shared_ptr<const GaugeField<T>> u,
+                                int l5, int out_parity = 0);
+
+extern template class DslashTunable<double>;
+extern template class DslashTunable<float>;
+extern template DslashTuning tuned_dslash_grain<double>(
+    std::shared_ptr<const GaugeField<double>>, int, int);
+extern template DslashTuning tuned_dslash_grain<float>(
+    std::shared_ptr<const GaugeField<float>>, int, int);
+
+}  // namespace femto::tune

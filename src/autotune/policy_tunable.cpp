@@ -1,0 +1,77 @@
+#include "autotune/policy_tunable.hpp"
+
+#include <sstream>
+
+#include "comm/communicator.hpp"
+#include "comm/process_grid.hpp"
+
+namespace femto::tune {
+
+namespace {
+constexpr std::array<comm::CommPolicy, 3> kPolicies{
+    comm::CommPolicy::HostStaged, comm::CommPolicy::ZeroCopy,
+    comm::CommPolicy::DirectRdma};
+constexpr std::array<comm::Granularity, 2> kGrans{
+    comm::Granularity::Fused, comm::Granularity::PerDimension};
+}  // namespace
+
+std::string HaloPolicyTunable::key() const {
+  std::ostringstream os;
+  os << "halo-policy,grid=" << grid_dims_[0] << "x" << grid_dims_[1] << "x"
+     << grid_dims_[2] << "x" << grid_dims_[3] << ",local=" << local_[0]
+     << "x" << local_[1] << "x" << local_[2] << "x" << local_[3]
+     << ",reals=" << n_reals_;
+  return os.str();
+}
+
+std::vector<TuneParam> HaloPolicyTunable::candidates() const {
+  std::vector<TuneParam> cands;
+  for (std::size_t p = 0; p < kPolicies.size(); ++p)
+    for (std::size_t g = 0; g < kGrans.size(); ++g) {
+      TuneParam tp;
+      tp.knobs["policy"] = static_cast<std::int64_t>(p);
+      tp.knobs["granularity"] = static_cast<std::int64_t>(g);
+      cands.push_back(tp);
+    }
+  return cands;
+}
+
+PolicyChoice HaloPolicyTunable::decode(const TuneParam& p) {
+  PolicyChoice c;
+  c.policy = kPolicies[static_cast<std::size_t>(p.get("policy", 1))];
+  c.granularity = kGrans[static_cast<std::size_t>(p.get("granularity", 0))];
+  return c;
+}
+
+void HaloPolicyTunable::apply(const TuneParam& p) {
+  const PolicyChoice choice = decode(p);
+  comm::ProcessGrid grid(grid_dims_);
+  comm::run_ranks(grid.size(), [&](comm::RankHandle& h) {
+    comm::HaloField field(local_, n_reals_);
+    comm::HaloExchanger ex(grid, choice.policy, choice.granularity);
+    ex.exchange(h, field);
+  });
+}
+
+std::int64_t HaloPolicyTunable::bytes_per_call() const {
+  std::int64_t vol = 1;
+  for (int d : local_) vol *= d;
+  std::int64_t bytes = 0;
+  int ranks = 1;
+  for (int d : grid_dims_) ranks *= d;
+  for (int mu = 0; mu < 4; ++mu) {
+    if (grid_dims_[static_cast<std::size_t>(mu)] == 1) continue;
+    bytes += 2 * (vol / local_[static_cast<std::size_t>(mu)]) * n_reals_ * 8;
+  }
+  return bytes * ranks;
+}
+
+PolicyChoice tuned_halo_policy(std::array<int, 4> grid_dims,
+                               std::array<int, 4> local_extents,
+                               int n_reals) {
+  HaloPolicyTunable t(grid_dims, local_extents, n_reals);
+  const TuneEntry& e = Autotuner::global().tune(t);
+  return HaloPolicyTunable::decode(e.param);
+}
+
+}  // namespace femto::tune

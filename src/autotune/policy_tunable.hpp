@@ -1,0 +1,58 @@
+#pragma once
+// Communication-policy autotuning (paper S V): "applying the autotuner to
+// the stencil-communication policy is very natural ... [it] enables us to
+// always use the optimum communication strategy regardless of the machine
+// topology and node count we are deployed on."
+//
+// The tunable's parameter space is the cross product
+//   {host-staged, zero-copy, direct-rdma} x {fused, per-dimension};
+// apply() runs a real collective halo exchange over the ranks-as-threads
+// communicator (functional path), while the MACHINE-MODEL cost of each
+// policy on Titan/Ray/Sierra/Summit is evaluated by femtomach (the two are
+// combined in the benches).
+
+#include <array>
+#include <string>
+
+#include "autotune/autotune.hpp"
+#include "comm/halo.hpp"
+
+namespace femto::tune {
+
+/// Decodes the winning knobs of a policy tune into the policy pair.
+struct PolicyChoice {
+  comm::CommPolicy policy = comm::CommPolicy::ZeroCopy;
+  comm::Granularity granularity = comm::Granularity::Fused;
+};
+
+/// Tunable over halo-exchange policies for a given local volume and
+/// process grid.  Each apply() spawns the SPMD section and performs one
+/// collective exchange with the candidate policy.
+class HaloPolicyTunable : public Tunable {
+ public:
+  HaloPolicyTunable(std::array<int, 4> grid_dims,
+                    std::array<int, 4> local_extents, int n_reals)
+      : grid_dims_(grid_dims),
+        local_(local_extents),
+        n_reals_(n_reals) {}
+
+  std::string key() const override;
+  std::vector<TuneParam> candidates() const override;
+  void apply(const TuneParam& p) override;
+
+  std::int64_t bytes_per_call() const override;
+
+  static PolicyChoice decode(const TuneParam& p);
+
+ private:
+  std::array<int, 4> grid_dims_;
+  std::array<int, 4> local_;
+  int n_reals_;
+};
+
+/// Tune (or look up) the best policy for this configuration.
+PolicyChoice tuned_halo_policy(std::array<int, 4> grid_dims,
+                               std::array<int, 4> local_extents,
+                               int n_reals);
+
+}  // namespace femto::tune

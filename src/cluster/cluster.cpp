@@ -1,0 +1,66 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace femto::cluster {
+
+Cluster::Cluster(const ClusterSpec& spec) : spec_(spec) {
+  nodes_.resize(static_cast<std::size_t>(spec.n_nodes));
+  for (int i = 0; i < spec.n_nodes; ++i) {
+    Node& n = nodes_[static_cast<std::size_t>(i)];
+    n.id = i;
+    n.block = i / spec.nodes_per_block;
+    n.cpu_free = spec.node.cpu_slots;
+    n.gpu_free = spec.node.gpus;
+    n.mem_free = spec.node.mem_gb;
+    Xoshiro256 rng(spec.seed, static_cast<std::uint64_t>(i), 0xC1);
+    // Slowdowns only: a node is at best nominal speed.
+    n.perf_factor =
+        1.0 / (1.0 + std::abs(rng.gaussian()) * spec.perf_jitter_sigma);
+    n.failed = rng.uniform() < spec.bad_node_prob;
+  }
+}
+
+int Cluster::n_blocks() const {
+  return (spec_.n_nodes + spec_.nodes_per_block - 1) /
+         spec_.nodes_per_block;
+}
+
+std::vector<int> Cluster::block_nodes(int block) const {
+  std::vector<int> out;
+  for (const auto& n : nodes_)
+    if (n.block == block) out.push_back(n.id);
+  return out;
+}
+
+int Cluster::count_available(int gpus, int cpus) const {
+  int c = 0;
+  for (const auto& n : nodes_)
+    if (!n.failed && n.gpu_free >= gpus && n.cpu_free >= cpus) ++c;
+  return c;
+}
+
+double Cluster::min_perf(const std::vector<int>& ids) const {
+  double m = 1.0;
+  for (int id : ids)
+    m = std::min(m, nodes_[static_cast<std::size_t>(id)].perf_factor);
+  return m;
+}
+
+bool Cluster::same_block(const std::vector<int>& ids) const {
+  if (ids.empty()) return true;
+  const int b = nodes_[static_cast<std::size_t>(ids.front())].block;
+  return std::all_of(ids.begin(), ids.end(), [&](int id) {
+    return nodes_[static_cast<std::size_t>(id)].block == b;
+  });
+}
+
+double Cluster::healthy_fraction() const {
+  int ok = 0;
+  for (const auto& n : nodes_)
+    if (!n.failed) ++ok;
+  return static_cast<double>(ok) / static_cast<double>(nodes_.size());
+}
+
+}  // namespace femto::cluster

@@ -1,0 +1,76 @@
+#pragma once
+// femtoclust: a simulated GPU cluster — the substitution for Sierra/Summit
+// hardware (DESIGN.md).  Nodes carry CPU slots, GPUs, a per-node
+// performance factor (real machines are heterogeneous: "nodes can differ
+// in performance", paper S V), block/topology structure for locality, and
+// failure flags (mpi_jm "ignores lumps that fail to start", S V).
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/rng.hpp"
+
+namespace femto::cluster {
+
+struct NodeSpec {
+  int cpu_slots = 40;  ///< schedulable CPU slots (POWER9-ish)
+  int gpus = 4;
+  double mem_gb = 256.0;
+};
+
+struct ClusterSpec {
+  int n_nodes = 128;
+  NodeSpec node;
+  int nodes_per_block = 4;      ///< high-bandwidth locality unit
+  double perf_jitter_sigma = 0.03;  ///< lognormal-ish node speed spread
+  double bad_node_prob = 0.0;   ///< nodes that fail to start
+  std::uint64_t seed = 1;
+};
+
+struct Node {
+  int id = 0;
+  int block = 0;
+  int cpu_free = 0;
+  int gpu_free = 0;
+  double mem_free = 0.0;
+  /// Relative speed (1.0 nominal).  Collective work runs at the MIN factor
+  /// of the participating nodes.
+  double perf_factor = 1.0;
+  bool failed = false;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterSpec& spec);
+
+  const ClusterSpec& spec() const { return spec_; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+  Node& node(int id) { return nodes_[static_cast<std::size_t>(id)]; }
+  const Node& node(int id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  int n_blocks() const;
+  /// Node ids of one block.
+  std::vector<int> block_nodes(int block) const;
+
+  /// Count of healthy nodes with at least the given free resources.
+  int count_available(int gpus, int cpus) const;
+
+  /// Slowest performance factor among a node set (collective work rate).
+  double min_perf(const std::vector<int>& ids) const;
+
+  /// True when every node in the set belongs to the same block (the
+  /// locality condition mpi_jm's block boundaries enforce).
+  bool same_block(const std::vector<int>& ids) const;
+
+  /// Fraction of healthy nodes.
+  double healthy_fraction() const;
+
+ private:
+  ClusterSpec spec_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace femto::cluster

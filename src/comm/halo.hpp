@@ -1,0 +1,152 @@
+#pragma once
+// Halo (ghost-zone) exchange for radius-1 stencils, with the
+// communication-policy choices the paper's autotuner selects among (S V,
+// "Communication Autotuning"):
+//
+//   * HostStaged  — pack, stage through a host bounce buffer, send
+//                   (models DMA-to-CPU + MPI on the CPU)
+//   * ZeroCopy    — pack directly into the message payload (models
+//                   zero-copy reads/writes across the PCIe bus)
+//   * DirectRdma  — like ZeroCopy but flagged as device<->NIC direct
+//                   (models GPU Direct RDMA; unsupported on early CORAL,
+//                   see the paper, but implemented here as an extension)
+//
+// and, orthogonally, the granularity choice:
+//
+//   * Fused        — post every face, then receive every face, then unpack
+//                    once (fewer "kernel launches", less overlap)
+//   * PerDimension — exchange and unpack one dimension at a time (more
+//                    fine-grained overlap)
+//
+// All policies are functionally identical (tests assert bit-equality); they
+// differ in the copy/message counts recorded in HaloStats, which calibrate
+// the machine model and which the policy autotuner (src/autotune) minimises.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/process_grid.hpp"
+
+namespace femto::comm {
+
+enum class CommPolicy { HostStaged, ZeroCopy, DirectRdma };
+enum class Granularity { Fused, PerDimension };
+
+const char* to_string(CommPolicy p);
+const char* to_string(Granularity g);
+
+/// Instrumentation accumulated by an exchange.
+struct HaloStats {
+  std::int64_t bytes_sent = 0;      ///< total payload shipped
+  std::int64_t messages = 0;        ///< point-to-point messages
+  std::int64_t staging_copies = 0;  ///< extra host bounce-buffer copies
+  std::int64_t unpack_passes = 0;   ///< halo-update "kernel launches"
+
+  HaloStats& operator+=(const HaloStats& o) {
+    bytes_sent += o.bytes_sent;
+    messages += o.messages;
+    staging_copies += o.staging_copies;
+    unpack_passes += o.unpack_passes;
+    return *this;
+  }
+};
+
+/// A rank-local block of a global lattice with one ghost layer per face.
+/// Sites are stored lexicographically (x fastest) with @p n_reals doubles
+/// per site; ghosts live in separate per-face buffers.
+class HaloField {
+ public:
+  HaloField(std::array<int, 4> local_extents, int n_reals);
+
+  int extent(int mu) const { return local_[static_cast<size_t>(mu)]; }
+  int n_reals() const { return n_reals_; }
+  std::int64_t volume() const { return vol_; }
+
+  /// Lexicographic local site index.
+  std::int64_t site(int x, int y, int z, int t) const {
+    return ((std::int64_t(t) * local_[2] + z) * local_[1] + y) * local_[0] +
+           x;
+  }
+
+  double* at(std::int64_t s) { return data_.data() + s * n_reals_; }
+  const double* at(std::int64_t s) const {
+    return data_.data() + s * n_reals_;
+  }
+
+  /// Number of sites on the face orthogonal to mu.
+  std::int64_t face_sites(int mu) const { return vol_ / extent(mu); }
+
+  /// Index into a face buffer: rank of the site among face sites, in the
+  /// lexicographic order of the remaining coordinates.
+  std::int64_t face_index(int mu, std::array<int, 4> c) const;
+
+  /// Ghost cell received from the forward (+mu) neighbour: the neighbour's
+  /// x_mu = 0 face, indexed by face_index.
+  double* ghost_fwd(int mu, std::int64_t f) {
+    return ghost_fwd_[static_cast<size_t>(mu)].data() + f * n_reals_;
+  }
+  const double* ghost_fwd(int mu, std::int64_t f) const {
+    return ghost_fwd_[static_cast<size_t>(mu)].data() + f * n_reals_;
+  }
+  /// Ghost cell received from the backward (-mu) neighbour (its x_mu = L-1
+  /// face).
+  double* ghost_bwd(int mu, std::int64_t f) {
+    return ghost_bwd_[static_cast<size_t>(mu)].data() + f * n_reals_;
+  }
+  const double* ghost_bwd(int mu, std::int64_t f) const {
+    return ghost_bwd_[static_cast<size_t>(mu)].data() + f * n_reals_;
+  }
+
+  std::vector<double>& raw() { return data_; }
+  const std::vector<double>& raw() const { return data_; }
+
+ private:
+  friend class HaloExchanger;
+  std::array<int, 4> local_;
+  int n_reals_;
+  std::int64_t vol_;
+  std::vector<double> data_;
+  std::array<std::vector<double>, 4> ghost_fwd_, ghost_bwd_;
+};
+
+/// Performs the 4-step stencil prescription from the paper (pack halos,
+/// communicate, [compute interior elsewhere], unpack/complete).
+class HaloExchanger {
+ public:
+  HaloExchanger(const ProcessGrid& grid, CommPolicy policy,
+                Granularity granularity)
+      : grid_(grid), policy_(policy), granularity_(granularity) {}
+
+  CommPolicy policy() const { return policy_; }
+  Granularity granularity() const { return granularity_; }
+
+  /// Exchange all faces of @p field along every dimension where the process
+  /// grid is wider than one rank.  Fills field.ghost_fwd / ghost_bwd.
+  /// Collective: every rank in @p h's world must call it.
+  void exchange(RankHandle& h, HaloField& field, HaloStats* stats = nullptr);
+
+  /// Split-phase exchange, the paper's overlap structure: begin() packs
+  /// and posts every face (sends are buffered and return immediately);
+  /// the caller computes the INTERIOR stencil; finish() receives and
+  /// unpacks the ghosts so the halo sites can be completed.  begin/finish
+  /// must be strictly paired.
+  void exchange_begin(RankHandle& h, HaloField& field,
+                      HaloStats* stats = nullptr);
+  void exchange_finish(RankHandle& h, HaloField& field,
+                       HaloStats* stats = nullptr);
+
+ private:
+  void pack_face(const HaloField& f, int mu, bool fwd_face,
+                 std::vector<double>& buf) const;
+  void exchange_dim(RankHandle& h, HaloField& field, int mu,
+                    HaloStats& stats) const;
+  void wrap_dim_local(HaloField& field, int mu, HaloStats& stats) const;
+
+  const ProcessGrid& grid_;
+  CommPolicy policy_;
+  Granularity granularity_;
+};
+
+}  // namespace femto::comm

@@ -1,0 +1,64 @@
+#pragma once
+// 4D process grid: how ranks tile the global lattice.  Mirrors the
+// "logical topology" an MPI QCD code builds (QMP_declare_logical_topology).
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+namespace femto::comm {
+
+class ProcessGrid {
+ public:
+  /// @p dims: number of ranks along each of x,y,z,t.
+  explicit ProcessGrid(std::array<int, 4> dims) : dims_(dims) {
+    n_ranks_ = 1;
+    for (int d : dims_) {
+      if (d < 1) throw std::invalid_argument("ProcessGrid: dims must be >= 1");
+      n_ranks_ *= d;
+    }
+  }
+
+  int size() const { return n_ranks_; }
+  int dim(int mu) const { return dims_[static_cast<std::size_t>(mu)]; }
+
+  /// Rank of grid coordinate (x fastest).
+  int rank_of(std::array<int, 4> c) const {
+    return ((c[3] * dims_[2] + c[2]) * dims_[1] + c[1]) * dims_[0] + c[0];
+  }
+
+  std::array<int, 4> coords_of(int rank) const {
+    std::array<int, 4> c{};
+    c[0] = rank % dims_[0];
+    rank /= dims_[0];
+    c[1] = rank % dims_[1];
+    rank /= dims_[1];
+    c[2] = rank % dims_[2];
+    c[3] = rank / dims_[2];
+    return c;
+  }
+
+  /// Neighbouring rank in +-mu direction (periodic torus).
+  int neighbor(int rank, int mu, int sign) const {
+    auto c = coords_of(rank);
+    auto& x = c[static_cast<std::size_t>(mu)];
+    const int d = dims_[static_cast<std::size_t>(mu)];
+    x = (x + (sign > 0 ? 1 : d - 1)) % d;
+    return rank_of(c);
+  }
+
+  /// Split a global extent into this rank's local extent; requires an even
+  /// split (as production QCD codes do).
+  static int local_extent(int global, int procs) {
+    if (global % procs != 0)
+      throw std::invalid_argument(
+          "ProcessGrid: global extent not divisible by process dim");
+    return global / procs;
+  }
+
+ private:
+  std::array<int, 4> dims_;
+  int n_ranks_;
+};
+
+}  // namespace femto::comm

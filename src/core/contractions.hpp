@@ -1,0 +1,64 @@
+#pragma once
+// Baryon tensor contractions — the CPU-only workflow stage (~3% of
+// application time) that mpi_jm co-schedules onto nodes whose GPUs are
+// busy with solves.
+//
+// Nucleon interpolator N = eps_abc (u_a^T C g5 d_b) u_c.  The two-point
+// function with sink projector P is the standard two-term epsilon
+// contraction
+//
+//   C2(t) = sum_x eps_abc eps_a'b'c' [  Tr(P U^{cc'}) Tr(D~^{bb'} U^{aa'})
+//                                     + Tr(P U^{aa'} D~^{bb'} U^{cc'}) ]
+//
+// with D~ = (C g5) D (C g5) and spin traces; U, D the up/down quark
+// propagators.  For the Feynman-Hellmann three-point data one U is
+// replaced by the FH propagator (axial current summed over all insertion
+// times).
+
+#include <vector>
+
+#include "core/propagator.hpp"
+#include "core/spin_matrix.hpp"
+
+namespace femto::core {
+
+/// Per-timeslice complex correlator.
+using Correlator = std::vector<cdouble>;
+
+/// Nucleon two-point function, zero sink momentum, projector P.
+/// @p up and @p down are the quark propagators from a common source at
+/// time t_src; the result is indexed by (t - t_src + T) % T.
+Correlator nucleon_two_point(const Propagator& up, const Propagator& down,
+                             const SpinMat& projector, int t_src);
+
+/// Same contraction with one up-quark line replaced by the FH propagator:
+/// yields sum_tau <N(t) A(tau) N(0)> — the FH "three-point" tower.
+Correlator nucleon_fh_three_point(const Propagator& up,
+                                  const Propagator& fh_up,
+                                  const Propagator& down,
+                                  const SpinMat& projector, int t_src);
+
+/// Pion two-point function at spatial momentum p (units of 2*pi/L):
+///   C_pi(t) = sum_x e^{-i p.x} tr |S(x)|^2
+/// (gamma_5 hermiticity collapses the pseudoscalar contraction to the
+/// propagator's absolute square, so C_pi(t=0 momentum) is STRICTLY
+/// positive on every configuration — the sharpest property test in the
+/// suite).
+Correlator pion_two_point(const Propagator& quark, int t_src,
+                          std::array<int, 3> momentum = {0, 0, 0});
+
+/// Nucleon two-point function at spatial momentum p.
+Correlator nucleon_two_point_momentum(const Propagator& up,
+                                      const Propagator& down,
+                                      const SpinMat& projector, int t_src,
+                                      std::array<int, 3> momentum);
+
+/// The FH effective coupling: finite difference of the ratio,
+///   g_eff(t) = R(t+1) - R(t),  R(t) = C_FH(t) / C_2pt(t).
+std::vector<double> fh_effective_coupling_series(const Correlator& c2,
+                                                 const Correlator& cfh);
+
+/// Effective mass  m_eff(t) = log(C(t) / C(t+1)).
+std::vector<double> effective_mass(const Correlator& c2);
+
+}  // namespace femto::core

@@ -1,0 +1,113 @@
+#include "core/ensemble.hpp"
+
+#include <cmath>
+
+#include "core/propagator.hpp"
+#include "lattice/gauge.hpp"
+#include "solver/dwf_solve.hpp"
+#include "stats/stats.hpp"
+
+namespace femto::core {
+
+namespace {
+
+/// Jackknife the effective mass per timeslice from per-config correlators.
+void analyze_meff(EnsembleResult* res) {
+  if (res->c2pt.empty()) return;
+  const std::size_t nt = res->c2pt.front().size();
+  if (nt < 2 || res->c2pt.size() < 2) return;
+  stats::Jackknife jk(static_cast<int>(res->c2pt.size()));
+  res->meff_mean.clear();
+  res->meff_err.clear();
+  for (std::size_t t = 0; t + 1 < nt; ++t) {
+    auto est = [t](const std::vector<double>& m) {
+      return m[t + 1] > 0 && m[t] > 0 ? std::log(m[t] / m[t + 1]) : 0.0;
+    };
+    const auto [center, err] = jk.estimate(res->c2pt, est);
+    res->meff_mean.push_back(center);
+    res->meff_err.push_back(err);
+  }
+}
+
+}  // namespace
+
+EnsembleResult run_ensemble(const EnsembleSpec& spec,
+                            const SolverParams& solver_params,
+                            fio::File* archive) {
+  EnsembleResult res;
+  res.name = spec.name;
+
+  const auto geom = std::make_shared<Geometry>(
+      spec.extents[0], spec.extents[1], spec.extents[2], spec.extents[3]);
+  auto configs =
+      quenched_ensemble(geom, spec.beta, spec.n_configs,
+                        spec.thermalization, spec.decorrelation, spec.seed);
+
+  const SpinMat pol = polarized_projector();
+  for (std::size_t cfg = 0; cfg < configs.size(); ++cfg) {
+    res.plaquettes.push_back(plaquette(configs[cfg]));
+    auto u = std::make_shared<GaugeField<double>>(std::move(configs[cfg]));
+    DwfSolver solver(u, spec.mobius, solver_params);
+
+    PropagatorSolveStats pstats;
+    const auto up = compute_point_propagator(solver, {0, 0, 0, 0}, &pstats);
+    PropagatorSolveStats fstats;
+    const auto fh = compute_fh_propagator(solver, up, &fstats);
+    res.all_converged =
+        res.all_converged && pstats.all_converged && fstats.all_converged;
+
+    const auto c2 = nucleon_two_point(up, up, pol, 0);
+    const auto c3 = nucleon_fh_three_point(up, fh, up, pol, 0);
+    std::vector<double> c2_re;
+    for (const auto& v : c2) c2_re.push_back(v.re);
+    res.c2pt.push_back(c2_re);
+    res.geff.push_back(fh_effective_coupling_series(c2, c3));
+  }
+  res.n_configs = static_cast<int>(res.c2pt.size());
+  analyze_meff(&res);
+  {
+    std::vector<double> p = res.plaquettes;
+    res.plaquette_mean = stats::mean(p);
+    res.plaquette_err = p.size() > 1 ? stats::std_error(p) : 0.0;
+  }
+
+  if (archive) {
+    const std::string base = "/ensemble/" + spec.name;
+    archive->write_f64(base + "/plaquettes", res.plaquettes);
+    for (int cfg = 0; cfg < res.n_configs; ++cfg) {
+      archive->write_f64(base + "/c2pt/" + std::to_string(cfg),
+                         res.c2pt[static_cast<std::size_t>(cfg)]);
+      archive->write_f64(base + "/geff/" + std::to_string(cfg),
+                         res.geff[static_cast<std::size_t>(cfg)]);
+    }
+    archive->set_attr(base, "name", spec.name);
+    archive->set_attr_f64(base, "beta", spec.beta);
+    archive->set_attr_f64(base, "mf", spec.mobius.mf);
+    archive->set_attr_f64(base, "n_configs",
+                          static_cast<double>(res.n_configs));
+  }
+  return res;
+}
+
+EnsembleResult load_ensemble(const fio::File& archive,
+                             const std::string& name) {
+  EnsembleResult res;
+  res.name = name;
+  const std::string base = "/ensemble/" + name;
+  res.plaquettes = archive.read_f64(base + "/plaquettes");
+  res.n_configs =
+      static_cast<int>(archive.attr_f64(base, "n_configs"));
+  for (int cfg = 0; cfg < res.n_configs; ++cfg) {
+    res.c2pt.push_back(
+        archive.read_f64(base + "/c2pt/" + std::to_string(cfg)));
+    res.geff.push_back(
+        archive.read_f64(base + "/geff/" + std::to_string(cfg)));
+  }
+  analyze_meff(&res);
+  std::vector<double> p = res.plaquettes;
+  res.plaquette_mean = stats::mean(p);
+  res.plaquette_err = p.size() > 1 ? stats::std_error(p) : 0.0;
+  return res;
+}
+
+}  // namespace femto::core

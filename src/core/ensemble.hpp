@@ -1,0 +1,57 @@
+#pragma once
+// Multi-configuration ensemble campaigns: "Because LQCD is a Monte Carlo
+// method, for each lattice size we have a large ensemble of gluonic field
+// configurations ... To control our systematic effects ... we use many
+// ensembles, varying the lattice sizes and other parameters" (S VI).
+//
+// An EnsembleSpec names one ensemble (extents, coupling, quark mass); the
+// campaign driver generates its Markov chain, runs the Fig. 2 pipeline on
+// every configuration, and hands per-configuration correlators to the
+// resampling analysis.  Results can be archived to a femtoio container.
+
+#include <string>
+#include <vector>
+
+#include "core/contractions.hpp"
+#include "fio/fio.hpp"
+#include "solver/cg.hpp"
+
+namespace femto::core {
+
+struct EnsembleSpec {
+  std::string name = "a09-like";
+  std::array<int, 4> extents{4, 4, 4, 8};
+  double beta = 6.0;
+  MobiusParams mobius{4, -1.8, 1.5, 0.5, 0.3};
+  int n_configs = 4;
+  int thermalization = 12;
+  int decorrelation = 4;  ///< heatbath sweeps between saved configs
+  std::uint64_t seed = 1;
+};
+
+struct EnsembleResult {
+  std::string name;
+  int n_configs = 0;
+  std::vector<double> plaquettes;          ///< per configuration
+  std::vector<std::vector<double>> c2pt;   ///< [config][t], Re C(t)
+  std::vector<std::vector<double>> geff;   ///< [config][t], FH series
+
+  // Jackknife analysis over configurations.
+  std::vector<double> meff_mean, meff_err;  ///< effective mass per t
+  double plaquette_mean = 0.0;
+  double plaquette_err = 0.0;
+  bool all_converged = true;
+};
+
+/// Run the full pipeline over one ensemble.  If @p archive is non-null,
+/// correlators land under /ensemble/<name>/.
+EnsembleResult run_ensemble(const EnsembleSpec& spec,
+                            const SolverParams& solver_params,
+                            fio::File* archive = nullptr);
+
+/// Load an archived ensemble's correlators back (inverse of the archive
+/// side of run_ensemble; analysis fields are recomputed).
+EnsembleResult load_ensemble(const fio::File& archive,
+                             const std::string& name);
+
+}  // namespace femto::core

@@ -1,0 +1,123 @@
+#pragma once
+// Dense 4x4 spin matrices: the algebra needed by the baryon tensor
+// contractions (charge conjugation, polarisation projectors, gamma
+// insertions).  Built numerically from the same apply_gamma() the dslash
+// uses, so contraction conventions can never drift from the operator
+// conventions.
+
+#include <array>
+
+#include "lattice/complex.hpp"
+#include "lattice/spinor.hpp"
+
+namespace femto {
+
+struct SpinMat {
+  // m[row][col]
+  std::array<std::array<cdouble, kNs>, kNs> m{};
+
+  cdouble& operator()(int r, int c) {
+    return m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+  }
+  const cdouble& operator()(int r, int c) const {
+    return m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+  }
+
+  static SpinMat identity() {
+    SpinMat s;
+    for (int i = 0; i < kNs; ++i) s(i, i) = {1.0, 0.0};
+    return s;
+  }
+
+  static SpinMat zero() { return {}; }
+
+  /// gamma_mu (mu in 0..3) or gamma_5 (mu == 4), derived column-by-column
+  /// from apply_gamma so it matches the kernel basis exactly.
+  static SpinMat gamma(int mu);
+
+  SpinMat operator*(const SpinMat& o) const {
+    SpinMat r;
+    for (int i = 0; i < kNs; ++i)
+      for (int j = 0; j < kNs; ++j) {
+        cdouble s{};
+        for (int k = 0; k < kNs; ++k) s += (*this)(i, k) * o(k, j);
+        r(i, j) = s;
+      }
+    return r;
+  }
+
+  SpinMat operator+(const SpinMat& o) const {
+    SpinMat r;
+    for (int i = 0; i < kNs; ++i)
+      for (int j = 0; j < kNs; ++j) r(i, j) = (*this)(i, j) + o(i, j);
+    return r;
+  }
+
+  SpinMat operator-(const SpinMat& o) const {
+    SpinMat r;
+    for (int i = 0; i < kNs; ++i)
+      for (int j = 0; j < kNs; ++j) r(i, j) = (*this)(i, j) - o(i, j);
+    return r;
+  }
+
+  SpinMat scaled(cdouble a) const {
+    SpinMat r;
+    for (int i = 0; i < kNs; ++i)
+      for (int j = 0; j < kNs; ++j) r(i, j) = a * (*this)(i, j);
+    return r;
+  }
+
+  SpinMat transpose() const {
+    SpinMat r;
+    for (int i = 0; i < kNs; ++i)
+      for (int j = 0; j < kNs; ++j) r(i, j) = (*this)(j, i);
+    return r;
+  }
+
+  cdouble trace() const {
+    cdouble s{};
+    for (int i = 0; i < kNs; ++i) s += (*this)(i, i);
+    return s;
+  }
+};
+
+inline SpinMat SpinMat::gamma(int mu) {
+  SpinMat g;
+  for (int col = 0; col < kNs; ++col) {
+    Spinor<double> e;
+    e[col][0] = {1.0, 0.0};
+    const auto ge = apply_gamma(mu, e);
+    for (int row = 0; row < kNs; ++row) g(row, col) = ge[row][0];
+  }
+  return g;
+}
+
+/// Charge conjugation C = gamma_y gamma_t in the DeGrand-Rossi basis
+/// (satisfies C gamma_mu C^-1 = -gamma_mu^T; verified by tests).
+inline SpinMat charge_conjugation() {
+  return SpinMat::gamma(kDirY) * SpinMat::gamma(kDirT);
+}
+
+/// C gamma_5: the diquark coupling matrix in the nucleon interpolator.
+inline SpinMat cgamma5() { return charge_conjugation() * SpinMat::gamma(4); }
+
+/// Positive-parity projector (1 + gamma_t)/2.
+inline SpinMat parity_projector() {
+  return (SpinMat::identity() + SpinMat::gamma(kDirT)).scaled({0.5, 0.0});
+}
+
+/// Spin-z polarised positive-parity projector:
+/// P = (1+gamma_t)/2 (1 - i gamma_x gamma_y)/2.
+inline SpinMat polarized_projector() {
+  const SpinMat gxgy = SpinMat::gamma(kDirX) * SpinMat::gamma(kDirY);
+  const SpinMat spin =
+      (SpinMat::identity() - gxgy.scaled({0.0, 1.0})).scaled({0.5, 0.0});
+  return parity_projector() * spin;
+}
+
+/// The axial current insertion gamma_z gamma_5 used for gA.
+inline SpinMat axial_gamma() {
+  return SpinMat::gamma(kDirZ) * SpinMat::gamma(4);
+}
+
+}  // namespace femto

@@ -1,0 +1,112 @@
+#include "core/stochastic.hpp"
+
+#include <cmath>
+
+#include "core/propagator.hpp"
+#include "lattice/rng.hpp"
+
+namespace femto::core {
+
+namespace {
+
+/// Embed a 4D source at the chiral walls, solve, and project back to 4D.
+SpinorField<double> solve_4d(DwfSolver& solver,
+                             const SpinorField<double>& eta) {
+  const auto g = solver.op().geom_ptr();
+  const int l5 = solver.params().l5;
+  SpinorField<double> b5(g, l5, Subset::Full);
+  b5.zero();
+  for (std::int64_t i = 0; i < eta.sites(); ++i) {
+    const auto src = eta.load(0, i);
+    b5.store(0, i, chiral_plus(src));
+    b5.store(l5 - 1, i, chiral_minus(src));
+  }
+  SpinorField<double> x5(g, l5, Subset::Full);
+  solver.solve(x5, b5);
+  SpinorField<double> q(g, 1, Subset::Full);
+  project_4d(x5, q);
+  return q;
+}
+
+/// eta^dag (Gamma q), summed over sites/spin/color.
+Cplx<double> gamma_inner(const SpinorField<double>& eta, const SpinMat& gamma,
+                         const SpinorField<double>& q) {
+  Cplx<double> acc{};
+  for (std::int64_t i = 0; i < eta.sites(); ++i) {
+    const auto e = eta.load(0, i);
+    const auto v = q.load(0, i);
+    for (int r = 0; r < kNs; ++r)
+      for (int c = 0; c < kNc; ++c) {
+        Cplx<double> gv{};
+        for (int k = 0; k < kNs; ++k) gv += gamma(r, k) * v[k][c];
+        acc += conj_mul(e[r][c], gv);
+      }
+  }
+  return acc;
+}
+
+}  // namespace
+
+void fill_z2_noise(SpinorField<double>& eta, std::uint64_t seed, int hit) {
+  for (std::int64_t i = 0; i < eta.sites(); ++i) {
+    Xoshiro256 rng(seed, static_cast<std::uint64_t>(i),
+                   static_cast<std::uint64_t>(hit) + 0x22);
+    Spinor<double> s;
+    for (int r = 0; r < kNs; ++r)
+      for (int c = 0; c < kNc; ++c)
+        s[r][c] = {rng.uniform() < 0.5 ? -1.0 : 1.0, 0.0};
+    eta.store(0, i, s);
+  }
+}
+
+Cplx<double> stochastic_trace_sample(DwfSolver& solver, const SpinMat& gamma,
+                                     const SpinorField<double>& eta) {
+  const auto q = solve_4d(solver, eta);
+  return gamma_inner(eta, gamma, q);
+}
+
+StochasticTraceResult estimate_trace(DwfSolver& solver, const SpinMat& gamma,
+                                     int n_hits, std::uint64_t seed) {
+  StochasticTraceResult res;
+  const auto g = solver.op().geom_ptr();
+  SpinorField<double> eta(g, 1, Subset::Full);
+  std::vector<double> re_samples;
+  Cplx<double> sum{};
+  for (int hit = 0; hit < n_hits; ++hit) {
+    fill_z2_noise(eta, seed, hit);
+    const auto s = stochastic_trace_sample(solver, gamma, eta);
+    sum += s;
+    re_samples.push_back(s.re);
+  }
+  res.samples = n_hits;
+  res.estimate = Cplx<double>(1.0 / n_hits) * sum;
+  if (n_hits > 1) {
+    double var = 0;
+    for (double v : re_samples)
+      var += (v - res.estimate.re) * (v - res.estimate.re);
+    var /= static_cast<double>(n_hits - 1);
+    res.error = std::sqrt(var / n_hits);
+  }
+  return res;
+}
+
+Cplx<double> exact_trace(DwfSolver& solver, const SpinMat& gamma) {
+  const auto g = solver.op().geom_ptr();
+  SpinorField<double> unit(g, 1, Subset::Full);
+  Cplx<double> acc{};
+  for (std::int64_t i = 0; i < g->volume(); ++i)
+    for (int r = 0; r < kNs; ++r)
+      for (int c = 0; c < kNc; ++c) {
+        unit.zero();
+        Spinor<double> s;
+        s[r][c] = {1.0, 0.0};
+        unit.store(0, i, s);
+        const auto q = solve_4d(solver, unit);
+        // Diagonal element of Gamma D^{-1} at (i, r, c).
+        const auto col = q.load(0, i);
+        for (int k = 0; k < kNs; ++k) acc += gamma(r, k) * col[k][c];
+      }
+  return acc;
+}
+
+}  // namespace femto::core

@@ -1,0 +1,60 @@
+#include "core/sustained.hpp"
+
+#include <sstream>
+
+namespace femto::core {
+
+SustainedPerf sustained_performance(const machine::MachineSpec& m,
+                                    const machine::LatticeProblem& prob,
+                                    int n_gpus, double jm_efficiency,
+                                    double mpi_rate_factor,
+                                    const ApplicationSplit& split) {
+  machine::SolverPerfModel model(m, prob);
+  const auto pt = model.strong_scaling_point(n_gpus);
+
+  SustainedPerf s;
+  s.solver_pct_peak = pt.pct_peak;
+  s.jm_efficiency = jm_efficiency;
+
+  // Application time budget: propagators dominate.  Co-scheduled
+  // contractions cost nothing extra; otherwise they dilute the GPU number
+  // by their serial fraction.  I/O is excluded when io_counted is false
+  // (the paper's accounting) or added as dead time when true.
+  double dilution = split.propagators;
+  if (!split.contractions_coscheduled) dilution += split.contractions;
+  if (split.io_counted) dilution += split.io;
+  const double solver_share = split.propagators / dilution;
+
+  s.application_pct_peak =
+      pt.pct_peak * solver_share * jm_efficiency * mpi_rate_factor;
+  s.pflops = pt.tflops / 1000.0 * solver_share * jm_efficiency *
+             mpi_rate_factor;
+
+  std::ostringstream os;
+  os << m.name << " @ " << n_gpus << " GPUs: solver " << pt.pct_peak
+     << "% of peak, application " << s.application_pct_peak
+     << "% (jm eff " << jm_efficiency * 100 << "%, mpi factor "
+     << mpi_rate_factor << ")";
+  s.description = os.str();
+  return s;
+}
+
+double machine_speedup(const machine::MachineSpec& from,
+                       const machine::MachineSpec& to,
+                       const machine::LatticeProblem& prob,
+                       int gpus_per_job_from, int gpus_per_job_to) {
+  machine::SolverPerfModel mf(from, prob);
+  machine::SolverPerfModel mt(to, prob);
+  const auto pf = mf.strong_scaling_point(gpus_per_job_from);
+  const auto pt = mt.strong_scaling_point(gpus_per_job_to);
+  // Campaign throughput scales with whole-machine sustained rate:
+  // per-job rate x number of concurrent jobs the machine can hold.
+  const double jobs_from =
+      static_cast<double>(from.nodes * from.gpus_per_node) /
+      gpus_per_job_from;
+  const double jobs_to =
+      static_cast<double>(to.nodes * to.gpus_per_node) / gpus_per_job_to;
+  return (pt.tflops * jobs_to) / (pf.tflops * jobs_from);
+}
+
+}  // namespace femto::core

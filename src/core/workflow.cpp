@@ -1,0 +1,128 @@
+#include "core/workflow.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "fio/propagator_io.hpp"
+#include "lattice/gauge.hpp"
+
+namespace femto::core {
+
+namespace {
+
+double elapsed_since(
+    const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+}  // namespace
+
+std::string WorkflowReport::summary() const {
+  std::ostringstream os;
+  os << "workflow: " << propagator_solves << " solves ("
+     << solver_iterations << " CG iterations), stage split "
+     << fraction_propagators() * 100 << "% propagators / "
+     << fraction_contractions() * 100 << "% contractions / "
+     << fraction_io() * 100 << "% I/O"
+     << (all_converged ? "" : " [UNCONVERGED SOLVES]");
+  return os.str();
+}
+
+WorkflowReport run_workflow(const WorkflowOptions& opts) {
+  WorkflowReport rep;
+  const auto geom = std::make_shared<Geometry>(
+      opts.extents[0], opts.extents[1], opts.extents[2], opts.extents[3]);
+
+  for (int cfg = 0; cfg < opts.n_configs; ++cfg) {
+    // --- stage 1: gluonic field ------------------------------------------
+    auto t0 = std::chrono::steady_clock::now();
+    auto u = std::make_shared<GaugeField<double>>(quenched_config(
+        geom, opts.beta, opts.thermalization,
+        opts.seed + static_cast<std::uint64_t>(cfg) * 1000));
+    rep.seconds_gauge += elapsed_since(t0);
+
+    // --- stage 2: propagator solves ---------------------------------------
+    t0 = std::chrono::steady_clock::now();
+    SolverParams sp;
+    sp.tol = opts.solver_tol;
+    sp.max_iter = 20000;
+    DwfSolver solver(u, opts.mobius, sp);
+    PropagatorSolveStats pstats;
+    const Coord origin{0, 0, 0, 0};
+    Propagator up = compute_point_propagator(solver, origin, &pstats);
+    rep.propagator_solves += kNs * kNc;
+    rep.solver_iterations += pstats.total_iterations;
+    rep.all_converged = rep.all_converged && pstats.all_converged;
+
+    Propagator fh(geom);
+    if (opts.with_fh) {
+      PropagatorSolveStats fstats;
+      fh = compute_fh_propagator(solver, up, &fstats);
+      rep.propagator_solves += kNs * kNc;
+      rep.solver_iterations += fstats.total_iterations;
+      rep.all_converged = rep.all_converged && fstats.all_converged;
+    }
+    rep.seconds_propagators += elapsed_since(t0);
+
+    // --- stage 3: write propagators (I/O) ---------------------------------
+    t0 = std::chrono::steady_clock::now();
+    const std::string fname = opts.scratch_dir + "/prop_cfg" +
+                              std::to_string(cfg) + ".femto";
+    {
+      fio::File f;
+      fio::PropagatorMeta meta;
+      meta.ensemble = "quenched-b" + std::to_string(opts.beta);
+      meta.config_id = cfg;
+      meta.mf = opts.mobius.mf;
+      meta.residual = pstats.worst_residual;
+      for (int s = 0; s < kNs; ++s)
+        for (int c = 0; c < kNc; ++c)
+          fio::write_propagator(
+              f, "up_s" + std::to_string(s) + "c" + std::to_string(c),
+              up.column(s, c), meta);
+      f.save(fname);
+    }
+    // ... and read them back (the contraction job is a separate task in
+    // production; Fig. 2's "Load propagator" box).
+    Propagator up_loaded(geom);
+    {
+      const fio::File f = fio::File::load(fname);
+      for (int s = 0; s < kNs; ++s)
+        for (int c = 0; c < kNc; ++c)
+          fio::read_propagator(
+              f, "up_s" + std::to_string(s) + "c" + std::to_string(c),
+              up_loaded.column(s, c));
+    }
+    rep.seconds_io += elapsed_since(t0);
+
+    // --- stage 4: contractions (CPU) --------------------------------------
+    t0 = std::chrono::steady_clock::now();
+    const SpinMat pol = polarized_projector();
+    const auto c2 = nucleon_two_point(up_loaded, up_loaded, pol, 0);
+    std::vector<double> c2_re;
+    for (const auto& v : c2) c2_re.push_back(v.re);
+    rep.c2pt.push_back(c2_re);
+    if (opts.with_fh) {
+      const auto cfh = nucleon_fh_three_point(up_loaded, fh, up_loaded,
+                                              pol, 0);
+      rep.geff.push_back(fh_effective_coupling_series(c2, cfh));
+    }
+    rep.seconds_contractions += elapsed_since(t0);
+
+    // --- stage 5: write results (I/O) --------------------------------------
+    t0 = std::chrono::steady_clock::now();
+    {
+      fio::File f;
+      fio::write_correlator(f, "nucleon_2pt_cfg" + std::to_string(cfg),
+                            c2_re, "zero-momentum polarised nucleon");
+      f.save(opts.scratch_dir + "/corr_cfg" + std::to_string(cfg) +
+             ".femto");
+    }
+    rep.seconds_io += elapsed_since(t0);
+  }
+  return rep;
+}
+
+}  // namespace femto::core

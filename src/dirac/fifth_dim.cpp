@@ -1,0 +1,71 @@
+#include "dirac/fifth_dim.hpp"
+
+namespace femto {
+
+SMat lambda_plus(int l5, double mf) {
+  SMat m(l5);
+  for (int s = 1; s < l5; ++s) m(s, s - 1) = 1.0;
+  m(0, l5 - 1) = -mf;
+  return m;
+}
+
+SMat lambda_minus(int l5, double mf) {
+  SMat m(l5);
+  for (int s = 0; s < l5 - 1; ++s) m(s, s + 1) = 1.0;
+  m(l5 - 1, 0) = -mf;
+  return m;
+}
+
+template <typename T>
+void FifthDimOp::apply(const SpinorView<T>& out,
+                       const SpinorView<const T>& in,
+                       std::size_t grain) const {
+  const int n = l5();
+  assert(n <= kMaxL5);
+  assert(out.l5 == n && in.l5 == n);
+  assert(out.sites == in.sites);
+
+  par::parallel_for_chunked(
+      0, static_cast<std::size_t>(out.sites),
+      [&](std::size_t lo, std::size_t hi) {
+        Spinor<T> buf[kMaxL5];
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto site = static_cast<std::int64_t>(i);
+          for (int s = 0; s < n; ++s) buf[s] = in.load(s, site);
+          for (int s = 0; s < n; ++s) {
+            Spinor<T> acc;
+            const double* rp = plus.row(s);
+            const double* rm = minus.row(s);
+            for (int sp = 0; sp < n; ++sp) {
+              const T cp = static_cast<T>(rp[sp]);
+              const T cm = static_cast<T>(rm[sp]);
+              if (cp != T(0)) {
+                for (int c = 0; c < kNc; ++c) {
+                  acc[0][c] += cp * buf[sp][0][c];
+                  acc[1][c] += cp * buf[sp][1][c];
+                }
+              }
+              if (cm != T(0)) {
+                for (int c = 0; c < kNc; ++c) {
+                  acc[2][c] += cm * buf[sp][2][c];
+                  acc[3][c] += cm * buf[sp][3][c];
+                }
+              }
+            }
+            out.store(s, site, acc);
+          }
+        }
+      },
+      grain);
+
+  flops::add(flops::fifth_dim_per_site(n) * out.sites);
+}
+
+template void FifthDimOp::apply<double>(const SpinorView<double>&,
+                                        const SpinorView<const double>&,
+                                        std::size_t) const;
+template void FifthDimOp::apply<float>(const SpinorView<float>&,
+                                       const SpinorView<const float>&,
+                                       std::size_t) const;
+
+}  // namespace femto

@@ -1,0 +1,157 @@
+#include "dirac/mobius.hpp"
+
+#include "lattice/blas.hpp"
+
+namespace femto {
+
+namespace {
+
+/// a*I + b*Lambda as a FifthDimOp.
+FifthDimOp affine_lambda(int l5, double mf, double a, double b) {
+  SMat lp = lambda_plus(l5, mf).scaled(b);
+  SMat lm = lambda_minus(l5, mf).scaled(b);
+  const SMat id = SMat::identity(l5).scaled(a);
+  return {id + lp, id + lm};
+}
+
+}  // namespace
+
+template <typename T>
+MobiusOperator<T>::MobiusOperator(std::shared_ptr<const GaugeField<T>> u,
+                                  MobiusParams params, DslashTuning tune)
+    : u_(std::move(u)),
+      params_(params),
+      tune_(tune),
+      tmp_e_(u_->geom_ptr(), params.l5, Subset::Even),
+      tmp_e2_(u_->geom_ptr(), params.l5, Subset::Even),
+      tmp_o_(u_->geom_ptr(), params.l5, Subset::Odd),
+      tmp_f_(u_->geom_ptr(), params.l5, Subset::Full),
+      tmp_f2_(u_->geom_ptr(), params.l5, Subset::Full) {
+  const int l5 = params_.l5;
+  const double a = 4.0 + params_.m5;
+  lambda_ = affine_lambda(l5, params_.mf, 0.0, 1.0);
+  b_ = affine_lambda(l5, params_.mf, params_.b5, params_.c5);
+  c_ = affine_lambda(l5, params_.mf, params_.b5 * a + 1.0,
+                     params_.c5 * a - 1.0);
+  cinv_ = c_.inverse();
+  bcinv_ = b_ * cinv_;
+  bt_ = b_.transpose();
+  ct_ = c_.transpose();
+  bcinvt_ = bcinv_.transpose();
+}
+
+template <typename T>
+void MobiusOperator<T>::apply_full(SpinorField<T>& out,
+                                   const SpinorField<T>& in,
+                                   bool dagger) const {
+  assert(out.subset() == Subset::Full && in.subset() == Subset::Full);
+  assert(out.l5() == params_.l5 && in.l5() == params_.l5);
+  if (!dagger) {
+    // out = D_W (B in) + (I - Lambda) in
+    b_.apply<T>(view(tmp_f_), view(in));
+    wilson_op<T>(out, *u_, tmp_f_, params_.m5, false, tune_);
+    lambda_.apply<T>(view(tmp_f_), view(in));
+    blas::axpy<T>(-1.0, tmp_f_, out);
+    blas::axpy<T>(1.0, in, out);
+  } else {
+    // out = B^T D_W^dag in + (I - Lambda)^T in
+    wilson_op<T>(tmp_f_, *u_, in, params_.m5, true, tune_);
+    bt_.apply<T>(view(out), cview(tmp_f_));
+    lambda_.transpose().apply<T>(view(tmp_f_), view(in));
+    blas::axpy<T>(-1.0, tmp_f_, out);
+    blas::axpy<T>(1.0, in, out);
+  }
+}
+
+template <typename T>
+void MobiusOperator<T>::apply_schur(SpinorField<T>& out,
+                                    const SpinorField<T>& in,
+                                    bool dagger) const {
+  assert(out.subset() == Subset::Odd && in.subset() == Subset::Odd);
+  if (!dagger) {
+    // Mhat = C - 1/4 Dslash (B C^-1) Dslash B, applied right to left.
+    b_.apply<T>(view(tmp_o_), view(in));
+    dslash<T>(view(tmp_e_), *u_, cview(tmp_o_), /*out_parity=*/0, false,
+              tune_);
+    bcinv_.apply<T>(view(tmp_e2_), cview(tmp_e_));
+    dslash<T>(view(out), *u_, cview(tmp_e2_), /*out_parity=*/1, false, tune_);
+    // out = C in - 1/4 out
+    c_.apply<T>(view(tmp_o_), view(in));
+  } else {
+    // Mhat^dag = C^T - 1/4 B^T Dslash^dag (B C^-1)^T Dslash^dag, applied
+    // right to left; the dagger dslash kernel with out parity p computes
+    // the (p, 1-p) block of Dslash^dag.
+    dslash<T>(view(tmp_e_), *u_, view(in), /*out_parity=*/0, true, tune_);
+    bcinvt_.apply<T>(view(tmp_e2_), cview(tmp_e_));
+    dslash<T>(view(tmp_o_), *u_, cview(tmp_e2_), /*out_parity=*/1, true,
+              tune_);
+    bt_.apply<T>(view(out), cview(tmp_o_));
+    ct_.apply<T>(view(tmp_o_), view(in));
+  }
+  blas::axpby<T>(1.0, tmp_o_, -0.25, out);
+}
+
+template <typename T>
+void MobiusOperator<T>::apply_normal(SpinorField<T>& out,
+                                     const SpinorField<T>& in) const {
+  assert(out.subset() == Subset::Odd && in.subset() == Subset::Odd);
+  SpinorField<T> mid(u_->geom_ptr(), params_.l5, Subset::Odd);
+  apply_schur(mid, in, false);
+  apply_schur(out, mid, true);
+}
+
+template <typename T>
+void MobiusOperator<T>::prepare_source(SpinorField<T>& bhat_odd,
+                                       const SpinorField<T>& b_full) const {
+  assert(bhat_odd.subset() == Subset::Odd);
+  assert(b_full.subset() == Subset::Full);
+  // tmp_e = (B C^-1) b_e
+  bcinv_.apply<T>(view(tmp_e_), parity_view(b_full, 0));
+  // bhat = Dslash_oe tmp_e
+  dslash<T>(view(bhat_odd), *u_, cview(tmp_e_), /*out_parity=*/1, false,
+            tune_);
+  // bhat = b_o + 1/2 bhat
+  // Copy the odd half of b into tmp_o_ first.
+  const auto bo = parity_view(b_full, 1);
+  const auto to = view(tmp_o_);
+  for (int s = 0; s < params_.l5; ++s)
+    for (std::int64_t i = 0; i < to.sites; ++i) to.store(s, i, bo.load(s, i));
+  blas::axpby<T>(1.0, tmp_o_, 0.5, bhat_odd);
+}
+
+template <typename T>
+void MobiusOperator<T>::reconstruct(SpinorField<T>& x_full,
+                                    const SpinorField<T>& x_odd,
+                                    const SpinorField<T>& b_full) const {
+  assert(x_full.subset() == Subset::Full && x_odd.subset() == Subset::Odd);
+  // tmp_o = B x_o ; tmp_e = Dslash_eo tmp_o
+  b_.apply<T>(view(tmp_o_), view(x_odd));
+  dslash<T>(view(tmp_e_), *u_, cview(tmp_o_), /*out_parity=*/0, false, tune_);
+  // tmp_e = b_e + 1/2 tmp_e
+  const auto be = parity_view(b_full, 0);
+  const auto te = view(tmp_e2_);
+  for (int s = 0; s < params_.l5; ++s)
+    for (std::int64_t i = 0; i < te.sites; ++i) te.store(s, i, be.load(s, i));
+  blas::axpby<T>(1.0, tmp_e2_, 0.5, tmp_e_);
+  // x_e = C^-1 tmp_e
+  cinv_.apply<T>(parity_view(x_full, 0), cview(tmp_e_));
+  // x_o = x_odd
+  const auto xo = parity_view(x_full, 1);
+  const auto xi = view(x_odd);
+  for (int s = 0; s < params_.l5; ++s)
+    for (std::int64_t i = 0; i < xo.sites; ++i) xo.store(s, i, xi.load(s, i));
+}
+
+template <typename T>
+std::int64_t MobiusOperator<T>::flops_per_schur() const {
+  const std::int64_t volh = u_->geom().half_volume();
+  const std::int64_t sites5 = volh * params_.l5;
+  // Two dslash passes + three fifth-dim matvecs (B, BC^-1, C) + the axpby.
+  return 2 * flops::kWilsonDslashPerSite * sites5 +
+         3 * flops::fifth_dim_per_site(params_.l5) * volh + 3 * sites5 * 24;
+}
+
+template class MobiusOperator<double>;
+template class MobiusOperator<float>;
+
+}  // namespace femto

@@ -1,0 +1,111 @@
+#pragma once
+// Small dense real matrices over the fifth dimension (size L5 x L5, with
+// L5 <= 32).  The Mobius operator's even-even block is site-independent,
+// so its inverse is computed ONCE here and applied per site as a dense
+// matvec — this is the CPU analogue of QUDA's m5inv kernels.
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <utility>
+#include <stdexcept>
+#include <vector>
+
+namespace femto {
+
+/// Maximum supported fifth-dimension extent (stack buffers in kernels).
+inline constexpr int kMaxL5 = 32;
+
+/// Dense n x n real matrix (row-major).
+class SMat {
+ public:
+  SMat() : n_(0) {}
+  explicit SMat(int n) : n_(n), a_(static_cast<size_t>(n) * n, 0.0) {}
+
+  int n() const { return n_; }
+  double& operator()(int r, int c) {
+    return a_[static_cast<size_t>(r) * n_ + c];
+  }
+  double operator()(int r, int c) const {
+    return a_[static_cast<size_t>(r) * n_ + c];
+  }
+  const double* row(int r) const { return a_.data() + size_t(r) * n_; }
+
+  static SMat identity(int n) {
+    SMat m(n);
+    for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  SMat operator*(const SMat& o) const {
+    assert(n_ == o.n_);
+    SMat r(n_);
+    for (int i = 0; i < n_; ++i)
+      for (int k = 0; k < n_; ++k) {
+        const double aik = (*this)(i, k);
+        for (int j = 0; j < n_; ++j) r(i, j) += aik * o(k, j);
+      }
+    return r;
+  }
+
+  SMat operator+(const SMat& o) const {
+    assert(n_ == o.n_);
+    SMat r(n_);
+    for (size_t i = 0; i < a_.size(); ++i) r.a_[i] = a_[i] + o.a_[i];
+    return r;
+  }
+
+  SMat scaled(double s) const {
+    SMat r(n_);
+    for (size_t i = 0; i < a_.size(); ++i) r.a_[i] = s * a_[i];
+    return r;
+  }
+
+  SMat transpose() const {
+    SMat r(n_);
+    for (int i = 0; i < n_; ++i)
+      for (int j = 0; j < n_; ++j) r(j, i) = (*this)(i, j);
+    return r;
+  }
+
+  /// Gauss-Jordan inverse with partial pivoting.  Throws if singular.
+  SMat inverse() const {
+    const int n = n_;
+    SMat a = *this;
+    SMat inv = identity(n);
+    for (int col = 0; col < n; ++col) {
+      int piv = col;
+      for (int r = col + 1; r < n; ++r)
+        if (std::abs(a(r, col)) > std::abs(a(piv, col))) piv = r;
+      if (std::abs(a(piv, col)) < 1e-300)
+        throw std::runtime_error("SMat::inverse: singular matrix");
+      if (piv != col) {
+        for (int j = 0; j < n; ++j) {
+          std::swap(a(piv, j), a(col, j));
+          std::swap(inv(piv, j), inv(col, j));
+        }
+      }
+      const double d = 1.0 / a(col, col);
+      for (int j = 0; j < n; ++j) {
+        a(col, j) *= d;
+        inv(col, j) *= d;
+      }
+      for (int r = 0; r < n; ++r) {
+        if (r == col) continue;
+        const double f = a(r, col);
+        if (f == 0.0) continue;
+        for (int j = 0; j < n; ++j) {
+          a(r, j) -= f * a(col, j);
+          inv(r, j) -= f * inv(col, j);
+        }
+      }
+    }
+    return inv;
+  }
+
+ private:
+  int n_;
+  std::vector<double> a_;
+};
+
+}  // namespace femto

@@ -1,0 +1,144 @@
+#include "dirac/wilson.hpp"
+
+#include "lattice/flops.hpp"
+
+namespace femto {
+
+namespace {
+
+/// The stencil body, generic over the gauge container (full 18-real
+/// storage or reconstruct-12 compressed) — the container's load() is the
+/// only thing that differs.
+template <typename T, typename GaugeT>
+void dslash_kernel(const SpinorView<T>& out, const GaugeT& u,
+                   const SpinorView<const T>& in, int out_parity,
+                   bool dagger, const DslashTuning& tune) {
+  const Geometry& geom = u.geom();
+  const std::int64_t volh = geom.half_volume();
+  const int in_parity = 1 - out_parity;
+  const int l5 = out.l5;
+  // Projector sign: forward hop uses (1 - g_mu) (sign +1); dagger flips it.
+  const int fsign = dagger ? -1 : +1;
+
+  par::parallel_for_chunked(
+      0, static_cast<std::size_t>(volh),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t cbs = lo; cbs < hi; ++cbs) {
+          const auto cb = static_cast<std::int64_t>(cbs);
+          const std::int64_t gsite = std::int64_t(out_parity) * volh + cb;
+          // Gather the 8 gauge links once per 4D site; reuse across s5.
+          ColorMat<T> ufwd[4], ubwd[4];
+          std::int64_t nf[4], nb[4];
+          T pf[4], pb[4];
+          for (int mu = 0; mu < 4; ++mu) {
+            nf[mu] = geom.neighbor_fwd(out_parity, cb, mu);
+            nb[mu] = geom.neighbor_bwd(out_parity, cb, mu);
+            ufwd[mu] = u.load(mu, gsite);
+            const std::int64_t bw_site = std::int64_t(in_parity) * volh +
+                                         nb[mu];
+            ubwd[mu] = u.load(mu, bw_site);
+            pf[mu] = static_cast<T>(geom.phase_fwd(out_parity, cb, mu));
+            pb[mu] = static_cast<T>(geom.phase_bwd(out_parity, cb, mu));
+          }
+          for (int s = 0; s < l5; ++s) {
+            Spinor<T> acc;  // zero
+            for (int mu = 0; mu < 4; ++mu) {
+              // Forward: U_mu(x) (1 -+ g_mu) psi(x+mu)
+              {
+                const Spinor<T> nb_sp = in.load(s, nf[mu]);
+                HalfSpinor<T> h = project(mu, fsign, nb_sp);
+                h = mul(ufwd[mu], h);
+                if (pf[mu] != T(1)) {
+                  h[0] *= pf[mu];
+                  h[1] *= pf[mu];
+                }
+                reconstruct_add(mu, fsign, h, acc);
+              }
+              // Backward: U_mu(x-mu)^dag (1 +- g_mu) psi(x-mu)
+              {
+                const Spinor<T> nb_sp = in.load(s, nb[mu]);
+                HalfSpinor<T> h = project(mu, -fsign, nb_sp);
+                h = adj_mul(ubwd[mu], h);
+                if (pb[mu] != T(1)) {
+                  h[0] *= pb[mu];
+                  h[1] *= pb[mu];
+                }
+                reconstruct_add(mu, -fsign, h, acc);
+              }
+            }
+            out.store(s, cb, acc);
+          }
+        }
+      },
+      tune.grain);
+
+  flops::add(flops::kWilsonDslashPerSite * volh * l5);
+}
+
+}  // namespace
+
+template <typename T>
+void dslash(const SpinorView<T>& out, const GaugeField<T>& u,
+            const SpinorView<const T>& in, int out_parity, bool dagger,
+            const DslashTuning& tune) {
+  dslash_kernel<T>(out, u, in, out_parity, dagger, tune);
+}
+
+template <typename T>
+void dslash_compressed(const SpinorView<T>& out,
+                       const CompressedGaugeField<T>& u,
+                       const SpinorView<const T>& in, int out_parity,
+                       bool dagger, const DslashTuning& tune) {
+  dslash_kernel<T>(out, u, in, out_parity, dagger, tune);
+}
+
+template <typename T>
+void wilson_op(SpinorField<T>& out, const GaugeField<T>& u,
+               const SpinorField<T>& in, double mass, bool dagger,
+               const DslashTuning& tune) {
+  assert(out.subset() == Subset::Full && in.subset() == Subset::Full);
+  assert(out.l5() == in.l5());
+  // Hopping term parity by parity.
+  for (int par = 0; par < 2; ++par) {
+    dslash<T>(parity_view(out, par), u, parity_view(in, 1 - par), par, dagger,
+              tune);
+  }
+  // out = (4+mass) in - 1/2 out
+  const T a = static_cast<T>(4.0 + mass);
+  const T mh = static_cast<T>(-0.5);
+  T* od = out.data();
+  const T* id = in.data();
+  const std::int64_t n = out.reals();
+  par::parallel_for_chunked(
+      0, static_cast<std::size_t>(n),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k)
+          od[k] = a * id[k] + mh * od[k];
+      },
+      4096);
+  flops::add(2 * n);
+}
+
+template void dslash<double>(const SpinorView<double>&,
+                             const GaugeField<double>&,
+                             const SpinorView<const double>&, int, bool,
+                             const DslashTuning&);
+template void dslash<float>(const SpinorView<float>&, const GaugeField<float>&,
+                            const SpinorView<const float>&, int, bool,
+                            const DslashTuning&);
+template void dslash_compressed<double>(const SpinorView<double>&,
+                                        const CompressedGaugeField<double>&,
+                                        const SpinorView<const double>&, int,
+                                        bool, const DslashTuning&);
+template void dslash_compressed<float>(const SpinorView<float>&,
+                                       const CompressedGaugeField<float>&,
+                                       const SpinorView<const float>&, int,
+                                       bool, const DslashTuning&);
+template void wilson_op<double>(SpinorField<double>&, const GaugeField<double>&,
+                                const SpinorField<double>&, double, bool,
+                                const DslashTuning&);
+template void wilson_op<float>(SpinorField<float>&, const GaugeField<float>&,
+                               const SpinorField<float>&, double, bool,
+                               const DslashTuning&);
+
+}  // namespace femto

@@ -1,0 +1,87 @@
+#include "dirac/wilson_eo.hpp"
+
+#include "lattice/blas.hpp"
+
+namespace femto {
+
+template <typename T>
+WilsonEoOperator<T>::WilsonEoOperator(std::shared_ptr<const GaugeField<T>> u,
+                                      double mass, DslashTuning tune)
+    : u_(std::move(u)),
+      mass_(mass),
+      tune_(tune),
+      tmp_e_(u_->geom_ptr(), 1, Subset::Even),
+      tmp_o_(u_->geom_ptr(), 1, Subset::Odd) {}
+
+template <typename T>
+void WilsonEoOperator<T>::apply_full(SpinorField<T>& out,
+                                     const SpinorField<T>& in,
+                                     bool dagger) const {
+  wilson_op<T>(out, *u_, in, mass_, dagger, tune_);
+}
+
+template <typename T>
+void WilsonEoOperator<T>::apply_schur(SpinorField<T>& out,
+                                      const SpinorField<T>& in,
+                                      bool dagger) const {
+  assert(out.subset() == Subset::Odd && in.subset() == Subset::Odd);
+  const double a = 4.0 + mass_;
+  dslash<T>(view(tmp_e_), *u_, view(in), /*out_parity=*/0, dagger, tune_);
+  dslash<T>(view(out), *u_, cview(tmp_e_), /*out_parity=*/1, dagger, tune_);
+  // out = a * in - 1/(4a) * out
+  blas::scal(-1.0 / (4.0 * a), out);
+  blas::axpy(a, in, out);
+}
+
+template <typename T>
+void WilsonEoOperator<T>::apply_normal(SpinorField<T>& out,
+                                       const SpinorField<T>& in) const {
+  SpinorField<T> mid(u_->geom_ptr(), 1, Subset::Odd);
+  apply_schur(mid, in, false);
+  apply_schur(out, mid, true);
+}
+
+template <typename T>
+void WilsonEoOperator<T>::prepare_source(SpinorField<T>& bhat_odd,
+                                         const SpinorField<T>& b_full) const {
+  assert(bhat_odd.subset() == Subset::Odd);
+  const double a = 4.0 + mass_;
+  // tmp_e = b_e (copy the even half), then bhat = b_o + 1/(2a) Dsl_oe b_e.
+  const auto be = parity_view(b_full, 0);
+  const auto te = view(tmp_e_);
+  for (std::int64_t i = 0; i < te.sites; ++i) te.store(0, i, be.load(0, i));
+  dslash<T>(view(bhat_odd), *u_, cview(tmp_e_), /*out_parity=*/1, false,
+            tune_);
+  blas::scal(1.0 / (2.0 * a), bhat_odd);
+  const auto bo = parity_view(b_full, 1);
+  const auto to = view(tmp_o_);
+  for (std::int64_t i = 0; i < to.sites; ++i) to.store(0, i, bo.load(0, i));
+  blas::axpy(1.0, tmp_o_, bhat_odd);
+}
+
+template <typename T>
+void WilsonEoOperator<T>::reconstruct(SpinorField<T>& x_full,
+                                      const SpinorField<T>& x_odd,
+                                      const SpinorField<T>& b_full) const {
+  const double a = 4.0 + mass_;
+  // x_e = (b_e + 1/2 Dsl_eo x_o) / a
+  dslash<T>(view(tmp_e_), *u_, view(x_odd), /*out_parity=*/0, false, tune_);
+  blas::scal(0.5 / a, tmp_e_);
+  const auto be = parity_view(b_full, 0);
+  const auto xe = parity_view(x_full, 0);
+  const auto te = cview(tmp_e_);
+  for (std::int64_t i = 0; i < te.sites; ++i) {
+    auto v = be.load(0, i);
+    v *= 1.0 / a;
+    v += te.load(0, i);
+    xe.store(0, i, v);
+  }
+  const auto xo = parity_view(x_full, 1);
+  const auto xi = view(x_odd);
+  for (std::int64_t i = 0; i < xo.sites; ++i) xo.store(0, i, xi.load(0, i));
+}
+
+template class WilsonEoOperator<double>;
+template class WilsonEoOperator<float>;
+
+}  // namespace femto

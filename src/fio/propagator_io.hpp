@@ -1,0 +1,53 @@
+#pragma once
+// Workflow schemas on top of femtoio: the propagator write/read step from
+// Fig. 2 ("Write 1 propagator" / "Load propagator") and the correlator
+// result write.  Each schema records enough metadata for a later job to
+// validate that it loaded what it expects — the same discipline the
+// production HDF5 layout enforces.
+
+#include <string>
+
+#include "fio/fio.hpp"
+#include "lattice/field.hpp"
+
+namespace femto::fio {
+
+/// Metadata identifying a propagator solve.
+struct PropagatorMeta {
+  std::string ensemble;     ///< e.g. "a09m310-like"
+  std::int64_t config_id = 0;
+  int l5 = 0;
+  double mf = 0.0;
+  double residual = 0.0;    ///< solver's final relative residual
+};
+
+/// Write a full 5D solution field plus metadata under /prop/<name>/.
+void write_propagator(File& f, const std::string& name,
+                      const SpinorField<double>& prop,
+                      const PropagatorMeta& meta);
+
+/// Read back; throws IoError on missing data or geometry mismatch with the
+/// supplied destination field.
+PropagatorMeta read_propagator(const File& f, const std::string& name,
+                               SpinorField<double>& prop);
+
+/// Write a gauge configuration under /gauge/<name>/ with its plaquette
+/// stored as metadata (the standard sanity stamp on stored ensembles).
+void write_gauge(File& f, const std::string& name,
+                 const GaugeField<double>& u, double plaquette_value);
+
+/// Read back; validates geometry against the destination field and, when
+/// check_plaquette is true, that the recorded plaquette matches the
+/// stored attribute (guards against lattice-ordering bugs between
+/// writers and readers).
+double read_gauge(const File& f, const std::string& name,
+                  GaugeField<double>& u);
+
+/// Write a correlator time series under /corr/<name>/.
+void write_correlator(File& f, const std::string& name,
+                      const std::vector<double>& c_t,
+                      const std::string& description);
+
+std::vector<double> read_correlator(const File& f, const std::string& name);
+
+}  // namespace femto::fio

@@ -1,0 +1,157 @@
+#include "jobmgr/metaq_queue.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fs = std::filesystem;
+
+namespace femto::jm {
+
+namespace {
+
+constexpr int kMaxPriority = 9;
+
+std::string priority_dir(const std::string& root, int p) {
+  return root + "/priority/" + std::to_string(p);
+}
+
+}  // namespace
+
+MetaqQueue::MetaqQueue(std::string root) : root_(std::move(root)) {
+  for (int p = 0; p <= kMaxPriority; ++p)
+    fs::create_directories(priority_dir(root_, p));
+  fs::create_directories(root_ + "/working");
+  fs::create_directories(root_ + "/finished");
+}
+
+std::string MetaqQueue::format_task(const Task& t) {
+  std::ostringstream os;
+  os << "id = " << t.id << "\n"
+     << "kind = " << (t.kind == TaskKind::GpuSolve ? "gpu" : "cpu") << "\n"
+     << "nodes = " << t.nodes << "\n"
+     << "gpus_per_node = " << t.gpus_per_node << "\n"
+     << "cpu_slots_per_node = " << t.cpu_slots_per_node << "\n"
+     << "duration = " << t.duration << "\n";
+  return os.str();
+}
+
+Task MetaqQueue::parse_task(const std::string& text) {
+  Task t;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, line.find(' '));
+    const std::string value = line.substr(eq + 1);
+    if (key == "id") t.id = std::stoi(value);
+    else if (key == "kind")
+      t.kind = value.find("gpu") != std::string::npos ? TaskKind::GpuSolve
+                                                      : TaskKind::CpuContraction;
+    else if (key == "nodes") t.nodes = std::stoi(value);
+    else if (key == "gpus_per_node") t.gpus_per_node = std::stoi(value);
+    else if (key == "cpu_slots_per_node")
+      t.cpu_slots_per_node = std::stoi(value);
+    else if (key == "duration") t.duration = std::stod(value);
+  }
+  return t;
+}
+
+std::string MetaqQueue::submit(const Task& t, int priority) {
+  priority = std::clamp(priority, 0, kMaxPriority);
+  std::ostringstream name;
+  name << "task_" << t.id << "_" << next_id_++;
+  const std::string path =
+      priority_dir(root_, priority) + "/" + name.str() + ".task";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    out << format_task(t);
+  }
+  fs::rename(tmp, path);  // publish atomically, never a half-written task
+  return name.str();
+}
+
+std::optional<QueuedTask> MetaqQueue::claim(int free_nodes) {
+  for (int p = 0; p <= kMaxPriority; ++p) {
+    std::vector<fs::path> candidates;
+    std::error_code ec;
+    for (const auto& e :
+         fs::directory_iterator(priority_dir(root_, p), ec)) {
+      if (e.path().extension() == ".task") candidates.push_back(e.path());
+    }
+    std::sort(candidates.begin(), candidates.end());
+    for (const auto& path : candidates) {
+      // Peek the resource needs before claiming.
+      std::ifstream in(path);
+      if (!in) continue;  // raced away
+      std::ostringstream body;
+      body << in.rdbuf();
+      Task t = parse_task(body.str());
+      if (t.nodes > free_nodes) continue;
+      // Atomic claim by rename: exactly one worker wins.
+      const fs::path target =
+          fs::path(root_) / "working" / path.filename();
+      std::error_code rc;
+      fs::rename(path, target, rc);
+      if (rc) continue;  // another worker claimed it first
+      QueuedTask q;
+      q.name = path.stem().string();
+      q.task = t;
+      return q;
+    }
+  }
+  return std::nullopt;
+}
+
+void MetaqQueue::finish(const QueuedTask& t) {
+  const fs::path from = fs::path(root_) / "working" / (t.name + ".task");
+  const fs::path to = fs::path(root_) / "finished" / (t.name + ".task");
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec)
+    throw std::runtime_error("MetaqQueue::finish: task not in working/: " +
+                             t.name);
+}
+
+void MetaqQueue::requeue(const QueuedTask& t, int priority) {
+  priority = std::clamp(priority, 0, kMaxPriority);
+  const fs::path from = fs::path(root_) / "working" / (t.name + ".task");
+  const fs::path to =
+      fs::path(priority_dir(root_, priority)) / (t.name + ".task");
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec)
+    throw std::runtime_error("MetaqQueue::requeue: task not in working/: " +
+                             t.name);
+}
+
+namespace {
+std::size_t count_tasks(const fs::path& dir) {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir, ec))
+    if (e.path().extension() == ".task") ++n;
+  return n;
+}
+}  // namespace
+
+std::size_t MetaqQueue::pending() const {
+  std::size_t n = 0;
+  for (int p = 0; p <= kMaxPriority; ++p)
+    n += count_tasks(priority_dir(root_, p));
+  return n;
+}
+
+std::size_t MetaqQueue::working() const {
+  return count_tasks(fs::path(root_) / "working");
+}
+
+std::size_t MetaqQueue::finished() const {
+  return count_tasks(fs::path(root_) / "finished");
+}
+
+}  // namespace femto::jm

@@ -1,0 +1,67 @@
+#pragma once
+// METAQ's actual mechanism, reproduced: "a set of shell scripts that forms
+// a middle layer between the batch scheduler and the user's computational
+// job scripts" [14].  Tasks are FILES in priority directories; a worker
+// inside a batch allocation claims one by atomically renaming it into the
+// working directory, runs it, and moves it to finished.  Because the state
+// lives on the filesystem, the queue is hardware-agnostic and multiple
+// allocations can drain it concurrently — both METAQ's strength and the
+// source of its fragmentation weakness (no placement knowledge).
+//
+// Layout under the queue root:
+//   priority/<p>/<name>.task    pending (lower p drains first)
+//   working/<name>.task         claimed
+//   finished/<name>.task        done
+//
+// Task files are the key=value format of the node-description parser.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jobmgr/task.hpp"
+
+namespace femto::jm {
+
+struct QueuedTask {
+  std::string name;  ///< file stem, unique per submission
+  Task task;
+};
+
+class MetaqQueue {
+ public:
+  /// Opens (creating if needed) a queue rooted at @p root.
+  explicit MetaqQueue(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  /// Drop a task file into the queue.  Lower priority numbers drain
+  /// first (METAQ's priority/ subdirectories).
+  std::string submit(const Task& t, int priority = 5);
+
+  /// Worker side: claim the first pending task (priority order, then
+  /// name order) that fits within @p free_nodes, by atomic rename.
+  /// Returns nullopt when nothing claimable exists.  Safe to call from
+  /// many workers concurrently — rename races lose gracefully.
+  std::optional<QueuedTask> claim(int free_nodes);
+
+  /// Mark a claimed task finished.
+  void finish(const QueuedTask& t);
+
+  /// Requeue a claimed task (worker died / node reclaimed).
+  void requeue(const QueuedTask& t, int priority = 5);
+
+  std::size_t pending() const;
+  std::size_t working() const;
+  std::size_t finished() const;
+
+  /// Serialise / parse one task file body.
+  static std::string format_task(const Task& t);
+  static Task parse_task(const std::string& text);
+
+ private:
+  std::string root_;
+  int next_id_ = 0;
+};
+
+}  // namespace femto::jm

@@ -1,0 +1,127 @@
+#include "jobmgr/mpi_jm_protocol.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+namespace femto::jm {
+
+namespace {
+
+// Message tags.
+constexpr int kTagConnect = 10;
+constexpr int kTagCommand = 11;  // START or SHUTDOWN, discriminated below
+constexpr int kTagDone = 12;
+
+// Command discriminators.
+constexpr std::int64_t kCmdStart = 1;
+constexpr std::int64_t kCmdShutdown = 2;
+
+void run_scheduler(comm::RankHandle& h, const std::vector<Task>& tasks,
+                   const ProtocolOptions& opts, ProtocolReport* report) {
+  // --- connection phase with a grace period: lumps that never connect
+  // are ignored (paper: damaged lumps "don't connect and are ignored").
+  std::set<int> connected;
+  for (;;) {
+    auto m = h.recv_for(-1, kTagConnect, std::chrono::milliseconds(100));
+    if (!m) break;  // silence: everyone that will connect has connected
+    std::int64_t lump_id, nodes;
+    std::memcpy(&lump_id, m->payload.data(), sizeof(lump_id));
+    std::memcpy(&nodes, m->payload.data() + sizeof(lump_id), sizeof(nodes));
+    (void)nodes;
+    connected.insert(static_cast<int>(lump_id));
+    if (static_cast<int>(connected.size()) == opts.n_lumps) break;
+  }
+  report->lumps_connected = static_cast<int>(connected.size());
+  report->lumps_ignored = opts.n_lumps - report->lumps_connected;
+  report->lump_logs.assign(static_cast<std::size_t>(opts.n_lumps) + 1,
+                           {});  // indexed by rank (1..n_lumps)
+  if (connected.empty()) {
+    report->clean_shutdown = true;
+    return;
+  }
+
+  // --- dispatch phase: one job at a time per lump, least-recently-idle.
+  std::deque<int> idle(connected.begin(), connected.end());
+  std::size_t next_task = 0;
+  int outstanding = 0;
+  while (next_task < tasks.size() || outstanding > 0) {
+    while (!idle.empty() && next_task < tasks.size()) {
+      const Task& t = tasks[next_task];
+      const int lump = idle.front();
+      idle.pop_front();
+      const auto dur_us = static_cast<std::int64_t>(
+          t.duration * opts.us_per_sim_second);
+      h.send_vec<std::int64_t>(lump, kTagCommand,
+                               {kCmdStart, t.id, dur_us});
+      report->placement[t.id] = lump;
+      ++next_task;
+      ++outstanding;
+    }
+    if (outstanding == 0) break;
+    // Wait for any completion.
+    comm::Message m = h.recv(-1, kTagDone);
+    std::int64_t job_id;
+    std::memcpy(&job_id, m.payload.data(), sizeof(job_id));
+    report->lump_logs[static_cast<std::size_t>(m.src)].push_back(
+        static_cast<int>(job_id));
+    ++report->jobs_completed;
+    --outstanding;
+    idle.push_back(m.src);
+  }
+
+  // --- shutdown phase.
+  for (int lump : connected)
+    h.send_vec<std::int64_t>(lump, kTagCommand, {kCmdShutdown, 0, 0});
+  report->clean_shutdown = true;
+}
+
+void run_lump_manager(comm::RankHandle& h, const ProtocolOptions& opts) {
+  // CONNECT: the DPM handshake.
+  h.send_vec<std::int64_t>(0, kTagConnect,
+                           {static_cast<std::int64_t>(h.rank()),
+                            static_cast<std::int64_t>(opts.nodes_per_lump)});
+  for (;;) {
+    comm::Message m = h.recv(0, kTagCommand);
+    std::int64_t cmd, job_id, dur_us;
+    std::memcpy(&cmd, m.payload.data(), sizeof(cmd));
+    std::memcpy(&job_id, m.payload.data() + 8, sizeof(job_id));
+    std::memcpy(&dur_us, m.payload.data() + 16, sizeof(dur_us));
+    if (cmd == kCmdShutdown) return;
+    // "MPI_Comm_spawn_multiple to start the job on the assigned
+    // resources" — here: execute the (scaled) workload.
+    if (dur_us > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(dur_us));
+    h.send_vec<std::int64_t>(0, kTagDone, {job_id});
+  }
+}
+
+}  // namespace
+
+ProtocolReport run_mpi_jm_protocol(const std::vector<Task>& tasks,
+                                   const ProtocolOptions& opts) {
+  // Validate BEFORE spawning ranks: an exception thrown mid-protocol would
+  // leave lump managers blocked in recv() and deadlock the join.
+  for (const auto& t : tasks)
+    if (t.nodes > opts.nodes_per_lump)
+      throw std::invalid_argument(
+          "mpi_jm protocol: task larger than a lump");
+
+  ProtocolReport report;
+  const std::set<int> dead(opts.dead_lumps.begin(), opts.dead_lumps.end());
+  // Rank 0: scheduler; ranks 1..n_lumps: lump managers.
+  comm::run_ranks(opts.n_lumps + 1, [&](comm::RankHandle& h) {
+    if (h.rank() == 0) {
+      run_scheduler(h, tasks, opts, &report);
+    } else if (!dead.count(h.rank())) {
+      run_lump_manager(h, opts);
+    }
+    // Dead lumps simply never connect.
+  });
+  return report;
+}
+
+}  // namespace femto::jm

@@ -1,0 +1,60 @@
+#pragma once
+// The mpi_jm wire protocol, executed with REAL message passing over
+// femtocomm: "The job manager mpi_jm is started as a collection of mpirun
+// launches of a single-node manager process per node on groups of nodes
+// ... that we call lumps.  The first lump also starts a scheduler process
+// and the remaining lumps connect to the scheduler after they initialize.
+// The connection process uses the DPM features of MPI 3.1." (S V)
+//
+// Ranks: rank 0 is the scheduler (it lives with lump 0); every rank is
+// one lump manager.  Protocol:
+//
+//   manager -> scheduler   CONNECT (lump id, node count)      [DPM connect]
+//   scheduler -> manager   START   (job id, nodes)            [spawn]
+//   manager -> scheduler   DONE    (job id)
+//   scheduler -> manager   SHUTDOWN
+//
+// A manager that never CONNECTs (damaged lump) is ignored after a grace
+// period, exactly like the paper's "lumps that fail to start ... don't
+// connect and are ignored".  Jobs sized to one lump are handed to the
+// least-loaded connected lump (block locality inside a lump is the
+// cluster model's concern; here we exercise the distributed control
+// plane itself).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "jobmgr/task.hpp"
+
+namespace femto::jm {
+
+struct ProtocolOptions {
+  int n_lumps = 4;
+  int nodes_per_lump = 8;
+  /// Lump manager RANKS (1..n_lumps) that fail to start and never connect.
+  std::vector<int> dead_lumps;
+  /// Wall-time scale: one simulated second of task duration maps to this
+  /// many microseconds of real execution in the lump manager.
+  double us_per_sim_second = 2.0;
+};
+
+struct ProtocolReport {
+  int lumps_connected = 0;
+  int lumps_ignored = 0;
+  int jobs_completed = 0;
+  /// job id -> lump that executed it.
+  std::map<int, int> placement;
+  /// Completion order per lump, indexed by manager rank (entry 0 unused).
+  std::vector<std::vector<int>> lump_logs;
+  bool clean_shutdown = false;
+};
+
+/// Run the full protocol for @p tasks (each task must fit in one lump:
+/// task.nodes <= nodes_per_lump).  Returns the scheduler's report.
+ProtocolReport run_mpi_jm_protocol(const std::vector<Task>& tasks,
+                                   const ProtocolOptions& opts);
+
+}  // namespace femto::jm

@@ -1,0 +1,105 @@
+#include "jobmgr/node_config.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace femto::jm {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::invalid_argument("node description line " +
+                              std::to_string(line) + ": " + msg);
+}
+
+}  // namespace
+
+NodeDescription parse_node_description(const std::string& text) {
+  NodeDescription d;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    const std::string line =
+        trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected 'key = value'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (value.empty()) fail(line_no, "empty value for '" + key + "'");
+
+    try {
+      if (key == "nodes") {
+        d.cluster.n_nodes = std::stoi(value);
+      } else if (key == "gpus") {
+        d.cluster.node.gpus = std::stoi(value);
+      } else if (key == "cpu_slots") {
+        d.cluster.node.cpu_slots = std::stoi(value);
+      } else if (key == "memory_gb") {
+        d.cluster.node.mem_gb = std::stod(value);
+      } else if (key == "block_nodes") {
+        d.cluster.nodes_per_block = std::stoi(value);
+      } else if (key == "lump_nodes") {
+        d.lump_nodes = std::stoi(value);
+      } else if (key == "jitter") {
+        d.cluster.perf_jitter_sigma = std::stod(value);
+      } else if (key == "bad_node_prob") {
+        d.cluster.bad_node_prob = std::stod(value);
+      } else if (key == "seed") {
+        d.cluster.seed = std::stoull(value);
+      } else {
+        fail(line_no, "unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      fail(line_no, "cannot parse value '" + value + "' for '" + key + "'");
+    }
+  }
+
+  // Sanity constraints mpi_jm relies on.
+  if (d.cluster.n_nodes < 1) fail(0, "nodes must be >= 1");
+  if (d.cluster.node.gpus < 0) fail(0, "gpus must be >= 0");
+  if (d.cluster.nodes_per_block < 1) fail(0, "block_nodes must be >= 1");
+  if (d.lump_nodes < d.cluster.nodes_per_block)
+    fail(0, "lump_nodes must be >= block_nodes (blocks subdivide lumps)");
+  if (d.lump_nodes % d.cluster.nodes_per_block != 0)
+    fail(0, "lump_nodes must be a multiple of block_nodes");
+  return d;
+}
+
+NodeDescription load_node_description(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::invalid_argument("cannot open node description: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_node_description(ss.str());
+}
+
+std::string format_node_description(const NodeDescription& d) {
+  std::ostringstream os;
+  os << "nodes = " << d.cluster.n_nodes << "\n"
+     << "gpus = " << d.cluster.node.gpus << "\n"
+     << "cpu_slots = " << d.cluster.node.cpu_slots << "\n"
+     << "memory_gb = " << d.cluster.node.mem_gb << "\n"
+     << "block_nodes = " << d.cluster.nodes_per_block << "\n"
+     << "lump_nodes = " << d.lump_nodes << "\n"
+     << "jitter = " << d.cluster.perf_jitter_sigma << "\n"
+     << "bad_node_prob = " << d.cluster.bad_node_prob << "\n"
+     << "seed = " << d.cluster.seed << "\n";
+  return os.str();
+}
+
+}  // namespace femto::jm

@@ -1,0 +1,51 @@
+#pragma once
+// Node-description parsing for mpi_jm: the paper's scheduler "reads a
+// python based description of the nodes, detailing the memory, cores,
+// slots, and GPUs" and uses it to bind ranks to resources.  We accept a
+// small declarative text format with the same content:
+//
+//   # sierra-like partition
+//   nodes       = 256
+//   gpus        = 4
+//   cpu_slots   = 40
+//   memory_gb   = 256
+//   block_nodes = 4
+//   lump_nodes  = 64
+//   jitter      = 0.03
+//   bad_node_prob = 0.004
+//   seed        = 11
+//
+// Unknown keys are an error (catching typos beats silently ignoring a
+// resource limit); '#' starts a comment; keys may appear in any order.
+
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "jobmgr/schedulers.hpp"
+
+namespace femto::jm {
+
+/// Everything a deployment needs: the cluster and the manager layout.
+struct NodeDescription {
+  cluster::ClusterSpec cluster;
+  int lump_nodes = 128;
+
+  MpiJmOptions jm_options() const {
+    MpiJmOptions o;
+    o.lump_nodes = lump_nodes;
+    return o;
+  }
+};
+
+/// Parse the text format above.  Throws std::invalid_argument with a
+/// line-numbered message on malformed input or unknown keys.
+NodeDescription parse_node_description(const std::string& text);
+
+/// Load from a file; throws on I/O failure.
+NodeDescription load_node_description(const std::string& path);
+
+/// Render a description back to the text format (round-trips through
+/// parse_node_description).
+std::string format_node_description(const NodeDescription& d);
+
+}  // namespace femto::jm

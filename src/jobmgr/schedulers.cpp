@@ -1,0 +1,351 @@
+#include "jobmgr/schedulers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "lattice/rng.hpp"
+
+namespace femto::jm {
+
+std::string ScheduleReport::summary() const {
+  std::ostringstream os;
+  os << scheduler << ": makespan=" << makespan << "s (startup "
+     << startup_time << "s), utilization=" << utilization() * 100.0
+     << "%, idle=" << idle_fraction() * 100.0 << "%, completed "
+     << tasks_completed << " tasks, " << fragmented_placements
+     << " fragmented placements, " << cpu_tasks_coscheduled
+     << " co-scheduled CPU tasks";
+  return os.str();
+}
+
+namespace {
+
+/// Per-run mutable node state.
+struct NodeState {
+  int gpu_free = 0;
+  int cpu_free = 0;
+};
+
+std::vector<int> healthy_nodes(const cluster::Cluster& cl) {
+  std::vector<int> out;
+  for (const auto& n : cl.nodes())
+    if (!n.failed) out.push_back(n.id);
+  return out;
+}
+
+double effective_duration(const cluster::Cluster& cl, const Task& t,
+                          const std::vector<int>& nodes, double penalty,
+                          double rate_factor) {
+  const double rate = cl.min_perf(nodes) * rate_factor;
+  return t.duration * penalty / rate;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Naive bundling
+// ---------------------------------------------------------------------------
+
+ScheduleReport run_naive_bundling(cluster::Cluster& cl,
+                                  const std::vector<Task>& tasks,
+                                  const NaiveOptions& opts) {
+  ScheduleReport rep;
+  rep.scheduler = "naive-bundling";
+  const auto avail = healthy_nodes(cl);
+  const int total_nodes = static_cast<int>(avail.size());
+
+  std::set<int> done;
+  std::vector<bool> scheduled(tasks.size(), false);
+  double clock = 0.0;
+
+  std::size_t remaining = tasks.size();
+  while (remaining > 0) {
+    // Build one bundle: take ready tasks in order while nodes remain.
+    clock += opts.batch_launch_seconds;
+    int free = total_nodes;
+    std::size_t cursor = 0;  // index into avail
+    double bundle_end = 0.0;
+    bool any = false;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (scheduled[i]) continue;
+      const Task& t = tasks[i];
+      const bool ready = std::all_of(
+          t.deps.begin(), t.deps.end(),
+          [&](int d) { return done.count(d) > 0; });
+      if (!ready || t.nodes > free) continue;
+      // Whole-node allocation, next nodes in order.
+      std::vector<int> nodes(avail.begin() + static_cast<long>(cursor),
+                             avail.begin() + static_cast<long>(cursor) +
+                                 t.nodes);
+      cursor += static_cast<std::size_t>(t.nodes);
+      free -= t.nodes;
+      const double dur = effective_duration(cl, t, nodes, 1.0, 1.0);
+      TaskRecord rec;
+      rec.task_id = t.id;
+      rec.start = clock;
+      rec.end = clock + dur;
+      rec.node_ids = nodes;
+      rec.rate = cl.min_perf(nodes);
+      rec.completed = true;
+      rep.records.push_back(rec);
+      if (t.kind == TaskKind::GpuSolve)
+        rep.busy_node_seconds += t.nodes * dur;
+      bundle_end = std::max(bundle_end, rec.end);
+      scheduled[i] = true;
+      any = true;
+      --remaining;
+    }
+    if (!any) break;  // only blocked tasks remain (shouldn't happen)
+    // The whole allocation waits for the slowest member of the bundle.
+    for (auto& rec : rep.records)
+      if (rec.end <= bundle_end && rec.start >= clock - 1e-9)
+        done.insert(rec.task_id);
+    clock = bundle_end;
+  }
+
+  rep.makespan = clock;
+  rep.startup_time = opts.batch_launch_seconds;
+  rep.alloc_node_seconds = static_cast<double>(total_nodes) * rep.makespan;
+  rep.tasks_completed = static_cast<int>(rep.records.size());
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// METAQ
+// ---------------------------------------------------------------------------
+
+ScheduleReport run_metaq(cluster::Cluster& cl, const std::vector<Task>& tasks,
+                         const MetaqOptions& opts) {
+  ScheduleReport rep;
+  rep.scheduler = "metaq";
+  sim::Engine eng;
+
+  const auto avail = healthy_nodes(cl);
+  std::map<int, bool> node_free;
+  for (int id : avail) node_free[id] = true;
+
+  std::set<int> done;
+  std::vector<bool> started(tasks.size(), false);
+  std::size_t remaining = tasks.size();
+
+  // Service-node model: a pool of launch slots; each mpirun occupies one
+  // for mpirun_seconds before its task begins.
+  std::priority_queue<double, std::vector<double>, std::greater<>>
+      service_free;
+  for (int i = 0; i < opts.service_node_capacity; ++i)
+      service_free.push(0.0);
+
+  std::function<void()> try_schedule = [&]() {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (started[i]) continue;
+      const Task& t = tasks[i];
+      const bool ready = std::all_of(
+          t.deps.begin(), t.deps.end(),
+          [&](int d) { return done.count(d) > 0; });
+      if (!ready) continue;
+      // First-fit over free nodes in id order (METAQ has no locality
+      // knowledge — this is what fragments placements).
+      std::vector<int> nodes;
+      for (auto& [id, free] : node_free) {
+        if (free) nodes.push_back(id);
+        if (static_cast<int>(nodes.size()) == t.nodes) break;
+      }
+      if (static_cast<int>(nodes.size()) < t.nodes) continue;
+      for (int id : nodes) node_free[id] = false;
+      started[i] = true;
+
+      const bool spans = !cl.same_block(nodes) && t.nodes > 1;
+      const double penalty = (spans && t.kind == TaskKind::GpuSolve)
+                                 ? opts.cross_block_penalty
+                                 : 1.0;
+      if (spans) ++rep.fragmented_placements;
+
+      // Queue the mpirun through the service nodes.
+      double slot = service_free.top();
+      service_free.pop();
+      const double launch_done =
+          std::max(slot, eng.now()) + opts.mpirun_seconds;
+      service_free.push(launch_done);
+
+      const double dur = effective_duration(cl, t, nodes, penalty, 1.0);
+      TaskRecord rec;
+      rec.task_id = t.id;
+      rec.start = launch_done;
+      rec.end = launch_done + dur;
+      rec.node_ids = nodes;
+      rec.spans_blocks = spans;
+      rec.rate = cl.min_perf(nodes) / penalty;
+      rec.completed = true;
+      rep.records.push_back(rec);
+      if (t.kind == TaskKind::GpuSolve)
+        rep.busy_node_seconds += t.nodes * dur;
+
+      eng.schedule_at(rec.end, [&, nodes, task_id = t.id]() {
+        for (int id : nodes) node_free[id] = true;
+        done.insert(task_id);
+        --remaining;
+        try_schedule();
+      });
+    }
+  };
+
+  eng.schedule(0.0, [&] { try_schedule(); });
+  eng.run();
+
+  rep.makespan = eng.now();
+  rep.startup_time = opts.mpirun_seconds;
+  rep.alloc_node_seconds =
+      static_cast<double>(avail.size()) * rep.makespan;
+  rep.tasks_completed = static_cast<int>(rep.records.size());
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// mpi_jm
+// ---------------------------------------------------------------------------
+
+ScheduleReport run_mpi_jm(cluster::Cluster& cl,
+                          const std::vector<Task>& tasks,
+                          const MpiJmOptions& opts) {
+  ScheduleReport rep;
+  rep.scheduler = "mpi_jm";
+  sim::Engine eng;
+
+  // --- partitioned startup: lumps start in parallel; a lump containing a
+  // node with damaged connectivity fails to connect and is ignored.
+  const int n_nodes = cl.size();
+  const int n_lumps = (n_nodes + opts.lump_nodes - 1) / opts.lump_nodes;
+  std::vector<int> usable;
+  double slowest_lump = 0.0;
+  for (int l = 0; l < n_lumps; ++l) {
+    bool lump_ok = true;
+    std::vector<int> members;
+    for (int id = l * opts.lump_nodes;
+         id < std::min(n_nodes, (l + 1) * opts.lump_nodes); ++id) {
+      if (cl.node(id).failed) lump_ok = false;
+      members.push_back(id);
+    }
+    if (!lump_ok) continue;
+    Xoshiro256 rng(cl.spec().seed, static_cast<std::uint64_t>(l), 0x10F);
+    const double start = opts.lump_start_seconds *
+                         std::exp(opts.lump_start_jitter * rng.gaussian());
+    slowest_lump = std::max(slowest_lump, start);
+    usable.insert(usable.end(), members.begin(), members.end());
+  }
+  const double startup = slowest_lump + opts.connect_seconds;
+  rep.startup_time = startup;
+
+  // --- per-node resource state (GPU-granular: mpi_jm can cut nodes into
+  // pieces and overlay GPU and CPU jobs).
+  std::map<int, NodeState> state;
+  for (int id : usable)
+    state[id] = NodeState{cl.spec().node.gpus, cl.spec().node.cpu_slots};
+
+  std::set<int> done;
+  std::vector<bool> started(tasks.size(), false);
+
+  const int block_sz = cl.spec().nodes_per_block;
+
+  // Find t.nodes nodes inside ONE block with the required free resources.
+  auto find_block_placement = [&](const Task& t) -> std::vector<int> {
+    for (int b = 0; b < cl.n_blocks(); ++b) {
+      std::vector<int> picked;
+      for (int id = b * block_sz;
+           id < std::min(n_nodes, (b + 1) * block_sz); ++id) {
+        auto it = state.find(id);
+        if (it == state.end()) continue;
+        if (it->second.gpu_free >= t.gpus_per_node &&
+            it->second.cpu_free >= t.cpu_slots_per_node)
+          picked.push_back(id);
+        if (static_cast<int>(picked.size()) == t.nodes) return picked;
+      }
+    }
+    return {};
+  };
+
+  // CPU-only tasks go on ANY single node with free slots — preferentially
+  // one whose GPUs are busy (the co-scheduling the paper demonstrates).
+  auto find_cpu_placement = [&](const Task& t) -> std::vector<int> {
+    int fallback = -1;
+    for (auto& [id, st] : state) {
+      if (st.cpu_free < t.cpu_slots_per_node) continue;
+      if (st.gpu_free < cl.spec().node.gpus) return {id};  // busy GPUs
+      if (fallback < 0) fallback = id;
+    }
+    return fallback >= 0 ? std::vector<int>{fallback} : std::vector<int>{};
+  };
+
+  std::function<void()> try_schedule = [&]() {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (started[i]) continue;
+      const Task& t = tasks[i];
+      const bool ready = std::all_of(
+          t.deps.begin(), t.deps.end(),
+          [&](int d) { return done.count(d) > 0; });
+      if (!ready) continue;
+
+      std::vector<int> nodes;
+      bool coscheduled = false;
+      if (t.kind == TaskKind::CpuContraction && opts.coschedule_cpu_tasks) {
+        nodes = find_cpu_placement(t);
+        if (!nodes.empty())
+          coscheduled =
+              state[nodes[0]].gpu_free < cl.spec().node.gpus;
+      } else {
+        nodes = find_block_placement(t);
+      }
+      if (nodes.empty()) continue;
+
+      for (int id : nodes) {
+        state[id].gpu_free -= t.gpus_per_node;
+        state[id].cpu_free -= t.cpu_slots_per_node;
+      }
+      started[i] = true;
+      if (coscheduled) ++rep.cpu_tasks_coscheduled;
+
+      const double dur =
+          effective_duration(cl, t, nodes, 1.0, opts.mpi_rate_factor);
+      TaskRecord rec;
+      rec.task_id = t.id;
+      rec.start = eng.now() + opts.spawn_seconds;
+      rec.end = rec.start + dur;
+      rec.node_ids = nodes;
+      rec.spans_blocks = false;
+      rec.rate = cl.min_perf(nodes) * opts.mpi_rate_factor;
+      rec.completed = true;
+      rep.records.push_back(rec);
+      if (t.kind == TaskKind::GpuSolve) {
+        const double share =
+            static_cast<double>(t.gpus_per_node) /
+            static_cast<double>(cl.spec().node.gpus);
+        rep.busy_node_seconds += t.nodes * share * dur;
+      }
+
+      eng.schedule_at(rec.end, [&, nodes, task_id = t.id,
+                                gpn = t.gpus_per_node,
+                                cpn = t.cpu_slots_per_node]() {
+        for (int id : nodes) {
+          state[id].gpu_free += gpn;
+          state[id].cpu_free += cpn;
+        }
+        done.insert(task_id);
+        try_schedule();
+      });
+    }
+  };
+
+  eng.schedule_at(startup, [&] { try_schedule(); });
+  eng.run();
+
+  rep.makespan = eng.now();
+  rep.alloc_node_seconds =
+      static_cast<double>(usable.size()) * rep.makespan;
+  rep.tasks_completed = static_cast<int>(rep.records.size());
+  return rep;
+}
+
+}  // namespace femto::jm

@@ -1,0 +1,70 @@
+#pragma once
+// The three scheduling strategies compared in the paper (S V, "Management
+// and Backfilling of Tasks"), all executed on the discrete-event engine
+// against the simulated cluster:
+//
+//  * run_naive_bundling — "simply collecting and simultaneously launching
+//    HPC steps, and waiting for their completion": every batch waits for
+//    its slowest member, wasting 20-25% of the allocation.
+//
+//  * run_metaq — METAQ-style backfilling: a greedy middle layer that
+//    starts any ready task whenever enough nodes are free.  Recovers the
+//    idle time, but (a) every task pays an mpirun invocation through the
+//    contended service nodes and (b) node assignments fragment as
+//    different-sized jobs complete, so placements cross locality blocks
+//    and comm-heavy tasks slow down.
+//
+//  * run_mpi_jm — the paper's contribution: nodes are organised into lumps
+//    (manager groups, started in parallel, so startup on thousands of
+//    nodes takes minutes) subdivided into blocks sized to the jobs;
+//    placements never cross block boundaries (no fragmentation), tasks
+//    start via cheap in-lump MPI_Comm_spawn, lumps that fail to start are
+//    simply dropped, and CPU-only contractions are co-scheduled on nodes
+//    whose GPUs are busy so their cost is amortised to zero.
+
+#include "cluster/cluster.hpp"
+#include "jobmgr/task.hpp"
+#include "simevent/engine.hpp"
+
+namespace femto::jm {
+
+struct NaiveOptions {
+  /// Per-batch job submission overhead (scheduler wait, startup).
+  double batch_launch_seconds = 60.0;
+};
+
+struct MetaqOptions {
+  /// mpirun invocation cost per task ("taxing on the service nodes").
+  double mpirun_seconds = 8.0;
+  /// Max concurrent mpirun launches the service nodes can process.
+  int service_node_capacity = 4;
+  /// Slowdown multiplier for comm-heavy GPU tasks whose placement spans
+  /// locality blocks (fragmented placements).
+  double cross_block_penalty = 1.12;
+};
+
+struct MpiJmOptions {
+  int lump_nodes = 128;           ///< nodes per manager lump
+  double lump_start_seconds = 45.0;   ///< per-lump parallel startup
+  double lump_start_jitter = 0.3;     ///< lognormal sigma
+  double connect_seconds = 20.0;  ///< DPM connect of all lumps (serialised
+                                  ///< but cheap; < 1 minute at scale)
+  double spawn_seconds = 1.0;     ///< MPI_Comm_spawn_multiple per task
+  /// Throughput factor for the MPI build (MVAPICH2 needed for DPM was not
+  /// fully tuned on Sierra: paper S VII, 15% vs 20% of peak at scale).
+  double mpi_rate_factor = 1.0;
+  bool coschedule_cpu_tasks = true;
+};
+
+ScheduleReport run_naive_bundling(cluster::Cluster& cl,
+                                  const std::vector<Task>& tasks,
+                                  const NaiveOptions& opts = {});
+
+ScheduleReport run_metaq(cluster::Cluster& cl, const std::vector<Task>& tasks,
+                         const MetaqOptions& opts = {});
+
+ScheduleReport run_mpi_jm(cluster::Cluster& cl,
+                          const std::vector<Task>& tasks,
+                          const MpiJmOptions& opts = {});
+
+}  // namespace femto::jm

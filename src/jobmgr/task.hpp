@@ -1,0 +1,64 @@
+#pragma once
+// Task and schedule-report model shared by the three job-management
+// strategies the paper compares:
+//   * naive bundling          (launch a batch, wait for ALL: 20-25% idle)
+//   * METAQ                   (shell-level backfilling, ref. [14][15])
+//   * mpi_jm                  (lumps/blocks scheduler with tight binding)
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace femto::jm {
+
+enum class TaskKind {
+  GpuSolve,        ///< propagator solve: owns GPUs (and a few CPU slots)
+  CpuContraction,  ///< tensor contraction: CPU slots only
+};
+
+struct Task {
+  int id = 0;
+  TaskKind kind = TaskKind::GpuSolve;
+  int nodes = 4;             ///< nodes spanned
+  int gpus_per_node = 4;     ///< GPUs used on each of them
+  int cpu_slots_per_node = 4;
+  double duration = 600.0;   ///< seconds at nominal node speed
+  std::vector<int> deps;     ///< task ids that must finish first
+};
+
+/// Where and when one task ran.
+struct TaskRecord {
+  int task_id = -1;
+  double start = -1.0;
+  double end = -1.0;
+  std::vector<int> node_ids;
+  bool spans_blocks = false;  ///< placement crossed a locality block
+  double rate = 1.0;          ///< achieved speed factor (node jitter etc.)
+  bool completed = false;
+};
+
+/// Outcome of a scheduling run.
+struct ScheduleReport {
+  std::string scheduler;
+  double makespan = 0.0;       ///< seconds from allocation start to done
+  double startup_time = 0.0;   ///< time before the first task could run
+  double busy_node_seconds = 0.0;
+  double alloc_node_seconds = 0.0;
+  int tasks_completed = 0;
+  int fragmented_placements = 0;  ///< placements spanning blocks
+  int cpu_tasks_coscheduled = 0;  ///< contractions run on busy GPU nodes
+  std::vector<TaskRecord> records;
+
+  /// Fraction of allocated node time spent on GPU work.
+  double utilization() const {
+    return alloc_node_seconds > 0 ? busy_node_seconds / alloc_node_seconds
+                                  : 0.0;
+  }
+  /// Idle fraction — the quantity the paper quotes as "20 to 25% idling
+  /// inefficiency" for naive bundling.
+  double idle_fraction() const { return 1.0 - utilization(); }
+
+  std::string summary() const;
+};
+
+}  // namespace femto::jm

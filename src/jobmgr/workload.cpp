@@ -1,0 +1,44 @@
+#include "jobmgr/workload.hpp"
+
+#include <cmath>
+
+#include "lattice/rng.hpp"
+
+namespace femto::jm {
+
+std::vector<Task> make_campaign(const WorkloadOptions& opts) {
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(
+      opts.n_propagators * (opts.with_contractions ? 2 : 1)));
+  int next_id = 0;
+  for (int p = 0; p < opts.n_propagators; ++p) {
+    Xoshiro256 rng(opts.seed, static_cast<std::uint64_t>(p), 0x30B);
+    Task solve;
+    solve.id = next_id++;
+    solve.kind = TaskKind::GpuSolve;
+    solve.nodes = opts.nodes_per_solve;
+    solve.gpus_per_node = opts.gpus_per_node;
+    solve.cpu_slots_per_node = 4;
+    // Lognormal duration: solves vary with the gauge configuration.
+    solve.duration = opts.solve_seconds *
+                     std::exp(opts.duration_jitter * rng.gaussian());
+    tasks.push_back(solve);
+
+    if (opts.with_contractions) {
+      Task contraction;
+      contraction.id = next_id++;
+      contraction.kind = TaskKind::CpuContraction;
+      contraction.nodes = 1;
+      contraction.gpus_per_node = 0;
+      contraction.cpu_slots_per_node = opts.contraction_cpu_slots;
+      contraction.duration =
+          opts.contraction_seconds *
+          std::exp(0.5 * opts.duration_jitter * rng.gaussian());
+      contraction.deps = {solve.id};
+      tasks.push_back(contraction);
+    }
+  }
+  return tasks;
+}
+
+}  // namespace femto::jm

@@ -1,0 +1,30 @@
+#pragma once
+// Workload generators shaped like the paper's production campaign (Fig. 2):
+// a long stream of propagator solves (GPU tasks) whose outputs feed tensor
+// contractions (CPU-only tasks), with realistic run-time variation (solves
+// differ in iteration count from configuration to configuration).
+
+#include <cstdint>
+#include <vector>
+
+#include "jobmgr/task.hpp"
+
+namespace femto::jm {
+
+struct WorkloadOptions {
+  int n_propagators = 256;
+  int nodes_per_solve = 4;       ///< paper: groups of 4 nodes
+  int gpus_per_node = 4;         ///< Sierra (Summit: 6)
+  double solve_seconds = 600.0;  ///< nominal solve duration
+  double duration_jitter = 0.20; ///< lognormal sigma of per-task duration
+  bool with_contractions = true; ///< add one CPU contraction per solve
+  double contraction_seconds = 110.0;  ///< ~3% of total vs 97% solves
+  int contraction_cpu_slots = 16;
+  std::uint64_t seed = 7;
+};
+
+/// Build the propagator + contraction task list.  Each contraction depends
+/// on its propagator (it reads the written file).
+std::vector<Task> make_campaign(const WorkloadOptions& opts);
+
+}  // namespace femto::jm

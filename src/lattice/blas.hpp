@@ -1,0 +1,200 @@
+#pragma once
+// BLAS-1 kernels over spinor fields: the "auxiliary operations required in
+// the CG linear solver" whose flops the paper counts alongside the stencil
+// (50-100 flop per lattice site; extremely bandwidth bound).
+//
+// All reductions accumulate in double regardless of the field precision and
+// sum per-chunk partials in a fixed order, matching the paper's note that
+// "all reductions are done in double precision" (and keeping results
+// deterministic).
+
+#include <cstdint>
+#include <utility>
+
+#include "lattice/complex.hpp"
+#include "lattice/field.hpp"
+#include "lattice/flops.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace femto::blas {
+
+inline constexpr std::size_t kGrain = 4096;
+
+/// y = x
+template <typename T, typename U>
+void copy(SpinorField<T>& y, const SpinorField<U>& x) {
+  assert(y.compatible(x));
+  T* yd = y.data();
+  const U* xd = x.data();
+  par::parallel_for_chunked(
+      0, static_cast<std::size_t>(y.reals()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) yd[k] = static_cast<T>(xd[k]);
+      },
+      kGrain);
+}
+
+/// y += a*x
+template <typename T>
+void axpy(double a, const SpinorField<T>& x, SpinorField<T>& y) {
+  assert(y.compatible(x));
+  const T aa = static_cast<T>(a);
+  T* yd = y.data();
+  const T* xd = x.data();
+  par::parallel_for_chunked(
+      0, static_cast<std::size_t>(y.reals()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) yd[k] += aa * xd[k];
+      },
+      kGrain);
+  flops::add(2 * y.reals());
+}
+
+/// y = x + a*y
+template <typename T>
+void xpay(const SpinorField<T>& x, double a, SpinorField<T>& y) {
+  assert(y.compatible(x));
+  const T aa = static_cast<T>(a);
+  T* yd = y.data();
+  const T* xd = x.data();
+  par::parallel_for_chunked(
+      0, static_cast<std::size_t>(y.reals()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) yd[k] = xd[k] + aa * yd[k];
+      },
+      kGrain);
+  flops::add(2 * y.reals());
+}
+
+/// y = a*x + b*y
+template <typename T>
+void axpby(double a, const SpinorField<T>& x, double b, SpinorField<T>& y) {
+  assert(y.compatible(x));
+  const T aa = static_cast<T>(a), bb = static_cast<T>(b);
+  T* yd = y.data();
+  const T* xd = x.data();
+  par::parallel_for_chunked(
+      0, static_cast<std::size_t>(y.reals()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) yd[k] = aa * xd[k] + bb * yd[k];
+      },
+      kGrain);
+  flops::add(3 * y.reals());
+}
+
+/// y += (a.re + i a.im) * x, treating consecutive real pairs as complex.
+template <typename T>
+void caxpy(Cplx<double> a, const SpinorField<T>& x, SpinorField<T>& y) {
+  assert(y.compatible(x));
+  const T ar = static_cast<T>(a.re), ai = static_cast<T>(a.im);
+  T* yd = y.data();
+  const T* xd = x.data();
+  par::parallel_for_chunked(
+      0, static_cast<std::size_t>(y.reals() / 2),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+          const T xr = xd[2 * k], xi = xd[2 * k + 1];
+          yd[2 * k] += ar * xr - ai * xi;
+          yd[2 * k + 1] += ar * xi + ai * xr;
+        }
+      },
+      kGrain);
+  flops::add(4 * y.reals());
+}
+
+/// y = x + (a.re + i a.im) * y, complex pairs.
+template <typename T>
+void cxpay(const SpinorField<T>& x, Cplx<double> a, SpinorField<T>& y) {
+  assert(y.compatible(x));
+  const T ar = static_cast<T>(a.re), ai = static_cast<T>(a.im);
+  T* yd = y.data();
+  const T* xd = x.data();
+  par::parallel_for_chunked(
+      0, static_cast<std::size_t>(y.reals() / 2),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+          const T yr = yd[2 * k], yi = yd[2 * k + 1];
+          yd[2 * k] = xd[2 * k] + ar * yr - ai * yi;
+          yd[2 * k + 1] = xd[2 * k + 1] + ar * yi + ai * yr;
+        }
+      },
+      kGrain);
+  flops::add(4 * y.reals());
+}
+
+/// scale: x *= a
+template <typename T>
+void scal(double a, SpinorField<T>& x) {
+  const T aa = static_cast<T>(a);
+  T* xd = x.data();
+  par::parallel_for_chunked(
+      0, static_cast<std::size_t>(x.reals()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) xd[k] *= aa;
+      },
+      kGrain);
+  flops::add(x.reals());
+}
+
+/// ||x||^2 with double accumulation.
+template <typename T>
+double norm2(const SpinorField<T>& x) {
+  const T* xd = x.data();
+  const double r = par::ThreadPool::global().parallel_reduce(
+      0, static_cast<std::size_t>(x.reals()),
+      [&](std::size_t lo, std::size_t hi) {
+        double s = 0.0;
+        for (std::size_t k = lo; k < hi; ++k) {
+          const double v = static_cast<double>(xd[k]);
+          s += v * v;
+        }
+        return s;
+      },
+      kGrain);
+  flops::add(2 * x.reals());
+  return r;
+}
+
+/// <x, y> = sum conj(x) y with double accumulation.
+template <typename T>
+Cplx<double> cdot(const SpinorField<T>& x, const SpinorField<T>& y) {
+  assert(y.compatible(x));
+  const T* xd = x.data();
+  const T* yd = y.data();
+  auto [re, im] = par::ThreadPool::global().parallel_reduce2(
+      0, static_cast<std::size_t>(x.reals() / 2),
+      [&](std::size_t lo, std::size_t hi) {
+        double sr = 0.0, si = 0.0;
+        for (std::size_t k = lo; k < hi; ++k) {
+          const double xr = xd[2 * k], xi = xd[2 * k + 1];
+          const double yr = yd[2 * k], yi = yd[2 * k + 1];
+          sr += xr * yr + xi * yi;
+          si += xr * yi - xi * yr;
+        }
+        return std::make_pair(sr, si);
+      },
+      kGrain);
+  flops::add(4 * x.reals());
+  return {re, im};
+}
+
+/// Real part of <x, y> (the CG beta/alpha kernel for Hermitian operators).
+template <typename T>
+double redot(const SpinorField<T>& x, const SpinorField<T>& y) {
+  assert(y.compatible(x));
+  const T* xd = x.data();
+  const T* yd = y.data();
+  const double r = par::ThreadPool::global().parallel_reduce(
+      0, static_cast<std::size_t>(x.reals()),
+      [&](std::size_t lo, std::size_t hi) {
+        double s = 0.0;
+        for (std::size_t k = lo; k < hi; ++k)
+          s += static_cast<double>(xd[k]) * static_cast<double>(yd[k]);
+        return s;
+      },
+      kGrain);
+  flops::add(2 * x.reals());
+  return r;
+}
+
+}  // namespace femto::blas

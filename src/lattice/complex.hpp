@@ -1,0 +1,120 @@
+#pragma once
+// Lightweight complex arithmetic for lattice kernels.
+//
+// We deliberately avoid std::complex in the hot kernels: its operator* is
+// specified with NaN/Inf fix-ups that inhibit vectorisation, and we need a
+// layout-compatible type for reinterpreting packed field storage.  Cplx<T>
+// is a trivially-copyable (re, im) pair with the obvious algebra.
+
+#include <cmath>
+#include <type_traits>
+
+namespace femto {
+
+template <typename T>
+struct Cplx {
+  T re{};
+  T im{};
+
+  constexpr Cplx() = default;
+  constexpr Cplx(T r, T i) : re(r), im(i) {}
+  constexpr explicit Cplx(T r) : re(r), im(0) {}
+
+  template <typename U>
+  constexpr explicit Cplx(const Cplx<U>& o)
+      : re(static_cast<T>(o.re)), im(static_cast<T>(o.im)) {}
+
+  constexpr Cplx& operator+=(const Cplx& o) {
+    re += o.re;
+    im += o.im;
+    return *this;
+  }
+  constexpr Cplx& operator-=(const Cplx& o) {
+    re -= o.re;
+    im -= o.im;
+    return *this;
+  }
+  constexpr Cplx& operator*=(const Cplx& o) {
+    const T r = re * o.re - im * o.im;
+    im = re * o.im + im * o.re;
+    re = r;
+    return *this;
+  }
+  constexpr Cplx& operator*=(T s) {
+    re *= s;
+    im *= s;
+    return *this;
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<Cplx<double>>);
+
+template <typename T>
+constexpr Cplx<T> operator+(Cplx<T> a, Cplx<T> b) {
+  return {a.re + b.re, a.im + b.im};
+}
+template <typename T>
+constexpr Cplx<T> operator-(Cplx<T> a, Cplx<T> b) {
+  return {a.re - b.re, a.im - b.im};
+}
+template <typename T>
+constexpr Cplx<T> operator-(Cplx<T> a) {
+  return {-a.re, -a.im};
+}
+template <typename T>
+constexpr Cplx<T> operator*(Cplx<T> a, Cplx<T> b) {
+  return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+}
+template <typename T>
+constexpr Cplx<T> operator*(T s, Cplx<T> a) {
+  return {s * a.re, s * a.im};
+}
+template <typename T>
+constexpr Cplx<T> operator*(Cplx<T> a, T s) {
+  return {s * a.re, s * a.im};
+}
+
+/// Complex conjugate.
+template <typename T>
+constexpr Cplx<T> conj(Cplx<T> a) {
+  return {a.re, -a.im};
+}
+
+/// conj(a) * b  (the inner-product kernel primitive).
+template <typename T>
+constexpr Cplx<T> conj_mul(Cplx<T> a, Cplx<T> b) {
+  return {a.re * b.re + a.im * b.im, a.re * b.im - a.im * b.re};
+}
+
+/// i * a
+template <typename T>
+constexpr Cplx<T> imul(Cplx<T> a) {
+  return {-a.im, a.re};
+}
+
+/// -i * a
+template <typename T>
+constexpr Cplx<T> mimul(Cplx<T> a) {
+  return {a.im, -a.re};
+}
+
+template <typename T>
+constexpr T norm2(Cplx<T> a) {
+  return a.re * a.re + a.im * a.im;
+}
+
+template <typename T>
+T abs(Cplx<T> a) {
+  return std::sqrt(norm2(a));
+}
+
+template <typename T>
+constexpr Cplx<T> operator/(Cplx<T> a, Cplx<T> b) {
+  const T d = norm2(b);
+  return {(a.re * b.re + a.im * b.im) / d, (a.im * b.re - a.re * b.im) / d};
+}
+
+using cdouble = Cplx<double>;
+using cfloat = Cplx<float>;
+
+}  // namespace femto

@@ -1,0 +1,42 @@
+#pragma once
+// Flop accounting, following the paper's "Performance Measurement Method":
+// "we simply add up the necessary number of operations required in the
+// stencil application and the auxiliary BLAS-1 operations", using counts
+// conventional in the LQCD domain.
+
+#include <atomic>
+#include <cstdint>
+
+namespace femto::flops {
+
+/// Canonical Wilson dslash cost at Nc = 3: 8 directions x (SU(3) mat-vec on
+/// two half-spinor rows + project/reconstruct) = 1320 flops per 4D site.
+inline constexpr std::int64_t kWilsonDslashPerSite = 1320;
+
+/// Fifth-dimension block matvec: two L5 x L5 real matrices applied to 6
+/// complex components each => 4 flops per (real coeff x complex) element.
+inline constexpr std::int64_t fifth_dim_per_site(int l5) {
+  return std::int64_t(l5) * l5 * 12 * 4;
+}
+
+/// Thread-safe global flop counter.  Kernels add to it; benchmarks and the
+/// sustained-performance accounting read and reset it.
+class Counter {
+ public:
+  static Counter& global() {
+    static Counter c;
+    return c;
+  }
+  void add(std::int64_t n) { count_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t get() const { return count_.load(std::memory_order_relaxed); }
+  void reset() { count_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+};
+
+inline void add(std::int64_t n) { Counter::global().add(n); }
+inline std::int64_t get() { return Counter::global().get(); }
+inline void reset() { Counter::global().reset(); }
+
+}  // namespace femto::flops

@@ -1,0 +1,40 @@
+#pragma once
+// Wilson (gradient) flow: the modern scale-setting tool of the gA
+// campaign's analysis chain (the CalLat ensembles are calibrated with
+// gradient-flow scales).  The flow evolves the gauge field along the
+// steepest descent of the Wilson action,
+//
+//   dU_mu/dt = Z_mu(U) U_mu,   Z = -projection_{su(3)}(U_mu staple_mu),
+//
+// smoothing ultraviolet fluctuations; t^2 <E(t)> defines the reference
+// scales t0 / w0.  Integrated here with explicit Euler steps (epsilon
+// small); the action decreases monotonically along the flow, which the
+// tests enforce.
+
+#include <vector>
+
+#include "lattice/field.hpp"
+
+namespace femto {
+
+struct FlowParams {
+  double epsilon = 0.02;  ///< integration step in flow time
+  int steps = 10;
+};
+
+/// su(3) projection: antihermitian traceless part of a matrix.
+ColorMat<double> project_antihermitian_traceless(const ColorMat<double>& m);
+
+/// exp(M) for an antihermitian traceless M via a Taylor series (converges
+/// fast for the small flow steps used here); the result is unitarised.
+ColorMat<double> su3_exp(const ColorMat<double>& m);
+
+/// One explicit Euler flow step: U <- exp(-eps * P_ah(U A)) U.
+void wilson_flow_step(GaugeField<double>& u, double epsilon);
+
+/// Integrate the flow; returns t^2 <E(t)> after every step (E from the
+/// clover action density), the curve whose crossing of 0.3 defines t0.
+std::vector<double> wilson_flow(GaugeField<double>& u,
+                                const FlowParams& params);
+
+}  // namespace femto

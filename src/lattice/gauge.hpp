@@ -1,0 +1,61 @@
+#pragma once
+// Gauge-field generation and gluonic measurements.
+//
+// The paper consumes pre-generated "gluonic field configurations" (Fig. 2,
+// first workflow box).  We generate our own ensembles from scratch:
+//   * unit ("free field") configurations for analytic checks,
+//   * hot (uniformly random SU(3)) starts,
+//   * weak-field configurations U = exp(i eps H) near the identity,
+//   * a quenched Wilson-action ensemble via Cabibbo-Marinari pseudo-heatbath
+//     sweeps, which is how real (quenched) ensembles are produced.
+//
+// Measurements: average plaquette and per-direction staples (the heatbath
+// input).
+
+#include <cstdint>
+
+#include "lattice/field.hpp"
+
+namespace femto {
+
+/// Set every link to the identity (free field).
+void unit_gauge(GaugeField<double>& u);
+
+/// Uniformly random SU(3) links ("hot start"), reproducible per (seed,
+/// site, mu).
+void hot_gauge(GaugeField<double>& u, std::uint64_t seed);
+
+/// Weak field: U = projection to SU(3) of (1 + eps * G) with Gaussian G.
+/// eps ~ 0.1-0.3 gives configurations close enough to free field for the
+/// solver to converge quickly but non-trivial enough to exercise all terms.
+void weak_gauge(GaugeField<double>& u, std::uint64_t seed, double eps);
+
+/// Average plaquette: Re tr P / 3 averaged over all 6 planes and all sites.
+/// 1.0 for a unit gauge field; ~0.59 for quenched Wilson beta = 6.0.
+double plaquette(const GaugeField<double>& u);
+
+/// Sum of the 6 staples around link (mu, site) — the environment a heatbath
+/// update equilibrates against.
+ColorMat<double> staple(const GaugeField<double>& u, int mu,
+                        std::int64_t site);
+
+/// One Cabibbo-Marinari pseudo-heatbath sweep (3 SU(2) subgroup updates per
+/// link) of the quenched Wilson action at coupling beta.  Updates links
+/// checkerboard-by-checkerboard so the sweep is parallel and reproducible.
+void heatbath_sweep(GaugeField<double>& u, double beta, std::uint64_t seed,
+                    int sweep_id);
+
+/// Generate an equilibrated quenched ensemble member: hot start + n_thermal
+/// heatbath sweeps.
+GaugeField<double> quenched_config(std::shared_ptr<const Geometry> geom,
+                                   double beta, int n_thermal,
+                                   std::uint64_t seed);
+
+/// Generate a quenched ENSEMBLE as a Markov chain: thermalise once, then
+/// save a configuration every @p decorrelation sweeps (how production
+/// ensembles are actually made — consecutive saves share the chain).
+std::vector<GaugeField<double>> quenched_ensemble(
+    std::shared_ptr<const Geometry> geom, double beta, int n_configs,
+    int n_thermal, int decorrelation, std::uint64_t seed);
+
+}  // namespace femto

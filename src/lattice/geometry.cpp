@@ -1,0 +1,105 @@
+#include "lattice/geometry.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace femto {
+
+Geometry::Geometry(int lx, int ly, int lz, int lt)
+    : dims_{lx, ly, lz, lt} {
+  for (int mu = 0; mu < 4; ++mu) {
+    if (dims_[static_cast<size_t>(mu)] < 2 ||
+        dims_[static_cast<size_t>(mu)] % 2 != 0) {
+      throw std::invalid_argument(
+          "Geometry: every lattice extent must be even and >= 2");
+    }
+  }
+  vol_ = std::int64_t(lx) * ly * lz * lt;
+  volh_ = vol_ / 2;
+
+  for (int par = 0; par < 2; ++par) {
+    for (int mu = 0; mu < 4; ++mu) {
+      fwd_[par][static_cast<size_t>(mu)].resize(static_cast<size_t>(volh_));
+      bwd_[par][static_cast<size_t>(mu)].resize(static_cast<size_t>(volh_));
+      sgn_fwd_[par][static_cast<size_t>(mu)].resize(
+          static_cast<size_t>(volh_));
+      sgn_bwd_[par][static_cast<size_t>(mu)].resize(
+          static_cast<size_t>(volh_));
+    }
+  }
+
+  // Walk all sites and fill tables.
+  Coord x;
+  for (x[3] = 0; x[3] < lt; ++x[3])
+    for (x[2] = 0; x[2] < lz; ++x[2])
+      for (x[1] = 0; x[1] < ly; ++x[1])
+        for (x[0] = 0; x[0] < lx; ++x[0]) {
+          const int par = parity(x);
+          const std::int64_t cb = cb_index(x);
+          for (int mu = 0; mu < 4; ++mu) {
+            Coord xf = x;
+            xf[static_cast<size_t>(mu)] =
+                (x[static_cast<size_t>(mu)] + 1) % extent(mu);
+            Coord xb = x;
+            xb[static_cast<size_t>(mu)] =
+                (x[static_cast<size_t>(mu)] - 1 + extent(mu)) % extent(mu);
+            fwd_[par][static_cast<size_t>(mu)][static_cast<size_t>(cb)] =
+                cb_index(xf);
+            bwd_[par][static_cast<size_t>(mu)][static_cast<size_t>(cb)] =
+                cb_index(xb);
+            // Antiperiodic time boundary for fermions.
+            const bool wrap_f =
+                mu == 3 && x[static_cast<size_t>(mu)] == extent(mu) - 1;
+            const bool wrap_b = mu == 3 && x[static_cast<size_t>(mu)] == 0;
+            sgn_fwd_[par][static_cast<size_t>(mu)][static_cast<size_t>(cb)] =
+                wrap_f ? -1.0f : 1.0f;
+            sgn_bwd_[par][static_cast<size_t>(mu)][static_cast<size_t>(cb)] =
+                wrap_b ? -1.0f : 1.0f;
+          }
+        }
+}
+
+std::int64_t Geometry::cb_index(const Coord& x) const {
+  // Lexicographic rank among sites of the same parity: within each
+  // (y,z,t) row of length Lx there are Lx/2 sites of each parity and the
+  // x coordinate of a given parity advances by 2.
+  const std::int64_t row =
+      (std::int64_t(x[3]) * dims_[2] + x[2]) * dims_[1] + x[1];
+  return row * (dims_[0] / 2) + x[0] / 2;
+}
+
+std::int64_t Geometry::index(const Coord& x) const {
+  return std::int64_t(parity(x)) * volh_ + cb_index(x);
+}
+
+Coord Geometry::coord(std::int64_t site) const {
+  const int par = site >= volh_ ? 1 : 0;
+  std::int64_t cb = site - std::int64_t(par) * volh_;
+  const int lxh = dims_[0] / 2;
+  Coord x;
+  const std::int64_t xh = cb % lxh;
+  std::int64_t row = cb / lxh;
+  x[1] = static_cast<int>(row % dims_[1]);
+  row /= dims_[1];
+  x[2] = static_cast<int>(row % dims_[2]);
+  x[3] = static_cast<int>(row / dims_[2]);
+  // Recover x from the half-index plus parity: x = 2*xh + ((y+z+t+par)&1).
+  const int off = (x[1] + x[2] + x[3] + par) & 1;
+  x[0] = static_cast<int>(2 * xh + off);
+  assert(parity(x) == par);
+  return x;
+}
+
+std::int64_t Geometry::site_fwd(std::int64_t site, int mu) const {
+  const int par = site >= volh_ ? 1 : 0;
+  const std::int64_t cb = site - std::int64_t(par) * volh_;
+  return std::int64_t(1 - par) * volh_ + neighbor_fwd(par, cb, mu);
+}
+
+std::int64_t Geometry::site_bwd(std::int64_t site, int mu) const {
+  const int par = site >= volh_ ? 1 : 0;
+  const std::int64_t cb = site - std::int64_t(par) * volh_;
+  return std::int64_t(1 - par) * volh_ + neighbor_bwd(par, cb, mu);
+}
+
+}  // namespace femto

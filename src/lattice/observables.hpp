@@ -1,0 +1,42 @@
+#pragma once
+// Pure-gauge observables: the standard diagnostics run on every ensemble
+// before fermion measurements are trusted.
+//
+//   * Wilson loops W(R, T) and Creutz ratios (static quark potential /
+//     string tension),
+//   * the Polyakov loop (confinement order parameter),
+//   * the clover-leaf field strength F_munu and the average action
+//     density.
+
+#include <cstdint>
+
+#include "lattice/field.hpp"
+
+namespace femto {
+
+/// Average R x T rectangular Wilson loop, Re tr / 3, over all sites and
+/// all (spatial, temporal)... all plane orientations mu < nu.
+double wilson_loop(const GaugeField<double>& u, int r, int t);
+
+/// Creutz ratio chi(R, T) = -log[ W(R,T) W(R-1,T-1) / (W(R,T-1) W(R-1,T)) ]:
+/// approaches the string tension for large loops; positive in the
+/// confined phase.
+double creutz_ratio(const GaugeField<double>& u, int r, int t);
+
+/// Volume-averaged Polyakov loop (complex): the trace of the product of
+/// time links winding the temporal boundary.  |<P>| ~ 0 in the confined
+/// phase, O(1) when deconfined (e.g. very large beta / smooth fields).
+Cplx<double> polyakov_loop(const GaugeField<double>& u);
+
+/// Clover-leaf (4-plaquette average) field strength F_munu(x): the
+/// antihermitian traceless part of the clover sum.  Returned as the
+/// matrix; used for action density and (on smooth fields) small-field
+/// checks.
+ColorMat<double> clover_field_strength(const GaugeField<double>& u,
+                                       std::int64_t site, int mu, int nu);
+
+/// Average action density  sum_{mu<nu} tr[F_munu^dag F_munu] / volume:
+/// zero on the free field, positive otherwise, decreasing under smearing.
+double action_density(const GaugeField<double>& u);
+
+}  // namespace femto

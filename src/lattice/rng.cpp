@@ -1,0 +1,14 @@
+#include "lattice/rng.hpp"
+
+#include <cmath>
+
+namespace femto {
+
+double Xoshiro256::gaussian() {
+  // Box-Muller; uses two uniforms per normal.
+  const double u1 = uniform_pos();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace femto

@@ -1,0 +1,83 @@
+#pragma once
+// Random number generation for field initialisation and Monte Carlo.
+//
+// xoshiro256** (Blackman & Vigna) seeded through SplitMix64.  Each lattice
+// site can derive its own independent stream from (seed, site, slot), so
+// random fields are reproducible independent of thread count and of how the
+// lattice is decomposed across ranks — the same property production QCD
+// codes need so that a run is checkable across machine partitions.
+
+#include <cstdint>
+
+namespace femto {
+
+/// SplitMix64: used to expand a single seed into xoshiro state.
+struct SplitMix64 {
+  std::uint64_t state;
+  explicit SplitMix64(std::uint64_t s) : state(s) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& si : s_) si = sm.next();
+  }
+
+  /// Derive a per-site stream: mixes seed, site index and a slot id so
+  /// different uses (gauge dir, spin/color, noise id) never collide.
+  Xoshiro256(std::uint64_t seed, std::uint64_t site, std::uint64_t slot)
+      : Xoshiro256(mix(seed, site, slot)) {}
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1] (safe for log()).
+  double uniform_pos() {
+    return (static_cast<double>(next() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box–Muller (no cached second value: keeps the
+  /// stream position deterministic per call count).
+  double gaussian();
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  static std::uint64_t mix(std::uint64_t seed, std::uint64_t a,
+                           std::uint64_t b) {
+    SplitMix64 sm(seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                  (b * 0xd1b54a32d192ed03ULL));
+    sm.next();
+    return sm.next();
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace femto

@@ -1,0 +1,101 @@
+#include "lattice/smear.hpp"
+
+#include <cmath>
+
+#include "lattice/gauge.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace femto {
+
+void ape_smear_step(GaugeField<double>& u, double alpha) {
+  // Staples read the OLD field; write into a fresh one.
+  GaugeField<double> out(u.geom_ptr());
+  const auto& geom = u.geom();
+  par::parallel_for(0, static_cast<std::size_t>(geom.volume()),
+                    [&](std::size_t s) {
+                      const auto site = static_cast<std::int64_t>(s);
+                      for (int mu = 0; mu < 4; ++mu) {
+                        ColorMat<double> m = u.load(mu, site);
+                        m *= 1.0 - alpha;
+                        ColorMat<double> st = staple(u, mu, site);
+                        // staple() returns the sum oriented so that
+                        // U * staple closes plaquettes; the APE sum wants
+                        // the hermitian partner going the same way as U.
+                        st *= alpha / 6.0;
+                        m += adj(st);
+                        out.store(mu, site, project_su3(m));
+                      }
+                    });
+  u = std::move(out);
+}
+
+GaugeField<double> ape_smear(const GaugeField<double>& u,
+                             const ApeParams& params) {
+  GaugeField<double> s = u;
+  for (int it = 0; it < params.iterations; ++it)
+    ape_smear_step(s, params.alpha);
+  return s;
+}
+
+void spatial_hop(SpinorField<double>& out, const GaugeField<double>& u,
+                 const SpinorField<double>& in) {
+  assert(in.subset() == Subset::Full && out.subset() == Subset::Full);
+  assert(in.l5() == 1 && out.l5() == 1);
+  const auto& geom = u.geom();
+  par::parallel_for(0, static_cast<std::size_t>(geom.volume()),
+                    [&](std::size_t s) {
+                      const auto site = static_cast<std::int64_t>(s);
+                      Spinor<double> acc;
+                      for (int i = 0; i < 3; ++i) {  // spatial dirs only
+                        const auto fwd = geom.site_fwd(site, i);
+                        const auto link_f = u.load(i, site);
+                        const auto pf = in.load(0, fwd);
+                        for (int sp = 0; sp < kNs; ++sp)
+                          acc[sp] += link_f * pf[sp];
+                        const auto bwd = geom.site_bwd(site, i);
+                        const auto link_b = u.load(i, bwd);
+                        const auto pb = in.load(0, bwd);
+                        for (int sp = 0; sp < kNs; ++sp)
+                          acc[sp] += adj_mul(link_b, pb[sp]);
+                      }
+                      out.store(0, site, acc);
+                    });
+}
+
+void wuppertal_smear(SpinorField<double>& psi, const GaugeField<double>& u,
+                     const WuppertalParams& params) {
+  SpinorField<double> hop(psi.geom_ptr(), 1, Subset::Full);
+  const double norm = 1.0 / (1.0 + 6.0 * params.alpha);
+  for (int it = 0; it < params.iterations; ++it) {
+    spatial_hop(hop, u, psi);
+    // psi = (psi + alpha * hop) / (1 + 6 alpha): normalised so a constant
+    // field on a unit gauge background is a fixed point.
+    double* pd = psi.data();
+    const double* hd = hop.data();
+    for (std::int64_t k = 0; k < psi.reals(); ++k)
+      pd[k] = norm * (pd[k] + params.alpha * hd[k]);
+  }
+}
+
+double smearing_radius(const SpinorField<double>& psi, const Coord& center) {
+  const auto& geom = psi.geom();
+  double w = 0, wr2 = 0;
+  for (std::int64_t s = 0; s < geom.volume(); ++s) {
+    const auto x = geom.coord(s);
+    if (x[3] != center[3]) continue;
+    double r2 = 0;
+    for (int i = 0; i < 3; ++i) {
+      int d = std::abs(x[i] - center[i]);
+      d = std::min(d, geom.extent(i) - d);  // periodic distance
+      r2 += static_cast<double>(d) * d;
+    }
+    const auto p = psi.load(0, s);
+    double a2 = 0;
+    for (int sp = 0; sp < kNs; ++sp) a2 += norm2(p[sp]);
+    w += a2;
+    wr2 += a2 * r2;
+  }
+  return w > 0 ? std::sqrt(wr2 / w) : 0.0;
+}
+
+}  // namespace femto

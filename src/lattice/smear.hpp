@@ -1,0 +1,48 @@
+#pragma once
+// Smearing: the standard signal-improvement tools of production nucleon
+// calculations (the paper's campaign uses smeared sources to suppress the
+// excited-state contamination its fits then remove).
+//
+//   * APE link smearing: U' = Project_SU3[(1 - alpha) U + alpha/6 * staples],
+//     iterated; smooths ultraviolet noise out of the gauge field.
+//   * Wuppertal (Gaussian) source smearing: psi' = (1 + alpha H)^N psi
+//     with H the gauge-covariant SPATIAL hopping operator; turns point
+//     sources into extended ones with better ground-state overlap.
+
+#include <cstdint>
+
+#include "lattice/field.hpp"
+
+namespace femto {
+
+struct ApeParams {
+  double alpha = 0.5;  ///< staple weight
+  int iterations = 4;
+};
+
+/// One APE smearing step (all links, all directions), SU(3)-projected.
+void ape_smear_step(GaugeField<double>& u, double alpha);
+
+/// Full APE smearing; returns the smeared copy.
+GaugeField<double> ape_smear(const GaugeField<double>& u,
+                             const ApeParams& params);
+
+struct WuppertalParams {
+  double alpha = 0.25;  ///< hopping weight per step
+  int iterations = 10;
+};
+
+/// Gauge-covariant spatial hopping: out(x) = sum_{i in x,y,z}
+/// [U_i(x) psi(x+i) + U_i(x-i)^dag psi(x-i)].  Time slices never mix.
+void spatial_hop(SpinorField<double>& out, const GaugeField<double>& u,
+                 const SpinorField<double>& in);
+
+/// Wuppertal smearing of a 4D (l5 == 1) full field, in place.
+void wuppertal_smear(SpinorField<double>& psi, const GaugeField<double>& u,
+                     const WuppertalParams& params);
+
+/// RMS spatial radius of |psi|^2 on one timeslice around a centre point
+/// (diagnostic for smearing width; respects the periodic wrap).
+double smearing_radius(const SpinorField<double>& psi, const Coord& center);
+
+}  // namespace femto

@@ -1,0 +1,231 @@
+#pragma once
+// SU(3) color algebra: 3-component color vectors and 3x3 color matrices.
+// These are the dense "submatrices along the diagonal" of the Dirac stencil
+// described in the paper (Nc = 3 fundamental representation of SU(3)).
+
+#include <array>
+#include <cmath>
+
+#include "lattice/complex.hpp"
+
+namespace femto {
+
+inline constexpr int kNc = 3;  ///< colors (fundamental rep of SU(3))
+inline constexpr int kNs = 4;  ///< quark spin components
+
+/// A color vector: 3 complex components.
+template <typename T>
+struct ColorVec {
+  std::array<Cplx<T>, kNc> c{};
+
+  constexpr Cplx<T>& operator[](int i) { return c[static_cast<size_t>(i)]; }
+  constexpr const Cplx<T>& operator[](int i) const {
+    return c[static_cast<size_t>(i)];
+  }
+
+  constexpr ColorVec& operator+=(const ColorVec& o) {
+    for (int i = 0; i < kNc; ++i) c[i] += o.c[i];
+    return *this;
+  }
+  constexpr ColorVec& operator-=(const ColorVec& o) {
+    for (int i = 0; i < kNc; ++i) c[i] -= o.c[i];
+    return *this;
+  }
+  constexpr ColorVec& operator*=(T s) {
+    for (int i = 0; i < kNc; ++i) c[i] *= s;
+    return *this;
+  }
+};
+
+template <typename T>
+constexpr ColorVec<T> operator+(ColorVec<T> a, const ColorVec<T>& b) {
+  a += b;
+  return a;
+}
+template <typename T>
+constexpr ColorVec<T> operator-(ColorVec<T> a, const ColorVec<T>& b) {
+  a -= b;
+  return a;
+}
+template <typename T>
+constexpr ColorVec<T> operator*(Cplx<T> s, const ColorVec<T>& v) {
+  ColorVec<T> r;
+  for (int i = 0; i < kNc; ++i) r[i] = s * v[i];
+  return r;
+}
+template <typename T>
+constexpr ColorVec<T> operator*(T s, ColorVec<T> v) {
+  v *= s;
+  return v;
+}
+
+template <typename T>
+constexpr Cplx<T> dot(const ColorVec<T>& a, const ColorVec<T>& b) {
+  Cplx<T> s{};
+  for (int i = 0; i < kNc; ++i) s += conj_mul(a[i], b[i]);
+  return s;
+}
+
+template <typename T>
+constexpr T norm2(const ColorVec<T>& a) {
+  T s{};
+  for (int i = 0; i < kNc; ++i) s += norm2(a[i]);
+  return s;
+}
+
+/// A 3x3 complex color matrix (a gauge link when unitary).
+template <typename T>
+struct ColorMat {
+  // Row-major: m[row*3 + col].
+  std::array<Cplx<T>, kNc * kNc> m{};
+
+  constexpr Cplx<T>& operator()(int r, int c) {
+    return m[static_cast<size_t>(r * kNc + c)];
+  }
+  constexpr const Cplx<T>& operator()(int r, int c) const {
+    return m[static_cast<size_t>(r * kNc + c)];
+  }
+
+  static constexpr ColorMat identity() {
+    ColorMat u;
+    for (int i = 0; i < kNc; ++i) u(i, i) = Cplx<T>(T(1), T(0));
+    return u;
+  }
+
+  constexpr ColorMat& operator+=(const ColorMat& o) {
+    for (size_t i = 0; i < m.size(); ++i) m[i] += o.m[i];
+    return *this;
+  }
+  constexpr ColorMat& operator-=(const ColorMat& o) {
+    for (size_t i = 0; i < m.size(); ++i) m[i] -= o.m[i];
+    return *this;
+  }
+  constexpr ColorMat& operator*=(T s) {
+    for (auto& e : m) e *= s;
+    return *this;
+  }
+  constexpr ColorMat& operator*=(Cplx<T> s) {
+    for (auto& e : m) e *= s;
+    return *this;
+  }
+};
+
+template <typename T>
+constexpr ColorMat<T> operator+(ColorMat<T> a, const ColorMat<T>& b) {
+  a += b;
+  return a;
+}
+template <typename T>
+constexpr ColorMat<T> operator-(ColorMat<T> a, const ColorMat<T>& b) {
+  a -= b;
+  return a;
+}
+template <typename T>
+constexpr ColorMat<T> operator*(T s, ColorMat<T> a) {
+  a *= s;
+  return a;
+}
+template <typename T>
+constexpr ColorMat<T> operator*(Cplx<T> s, ColorMat<T> a) {
+  a *= s;
+  return a;
+}
+
+/// Matrix product a*b.
+template <typename T>
+constexpr ColorMat<T> operator*(const ColorMat<T>& a, const ColorMat<T>& b) {
+  ColorMat<T> r;
+  for (int i = 0; i < kNc; ++i)
+    for (int j = 0; j < kNc; ++j) {
+      Cplx<T> s{};
+      for (int k = 0; k < kNc; ++k) s += a(i, k) * b(k, j);
+      r(i, j) = s;
+    }
+  return r;
+}
+
+/// Matrix–vector product u*v (the 66-flop kernel at the core of the stencil).
+template <typename T>
+constexpr ColorVec<T> operator*(const ColorMat<T>& u, const ColorVec<T>& v) {
+  ColorVec<T> r;
+  for (int i = 0; i < kNc; ++i) {
+    Cplx<T> s{};
+    for (int k = 0; k < kNc; ++k) s += u(i, k) * v[k];
+    r[i] = s;
+  }
+  return r;
+}
+
+/// Hermitian-conjugate matrix–vector product u^dag * v.
+template <typename T>
+constexpr ColorVec<T> adj_mul(const ColorMat<T>& u, const ColorVec<T>& v) {
+  ColorVec<T> r;
+  for (int i = 0; i < kNc; ++i) {
+    Cplx<T> s{};
+    for (int k = 0; k < kNc; ++k) s += conj_mul(u(k, i), v[k]);
+    r[i] = s;
+  }
+  return r;
+}
+
+/// Hermitian conjugate (adjoint).
+template <typename T>
+constexpr ColorMat<T> adj(const ColorMat<T>& u) {
+  ColorMat<T> r;
+  for (int i = 0; i < kNc; ++i)
+    for (int j = 0; j < kNc; ++j) r(i, j) = conj(u(j, i));
+  return r;
+}
+
+template <typename T>
+constexpr Cplx<T> trace(const ColorMat<T>& u) {
+  Cplx<T> s{};
+  for (int i = 0; i < kNc; ++i) s += u(i, i);
+  return s;
+}
+
+template <typename T>
+constexpr T norm2(const ColorMat<T>& u) {
+  T s{};
+  for (const auto& e : u.m) s += norm2(e);
+  return s;
+}
+
+/// Frobenius distance^2 between two matrices (used by unitarity tests).
+template <typename T>
+constexpr T dist2(const ColorMat<T>& a, const ColorMat<T>& b) {
+  T s{};
+  for (size_t i = 0; i < a.m.size(); ++i) s += norm2(a.m[i] - b.m[i]);
+  return s;
+}
+
+template <typename T>
+constexpr Cplx<T> det(const ColorMat<T>& u) {
+  return u(0, 0) * (u(1, 1) * u(2, 2) - u(1, 2) * u(2, 1)) -
+         u(0, 1) * (u(1, 0) * u(2, 2) - u(1, 2) * u(2, 0)) +
+         u(0, 2) * (u(1, 0) * u(2, 1) - u(1, 1) * u(2, 0));
+}
+
+/// Project a matrix to SU(3) by Gram–Schmidt on the first two rows and
+/// completing the third as the conjugate cross product, then removing the
+/// residual U(1) phase.  Used by the gauge generator and by "reunitarise"
+/// steps after accumulating link products.
+template <typename T>
+ColorMat<T> project_su3(ColorMat<T> u) {
+  // Normalise row 0.
+  T n0 = std::sqrt(norm2(ColorVec<T>{{u(0, 0), u(0, 1), u(0, 2)}}));
+  for (int j = 0; j < kNc; ++j) u(0, j) *= T(1) / n0;
+  // Row 1 -= (row0 . row1) row0, then normalise.
+  Cplx<T> d{};
+  for (int j = 0; j < kNc; ++j) d += conj_mul(u(0, j), u(1, j));
+  for (int j = 0; j < kNc; ++j) u(1, j) -= d * u(0, j);
+  T n1 = std::sqrt(norm2(ColorVec<T>{{u(1, 0), u(1, 1), u(1, 2)}}));
+  for (int j = 0; j < kNc; ++j) u(1, j) *= T(1) / n1;
+  // Row 2 = conj(row0 x row1): unitary completion with det = +1.
+  u(2, 0) = conj(u(0, 1) * u(1, 2) - u(0, 2) * u(1, 1));
+  u(2, 1) = conj(u(0, 2) * u(1, 0) - u(0, 0) * u(1, 2));
+  u(2, 2) = conj(u(0, 0) * u(1, 1) - u(0, 1) * u(1, 0));
+  return u;
+}
+
+}  // namespace femto

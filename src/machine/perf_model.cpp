@@ -1,0 +1,188 @@
+#include "machine/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace femto::machine {
+
+std::vector<CommPolicyModel> comm_policies() {
+  return {
+      // Staged through host memory: DMA to CPU, MPI on the CPU.  Pays the
+      // CPU-GPU hop, extra synchronisation latency, and poor overlap.
+      {"host-staged", 0.55, 2.0, 0.40, false},
+      // Zero-copy reads/writes over PCIe for the MPI buffers.
+      {"zero-copy", 0.75, 1.3, 0.75, false},
+      // Direct GPU<->NIC transfers: full link efficiency, lowest latency,
+      // near-perfect overlap with the interior kernel.
+      {"gpu-direct-rdma", 0.95, 1.0, 0.95, true},
+  };
+}
+
+SolverPerfModel::SolverPerfModel(MachineSpec machine, LatticeProblem problem,
+                                 bool gdr_available)
+    : machine_(std::move(machine)),
+      problem_(problem),
+      gdr_available_(gdr_available) {}
+
+std::array<int, 4> SolverPerfModel::best_grid(int n_gpus) const {
+  // Enumerate factorizations px*py*pz*pt = n_gpus, keeping the one that
+  // minimises halo sites.  Exactly-dividing decompositions are preferred;
+  // if none exists (e.g. 160 ranks on 48^3x64), fall back to an uneven
+  // decomposition the way production codes pad local volumes.
+  std::array<int, 4> best{1, 1, 1, n_gpus};
+  double best_surface = std::numeric_limits<double>::infinity();
+  const auto& e = problem_.extents;
+
+  for (int pass = 0; pass < 2 && !std::isfinite(best_surface); ++pass) {
+    const bool exact = pass == 0;
+    auto divisible = [&](int extent, int p) {
+      if (extent / p < 2) return false;
+      return !exact || extent % p == 0;
+    };
+    for (int px = 1; px <= n_gpus; ++px) {
+      if (n_gpus % px || !divisible(e[0], px)) continue;
+      const int nyzt = n_gpus / px;
+      for (int py = 1; py <= nyzt; ++py) {
+        if (nyzt % py || !divisible(e[1], py)) continue;
+        const int nzt = nyzt / py;
+        for (int pz = 1; pz <= nzt; ++pz) {
+          if (nzt % pz || !divisible(e[2], pz)) continue;
+          const int pt = nzt / pz;
+          if (!divisible(e[3], pt)) continue;
+          const std::array<int, 4> grid{px, py, pz, pt};
+          const double lv =
+              static_cast<double>(problem_.volume4()) / n_gpus;
+          double surface = 0.0;
+          for (int mu = 0; mu < 4; ++mu) {
+            const double local =
+                static_cast<double>(e[static_cast<std::size_t>(mu)]) /
+                grid[static_cast<std::size_t>(mu)];
+            if (grid[static_cast<std::size_t>(mu)] > 1)
+              surface += 2.0 * lv / local;
+          }
+          if (surface < best_surface) {
+            best_surface = surface;
+            best = grid;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+double SolverPerfModel::apply_time_seconds(
+    int n_gpus, const std::array<int, 4>& grid, const CommPolicyModel& p,
+    double* surface_fraction) const {
+  const auto& e = problem_.extents;
+  const double local_sites5 =
+      static_cast<double>(problem_.volume5()) / n_gpus;
+
+  // Roofline compute time: the stencil is bandwidth bound.  The GPU only
+  // reaches its effective bandwidth given enough parallel work; a shrinking
+  // local volume starves it (the strong-scaling efficiency cliff).
+  const double occupancy =
+      local_sites5 / (local_sites5 + machine_.bw_sat_sites5);
+  const double local_bytes =
+      local_sites5 * problem_.flops_per_site5 / problem_.arithmetic_intensity;
+  const double t_compute =
+      local_bytes / (machine_.eff_bw_per_gpu_gbs * 1e9 * occupancy);
+
+  // Halo traffic per split dimension, weighted by where the neighbour
+  // lives: ranks are laid out x-fastest and packed gpn-per-node, so a
+  // neighbour at rank stride s is on the same node with probability
+  // ~max(0, 1 - s/gpn).  On-node traffic rides NVLink (or the host link
+  // on pre-NVLink machines); off-node traffic shares the NIC among the
+  // node's GPUs.
+  const int gpn = machine_.gpus_per_node;
+  const double intra_bw =
+      (machine_.nvlink_gbs > 0 ? machine_.nvlink_gbs
+                               : machine_.cpu_gpu_bw_gbs) *
+      1e9;
+  const double inter_bw =
+      machine_.nic_gbs / gpn * 1e9 * p.bandwidth_efficiency;
+
+  const double local_sites4 = static_cast<double>(problem_.volume4()) /
+                              n_gpus;
+  double halo_sites5 = 0.0;
+  double intra_bytes = 0.0, inter_bytes = 0.0;
+  int n_messages = 0;
+  int stride = 1;
+  for (int mu = 0; mu < 4; ++mu) {
+    const int pmu = grid[static_cast<std::size_t>(mu)];
+    if (pmu > 1) {
+      const double local =
+          static_cast<double>(e[static_cast<std::size_t>(mu)]) / pmu;
+      const double face5 = 2.0 * (local_sites4 / local) * problem_.l5;
+      halo_sites5 += face5;
+      const double bytes = face5 * problem_.halo_bytes_per_site5;
+      const double intra_frac =
+          std::max(0.0, 1.0 - static_cast<double>(stride) / gpn);
+      intra_bytes += bytes * intra_frac;
+      inter_bytes += bytes * (1.0 - intra_frac);
+      n_messages += 2;
+    }
+    stride *= pmu;
+  }
+
+  double t_comm = 0.0;
+  if (halo_sites5 > 0.0) {
+    t_comm = inter_bytes / inter_bw + intra_bytes / intra_bw +
+             n_messages * machine_.nic_latency_us * 1e-6 * p.latency_factor;
+  }
+
+  // Surface fraction of the local volume (the part that cannot start
+  // until halos arrive).
+  double sfrac = std::min(1.0, halo_sites5 / (2.0 * local_sites5));
+  if (surface_fraction) *surface_fraction = sfrac;
+
+  // Global reductions (CG alpha/beta): an allreduce whose latency grows
+  // with the tree depth; cannot be overlapped with the stencil.
+  double t_reduce = 0.0;
+  if (n_gpus > 1)
+    t_reduce = machine_.allreduce_alpha_us * 1e-6 *
+               std::log2(static_cast<double>(n_gpus));
+
+  // Overlap interior compute with the overlappable share of the
+  // communication; the rest (CPU synchronisation, staging) is serial.
+  const double t_interior = t_compute * (1.0 - sfrac);
+  const double t_exterior = t_compute * sfrac;
+  const double t_comm_hidden = t_comm * p.overlap_efficiency;
+  const double t_comm_serial = t_comm * (1.0 - p.overlap_efficiency);
+  return std::max(t_interior, t_comm_hidden) + t_comm_serial + t_exterior +
+         t_reduce;
+}
+
+PerfPoint SolverPerfModel::point_with_policy(
+    int n_gpus, const CommPolicyModel& p) const {
+  PerfPoint pt;
+  pt.gpus = n_gpus;
+  pt.grid = best_grid(n_gpus);
+  pt.policy = p.name;
+  double sfrac = 0.0;
+  pt.time_per_apply_s = apply_time_seconds(n_gpus, pt.grid, p, &sfrac);
+  pt.surface_fraction = sfrac;
+  const double flops =
+      static_cast<double>(problem_.volume5()) * problem_.flops_per_site5;
+  pt.tflops = flops / pt.time_per_apply_s / 1e12;
+  const double sp_peak_tflops =
+      machine_.fp32_tflops_gpu() * static_cast<double>(n_gpus);
+  pt.pct_peak = pt.tflops * kPeakScale / sp_peak_tflops * 100.0;
+  pt.bw_per_gpu_gbs =
+      pt.tflops * 1e12 / n_gpus / problem_.arithmetic_intensity / 1e9;
+  return pt;
+}
+
+PerfPoint SolverPerfModel::strong_scaling_point(int n_gpus) const {
+  PerfPoint best;
+  best.time_per_apply_s = std::numeric_limits<double>::infinity();
+  for (const auto& p : comm_policies()) {
+    if (p.needs_gdr && !gdr_available_) continue;
+    const PerfPoint pt = point_with_policy(n_gpus, p);
+    if (pt.time_per_apply_s < best.time_per_apply_s) best = pt;
+  }
+  return best;
+}
+
+}  // namespace femto::machine

@@ -1,0 +1,111 @@
+#pragma once
+// Analytic performance model of the mixed-precision CG solver on the
+// Table II machines.  This is the substitution for CORAL-scale hardware
+// (DESIGN.md): the kernel characteristics (flops per 5D site, arithmetic
+// intensity, halo volume) are taken from the real implementation, and the
+// machine side uses spec-sheet + paper-calibrated constants.
+//
+// Structure per "GPU":
+//   compute time  = local bytes / effective bandwidth            (roofline)
+//   comm time     = halo bytes / policy-weighted link bandwidth
+//                   + per-message latency                        (alpha-beta)
+//   iteration     = max(interior compute, comm) + surface compute (overlap)
+//
+// Shapes this reproduces: strong-scaling rollover as the surface-to-volume
+// ratio grows (Fig. 3/4), the efficiency cliff past ~2000 GPUs on the
+// 96^3x144 problem (Fig. 4), and the policy/latency sensitivity that the
+// communication autotuner exploits.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "machine/specs.hpp"
+
+namespace femto::machine {
+
+/// The lattice problem being solved.
+struct LatticeProblem {
+  std::array<int, 4> extents{48, 48, 48, 64};
+  int l5 = 12;
+  /// Conventional flops per 5D site per operator application (paper S VI:
+  /// 10,000-12,000 for the red-black Domain-Wall stencil).
+  double flops_per_site5 = 11000.0;
+  /// Arithmetic intensity of the 16-bit-storage CG (paper: 1.8-1.9).
+  double arithmetic_intensity = 1.9;
+  /// Bytes exchanged per 4D halo site per slice: a projected half spinor
+  /// (12 reals) in 16-bit storage, both directions.
+  double halo_bytes_per_site5 = 12 * 2 * 2;
+
+  std::int64_t volume4() const {
+    return std::int64_t(extents[0]) * extents[1] * extents[2] * extents[3];
+  }
+  std::int64_t volume5() const { return volume4() * l5; }
+};
+
+/// Communication-policy efficiency factors applied to the link bandwidth
+/// (the machine-model counterpart of comm::CommPolicy; the autotuner picks
+/// the best available on a machine).
+struct CommPolicyModel {
+  std::string name;
+  double bandwidth_efficiency = 1.0;  ///< fraction of link bw achieved
+  double latency_factor = 1.0;        ///< multiplier on per-message latency
+  /// Fraction of the communication that can hide behind the interior
+  /// stencil.  Host-staged transfers force CPU-GPU synchronisation, so a
+  /// large serial remainder survives; direct RDMA overlaps almost fully
+  /// (this is exactly why the paper removes the CPU from the path).
+  double overlap_efficiency = 1.0;
+  bool needs_gdr = false;             ///< requires GPU Direct RDMA support
+};
+
+std::vector<CommPolicyModel> comm_policies();
+
+/// One point of a scaling curve.
+struct PerfPoint {
+  int gpus = 0;
+  double tflops = 0.0;        ///< sustained solver TFLOPS (all GPUs)
+  double pct_peak = 0.0;      ///< paper's %-of-SP-peak metric (1.675x)
+  double bw_per_gpu_gbs = 0.0;
+  double time_per_apply_s = 0.0;
+  double surface_fraction = 0.0;
+  std::string policy;         ///< tuned communication policy
+  std::array<int, 4> grid{1, 1, 1, 1};
+};
+
+class SolverPerfModel {
+ public:
+  /// @p gdr_available: whether GPU Direct RDMA works (the paper notes
+  /// Sierra/Summit did NOT support it at submission time).
+  SolverPerfModel(MachineSpec machine, LatticeProblem problem,
+                  bool gdr_available = false);
+
+  const MachineSpec& machine() const { return machine_; }
+  const LatticeProblem& problem() const { return problem_; }
+
+  /// Best 4D process-grid decomposition of n_gpus (minimum halo surface).
+  std::array<int, 4> best_grid(int n_gpus) const;
+
+  /// Model one strong-scaling point, autotuning the communication policy
+  /// (evaluates every available policy, keeps the fastest — the model
+  /// counterpart of the paper's communication autotuner).
+  PerfPoint strong_scaling_point(int n_gpus) const;
+
+  /// Same point with a FIXED policy (for the policy-ablation bench).
+  PerfPoint point_with_policy(int n_gpus, const CommPolicyModel& p) const;
+
+  /// The paper's conversion from solver flops to percent of peak:
+  /// non-FMA mix and double-precision reductions scale raw flops by 1.675
+  /// and the result is quoted against single-precision peak.
+  static constexpr double kPeakScale = 1.675;
+
+ private:
+  double apply_time_seconds(int n_gpus, const std::array<int, 4>& grid,
+                            const CommPolicyModel& p,
+                            double* surface_fraction) const;
+
+  MachineSpec machine_;
+  LatticeProblem problem_;
+  bool gdr_available_;
+};
+
+}  // namespace femto::machine

@@ -1,0 +1,147 @@
+#include "machine/specs.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace femto::machine {
+
+MachineSpec titan() {
+  MachineSpec m;
+  m.name = "Titan";
+  m.nodes = 18688;
+  m.gpus_per_node = 1;
+  m.cpu = "AMD Opteron";
+  m.gpu = "NVIDIA K20X";
+  m.fp32_tflops_node = 4.0;
+  m.gpu_bw_node_gbs = 250.0;
+  m.cpu_gpu_bw_gbs = 6.0;
+  m.interconnect = "Cray Gemini (~8 GB/s)";
+  m.nic_gbs = 8.0;
+  m.nic_latency_us = 2.5;
+  m.nvlink_gbs = 0.0;  // pre-NVLink: peer traffic crosses the host
+  m.eff_bw_per_gpu_gbs = 139.0;  // paper S VII calibration point
+  m.bw_sat_sites5 = 2e5;         // small GPU saturates early
+  m.allreduce_alpha_us = 35.0;   // Gemini collectives
+  m.mpi = "Cray MPICH 7.6.3";
+  m.cuda = "7.5.18";
+  m.gcc = "4.9.3";
+  return m;
+}
+
+MachineSpec ray() {
+  MachineSpec m;
+  m.name = "Ray";
+  m.nodes = 54;
+  m.gpus_per_node = 4;
+  m.cpu = "IBM POWER8";
+  m.gpu = "NVIDIA P100";
+  m.fp32_tflops_node = 44.0;
+  m.gpu_bw_node_gbs = 2880.0;
+  m.cpu_gpu_bw_gbs = 20.0;
+  m.interconnect = "Mellanox IB 2xEDR";
+  m.nic_gbs = 23.0;
+  m.nic_latency_us = 1.5;
+  m.nvlink_gbs = 40.0;
+  m.eff_bw_per_gpu_gbs = 516.0;  // paper S VII calibration point
+  m.bw_sat_sites5 = 8e5;
+  m.allreduce_alpha_us = 20.0;
+  m.mpi = "Spectrum 2017.04.03";
+  m.cuda = "9.0.176";
+  m.gcc = "4.9.3";
+  return m;
+}
+
+MachineSpec sierra() {
+  MachineSpec m;
+  m.name = "Sierra";
+  m.nodes = 4200;
+  m.gpus_per_node = 4;
+  m.cpu = "IBM POWER9";
+  m.gpu = "NVIDIA V100";
+  m.fp32_tflops_node = 60.0;
+  m.gpu_bw_node_gbs = 3600.0;
+  m.cpu_gpu_bw_gbs = 75.0;
+  m.interconnect = "Mellanox IB 2xEDR";
+  m.nic_gbs = 23.0;
+  m.nic_latency_us = 1.3;
+  m.nvlink_gbs = 75.0;
+  m.eff_bw_per_gpu_gbs = 975.0;  // paper S VII calibration point
+  m.bw_sat_sites5 = 1.2e6;       // V100 needs a large local volume
+  m.allreduce_alpha_us = 20.0;
+  m.mpi = "MVAPICH2 2.3";
+  m.cuda = "9.2.148";
+  m.gcc = "4.9.3";
+  return m;
+}
+
+MachineSpec summit() {
+  MachineSpec m;
+  m.name = "Summit";
+  m.nodes = 4600;
+  m.gpus_per_node = 6;
+  m.cpu = "IBM POWER9";
+  m.gpu = "NVIDIA V100";
+  m.fp32_tflops_node = 90.0;
+  m.gpu_bw_node_gbs = 5400.0;
+  m.cpu_gpu_bw_gbs = 50.0;
+  m.interconnect = "Mellanox IB 2xEDR";
+  m.nic_gbs = 23.0;
+  m.nic_latency_us = 1.3;
+  m.nvlink_gbs = 50.0;
+  // Same V100 silicon as Sierra: same per-GPU effective bandwidth.
+  m.eff_bw_per_gpu_gbs = 975.0;
+  m.bw_sat_sites5 = 1.2e6;
+  m.allreduce_alpha_us = 20.0;
+  m.mpi = "Spectrum 2018.01.10";
+  m.cuda = "9.1.85";
+  m.gcc = "4.8.5";
+  return m;
+}
+
+std::vector<MachineSpec> all_machines() {
+  return {titan(), ray(), sierra(), summit()};
+}
+
+std::string format_table2() {
+  const auto machines = all_machines();
+  std::ostringstream os;
+  auto row = [&](const std::string& label, auto getter) {
+    os << std::left << std::setw(22) << label;
+    for (const auto& m : machines)
+      os << std::setw(16) << getter(m);
+    os << "\n";
+  };
+  row("Attribute", [](const MachineSpec& m) { return m.name; });
+  row("nodes", [](const MachineSpec& m) { return std::to_string(m.nodes); });
+  row("GPUs / node",
+      [](const MachineSpec& m) { return std::to_string(m.gpus_per_node); });
+  row("CPU", [](const MachineSpec& m) { return m.cpu; });
+  row("GPU", [](const MachineSpec& m) { return m.gpu; });
+  row("FP32 TFLOPS / node", [](const MachineSpec& m) {
+    std::ostringstream v;
+    v << m.fp32_tflops_node;
+    return v.str();
+  });
+  row("GPU bw / node GB/s", [](const MachineSpec& m) {
+    std::ostringstream v;
+    v << m.gpu_bw_node_gbs;
+    return v.str();
+  });
+  row("CPU-GPU bw GB/s", [](const MachineSpec& m) {
+    std::ostringstream v;
+    v << m.cpu_gpu_bw_gbs;
+    return v.str();
+  });
+  row("Interconnect", [](const MachineSpec& m) { return m.interconnect; });
+  row("MPI", [](const MachineSpec& m) { return m.mpi; });
+  row("CUDA toolkit", [](const MachineSpec& m) { return m.cuda; });
+  row("GCC", [](const MachineSpec& m) { return m.gcc; });
+  row("eff GB/s per GPU", [](const MachineSpec& m) {
+    std::ostringstream v;
+    v << m.eff_bw_per_gpu_gbs;
+    return v.str();
+  });
+  return os.str();
+}
+
+}  // namespace femto::machine

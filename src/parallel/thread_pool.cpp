@@ -1,0 +1,211 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace femto::par {
+
+namespace {
+// The pool (if any) whose worker is executing on this thread.  Used to run
+// re-entrant launches inline rather than deadlocking on the launch mutex.
+thread_local const ThreadPool* t_current_pool = nullptr;
+}  // namespace
+
+std::size_t default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t n_threads)
+    : n_threads_(n_threads == 0 ? default_thread_count() : n_threads) {
+  // The calling thread acts as worker 0; we spawn n_threads_-1 helpers.
+  workers_.reserve(n_threads_ - 1);
+  for (std::size_t i = 1; i < n_threads_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::chunk_range(
+    std::size_t begin, std::size_t end, std::size_t n_chunks,
+    std::size_t chunk) {
+  const std::size_t n = end - begin;
+  const std::size_t base = n / n_chunks;
+  const std::size_t rem = n % n_chunks;
+  const std::size_t lo = begin + chunk * base + std::min(chunk, rem);
+  const std::size_t hi = lo + base + (chunk < rem ? 1 : 0);
+  return {lo, hi};
+}
+
+void ThreadPool::worker_loop(std::size_t worker_id) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk,
+                     [&] { return stop_ || task_.epoch > seen_epoch; });
+      if (stop_) return;
+      task = task_;
+      seen_epoch = task.epoch;
+    }
+    t_current_pool = this;
+    run_chunks(task, worker_id);
+    t_current_pool = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--n_running_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_chunks(const Task& task, std::size_t worker_id) {
+  // Static schedule: worker w owns chunk w.  One chunk per participating
+  // worker keeps the reduction order fixed.
+  if (worker_id >= task.n_chunks) return;
+  auto [lo, hi] = chunk_range(task.begin, task.end, task.n_chunks, worker_id);
+  if (lo < hi) (*task.body)(lo, hi);
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  grain = std::max<std::size_t>(grain, 1);
+  std::size_t n_chunks = std::min(n_threads_, (n + grain - 1) / grain);
+  n_chunks = std::max<std::size_t>(n_chunks, 1);
+
+  // Re-entrant launch from one of our own workers: run inline.
+  if (n_chunks == 1 || n_threads_ == 1 || t_current_pool == this) {
+    body(begin, end);
+    return;
+  }
+
+  std::lock_guard<std::mutex> launch_lk(launch_mu_);
+
+  Task task;
+  task.body = &body;
+  task.begin = begin;
+  task.end = end;
+  task.n_chunks = n_chunks;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    task.epoch = ++epoch_;
+    task_ = task;
+    n_running_ = n_threads_ - 1;
+  }
+  cv_start_.notify_all();
+
+  // The calling thread is worker 0.
+  const ThreadPool* prev = t_current_pool;
+  t_current_pool = this;
+  run_chunks(task, 0);
+  t_current_pool = prev;
+
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return n_running_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  parallel_for_chunked(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+double ThreadPool::parallel_reduce(
+    std::size_t begin, std::size_t end,
+    const std::function<double(std::size_t, std::size_t)>& chunk_body,
+    std::size_t grain) {
+  if (begin >= end) return 0.0;
+  const std::size_t n = end - begin;
+  grain = std::max<std::size_t>(grain, 1);
+  std::size_t n_chunks = std::min(n_threads_, (n + grain - 1) / grain);
+  n_chunks = std::max<std::size_t>(n_chunks, 1);
+
+  std::vector<double> partials(n_chunks, 0.0);
+  parallel_for_chunked(
+      0, n_chunks,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          auto [a, b] = chunk_range(begin, end, n_chunks, c);
+          partials[c] = chunk_body(a, b);
+        }
+      },
+      1);
+
+  double sum = 0.0;
+  for (double p : partials) sum += p;  // fixed chunk order => deterministic
+  return sum;
+}
+
+std::pair<double, double> ThreadPool::parallel_reduce2(
+    std::size_t begin, std::size_t end,
+    const std::function<std::pair<double, double>(std::size_t, std::size_t)>&
+        chunk_body,
+    std::size_t grain) {
+  if (begin >= end) return {0.0, 0.0};
+  const std::size_t n = end - begin;
+  grain = std::max<std::size_t>(grain, 1);
+  std::size_t n_chunks = std::min(n_threads_, (n + grain - 1) / grain);
+  n_chunks = std::max<std::size_t>(n_chunks, 1);
+
+  std::vector<std::pair<double, double>> partials(n_chunks, {0.0, 0.0});
+  parallel_for_chunked(
+      0, n_chunks,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          auto [a, b] = chunk_range(begin, end, n_chunks, c);
+          partials[c] = chunk_body(a, b);
+        }
+      },
+      1);
+
+  double re = 0.0, im = 0.0;
+  for (auto& p : partials) {
+    re += p.first;
+    im += p.second;
+  }
+  return {re, im};
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  ThreadPool::global().parallel_for(begin, end, body, grain);
+}
+
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  ThreadPool::global().parallel_for_chunked(begin, end, body, grain);
+}
+
+double parallel_reduce(
+    std::size_t begin, std::size_t end,
+    const std::function<double(std::size_t, std::size_t)>& chunk_body,
+    std::size_t grain) {
+  return ThreadPool::global().parallel_reduce(begin, end, chunk_body, grain);
+}
+
+}  // namespace femto::par

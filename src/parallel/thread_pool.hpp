@@ -1,0 +1,135 @@
+#pragma once
+// femtopar: a small persistent thread pool used as the execution engine for
+// every lattice kernel in the library.
+//
+// The paper offloads its stencil and BLAS kernels to GPUs via CUDA; our
+// substitution (see DESIGN.md) runs the identical numerics on CPU threads.
+// The pool exposes the two primitives the kernels need:
+//
+//   * parallel_for(begin, end, body)   -- static partition of an index range
+//   * parallel_reduce(begin, end, ...) -- per-thread partials combined in a
+//     fixed order, so reductions are bitwise deterministic for a given
+//     thread count (mirroring QUDA's deterministic double-precision
+//     reductions, which the mixed-precision solver relies on).
+//
+// Worker threads park on a condition variable between kernels.  A kernel
+// launch costs roughly one mutex round-trip per worker; the autotuner
+// (src/autotune) measures and hides this the same way QUDA hides CUDA launch
+// latency, by tuning the work-per-thread ("block") granularity.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace femto::par {
+
+/// Number of workers to use when the caller does not specify: the hardware
+/// concurrency, with a floor of 1.
+std::size_t default_thread_count();
+
+/// A persistent pool of worker threads executing range-based kernels.
+///
+/// The pool is not copyable or movable; it owns its threads for its whole
+/// lifetime (RAII: the destructor joins all workers).
+class ThreadPool {
+ public:
+  /// Create a pool with @p n_threads workers (0 = default_thread_count()).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of workers (always >= 1; the calling thread participates).
+  std::size_t size() const { return n_threads_; }
+
+  /// Execute @p body(i) for every i in [begin, end).  The range is split
+  /// into `size()` contiguous chunks.  Blocks until all iterations finish.
+  ///
+  /// @p grain: minimum iterations per worker; below it the pool shrinks the
+  /// number of participating workers to keep per-thread work above the
+  /// launch overhead (this is the knob the autotuner sweeps).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// Like parallel_for but the body receives the chunk [chunk_begin,
+  /// chunk_end) instead of a single index, avoiding a std::function call
+  /// per iteration for tight kernels.
+  void parallel_for_chunked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body,
+      std::size_t grain = 1);
+
+  /// Deterministic reduction: runs @p body over each chunk accumulating a
+  /// per-chunk double partial, then sums partials in chunk order.  The
+  /// result is independent of thread scheduling.
+  double parallel_reduce(
+      std::size_t begin, std::size_t end,
+      const std::function<double(std::size_t, std::size_t)>& chunk_body,
+      std::size_t grain = 1);
+
+  /// Two-component deterministic reduction (e.g. complex dot products).
+  std::pair<double, double> parallel_reduce2(
+      std::size_t begin, std::size_t end,
+      const std::function<std::pair<double, double>(std::size_t, std::size_t)>&
+          chunk_body,
+      std::size_t grain = 1);
+
+  /// The process-wide pool most kernels use.  Constructed on first use.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    // Chunked task: workers pull chunk ids and run body over their range.
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t n_chunks = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  void worker_loop(std::size_t worker_id);
+  void run_chunks(const Task& task, std::size_t worker_id);
+  static std::pair<std::size_t, std::size_t> chunk_range(std::size_t begin,
+                                                         std::size_t end,
+                                                         std::size_t n_chunks,
+                                                         std::size_t chunk);
+
+  std::size_t n_threads_;
+  std::vector<std::thread> workers_;
+
+  // Serialises concurrent launches from different caller threads; a launch
+  // from inside one of this pool's own workers runs inline instead (see
+  // .cpp), so re-entrant use cannot deadlock.
+  std::mutex launch_mu_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Task task_;
+  std::uint64_t epoch_ = 0;
+  std::size_t n_running_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience wrappers over ThreadPool::global().
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain = 1);
+
+double parallel_reduce(
+    std::size_t begin, std::size_t end,
+    const std::function<double(std::size_t, std::size_t)>& chunk_body,
+    std::size_t grain = 1);
+
+}  // namespace femto::par

@@ -1,0 +1,92 @@
+#include "solver/bicgstab.hpp"
+
+#include <cmath>
+
+#include "lattice/flops.hpp"
+
+namespace femto {
+
+template <typename T>
+SolveResult bicgstab(const ApplyFn<T>& a, SpinorField<T>& x,
+                     const SpinorField<T>& b, double tol, int max_iter) {
+  SolveResult res;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t flops0 = flops::get();
+
+  const auto geom = b.geom_ptr();
+  const int l5 = b.l5();
+  const Subset sub = b.subset();
+
+  SpinorField<T> r = b;
+  SpinorField<T> tmp(geom, l5, sub);
+  if (blas::norm2(x) > 0.0) {
+    a(tmp, x);
+    blas::axpy<T>(-1.0, tmp, r);
+  }
+  const SpinorField<T> rhat = r;  // shadow residual
+  SpinorField<T> p = r;
+  SpinorField<T> v(geom, l5, sub), s(geom, l5, sub), t(geom, l5, sub);
+
+  const double b2 = blas::norm2(b);
+  const double target = tol * tol * b2;
+  Cplx<double> rho = blas::cdot(rhat, r);
+  double r2 = blas::norm2(r);
+
+  while (res.iterations < max_iter && r2 > target) {
+    a(v, p);
+    ++res.iterations;
+    const Cplx<double> rhat_v = blas::cdot(rhat, v);
+    if (std::abs(rhat_v.re) + std::abs(rhat_v.im) < 1e-300) break;
+    const Cplx<double> alpha = rho / rhat_v;
+
+    // s = r - alpha v
+    s = r;
+    blas::caxpy<T>(-alpha, v, s);
+    const double s2 = blas::norm2(s);
+    if (s2 <= target) {
+      blas::caxpy<T>(alpha, p, x);
+      r2 = s2;
+      break;
+    }
+
+    a(t, s);
+    ++res.iterations;
+    const double t2 = blas::norm2(t);
+    if (t2 < 1e-300) break;
+    const Cplx<double> omega = blas::cdot(t, s) * Cplx<double>(1.0 / t2);
+
+    // x += alpha p + omega s
+    blas::caxpy<T>(alpha, p, x);
+    blas::caxpy<T>(omega, s, x);
+    // r = s - omega t
+    r = s;
+    blas::caxpy<T>(-omega, t, r);
+    r2 = blas::norm2(r);
+
+    const Cplx<double> rho_new = blas::cdot(rhat, r);
+    if (std::abs(rho.re) + std::abs(rho.im) < 1e-300) break;
+    const Cplx<double> beta = (rho_new / rho) * (alpha / omega);
+    rho = rho_new;
+    // p = r + beta (p - omega v)
+    blas::caxpy<T>(-omega, v, p);
+    blas::cxpay<T>(r, beta, p);
+  }
+
+  res.converged = r2 <= target;
+  res.final_rel_residual = std::sqrt(r2 / b2);
+  res.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  res.flop_count = flops::get() - flops0;
+  return res;
+}
+
+template SolveResult bicgstab<double>(const ApplyFn<double>&,
+                                      SpinorField<double>&,
+                                      const SpinorField<double>&, double,
+                                      int);
+template SolveResult bicgstab<float>(const ApplyFn<float>&,
+                                     SpinorField<float>&,
+                                     const SpinorField<float>&, double, int);
+
+}  // namespace femto

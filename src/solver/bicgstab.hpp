@@ -1,0 +1,26 @@
+#pragma once
+// BiCGStab: a Krylov solver for the NON-Hermitian Schur operator directly.
+// CGNE (what the paper's production solver uses) squares the condition
+// number; BiCGStab trades that for a less robust iteration.  Both live in
+// the library so the trade-off is measurable (see the solver microbench).
+
+#include "solver/cg.hpp"
+
+namespace femto {
+
+/// Solve A x = b for a general (non-Hermitian) operator A.
+/// x carries the initial guess (typically zero) and the result.
+template <typename T>
+SolveResult bicgstab(const ApplyFn<T>& a, SpinorField<T>& x,
+                     const SpinorField<T>& b, double tol, int max_iter);
+
+extern template SolveResult bicgstab<double>(const ApplyFn<double>&,
+                                             SpinorField<double>&,
+                                             const SpinorField<double>&,
+                                             double, int);
+extern template SolveResult bicgstab<float>(const ApplyFn<float>&,
+                                            SpinorField<float>&,
+                                            const SpinorField<float>&,
+                                            double, int);
+
+}  // namespace femto

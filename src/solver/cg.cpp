@@ -1,0 +1,173 @@
+#include "solver/cg.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "lattice/flops.hpp"
+#include "solver/half.hpp"
+
+namespace femto {
+
+const char* to_string(Precision p) {
+  switch (p) {
+    case Precision::Double: return "double";
+    case Precision::Single: return "single";
+    default: return "half";
+  }
+}
+
+std::string SolveResult::summary() const {
+  std::ostringstream os;
+  os << (converged ? "converged" : "NOT converged") << " in " << iterations
+     << " iterations (" << reliable_updates << " reliable updates), |r|/|b|="
+     << final_rel_residual << ", " << gflops() << " GFLOP/s";
+  return os.str();
+}
+
+template <typename T>
+SolveResult cg(const ApplyFn<T>& a, SpinorField<T>& x,
+               const SpinorField<T>& b, double tol, int max_iter) {
+  SolveResult res;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t flops0 = flops::get();
+
+  SpinorField<T> r = b;
+  SpinorField<T> ap(b.geom_ptr(), b.l5(), b.subset());
+  // r = b - A x (skip the matvec if x is zero — caller convention is a
+  // zero initial guess, but handle a warm start correctly anyway).
+  const double xnorm = blas::norm2(x);
+  if (xnorm > 0.0) {
+    a(ap, x);
+    blas::axpy<T>(-1.0, ap, r);
+  }
+  SpinorField<T> p = r;
+
+  const double b2 = blas::norm2(b);
+  double rsq = blas::norm2(r);
+  const double target = tol * tol * b2;
+
+  while (res.iterations < max_iter && rsq > target) {
+    a(ap, p);
+    ++res.iterations;
+    const double pap = blas::redot(p, ap);
+    const double alpha = rsq / pap;
+    blas::axpy<T>(alpha, p, x);
+    blas::axpy<T>(-alpha, ap, r);
+    const double rsq_new = blas::norm2(r);
+    const double beta = rsq_new / rsq;
+    rsq = rsq_new;
+    blas::xpay<T>(r, beta, p);
+  }
+
+  res.converged = rsq <= target;
+  res.final_rel_residual = std::sqrt(rsq / b2);
+  res.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  res.flop_count = flops::get() - flops0;
+  return res;
+}
+
+namespace {
+
+/// Round-trip a float field through 16-bit fixed-point storage: the
+/// precision loss a half-storage solver incurs on every vector it touches.
+void quantize(SpinorField<float>& f, HalfSpinorField& store) {
+  store.encode(f);
+  store.decode(f);
+}
+
+}  // namespace
+
+SolveResult mixed_cg(const ApplyFn<double>& a_double,
+                     const ApplyFn<float>& a_single,
+                     SpinorField<double>& x, const SpinorField<double>& b,
+                     const SolverParams& params) {
+  SolveResult res;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t flops0 = flops::get();
+
+  const auto geom = b.geom_ptr();
+  const int l5 = b.l5();
+  const Subset sub = b.subset();
+  const bool half = params.sloppy == Precision::Half;
+
+  // Outer (double) state.
+  SpinorField<double> r_d = b;
+  SpinorField<double> tmp_d(geom, l5, sub);
+  const double xnorm = blas::norm2(x);
+  if (xnorm > 0.0) {
+    a_double(tmp_d, x);
+    blas::axpy<double>(-1.0, tmp_d, r_d);
+  }
+  const double b2 = blas::norm2(b);
+  double r2_d = blas::norm2(r_d);
+  const double target = params.tol * params.tol * b2;
+
+  // Sloppy state.
+  SpinorField<float> r_s(geom, l5, sub), p_s(geom, l5, sub),
+      ap_s(geom, l5, sub), xs(geom, l5, sub);
+  HalfSpinorField hstore(geom, l5, sub);
+
+  while (r2_d > target && res.iterations < params.max_iter) {
+    // (Re)start the inner solve from the true residual.
+    blas::copy(r_s, r_d);
+    if (half) quantize(r_s, hstore);
+    blas::copy(p_s, r_s);
+    xs.zero();
+    double rsq = blas::norm2(r_s);
+    const double update_target = rsq * params.delta * params.delta;
+    int inner = 0;
+
+    while (res.iterations < params.max_iter &&
+           (rsq > update_target || inner < params.min_inner_iter) &&
+           rsq > 0.25 * target) {
+      a_single(ap_s, p_s);
+      ++res.iterations;
+      ++inner;
+      const double pap = blas::redot(p_s, ap_s);
+      if (!(pap > 0.0)) break;  // sloppy breakdown: force reliable update
+      const double alpha = rsq / pap;
+      blas::axpy<float>(alpha, p_s, xs);
+      blas::axpy<float>(-alpha, ap_s, r_s);
+      if (half) {
+        quantize(xs, hstore);
+        quantize(r_s, hstore);
+      }
+      const double rsq_new = blas::norm2(r_s);
+      const double beta = rsq_new / rsq;
+      rsq = rsq_new;
+      blas::xpay<float>(r_s, beta, p_s);
+      if (half) quantize(p_s, hstore);
+    }
+
+    // Reliable update: fold the sloppy solution into x, recompute the true
+    // residual in double.
+    blas::copy(tmp_d, xs);  // promote
+    blas::axpy<double>(1.0, tmp_d, x);
+    a_double(tmp_d, x);
+    blas::copy(r_d, b);
+    blas::axpy<double>(-1.0, tmp_d, r_d);
+    r2_d = blas::norm2(r_d);
+    ++res.reliable_updates;
+
+    // If the sloppy solver could not take a single step the target is
+    // below the sloppy precision floor; stop rather than spin.
+    if (inner == 0) break;
+  }
+
+  res.converged = r2_d <= target;
+  res.final_rel_residual = std::sqrt(r2_d / b2);
+  res.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  res.flop_count = flops::get() - flops0;
+  return res;
+}
+
+template SolveResult cg<double>(const ApplyFn<double>&, SpinorField<double>&,
+                                const SpinorField<double>&, double, int);
+template SolveResult cg<float>(const ApplyFn<float>&, SpinorField<float>&,
+                               const SpinorField<float>&, double, int);
+
+}  // namespace femto

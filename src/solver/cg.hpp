@@ -1,0 +1,77 @@
+#pragma once
+// Krylov solvers: conjugate gradient on the normal equations (CGNE), in
+// uniform precision and in the paper's mixed-precision form — a
+// "red-black preconditioned double-half CG solver, where most of the work
+// is done using 16-bit precision fixed-point storage (utilizing single-
+// precision computation) with occasional reliable updates to full double
+// precision".
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "lattice/blas.hpp"
+#include "lattice/field.hpp"
+
+namespace femto {
+
+/// Precision of the sloppy (inner) solver.
+enum class Precision { Double, Single, Half };
+
+const char* to_string(Precision p);
+
+/// y = A x application in precision T.  A must be Hermitian positive
+/// definite for CG (use the normal operator Mhat^dag Mhat).
+template <typename T>
+using ApplyFn = std::function<void(SpinorField<T>&, const SpinorField<T>&)>;
+
+struct SolverParams {
+  double tol = 1e-10;         ///< target ||r|| / ||b||
+  int max_iter = 10000;
+  Precision sloppy = Precision::Half;  ///< inner precision for mixed CG
+  double delta = 0.1;         ///< reliable-update trigger: inner residual
+                              ///< shrinks by this factor vs last update
+  int min_inner_iter = 5;     ///< avoid thrashing updates
+};
+
+struct SolveResult {
+  bool converged = false;
+  int iterations = 0;         ///< total matvec count (normal-op applies)
+  int reliable_updates = 0;   ///< double-precision residual recomputations
+  double final_rel_residual = 0.0;
+  double seconds = 0.0;
+  std::int64_t flop_count = 0;
+
+  double gflops() const {
+    return seconds > 0 ? static_cast<double>(flop_count) / seconds / 1e9
+                       : 0.0;
+  }
+  std::string summary() const;
+};
+
+/// Plain CG in precision T: solves A x = b, x is both the initial guess
+/// (typically zero) and the result.
+template <typename T>
+SolveResult cg(const ApplyFn<T>& a, SpinorField<T>& x,
+               const SpinorField<T>& b, double tol, int max_iter);
+
+/// Mixed-precision CG with reliable updates: the outer residual is held in
+/// double and recomputed with @p a_double; inner CG iterations run in
+/// single precision via @p a_single, optionally with every inner vector
+/// round-tripped through 16-bit fixed-point storage (Precision::Half),
+/// which is the paper's production configuration.
+SolveResult mixed_cg(const ApplyFn<double>& a_double,
+                     const ApplyFn<float>& a_single,
+                     SpinorField<double>& x, const SpinorField<double>& b,
+                     const SolverParams& params);
+
+extern template SolveResult cg<double>(const ApplyFn<double>&,
+                                       SpinorField<double>&,
+                                       const SpinorField<double>&, double,
+                                       int);
+extern template SolveResult cg<float>(const ApplyFn<float>&,
+                                      SpinorField<float>&,
+                                      const SpinorField<float>&, double, int);
+
+}  // namespace femto

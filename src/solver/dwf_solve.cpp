@@ -1,0 +1,72 @@
+#include "solver/dwf_solve.hpp"
+
+#include "autotune/dslash_tunable.hpp"
+
+namespace femto {
+
+void DwfSolver::autotune() {
+  op_d_.tuning() = tune::tuned_dslash_grain<double>(u_d_, mobius_.l5, 0);
+  op_f_.tuning() = tune::tuned_dslash_grain<float>(u_f_, mobius_.l5, 0);
+}
+
+DwfSolver::DwfSolver(std::shared_ptr<const GaugeField<double>> u,
+                     MobiusParams params, SolverParams solver_params)
+    : mobius_(params),
+      sparams_(solver_params),
+      u_d_(std::move(u)),
+      u_f_(std::make_shared<GaugeField<float>>(u_d_->convert<float>())),
+      op_d_(u_d_, mobius_),
+      op_f_(u_f_, mobius_) {}
+
+SolveResult DwfSolver::solve(SpinorField<double>& x,
+                             const SpinorField<double>& b) {
+  assert(x.subset() == Subset::Full && b.subset() == Subset::Full);
+  const auto geom = b.geom_ptr();
+  const int l5 = b.l5();
+
+  SpinorField<double> bhat(geom, l5, Subset::Odd);
+  op_d_.prepare_source(bhat, b);
+
+  // CGNE right-hand side: Mhat^dag bhat.
+  SpinorField<double> rhs(geom, l5, Subset::Odd);
+  op_d_.apply_schur(rhs, bhat, /*dagger=*/true);
+
+  ApplyFn<double> a_d = [this](SpinorField<double>& out,
+                               const SpinorField<double>& in) {
+    op_d_.apply_normal(out, in);
+  };
+  ApplyFn<float> a_f = [this](SpinorField<float>& out,
+                              const SpinorField<float>& in) {
+    op_f_.apply_normal(out, in);
+  };
+
+  SpinorField<double> y(geom, l5, Subset::Odd);
+  SolveResult res = mixed_cg(a_d, a_f, y, rhs, sparams_);
+
+  op_d_.reconstruct(x, y, b);
+  return res;
+}
+
+SolveResult DwfSolver::solve_double(SpinorField<double>& x,
+                                    const SpinorField<double>& b) {
+  assert(x.subset() == Subset::Full && b.subset() == Subset::Full);
+  const auto geom = b.geom_ptr();
+  const int l5 = b.l5();
+
+  SpinorField<double> bhat(geom, l5, Subset::Odd);
+  op_d_.prepare_source(bhat, b);
+  SpinorField<double> rhs(geom, l5, Subset::Odd);
+  op_d_.apply_schur(rhs, bhat, /*dagger=*/true);
+
+  ApplyFn<double> a_d = [this](SpinorField<double>& out,
+                               const SpinorField<double>& in) {
+    op_d_.apply_normal(out, in);
+  };
+  SpinorField<double> y(geom, l5, Subset::Odd);
+  SolveResult res =
+      cg<double>(a_d, y, rhs, sparams_.tol, sparams_.max_iter);
+  op_d_.reconstruct(x, y, b);
+  return res;
+}
+
+}  // namespace femto

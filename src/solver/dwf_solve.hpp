@@ -1,0 +1,53 @@
+#pragma once
+// End-to-end Mobius domain-wall solve: the "propagator" computation that
+// consumes ~97% of the paper's application time.
+//
+// Pipeline (per right-hand side):
+//   1. bhat = red-black preconditioned source (odd checkerboard)
+//   2. CGNE: solve Mhat^dag Mhat y = Mhat^dag bhat with mixed-precision CG
+//   3. reconstruct the even checkerboard, giving the full 5D solution
+//
+// The solver pairs a double-precision operator with a single-precision
+// "sloppy" operator built from the converted gauge field (QUDA builds the
+// same pair on the GPU).
+
+#include <memory>
+
+#include "dirac/mobius.hpp"
+#include "solver/cg.hpp"
+
+namespace femto {
+
+/// Owns the operator pair and scratch needed to solve many right-hand
+/// sides against one gauge configuration.
+class DwfSolver {
+ public:
+  DwfSolver(std::shared_ptr<const GaugeField<double>> u, MobiusParams params,
+            SolverParams solver_params = {});
+
+  /// Autotune the dslash launch parameters for this volume (both
+  /// precisions) and use them for every subsequent solve — the way
+  /// Chroma+QUDA tune on first encounter.  Cached process-wide.
+  void autotune();
+
+  const MobiusOperator<double>& op() const { return op_d_; }
+  const MobiusParams& params() const { return mobius_; }
+  SolverParams& solver_params() { return sparams_; }
+
+  /// Solve D x = b on full 5D fields.  Returns solver statistics.
+  SolveResult solve(SpinorField<double>& x, const SpinorField<double>& b);
+
+  /// Solve in pure double precision (reference / correctness baseline).
+  SolveResult solve_double(SpinorField<double>& x,
+                           const SpinorField<double>& b);
+
+ private:
+  MobiusParams mobius_;
+  SolverParams sparams_;
+  std::shared_ptr<const GaugeField<double>> u_d_;
+  std::shared_ptr<const GaugeField<float>> u_f_;
+  MobiusOperator<double> op_d_;
+  MobiusOperator<float> op_f_;
+};
+
+}  // namespace femto

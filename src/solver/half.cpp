@@ -1,0 +1,31 @@
+#include "solver/half.hpp"
+
+#include "parallel/thread_pool.hpp"
+
+namespace femto {
+
+void HalfSpinorField::encode(const SpinorField<float>& src) {
+  assert(src.l5() == l5_ && src.subset() == subset_);
+  par::parallel_for_chunked(
+      0, static_cast<std::size_t>(blocks()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t b = lo; b < hi; ++b)
+          encode_block(static_cast<std::int64_t>(b),
+                       src.data() + b * kSpinorReals);
+      },
+      512);
+}
+
+void HalfSpinorField::decode(SpinorField<float>& dst) const {
+  assert(dst.l5() == l5_ && dst.subset() == subset_);
+  par::parallel_for_chunked(
+      0, static_cast<std::size_t>(blocks()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t b = lo; b < hi; ++b)
+          decode_block(static_cast<std::int64_t>(b),
+                       dst.data() + b * kSpinorReals);
+      },
+      512);
+}
+
+}  // namespace femto

@@ -1,0 +1,61 @@
+#pragma once
+// Lanczos eigensolver + deflated CG.
+//
+// At the physical quark masses the paper's campaign targets, the Dirac
+// normal operator develops tiny eigenvalues that dominate the CG
+// iteration count; production workflows (QUDA's eigensolvers, the
+// CalLat campaign at light masses) compute the lowest modes once per
+// configuration and DEFLATE them from every subsequent solve.  This
+// module implements:
+//
+//   * Lanczos with full reorthogonalisation for the lowest eigenpairs of
+//     a Hermitian positive-definite operator (the CGNE normal operator),
+//   * the dense symmetric tridiagonal eigensolver it needs (cyclic
+//     Jacobi; the basis is small),
+//   * deflated CG: project the right-hand side onto the computed
+//     eigenspace analytically, iterate only on the complement.
+
+#include <vector>
+
+#include "solver/cg.hpp"
+
+namespace femto {
+
+struct LanczosParams {
+  int n_eigen = 8;       ///< eigenpairs wanted (lowest)
+  int max_basis = 300;   ///< Krylov basis size cap
+  double tol = 1e-8;     ///< residual bound |beta * s| / |lambda|
+  std::uint64_t seed = 1;
+};
+
+struct LanczosResult {
+  std::vector<double> values;                 ///< ascending
+  std::vector<SpinorField<double>> vectors;   ///< orthonormal
+  int iterations = 0;                         ///< basis vectors built
+  bool converged = false;
+};
+
+/// Jacobi eigen-decomposition of a dense symmetric matrix (row-major
+/// n x n).  Returns eigenvalues ascending; @p evecs (n x n, row-major)
+/// holds the eigenvectors in its COLUMNS.
+void symmetric_eigen(std::vector<double> a, std::size_t n,
+                     std::vector<double>* evals,
+                     std::vector<double>* evecs);
+
+/// Lowest eigenpairs of the Hermitian positive-definite @p op acting on
+/// fields shaped like @p prototype.
+LanczosResult lanczos_lowest(const ApplyFn<double>& op,
+                             const SpinorField<double>& prototype,
+                             const LanczosParams& params);
+
+/// CG with exact deflation of the supplied eigenpairs: the component of
+/// the solution in their span is written analytically, and CG runs on
+/// the deflated residual (the effective condition number drops by
+/// lambda_max / lambda_{n+1}).
+SolveResult deflated_cg(const ApplyFn<double>& op,
+                        const std::vector<double>& evals,
+                        const std::vector<SpinorField<double>>& evecs,
+                        SpinorField<double>& x, const SpinorField<double>& b,
+                        double tol, int max_iter);
+
+}  // namespace femto

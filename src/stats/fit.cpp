@@ -1,0 +1,376 @@
+#include "stats/fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace femto::stats {
+
+namespace {
+
+/// Solve (A + lambda diag(A)) dp = g via Gaussian elimination.  A is the
+/// (small) approximate Hessian J^T W J.
+std::vector<double> solve_damped(std::vector<std::vector<double>> a,
+                                 std::vector<double> g, double lambda) {
+  const std::size_t n = g.size();
+  for (std::size_t i = 0; i < n; ++i) a[i][i] *= 1.0 + lambda;
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[piv][col])) piv = r;
+    if (std::abs(a[piv][col]) < 1e-300)
+      throw std::runtime_error("levmar: singular normal equations");
+    std::swap(a[piv], a[col]);
+    std::swap(g[piv], g[col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      g[r] -= f * g[col];
+    }
+  }
+  std::vector<double> dp(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = g[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= a[i][c] * dp[c];
+    dp[i] = s / a[i][i];
+  }
+  return dp;
+}
+
+double chisq_of(const Model& model, const std::vector<double>& x,
+                const std::vector<double>& y,
+                const std::vector<double>& sigma,
+                const std::vector<double>& p) {
+  double c = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = (y[i] - model(p, x[i])) / sigma[i];
+    c += r * r;
+  }
+  return c;
+}
+
+}  // namespace
+
+FitResult levmar(const Model& model, const std::vector<double>& x,
+                 const std::vector<double>& y,
+                 const std::vector<double>& sigma, std::vector<double> p0,
+                 const FitOptions& opts) {
+  if (x.size() != y.size() || x.size() != sigma.size())
+    throw std::invalid_argument("levmar: input size mismatch");
+  const std::size_t np = p0.size();
+  const std::size_t nd = x.size();
+
+  FitResult res;
+  res.dof = static_cast<int>(nd) - static_cast<int>(np);
+
+  double lambda = opts.lambda0;
+  double chisq = chisq_of(model, x, y, sigma, p0);
+
+  for (int it = 0; it < opts.max_iter; ++it) {
+    res.iterations = it + 1;
+    // Forward-difference Jacobian.
+    std::vector<std::vector<double>> jac(nd, std::vector<double>(np));
+    for (std::size_t j = 0; j < np; ++j) {
+      const double h =
+          1e-7 * (std::abs(p0[j]) > 1e-10 ? std::abs(p0[j]) : 1.0);
+      auto pp = p0;
+      pp[j] += h;
+      for (std::size_t i = 0; i < nd; ++i)
+        jac[i][j] = (model(pp, x[i]) - model(p0, x[i])) / h;
+    }
+    // Normal equations: A = J^T W J, g = J^T W r.
+    std::vector<std::vector<double>> a(np, std::vector<double>(np, 0.0));
+    std::vector<double> grad(np, 0.0);
+    for (std::size_t i = 0; i < nd; ++i) {
+      const double w = 1.0 / (sigma[i] * sigma[i]);
+      const double r = y[i] - model(p0, x[i]);
+      for (std::size_t j = 0; j < np; ++j) {
+        grad[j] += w * jac[i][j] * r;
+        for (std::size_t k = 0; k <= j; ++k)
+          a[j][k] += w * jac[i][j] * jac[i][k];
+      }
+    }
+    for (std::size_t j = 0; j < np; ++j)
+      for (std::size_t k = j + 1; k < np; ++k) a[j][k] = a[k][j];
+
+    // Try the damped step; adapt lambda.
+    bool improved = false;
+    for (int attempt = 0; attempt < 20 && !improved; ++attempt) {
+      std::vector<double> dp;
+      try {
+        dp = solve_damped(a, grad, lambda);
+      } catch (const std::runtime_error&) {
+        lambda *= opts.lambda_up;
+        continue;
+      }
+      auto pnew = p0;
+      for (std::size_t j = 0; j < np; ++j) pnew[j] += dp[j];
+      const double cnew = chisq_of(model, x, y, sigma, pnew);
+      if (std::isfinite(cnew) && cnew < chisq) {
+        const double rel = (chisq - cnew) / (chisq + 1e-300);
+        p0 = std::move(pnew);
+        chisq = cnew;
+        lambda = std::max(lambda * opts.lambda_down, 1e-12);
+        improved = true;
+        if (rel < opts.tol) {
+          res.converged = true;
+        }
+      } else {
+        lambda *= opts.lambda_up;
+      }
+    }
+    if (!improved) {
+      res.converged = true;  // stuck at a (local) minimum
+      break;
+    }
+    if (res.converged) break;
+  }
+
+  // Parameter errors from the undamped covariance (A^-1 diagonal), via
+  // solving A e_j = unit vectors.
+  res.errors.assign(np, 0.0);
+  {
+    std::vector<std::vector<double>> jac(nd, std::vector<double>(np));
+    for (std::size_t j = 0; j < np; ++j) {
+      const double h =
+          1e-7 * (std::abs(p0[j]) > 1e-10 ? std::abs(p0[j]) : 1.0);
+      auto pp = p0;
+      pp[j] += h;
+      for (std::size_t i = 0; i < nd; ++i)
+        jac[i][j] = (model(pp, x[i]) - model(p0, x[i])) / h;
+    }
+    std::vector<std::vector<double>> a(np, std::vector<double>(np, 0.0));
+    for (std::size_t i = 0; i < nd; ++i) {
+      const double w = 1.0 / (sigma[i] * sigma[i]);
+      for (std::size_t j = 0; j < np; ++j)
+        for (std::size_t k = 0; k < np; ++k)
+          a[j][k] += w * jac[i][j] * jac[i][k];
+    }
+    for (std::size_t j = 0; j < np; ++j) {
+      std::vector<double> unit(np, 0.0);
+      unit[j] = 1.0;
+      try {
+        const auto col = solve_damped(a, unit, 0.0);
+        if (col[j] > 0) res.errors[j] = std::sqrt(col[j]);
+      } catch (const std::runtime_error&) {
+        res.errors[j] = 0.0;
+      }
+    }
+  }
+
+  res.params = std::move(p0);
+  res.chisq = chisq;
+  return res;
+}
+
+namespace {
+
+/// Dense Gauss-Jordan inverse of a row-major n x n matrix.  Rejects
+/// numerically singular input (pivot tiny relative to the matrix scale) —
+/// a covariance estimated from fewer samples than data points is rank
+/// deficient and must be shrunk, not silently inverted.
+std::vector<double> invert_dense(std::vector<double> a, std::size_t n) {
+  double scale = 0.0;
+  for (double v : a) scale = std::max(scale, std::abs(v));
+  const double tiny = scale * static_cast<double>(n) * 1e-12 + 1e-300;
+  std::vector<double> inv(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) inv[i * n + i] = 1.0;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r * n + col]) > std::abs(a[piv * n + col])) piv = r;
+    if (std::abs(a[piv * n + col]) < tiny)
+      throw std::runtime_error("levmar_correlated: singular covariance");
+    if (piv != col)
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a[piv * n + j], a[col * n + j]);
+        std::swap(inv[piv * n + j], inv[col * n + j]);
+      }
+    const double d = 1.0 / a[col * n + col];
+    for (std::size_t j = 0; j < n; ++j) {
+      a[col * n + j] *= d;
+      inv[col * n + j] *= d;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r * n + col];
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        a[r * n + j] -= f * a[col * n + j];
+        inv[r * n + j] -= f * inv[col * n + j];
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace
+
+std::vector<double> covariance_of_mean(
+    const std::vector<std::vector<double>>& data, double shrinkage) {
+  const std::size_t ns = data.size();
+  const std::size_t nd = data.front().size();
+  std::vector<double> mean(nd, 0.0);
+  for (const auto& row : data)
+    for (std::size_t i = 0; i < nd; ++i) mean[i] += row[i];
+  for (auto& m : mean) m /= static_cast<double>(ns);
+
+  std::vector<double> cov(nd * nd, 0.0);
+  for (const auto& row : data)
+    for (std::size_t i = 0; i < nd; ++i)
+      for (std::size_t j = 0; j < nd; ++j)
+        cov[i * nd + j] += (row[i] - mean[i]) * (row[j] - mean[j]);
+  const double norm =
+      1.0 / (static_cast<double>(ns - 1) * static_cast<double>(ns));
+  for (auto& c : cov) c *= norm;
+
+  if (shrinkage > 0.0)
+    for (std::size_t i = 0; i < nd; ++i)
+      for (std::size_t j = 0; j < nd; ++j)
+        if (i != j) cov[i * nd + j] *= 1.0 - shrinkage;
+  return cov;
+}
+
+FitResult levmar_correlated(const Model& model, const std::vector<double>& x,
+                            const std::vector<std::vector<double>>& data,
+                            std::vector<double> p0, double shrinkage,
+                            const FitOptions& opts) {
+  const std::size_t nd = x.size();
+  if (data.empty() || data.front().size() != nd)
+    throw std::invalid_argument("levmar_correlated: data/x size mismatch");
+  std::vector<double> y(nd, 0.0);
+  for (const auto& row : data)
+    for (std::size_t i = 0; i < nd; ++i) y[i] += row[i];
+  for (auto& v : y) v /= static_cast<double>(data.size());
+
+  const auto cov = covariance_of_mean(data, shrinkage);
+  const auto cinv = invert_dense(cov, nd);
+  const std::size_t np = p0.size();
+
+  auto chisq_of = [&](const std::vector<double>& p) {
+    std::vector<double> r(nd);
+    for (std::size_t i = 0; i < nd; ++i) r[i] = y[i] - model(p, x[i]);
+    double c = 0;
+    for (std::size_t i = 0; i < nd; ++i)
+      for (std::size_t j = 0; j < nd; ++j)
+        c += r[i] * cinv[i * nd + j] * r[j];
+    return c;
+  };
+
+  FitResult res;
+  res.dof = static_cast<int>(nd) - static_cast<int>(np);
+  double lambda = opts.lambda0;
+  double chisq = chisq_of(p0);
+
+  for (int it = 0; it < opts.max_iter; ++it) {
+    res.iterations = it + 1;
+    std::vector<std::vector<double>> jac(nd, std::vector<double>(np));
+    for (std::size_t j = 0; j < np; ++j) {
+      const double h =
+          1e-7 * (std::abs(p0[j]) > 1e-10 ? std::abs(p0[j]) : 1.0);
+      auto pp = p0;
+      pp[j] += h;
+      for (std::size_t i = 0; i < nd; ++i)
+        jac[i][j] = (model(pp, x[i]) - model(p0, x[i])) / h;
+    }
+    // A = J^T Cinv J, g = J^T Cinv r.
+    std::vector<double> r(nd);
+    for (std::size_t i = 0; i < nd; ++i) r[i] = y[i] - model(p0, x[i]);
+    std::vector<double> cr(nd, 0.0);
+    for (std::size_t i = 0; i < nd; ++i)
+      for (std::size_t j = 0; j < nd; ++j)
+        cr[i] += cinv[i * nd + j] * r[j];
+    std::vector<std::vector<double>> a(np, std::vector<double>(np, 0.0));
+    std::vector<double> grad(np, 0.0);
+    for (std::size_t pj = 0; pj < np; ++pj) {
+      for (std::size_t i = 0; i < nd; ++i) grad[pj] += jac[i][pj] * cr[i];
+      for (std::size_t pk = 0; pk <= pj; ++pk) {
+        double s = 0;
+        for (std::size_t i = 0; i < nd; ++i)
+          for (std::size_t j = 0; j < nd; ++j)
+            s += jac[i][pj] * cinv[i * nd + j] * jac[j][pk];
+        a[pj][pk] = s;
+        a[pk][pj] = s;
+      }
+    }
+
+    bool improved = false;
+    for (int attempt = 0; attempt < 20 && !improved; ++attempt) {
+      std::vector<double> dp;
+      try {
+        dp = solve_damped(a, grad, lambda);
+      } catch (const std::runtime_error&) {
+        lambda *= opts.lambda_up;
+        continue;
+      }
+      auto pnew = p0;
+      for (std::size_t j = 0; j < np; ++j) pnew[j] += dp[j];
+      const double cnew = chisq_of(pnew);
+      if (std::isfinite(cnew) && cnew < chisq) {
+        const double rel = (chisq - cnew) / (chisq + 1e-300);
+        p0 = std::move(pnew);
+        chisq = cnew;
+        lambda = std::max(lambda * opts.lambda_down, 1e-12);
+        improved = true;
+        if (rel < opts.tol) res.converged = true;
+      } else {
+        lambda *= opts.lambda_up;
+      }
+    }
+    if (!improved) {
+      res.converged = true;
+      break;
+    }
+    if (res.converged) break;
+  }
+
+  // Errors from (J^T Cinv J)^-1 at the minimum.
+  res.errors.assign(np, 0.0);
+  {
+    std::vector<std::vector<double>> jac(nd, std::vector<double>(np));
+    for (std::size_t j = 0; j < np; ++j) {
+      const double h =
+          1e-7 * (std::abs(p0[j]) > 1e-10 ? std::abs(p0[j]) : 1.0);
+      auto pp = p0;
+      pp[j] += h;
+      for (std::size_t i = 0; i < nd; ++i)
+        jac[i][j] = (model(pp, x[i]) - model(p0, x[i])) / h;
+    }
+    std::vector<std::vector<double>> a(np, std::vector<double>(np, 0.0));
+    for (std::size_t pj = 0; pj < np; ++pj)
+      for (std::size_t pk = 0; pk < np; ++pk) {
+        double s = 0;
+        for (std::size_t i = 0; i < nd; ++i)
+          for (std::size_t j = 0; j < nd; ++j)
+            s += jac[i][pj] * cinv[i * nd + j] * jac[j][pk];
+        a[pj][pk] = s;
+      }
+    for (std::size_t j = 0; j < np; ++j) {
+      std::vector<double> unit(np, 0.0);
+      unit[j] = 1.0;
+      try {
+        const auto col = solve_damped(a, unit, 0.0);
+        if (col[j] > 0) res.errors[j] = std::sqrt(col[j]);
+      } catch (const std::runtime_error&) {
+      }
+    }
+  }
+
+  res.params = std::move(p0);
+  res.chisq = chisq;
+  return res;
+}
+
+double two_state_correlator(const std::vector<double>& p, double t) {
+  return p[0] * std::exp(-p[1] * t) * (1.0 + p[2] * std::exp(-p[3] * t));
+}
+
+double fh_effective_coupling(const std::vector<double>& p, double t) {
+  return p[0] + (p[1] + p[2] * t) * std::exp(-p[3] * t);
+}
+
+double traditional_ratio(const std::vector<double>& p, double tsep) {
+  return p[0] + p[1] * std::exp(-p[2] * tsep);
+}
+
+}  // namespace femto::stats

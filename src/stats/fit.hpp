@@ -1,0 +1,81 @@
+#pragma once
+// Nonlinear least squares (Levenberg-Marquardt) for correlator fits,
+// plus the spectral models used by the gA analysis:
+//
+//   * two_state_correlator: C(t) = A0 e^{-E0 t} (1 + r e^{-dE t})
+//   * fh_effective_coupling: the Feynman-Hellmann effective coupling
+//       g(t) = gA + (b + c t) e^{-dE t}
+//     whose (b + c t) structure is the excited-state contamination the
+//     FH method resolves and subtracts (paper Fig. 1),
+//   * traditional_ratio: plateau-from-below model for fixed source-sink
+//     separation three-point ratios.
+
+#include <functional>
+#include <vector>
+
+namespace femto::stats {
+
+/// model(params, x) -> value.
+using Model =
+    std::function<double(const std::vector<double>&, double)>;
+
+struct FitOptions {
+  int max_iter = 200;
+  double tol = 1e-10;        ///< relative chisq improvement to stop
+  double lambda0 = 1e-3;     ///< initial damping
+  double lambda_up = 10.0;
+  double lambda_down = 0.1;
+};
+
+struct FitResult {
+  std::vector<double> params;
+  std::vector<double> errors;  ///< from the diagonal of the covariance
+  double chisq = 0.0;
+  int dof = 0;
+  int iterations = 0;
+  bool converged = false;
+
+  double chisq_per_dof() const {
+    return dof > 0 ? chisq / static_cast<double>(dof) : 0.0;
+  }
+};
+
+/// Weighted Levenberg-Marquardt: minimises
+///   chi^2 = sum_i [ (y_i - model(p, x_i)) / sigma_i ]^2
+/// with a forward-difference Jacobian.
+FitResult levmar(const Model& model, const std::vector<double>& x,
+                 const std::vector<double>& y,
+                 const std::vector<double>& sigma, std::vector<double> p0,
+                 const FitOptions& opts = {});
+
+/// Covariance matrix OF THE MEAN of data[sample][dim] (row-major, dim x
+/// dim): Cov_ij / n_samples, optionally shrunk toward its diagonal by
+/// @p shrinkage (0 = raw, 1 = fully diagonal) — the standard regulator
+/// when n_samples is not much larger than the number of points.
+std::vector<double> covariance_of_mean(
+    const std::vector<std::vector<double>>& data, double shrinkage = 0.0);
+
+/// Correlated Levenberg-Marquardt: minimises
+///   chi^2 = r^T C^{-1} r,  r_i = mean_i - model(p, x_i)
+/// with C the (possibly shrunk) covariance of the mean.  Correlator
+/// points at different t share fluctuations configuration by
+/// configuration, so the correlated chi^2 is the statistically honest
+/// one (diagonal fits misestimate both chi^2 and the errors).
+FitResult levmar_correlated(const Model& model, const std::vector<double>& x,
+                            const std::vector<std::vector<double>>& data,
+                            std::vector<double> p0, double shrinkage = 0.1,
+                            const FitOptions& opts = {});
+
+// --- spectral models -------------------------------------------------------
+
+/// p = {A0, E0, r, dE}: two-state Euclidean correlator.
+double two_state_correlator(const std::vector<double>& p, double t);
+
+/// p = {gA, b, c, dE}: FH effective coupling with excited contamination.
+double fh_effective_coupling(const std::vector<double>& p, double t);
+
+/// p = {gA, b, dE}: traditional ratio approaching the plateau from one
+/// source-sink separation.
+double traditional_ratio(const std::vector<double>& p, double tsep);
+
+}  // namespace femto::stats

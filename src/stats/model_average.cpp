@@ -1,0 +1,86 @@
+#include "stats/model_average.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace femto::stats {
+
+const WindowFit& ModelAverage::best() const {
+  return *std::max_element(windows.begin(), windows.end(),
+                           [](const WindowFit& a, const WindowFit& b) {
+                             return a.weight < b.weight;
+                           });
+}
+
+ModelAverage model_average(const Model& model, const std::vector<double>& x,
+                           const std::vector<double>& y,
+                           const std::vector<double>& sigma,
+                           const std::vector<double>& p0,
+                           const std::vector<FitWindow>& windows,
+                           const FitOptions& opts) {
+  if (windows.empty())
+    throw std::invalid_argument("model_average: no windows");
+  ModelAverage out;
+  const double n_total = static_cast<double>(x.size());
+
+  double max_log_w = -1e300;
+  std::vector<double> log_w;
+  for (const auto& win : windows) {
+    std::vector<double> xw, yw, sw;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i] < win.t_min || x[i] > win.t_max) continue;
+      xw.push_back(x[i]);
+      yw.push_back(y[i]);
+      sw.push_back(sigma[i]);
+    }
+    WindowFit wf;
+    wf.window = win;
+    if (xw.size() > p0.size()) {
+      try {
+        wf.fit = levmar(model, xw, yw, sw, p0, opts);
+      } catch (const std::exception&) {
+        wf.fit.converged = false;
+      }
+    }
+    double lw = -1e300;
+    if (wf.fit.converged && wf.fit.dof > 0) {
+      const double n_cut = n_total - static_cast<double>(xw.size());
+      lw = -0.5 * (wf.fit.chisq + 2.0 * static_cast<double>(p0.size()) +
+                   2.0 * n_cut);
+    }
+    log_w.push_back(lw);
+    max_log_w = std::max(max_log_w, lw);
+    out.windows.push_back(std::move(wf));
+  }
+  if (max_log_w <= -1e299)
+    throw std::runtime_error("model_average: every window fit failed");
+
+  // Normalise weights in a numerically safe way.
+  double norm = 0.0;
+  for (std::size_t i = 0; i < out.windows.size(); ++i) {
+    const double w = std::exp(log_w[i] - max_log_w);
+    out.windows[i].weight = w;
+    norm += w;
+  }
+  for (auto& wf : out.windows) wf.weight /= norm;
+
+  // Combine: value = sum w v; error^2 = sum w s^2 + sum w (v - value)^2.
+  double value = 0.0;
+  for (const auto& wf : out.windows)
+    if (wf.weight > 0) value += wf.weight * wf.fit.params[0];
+  double var_stat = 0.0, var_model = 0.0;
+  for (const auto& wf : out.windows) {
+    if (wf.weight <= 0) continue;
+    var_stat += wf.weight * wf.fit.errors[0] * wf.fit.errors[0];
+    const double d = wf.fit.params[0] - value;
+    var_model += wf.weight * d * d;
+  }
+  out.value = value;
+  out.stat_error = std::sqrt(var_stat);
+  out.model_error = std::sqrt(var_model);
+  out.error = std::sqrt(var_stat + var_model);
+  return out;
+}
+
+}  // namespace femto::stats

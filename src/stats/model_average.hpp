@@ -1,0 +1,51 @@
+#pragma once
+// Model averaging over fit windows with Akaike weights — how the
+// collaboration's published gA analysis tames the fit-window systematic:
+// instead of picking one t_min by eye, fit EVERY candidate window and
+// combine with weights
+//
+//   w_i ~ exp[-(chi^2_i + 2 k_i + 2 n_cut,i) / 2]
+//
+// (k = parameters, n_cut = data points excluded by the window; the n_cut
+// term is the correction that makes windows comparable).  The averaged
+// error combines the within-window errors and the across-window spread.
+
+#include <vector>
+
+#include "stats/fit.hpp"
+
+namespace femto::stats {
+
+struct FitWindow {
+  int t_min = 0;
+  int t_max = 0;
+};
+
+struct WindowFit {
+  FitWindow window;
+  FitResult fit;
+  double weight = 0.0;  ///< normalised Akaike weight
+};
+
+struct ModelAverage {
+  double value = 0.0;  ///< weighted average of parameter 0
+  double error = 0.0;  ///< within-window + across-window combined
+  double stat_error = 0.0;   ///< weighted within-window error only
+  double model_error = 0.0;  ///< across-window spread only
+  std::vector<WindowFit> windows;
+
+  /// The single most-probable window.
+  const WindowFit& best() const;
+};
+
+/// Fit @p model to (x, y, sigma) restricted to each window and combine.
+/// Windows with failed fits get zero weight.  Throws if every window
+/// fails or no window has positive dof.
+ModelAverage model_average(const Model& model, const std::vector<double>& x,
+                           const std::vector<double>& y,
+                           const std::vector<double>& sigma,
+                           const std::vector<double>& p0,
+                           const std::vector<FitWindow>& windows,
+                           const FitOptions& opts = {});
+
+}  // namespace femto::stats

@@ -1,0 +1,114 @@
+#include "stats/stats.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace femto::stats {
+
+double mean(const std::vector<double>& x) {
+  double s = 0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double variance(const std::vector<double>& x) {
+  assert(x.size() > 1);
+  const double m = mean(x);
+  double s = 0;
+  for (double v : x) s += (v - m) * (v - m);
+  return s / static_cast<double>(x.size() - 1);
+}
+
+double stddev(const std::vector<double>& x) { return std::sqrt(variance(x)); }
+
+double std_error(const std::vector<double>& x) {
+  return stddev(x) / std::sqrt(static_cast<double>(x.size()));
+}
+
+double covariance(const std::vector<double>& x,
+                  const std::vector<double>& y) {
+  assert(x.size() == y.size() && x.size() > 1);
+  const double mx = mean(x), my = mean(y);
+  double s = 0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    s += (x[i] - mx) * (y[i] - my);
+  return s / static_cast<double>(x.size() - 1);
+}
+
+Bootstrap::Bootstrap(int n_samples, int n_boot, std::uint64_t seed)
+    : n_samples_(n_samples), n_boot_(n_boot) {
+  indices_.resize(static_cast<std::size_t>(n_boot));
+  for (int b = 0; b < n_boot; ++b) {
+    Xoshiro256 rng(seed, static_cast<std::uint64_t>(b), 0xB007);
+    auto& idx = indices_[static_cast<std::size_t>(b)];
+    idx.resize(static_cast<std::size_t>(n_samples));
+    for (int i = 0; i < n_samples; ++i)
+      idx[static_cast<std::size_t>(i)] = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(n_samples)));
+  }
+}
+
+std::vector<double> Bootstrap::resample_mean(
+    const std::vector<std::vector<double>>& data, int b) const {
+  const auto& idx = indices(b);
+  const std::size_t dim = data.front().size();
+  std::vector<double> m(dim, 0.0);
+  for (int i : idx) {
+    const auto& row = data[static_cast<std::size_t>(i)];
+    for (std::size_t d = 0; d < dim; ++d) m[d] += row[d];
+  }
+  for (auto& v : m) v /= static_cast<double>(idx.size());
+  return m;
+}
+
+std::vector<double> Bootstrap::distribution(
+    const std::vector<std::vector<double>>& data,
+    const std::function<double(const std::vector<double>&)>& estimator)
+    const {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n_boot_));
+  for (int b = 0; b < n_boot_; ++b)
+    out.push_back(estimator(resample_mean(data, b)));
+  return out;
+}
+
+std::pair<double, double> Bootstrap::estimate(
+    const std::vector<std::vector<double>>& data,
+    const std::function<double(const std::vector<double>&)>& estimator)
+    const {
+  const auto dist = distribution(data, estimator);
+  return {mean(dist), stddev(dist)};
+}
+
+std::vector<std::vector<double>> Jackknife::resampled_means(
+    const std::vector<std::vector<double>>& data) const {
+  const std::size_t n = data.size();
+  const std::size_t dim = data.front().size();
+  // Total sum once, subtract each row.
+  std::vector<double> total(dim, 0.0);
+  for (const auto& row : data)
+    for (std::size_t d = 0; d < dim; ++d) total[d] += row[d];
+  std::vector<std::vector<double>> out(n, std::vector<double>(dim));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t d = 0; d < dim; ++d)
+      out[i][d] = (total[d] - data[i][d]) / static_cast<double>(n - 1);
+  return out;
+}
+
+std::pair<double, double> Jackknife::estimate(
+    const std::vector<std::vector<double>>& data,
+    const std::function<double(const std::vector<double>&)>& estimator)
+    const {
+  const auto means = resampled_means(data);
+  const std::size_t n = means.size();
+  std::vector<double> vals;
+  vals.reserve(n);
+  for (const auto& m : means) vals.push_back(estimator(m));
+  const double center = mean(vals);
+  double var = 0;
+  for (double v : vals) var += (v - center) * (v - center);
+  var *= static_cast<double>(n - 1) / static_cast<double>(n);
+  return {center, std::sqrt(var)};
+}
+
+}  // namespace femto::stats

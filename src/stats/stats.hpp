@@ -1,0 +1,84 @@
+#pragma once
+// Statistical machinery for correlator analysis: means, (co)variance,
+// bootstrap and jackknife resampling.  Lattice QCD observables are Monte
+// Carlo averages whose uncertainties shrink only as 1/sqrt(N_sample)
+// (paper S IV); everything downstream of the solves runs through these
+// estimators.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "lattice/rng.hpp"
+
+namespace femto::stats {
+
+double mean(const std::vector<double>& x);
+/// Unbiased sample variance (n-1 normalisation).
+double variance(const std::vector<double>& x);
+double stddev(const std::vector<double>& x);
+/// Standard error of the mean.
+double std_error(const std::vector<double>& x);
+double covariance(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Bootstrap resampler: draws B resamples of size N with replacement,
+/// reproducibly from a seed.  Data enters as [sample][dimension]; the
+/// estimator maps a resampled mean vector to a scalar (or the caller uses
+/// resample_means directly).
+class Bootstrap {
+ public:
+  Bootstrap(int n_samples, int n_boot, std::uint64_t seed);
+
+  int n_boot() const { return n_boot_; }
+  int n_samples() const { return n_samples_; }
+
+  /// The sample indices of resample b.
+  const std::vector<int>& indices(int b) const {
+    return indices_[static_cast<std::size_t>(b)];
+  }
+
+  /// Mean of each dimension within resample b of the dataset
+  /// data[sample][dim].
+  std::vector<double> resample_mean(
+      const std::vector<std::vector<double>>& data, int b) const;
+
+  /// Apply an estimator to every resample's mean vector; returns the B
+  /// estimator values (whose spread is the bootstrap error).
+  std::vector<double> distribution(
+      const std::vector<std::vector<double>>& data,
+      const std::function<double(const std::vector<double>&)>& estimator)
+      const;
+
+  /// Central value and error of an estimator: mean and stddev of the
+  /// bootstrap distribution.
+  std::pair<double, double> estimate(
+      const std::vector<std::vector<double>>& data,
+      const std::function<double(const std::vector<double>&)>& estimator)
+      const;
+
+ private:
+  int n_samples_;
+  int n_boot_;
+  std::vector<std::vector<int>> indices_;
+};
+
+/// Jackknife: leave-one-out means and the jackknife error formula.
+class Jackknife {
+ public:
+  explicit Jackknife(int n_samples) : n_samples_(n_samples) {}
+
+  /// Leave-one-out mean vectors of data[sample][dim].
+  std::vector<std::vector<double>> resampled_means(
+      const std::vector<std::vector<double>>& data) const;
+
+  /// (central value, error) for a scalar estimator on the means.
+  std::pair<double, double> estimate(
+      const std::vector<std::vector<double>>& data,
+      const std::function<double(const std::vector<double>&)>& estimator)
+      const;
+
+ private:
+  int n_samples_;
+};
+
+}  // namespace femto::stats

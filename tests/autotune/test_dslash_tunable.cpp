@@ -1,0 +1,63 @@
+#include "autotune/dslash_tunable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lattice/gauge.hpp"
+
+namespace femto::tune {
+namespace {
+
+std::shared_ptr<const GaugeField<double>> make_gauge() {
+  auto g = std::make_shared<Geometry>(4, 4, 4, 8);
+  auto u = std::make_shared<GaugeField<double>>(g);
+  weak_gauge(*u, 201, 0.2);
+  return u;
+}
+
+TEST(DslashTunable, KeyEncodesGeometryAndPrecision) {
+  auto u = make_gauge();
+  DslashTunable<double> t(u, 8, 0);
+  EXPECT_NE(t.key().find("4x4x4x8"), std::string::npos);
+  EXPECT_NE(t.key().find("l5=8"), std::string::npos);
+  EXPECT_NE(t.key().find("prec=8"), std::string::npos);
+
+  auto uf = std::make_shared<GaugeField<float>>(u->convert<float>());
+  DslashTunable<float> tf(uf, 8, 0);
+  EXPECT_NE(tf.key(), t.key());
+}
+
+TEST(DslashTunable, CandidatesCoverGrainRange) {
+  auto u = make_gauge();
+  DslashTunable<double> t(u, 4, 0);
+  const auto c = t.candidates();
+  ASSERT_GE(c.size(), 2u);
+  EXPECT_EQ(c.front().get("grain"), 16);
+  // Last candidate runs the whole half-volume in one chunk.
+  EXPECT_EQ(c.back().get("grain"), u->geom().half_volume());
+}
+
+TEST(DslashTunable, TunedGrainComesFromCache) {
+  Autotuner::global().clear();
+  auto u = make_gauge();
+  const auto t1 = tuned_dslash_grain<double>(u, 4, 0);
+  EXPECT_GT(t1.grain, 0u);
+  const auto misses = Autotuner::global().cache_misses();
+  const auto t2 = tuned_dslash_grain<double>(u, 4, 0);
+  EXPECT_EQ(t2.grain, t1.grain);
+  EXPECT_EQ(Autotuner::global().cache_misses(), misses);  // pure lookup
+  Autotuner::global().clear();
+}
+
+TEST(DslashTunable, MetricsPopulated) {
+  Autotuner tuner;
+  tuner.set_reps(1);
+  auto u = make_gauge();
+  DslashTunable<double> t(u, 2, 1);
+  const auto& e = tuner.tune(t);
+  EXPECT_GT(e.gflops, 0.0);
+  EXPECT_GT(e.gbytes, 0.0);
+  EXPECT_GT(e.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace femto::tune

@@ -1,0 +1,88 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace femto::cluster {
+namespace {
+
+ClusterSpec small_spec() {
+  ClusterSpec s;
+  s.n_nodes = 16;
+  s.nodes_per_block = 4;
+  s.node.gpus = 4;
+  s.node.cpu_slots = 40;
+  s.perf_jitter_sigma = 0.05;
+  s.seed = 11;
+  return s;
+}
+
+TEST(ClusterTest, NodesInitialisedFromSpec) {
+  Cluster cl(small_spec());
+  EXPECT_EQ(cl.size(), 16);
+  EXPECT_EQ(cl.n_blocks(), 4);
+  for (const auto& n : cl.nodes()) {
+    EXPECT_EQ(n.gpu_free, 4);
+    EXPECT_EQ(n.cpu_free, 40);
+    EXPECT_LE(n.perf_factor, 1.0);
+    EXPECT_GT(n.perf_factor, 0.5);
+  }
+}
+
+TEST(ClusterTest, BlocksPartitionNodes) {
+  Cluster cl(small_spec());
+  int total = 0;
+  for (int b = 0; b < cl.n_blocks(); ++b) {
+    const auto ids = cl.block_nodes(b);
+    EXPECT_EQ(ids.size(), 4u);
+    total += static_cast<int>(ids.size());
+    EXPECT_TRUE(cl.same_block(ids));
+  }
+  EXPECT_EQ(total, 16);
+  EXPECT_FALSE(cl.same_block({0, 4}));  // crosses a block boundary
+}
+
+TEST(ClusterTest, JitterIsReproducibleAndHeterogeneous) {
+  Cluster a(small_spec()), b(small_spec());
+  bool any_diff = false;
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.node(i).perf_factor, b.node(i).perf_factor);
+    if (a.node(i).perf_factor != a.node(0).perf_factor) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);  // nodes differ in performance
+}
+
+TEST(ClusterTest, MinPerfIsSlowestMember) {
+  Cluster cl(small_spec());
+  std::vector<int> ids{0, 1, 2, 3};
+  double expect = 1.0;
+  for (int id : ids) expect = std::min(expect, cl.node(id).perf_factor);
+  EXPECT_DOUBLE_EQ(cl.min_perf(ids), expect);
+}
+
+TEST(ClusterTest, FailureInjection) {
+  auto spec = small_spec();
+  spec.n_nodes = 400;
+  spec.bad_node_prob = 0.1;
+  Cluster cl(spec);
+  const double frac = cl.healthy_fraction();
+  EXPECT_GT(frac, 0.8);
+  EXPECT_LT(frac, 0.98);
+}
+
+TEST(ClusterTest, CountAvailableRespectsResources) {
+  Cluster cl(small_spec());
+  EXPECT_EQ(cl.count_available(4, 1), 16);
+  EXPECT_EQ(cl.count_available(5, 1), 0);  // no node has 5 GPUs
+  cl.node(0).gpu_free = 0;
+  EXPECT_EQ(cl.count_available(1, 1), 15);
+}
+
+TEST(ClusterTest, NoJitterMeansUniform) {
+  auto spec = small_spec();
+  spec.perf_jitter_sigma = 0.0;
+  Cluster cl(spec);
+  for (const auto& n : cl.nodes()) EXPECT_DOUBLE_EQ(n.perf_factor, 1.0);
+}
+
+}  // namespace
+}  // namespace femto::cluster

@@ -1,0 +1,136 @@
+#include "comm/communicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "comm/process_grid.hpp"
+
+namespace femto::comm {
+namespace {
+
+TEST(Communicator, PointToPoint) {
+  run_ranks(2, [](RankHandle& h) {
+    if (h.rank() == 0) {
+      h.send_vec<double>(1, 7, {1.0, 2.0, 3.0});
+    } else {
+      auto v = h.recv_vec<double>(0, 7);
+      ASSERT_EQ(v.size(), 3u);
+      EXPECT_EQ(v[1], 2.0);
+    }
+  });
+}
+
+TEST(Communicator, TagMatching) {
+  // Messages with different tags must not cross even if sent out of order.
+  run_ranks(2, [](RankHandle& h) {
+    if (h.rank() == 0) {
+      h.send_vec<int>(1, 5, {55});
+      h.send_vec<int>(1, 4, {44});
+    } else {
+      auto a = h.recv_vec<int>(0, 4);
+      auto b = h.recv_vec<int>(0, 5);
+      EXPECT_EQ(a[0], 44);
+      EXPECT_EQ(b[0], 55);
+    }
+  });
+}
+
+TEST(Communicator, FifoPerTag) {
+  run_ranks(2, [](RankHandle& h) {
+    if (h.rank() == 0) {
+      for (int i = 0; i < 10; ++i) h.send_vec<int>(1, 9, {i});
+    } else {
+      for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(h.recv_vec<int>(0, 9)[0], i);
+    }
+  });
+}
+
+TEST(Communicator, AnySource) {
+  run_ranks(3, [](RankHandle& h) {
+    if (h.rank() != 0) {
+      h.send_vec<int>(0, 1, {h.rank()});
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 2; ++i) {
+        Message m = h.recv(-1, 1);
+        int v;
+        std::memcpy(&v, m.payload.data(), sizeof(int));
+        sum += v;
+      }
+      EXPECT_EQ(sum, 3);
+    }
+  });
+}
+
+TEST(Communicator, Barrier) {
+  std::atomic<int> phase0{0}, violations{0};
+  run_ranks(4, [&](RankHandle& h) {
+    phase0++;
+    h.barrier();
+    if (phase0.load() != 4) violations++;
+  });
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(Communicator, BarrierReusable) {
+  std::atomic<int> counter{0};
+  run_ranks(3, [&](RankHandle& h) {
+    for (int it = 0; it < 10; ++it) {
+      counter++;
+      h.barrier();
+      EXPECT_EQ(counter.load() % 3, 0);
+      h.barrier();
+    }
+  });
+}
+
+TEST(Communicator, AllreduceSum) {
+  run_ranks(5, [](RankHandle& h) {
+    const double got = h.allreduce_sum(static_cast<double>(h.rank() + 1));
+    EXPECT_DOUBLE_EQ(got, 15.0);
+  });
+}
+
+TEST(Communicator, Broadcast) {
+  run_ranks(4, [](RankHandle& h) {
+    const double v = h.rank() == 2 ? 3.25 : -1.0;
+    EXPECT_DOUBLE_EQ(h.broadcast(v, 2), 3.25);
+  });
+}
+
+TEST(Communicator, RankExceptionPropagates) {
+  EXPECT_THROW(run_ranks(2,
+                         [](RankHandle& h) {
+                           if (h.rank() == 1)
+                             throw std::runtime_error("rank failure");
+                         }),
+               std::runtime_error);
+}
+
+TEST(ProcessGrid, RankCoordRoundTrip) {
+  ProcessGrid grid({2, 3, 1, 4});
+  EXPECT_EQ(grid.size(), 24);
+  for (int r = 0; r < grid.size(); ++r)
+    EXPECT_EQ(grid.rank_of(grid.coords_of(r)), r);
+}
+
+TEST(ProcessGrid, NeighborsWrap) {
+  ProcessGrid grid({2, 2, 1, 2});
+  // +x then -x returns home.
+  for (int r = 0; r < grid.size(); ++r) {
+    EXPECT_EQ(grid.neighbor(grid.neighbor(r, 0, +1), 0, -1), r);
+    // dim 2 has size 1: neighbor is self.
+    EXPECT_EQ(grid.neighbor(r, 2, +1), r);
+  }
+}
+
+TEST(ProcessGrid, LocalExtentDivides) {
+  EXPECT_EQ(ProcessGrid::local_extent(48, 4), 12);
+  EXPECT_THROW(ProcessGrid::local_extent(48, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace femto::comm

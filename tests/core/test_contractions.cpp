@@ -1,0 +1,132 @@
+#include "core/contractions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lattice/gauge.hpp"
+
+namespace femto::core {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<const Geometry> g;
+  std::shared_ptr<const GaugeField<double>> u;
+  MobiusParams params{6, -1.8, 1.5, 0.5, 0.3};  // heavy quark: fast solves
+  std::unique_ptr<DwfSolver> solver;
+  Fixture(std::uint64_t seed = 601, double eps = 0.2) {
+    g = std::make_shared<Geometry>(4, 4, 4, 8);
+    auto ug = std::make_shared<GaugeField<double>>(g);
+    weak_gauge(*ug, seed, eps);
+    u = ug;
+    SolverParams sp;
+    sp.tol = 1e-8;
+    sp.max_iter = 20000;
+    solver = std::make_unique<DwfSolver>(u, params, sp);
+  }
+};
+
+TEST(Contractions, TwoPointHasCorrectLengthAndDecays) {
+  Fixture f;
+  const auto up = compute_point_propagator(*f.solver, {0, 0, 0, 0});
+  const auto c2 = nucleon_two_point(up, up, parity_projector(), 0);
+  ASSERT_EQ(c2.size(), 8u);
+  // The correlator decays away from the source (before backward-state
+  // effects at the far end).
+  EXPECT_GT(std::abs(c2[1].re), std::abs(c2[3].re));
+  EXPECT_GT(std::abs(c2[0].re), std::abs(c2[2].re));
+}
+
+TEST(Contractions, TwoPointPositiveNearSource) {
+  // With the positive-parity projector the nucleon correlator is positive
+  // at small t (spectral positivity).
+  Fixture f;
+  const auto up = compute_point_propagator(*f.solver, {0, 0, 0, 0});
+  const auto c2 = nucleon_two_point(up, up, parity_projector(), 0);
+  EXPECT_GT(c2[0].re, 0.0);
+  EXPECT_GT(c2[1].re, 0.0);
+  EXPECT_GT(c2[2].re, 0.0);
+  // And is predominantly real: imaginary part is noise-level relative to
+  // the real part at the source.
+  EXPECT_LT(std::abs(c2[1].im), std::abs(c2[1].re));
+}
+
+TEST(Contractions, SourceShiftCovariance) {
+  // Shifting the source timeslice must shift the correlator (exactly, on
+  // the same configuration, up to the antiperiodic sign structure which
+  // cancels in the 3-quark correlator: 3 fermion lines -> odd sign^3 ...
+  // the nucleon correlator picks up the boundary sign when the source-sink
+  // pair straddles the boundary, so compare magnitudes).
+  Fixture f;
+  const auto p0 = compute_point_propagator(*f.solver, {0, 0, 0, 0});
+  const auto p2 = compute_point_propagator(*f.solver, {0, 0, 0, 2});
+  const auto c0 = nucleon_two_point(p0, p0, parity_projector(), 0);
+  const auto c2 = nucleon_two_point(p2, p2, parity_projector(), 2);
+  // Gauge field breaks exact translation invariance on one config, but
+  // the source-relative decay pattern must be similar in scale.
+  for (int t = 0; t < 3; ++t) {
+    const double a = std::abs(c0[static_cast<std::size_t>(t)].re);
+    const double b = std::abs(c2[static_cast<std::size_t>(t)].re);
+    EXPECT_GT(b, 0.05 * a);
+    EXPECT_LT(b, 20.0 * a);
+  }
+}
+
+TEST(Contractions, FhThreePointDiffersFromTwoPoint) {
+  Fixture f;
+  const auto up = compute_point_propagator(*f.solver, {0, 0, 0, 0});
+  const auto fh = compute_fh_propagator(*f.solver, up);
+  const auto c2 = nucleon_two_point(up, up, polarized_projector(), 0);
+  const auto c3 = nucleon_fh_three_point(up, fh, up,
+                                         polarized_projector(), 0);
+  ASSERT_EQ(c3.size(), c2.size());
+  bool differs = false;
+  for (std::size_t t = 0; t < c2.size(); ++t)
+    if (std::abs(c3[t].re - c2[t].re) > 1e-12) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Contractions, EffectiveCouplingSeriesLength) {
+  Correlator c2(8), c3(8);
+  for (int t = 0; t < 8; ++t) {
+    c2[static_cast<std::size_t>(t)] = {std::exp(-0.5 * t), 0.0};
+    // R(t) = 1.27 * t  => finite difference = 1.27 everywhere.
+    c3[static_cast<std::size_t>(t)] = {1.27 * t * std::exp(-0.5 * t), 0.0};
+  }
+  const auto g = fh_effective_coupling_series(c2, c3);
+  ASSERT_EQ(g.size(), 7u);
+  for (double v : g) EXPECT_NEAR(v, 1.27, 1e-10);
+}
+
+TEST(Contractions, EffectiveMassOfPureExponential) {
+  Correlator c(10);
+  for (int t = 0; t < 10; ++t)
+    c[static_cast<std::size_t>(t)] = {5.0 * std::exp(-0.7 * t), 0.0};
+  const auto m = effective_mass(c);
+  for (double v : m) EXPECT_NEAR(v, 0.7, 1e-10);
+}
+
+TEST(Contractions, LinearityInSubstitutedLine) {
+  // The FH contraction is bilinear in each line: scaling the substituted
+  // propagator scales the correlator.
+  Fixture f;
+  const auto up = compute_point_propagator(*f.solver, {0, 0, 0, 0});
+  auto fh = compute_fh_propagator(*f.solver, up);
+  const auto c3 = nucleon_fh_three_point(up, fh, up,
+                                         parity_projector(), 0);
+  // Scale the FH propagator by 2.
+  Propagator fh2(f.g);
+  for (int s = 0; s < kNs; ++s)
+    for (int c = 0; c < kNc; ++c) {
+      fh2.column(s, c) = fh.column(s, c);
+      for (std::int64_t k = 0; k < fh2.column(s, c).reals(); ++k)
+        fh2.column(s, c).data()[k] *= 2.0;
+    }
+  const auto c3x2 = nucleon_fh_three_point(up, fh2, up,
+                                           parity_projector(), 0);
+  for (std::size_t t = 0; t < c3.size(); ++t) {
+    EXPECT_NEAR(c3x2[t].re, 2.0 * c3[t].re,
+                1e-9 * (std::abs(c3[t].re) + 1e-6));
+  }
+}
+
+}  // namespace
+}  // namespace femto::core

@@ -1,0 +1,104 @@
+#include "core/spin_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lattice/rng.hpp"
+
+namespace femto {
+namespace {
+
+double dist2(const SpinMat& a, const SpinMat& b) {
+  double d = 0;
+  for (int i = 0; i < kNs; ++i)
+    for (int j = 0; j < kNs; ++j) d += norm2(a(i, j) - b(i, j));
+  return d;
+}
+
+TEST(SpinMatTest, GammaMatchesApplyGamma) {
+  // The matrix form must act identically to the kernel's apply_gamma.
+  Xoshiro256 rng(401);
+  for (int mu = 0; mu <= 4; ++mu) {
+    Spinor<double> p;
+    for (int s = 0; s < kNs; ++s)
+      for (int c = 0; c < kNc; ++c)
+        p[s][c] = {rng.gaussian(), rng.gaussian()};
+    const auto want = apply_gamma(mu, p);
+    const SpinMat g = SpinMat::gamma(mu);
+    for (int s = 0; s < kNs; ++s)
+      for (int c = 0; c < kNc; ++c) {
+        cdouble acc{};
+        for (int k = 0; k < kNs; ++k) acc += g(s, k) * p[k][c];
+        EXPECT_NEAR(acc.re, want[s][c].re, 1e-14);
+        EXPECT_NEAR(acc.im, want[s][c].im, 1e-14);
+      }
+  }
+}
+
+TEST(SpinMatTest, GammasAreHermitianAndSquareToOne) {
+  for (int mu = 0; mu <= 4; ++mu) {
+    const SpinMat g = SpinMat::gamma(mu);
+    // Hermitian: g(i,j) = conj(g(j,i)).
+    for (int i = 0; i < kNs; ++i)
+      for (int j = 0; j < kNs; ++j) {
+        EXPECT_NEAR(g(i, j).re, g(j, i).re, 1e-14);
+        EXPECT_NEAR(g(i, j).im, -g(j, i).im, 1e-14);
+      }
+    EXPECT_LT(dist2(g * g, SpinMat::identity()), 1e-24) << mu;
+  }
+}
+
+TEST(SpinMatTest, ChargeConjugationProperty) {
+  // C gamma_mu C^-1 = -gamma_mu^T for all four gammas.  Since C = gy gt
+  // and gammas square to one, C^-1 = gt gy.
+  const SpinMat c = charge_conjugation();
+  const SpinMat cinv = SpinMat::gamma(kDirT) * SpinMat::gamma(kDirY);
+  EXPECT_LT(dist2(c * cinv, SpinMat::identity()), 1e-24);
+  for (int mu = 0; mu < 4; ++mu) {
+    const SpinMat g = SpinMat::gamma(mu);
+    const SpinMat lhs = c * g * cinv;
+    const SpinMat rhs = g.transpose().scaled({-1.0, 0.0});
+    EXPECT_LT(dist2(lhs, rhs), 1e-24) << "mu=" << mu;
+  }
+}
+
+TEST(SpinMatTest, ProjectorsAreIdempotent) {
+  const SpinMat p = parity_projector();
+  EXPECT_LT(dist2(p * p, p), 1e-24);
+  EXPECT_NEAR(p.trace().re, 2.0, 1e-12);  // rank 2
+
+  const SpinMat pol = polarized_projector();
+  EXPECT_LT(dist2(pol * pol, pol), 1e-24);
+  EXPECT_NEAR(pol.trace().re, 1.0, 1e-12);  // rank 1: one spin state
+}
+
+TEST(SpinMatTest, Cgamma5Antisymmetric) {
+  // (C g5)^T = -C g5, the property that makes the diquark coupling work.
+  const SpinMat cg5 = cgamma5();
+  EXPECT_LT(dist2(cg5.transpose(), cg5.scaled({-1.0, 0.0})), 1e-24);
+}
+
+TEST(SpinMatTest, AxialGammaAntiHermitianStructure) {
+  // gz g5 is Hermitian (product of two anticommuting Hermitian matrices
+  // times ... verify numerically whichever way it lands).
+  const SpinMat a = axial_gamma();
+  const SpinMat aa = a * a;
+  // (gz g5)^2 = gz g5 gz g5 = -gz gz g5 g5 = -1.
+  EXPECT_LT(dist2(aa, SpinMat::identity().scaled({-1.0, 0.0})), 1e-24);
+}
+
+TEST(SpinMatTest, TraceAndProducts) {
+  const SpinMat g5 = SpinMat::gamma(4);
+  EXPECT_NEAR(g5.trace().re, 0.0, 1e-14);
+  for (int mu = 0; mu < 4; ++mu)
+    EXPECT_NEAR(SpinMat::gamma(mu).trace().re, 0.0, 1e-14) << mu;
+  // tr(g_mu g_nu) = 4 delta_mu_nu.
+  for (int mu = 0; mu < 4; ++mu)
+    for (int nu = 0; nu < 4; ++nu) {
+      const auto t = (SpinMat::gamma(mu) * SpinMat::gamma(nu)).trace();
+      EXPECT_NEAR(t.re, mu == nu ? 4.0 : 0.0, 1e-12);
+      EXPECT_NEAR(t.im, 0.0, 1e-12);
+    }
+}
+
+}  // namespace
+}  // namespace femto

@@ -1,0 +1,91 @@
+// Z2 stochastic trace estimation validated against the exact trace on a
+// tiny lattice (2^3 x 4: small enough that probing all 12V unit vectors
+// is affordable).
+
+#include "core/stochastic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lattice/gauge.hpp"
+
+namespace femto::core {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<const Geometry> g;
+  std::unique_ptr<DwfSolver> solver;
+  Fixture() {
+    g = std::make_shared<Geometry>(2, 2, 2, 4);
+    auto u = std::make_shared<GaugeField<double>>(g);
+    weak_gauge(*u, 1501, 0.2);
+    SolverParams sp;
+    sp.tol = 1e-9;
+    solver = std::make_unique<DwfSolver>(
+        u, MobiusParams{4, -1.8, 1.5, 0.5, 0.4}, sp);
+  }
+  static Fixture& get() {
+    static Fixture f;
+    return f;
+  }
+};
+
+TEST(Z2Noise, ComponentsArePlusMinusOne) {
+  auto& f = Fixture::get();
+  SpinorField<double> eta(f.g, 1, Subset::Full);
+  fill_z2_noise(eta, 7, 0);
+  double sum = 0;
+  for (std::int64_t k = 0; k < eta.reals(); k += 2) {
+    EXPECT_EQ(std::abs(eta.data()[k]), 1.0);
+    EXPECT_EQ(eta.data()[k + 1], 0.0);
+    sum += eta.data()[k];
+  }
+  // Roughly balanced signs.
+  EXPECT_LT(std::abs(sum), 0.3 * static_cast<double>(eta.reals() / 2));
+}
+
+TEST(Z2Noise, HitsAreIndependent) {
+  auto& f = Fixture::get();
+  SpinorField<double> a(f.g, 1, Subset::Full), b(f.g, 1, Subset::Full);
+  fill_z2_noise(a, 7, 0);
+  fill_z2_noise(b, 7, 1);
+  int agree = 0, total = 0;
+  for (std::int64_t k = 0; k < a.reals(); k += 2, ++total)
+    if (a.data()[k] == b.data()[k]) ++agree;
+  // ~50% agreement for independent signs.
+  EXPECT_GT(agree, total / 3);
+  EXPECT_LT(agree, 2 * total / 3);
+}
+
+TEST(StochasticTrace, UnbiasedAgainstExactTrace) {
+  auto& f = Fixture::get();
+  const SpinMat gamma = SpinMat::identity();
+  const auto exact = exact_trace(*f.solver, gamma);
+  const auto est = estimate_trace(*f.solver, gamma, 24, 11);
+  // Within 4 standard errors of the exact value.
+  EXPECT_NEAR(est.estimate.re, exact.re, 4.0 * est.error + 1e-8)
+      << "exact " << exact.re << " est " << est.estimate.re << " +- "
+      << est.error;
+  EXPECT_GT(est.error, 0.0);
+}
+
+TEST(StochasticTrace, Gamma5TraceAlsoUnbiased) {
+  auto& f = Fixture::get();
+  const SpinMat g5 = SpinMat::gamma(4);
+  const auto exact = exact_trace(*f.solver, g5);
+  const auto est = estimate_trace(*f.solver, g5, 24, 13);
+  EXPECT_NEAR(est.estimate.re, exact.re, 4.0 * est.error + 1e-8);
+}
+
+TEST(StochasticTrace, ErrorShrinksWithHits) {
+  auto& f = Fixture::get();
+  const SpinMat gamma = SpinMat::identity();
+  const auto few = estimate_trace(*f.solver, gamma, 8, 17);
+  const auto many = estimate_trace(*f.solver, gamma, 32, 17);
+  // 4x hits -> ~2x smaller error (allow slack for sample noise).
+  EXPECT_LT(many.error, 0.85 * few.error);
+}
+
+}  // namespace
+}  // namespace femto::core

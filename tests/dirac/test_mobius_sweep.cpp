@@ -1,0 +1,103 @@
+// Parameterised property sweep over the Mobius parameter space: the
+// Schur/dagger/reconstruction identities must hold for every (L5, b5, c5,
+// mf) combination, not just the defaults.
+
+#include <gtest/gtest.h>
+
+#include "dirac/mobius.hpp"
+#include "lattice/blas.hpp"
+#include "lattice/gauge.hpp"
+
+namespace femto {
+namespace {
+
+class MobiusSweep : public ::testing::TestWithParam<MobiusParams> {
+ protected:
+  static std::shared_ptr<const GaugeField<double>> gauge() {
+    static auto u = [] {
+      auto g = std::make_shared<Geometry>(4, 4, 4, 4);
+      auto field = std::make_shared<GaugeField<double>>(g);
+      weak_gauge(*field, 1101, 0.25);
+      return field;
+    }();
+    return u;
+  }
+};
+
+TEST_P(MobiusSweep, SchurDaggerAdjoint) {
+  const auto p = GetParam();
+  MobiusOperator<double> op(gauge(), p);
+  const auto g = gauge()->geom_ptr();
+  SpinorField<double> x(g, p.l5, Subset::Odd), y(g, p.l5, Subset::Odd),
+      mx(g, p.l5, Subset::Odd), mdy(g, p.l5, Subset::Odd);
+  x.gaussian(1102);
+  y.gaussian(1103);
+  op.apply_schur(mx, x, false);
+  op.apply_schur(mdy, y, true);
+  const auto lhs = blas::cdot(y, mx);
+  const auto rhs = blas::cdot(mdy, x);
+  EXPECT_NEAR(lhs.re, rhs.re, 1e-8 * (std::abs(lhs.re) + 1));
+  EXPECT_NEAR(lhs.im, rhs.im, 1e-8 * (std::abs(lhs.re) + 1));
+}
+
+TEST_P(MobiusSweep, SchurConsistentWithFullOperator) {
+  const auto p = GetParam();
+  MobiusOperator<double> op(gauge(), p);
+  const auto g = gauge()->geom_ptr();
+  SpinorField<double> x(g, p.l5, Subset::Full), b(g, p.l5, Subset::Full);
+  x.gaussian(1104);
+  op.apply_full(b, x);
+
+  SpinorField<double> xo(g, p.l5, Subset::Odd);
+  const auto xov = parity_view(const_cast<const SpinorField<double>&>(x), 1);
+  for (int s = 0; s < p.l5; ++s)
+    for (std::int64_t i = 0; i < xo.sites(); ++i)
+      xo.store(s, i, xov.load(s, i));
+
+  SpinorField<double> bhat(g, p.l5, Subset::Odd), mx(g, p.l5, Subset::Odd);
+  op.prepare_source(bhat, b);
+  op.apply_schur(mx, xo);
+  blas::axpy(-1.0, bhat, mx);
+  EXPECT_LT(blas::norm2(mx), 1e-16 * (blas::norm2(bhat) + 1e-30));
+
+  SpinorField<double> xr(g, p.l5, Subset::Full);
+  op.reconstruct(xr, xo, b);
+  blas::axpy(-1.0, x, xr);
+  EXPECT_LT(blas::norm2(xr), 1e-16 * blas::norm2(x));
+}
+
+TEST_P(MobiusSweep, NormalOperatorPositive) {
+  const auto p = GetParam();
+  MobiusOperator<double> op(gauge(), p);
+  const auto g = gauge()->geom_ptr();
+  SpinorField<double> x(g, p.l5, Subset::Odd), nx(g, p.l5, Subset::Odd);
+  x.gaussian(1105);
+  op.apply_normal(nx, x);
+  EXPECT_GT(blas::redot(x, nx), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, MobiusSweep,
+    ::testing::Values(
+        MobiusParams{4, -1.8, 1.5, 0.5, 0.1},   // production-like
+        MobiusParams{8, -1.8, 1.5, 0.5, 0.1},   // deeper 5th dim
+        MobiusParams{4, -1.8, 1.0, 0.0, 0.1},   // Shamir limit
+        MobiusParams{4, -1.0, 1.5, 0.5, 0.1},   // shallow wall
+        MobiusParams{4, -1.8, 2.0, 1.0, 0.1},   // strong Mobius scale
+        MobiusParams{4, -1.8, 1.5, 0.5, 0.5},   // heavy quark
+        MobiusParams{4, -1.8, 1.5, 0.5, 0.0},   // massless corner
+        MobiusParams{6, -1.5, 1.25, 0.25, 0.05}),
+    [](const ::testing::TestParamInfo<MobiusParams>& info) {
+      const auto& p = info.param;
+      auto fmt = [](double v) {
+        std::string s = std::to_string(v);
+        for (auto& c : s)
+          if (c == '.' || c == '-') c = 'm';
+        return s.substr(0, 5);
+      };
+      return "l5_" + std::to_string(p.l5) + "_h" + fmt(-p.m5) + "_b" +
+             fmt(p.b5) + "_c" + fmt(p.c5) + "_m" + fmt(p.mf);
+    });
+
+}  // namespace
+}  // namespace femto

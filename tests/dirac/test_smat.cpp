@@ -1,0 +1,87 @@
+#include "dirac/smat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lattice/rng.hpp"
+
+namespace femto {
+namespace {
+
+SMat random_smat(int n, Xoshiro256& rng) {
+  SMat m(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) m(i, j) = rng.gaussian();
+  // Diagonally dominate to guarantee invertibility.
+  for (int i = 0; i < n; ++i) m(i, i) += static_cast<double>(n);
+  return m;
+}
+
+TEST(SMat, IdentityProperties) {
+  const auto id = SMat::identity(5);
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 5; ++j)
+      EXPECT_EQ(id(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(SMat, ProductMatchesManual) {
+  SMat a(2), b(2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const auto c = a * b;
+  EXPECT_EQ(c(0, 0), 19);
+  EXPECT_EQ(c(0, 1), 22);
+  EXPECT_EQ(c(1, 0), 43);
+  EXPECT_EQ(c(1, 1), 50);
+}
+
+TEST(SMat, InverseRoundTrip) {
+  Xoshiro256 rng(31);
+  for (int n : {1, 2, 4, 8, 16}) {
+    const auto a = random_smat(n, rng);
+    const auto inv = a.inverse();
+    const auto prod = a * inv;
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-10) << n;
+  }
+}
+
+TEST(SMat, InverseThrowsOnSingular) {
+  SMat z(3);  // all zeros
+  EXPECT_THROW(z.inverse(), std::runtime_error);
+}
+
+TEST(SMat, TransposeInvolution) {
+  Xoshiro256 rng(32);
+  const auto a = random_smat(6, rng);
+  const auto att = a.transpose().transpose();
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 6; ++j) EXPECT_EQ(att(i, j), a(i, j));
+}
+
+TEST(SMat, TransposeOfProduct) {
+  Xoshiro256 rng(33);
+  const auto a = random_smat(5, rng);
+  const auto b = random_smat(5, rng);
+  const auto lhs = (a * b).transpose();
+  const auto rhs = b.transpose() * a.transpose();
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 5; ++j) EXPECT_NEAR(lhs(i, j), rhs(i, j), 1e-12);
+}
+
+TEST(SMat, ScaledAndSum) {
+  Xoshiro256 rng(34);
+  const auto a = random_smat(4, rng);
+  const auto s = a.scaled(2.0) + a.scaled(-2.0);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) EXPECT_EQ(s(i, j), 0.0);
+}
+
+}  // namespace
+}  // namespace femto

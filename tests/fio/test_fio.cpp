@@ -1,0 +1,135 @@
+#include "fio/fio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace femto::fio {
+namespace {
+
+TEST(Crc32, KnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(s, 9), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyAndIncremental) {
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+  const char* s = "abcdef";
+  const auto whole = crc32(s, 6);
+  EXPECT_NE(whole, crc32(s, 5));
+}
+
+TEST(FioFile, WriteReadTypedDatasets) {
+  File f;
+  f.write_f64("/a/x", {1.5, 2.5, 3.5});
+  f.write_f32("/a/y", {1.0f, 2.0f});
+  f.write_i64("/b/z", {10, 20, 30, 40});
+  EXPECT_EQ(f.read_f64("/a/x")[1], 2.5);
+  EXPECT_EQ(f.read_f32("/a/y")[0], 1.0f);
+  EXPECT_EQ(f.read_i64("/b/z")[3], 40);
+  EXPECT_EQ(f.n_datasets(), 3u);
+}
+
+TEST(FioFile, DtypeMismatchThrows) {
+  File f;
+  f.write_f64("/x", {1.0});
+  EXPECT_THROW(f.read_f32("/x"), IoError);
+  EXPECT_THROW(f.read_i64("/x"), IoError);
+}
+
+TEST(FioFile, MissingDatasetThrows) {
+  File f;
+  EXPECT_THROW(f.read_f64("/nope"), IoError);
+  EXPECT_FALSE(f.contains("/nope"));
+}
+
+TEST(FioFile, ShapeValidation) {
+  File f;
+  f.write_f64("/m", {1, 2, 3, 4, 5, 6}, {2, 3});
+  EXPECT_EQ(f.dataset("/m").shape.size(), 2u);
+  EXPECT_EQ(f.dataset("/m").elements(), 6);
+  EXPECT_THROW(f.write_f64("/bad", {1, 2, 3}, {2, 2}), IoError);
+}
+
+TEST(FioFile, Attributes) {
+  File f;
+  f.write_f64("/p", {1.0});
+  f.set_attr("/p", "ensemble", "a09m310");
+  f.set_attr_f64("/p", "mf", 0.00951);
+  EXPECT_EQ(f.attr("/p", "ensemble").value(), "a09m310");
+  EXPECT_NEAR(f.attr_f64("/p", "mf"), 0.00951, 1e-12);
+  EXPECT_FALSE(f.attr("/p", "missing").has_value());
+  EXPECT_THROW(f.attr_f64("/p", "missing"), IoError);
+}
+
+TEST(FioFile, ListWithPrefix) {
+  File f;
+  f.write_f64("/prop/a", {1});
+  f.write_f64("/prop/b", {2});
+  f.write_f64("/corr/c", {3});
+  EXPECT_EQ(f.list("/prop").size(), 2u);
+  EXPECT_EQ(f.list().size(), 3u);
+  EXPECT_EQ(f.list("/corr")[0], "/corr/c");
+}
+
+TEST(FioFile, SaveLoadRoundTrip) {
+  const std::string path = "/tmp/femto_fio_test.bin";
+  {
+    File f;
+    f.write_f64("/data/series", {3.14, 2.71, 1.41}, {3});
+    f.write_i64("/meta/ids", {7, 8});
+    f.set_attr("/data/series", "desc", "round trip");
+    f.save(path);
+  }
+  File g = File::load(path);
+  EXPECT_EQ(g.read_f64("/data/series")[0], 3.14);
+  EXPECT_EQ(g.read_i64("/meta/ids")[1], 8);
+  EXPECT_EQ(g.attr("/data/series", "desc").value(), "round trip");
+  std::remove(path.c_str());
+}
+
+TEST(FioFile, CorruptionDetected) {
+  const std::string path = "/tmp/femto_fio_corrupt.bin";
+  {
+    File f;
+    std::vector<double> big(256, 1.25);
+    f.write_f64("/payload", big);
+    f.save(path);
+  }
+  // Flip a byte in the middle of the payload.
+  {
+    std::fstream s(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    s.seekp(200);
+    char c = 0x5A;
+    s.write(&c, 1);
+  }
+  EXPECT_THROW(File::load(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(FioFile, BadMagicRejected) {
+  const std::string path = "/tmp/femto_fio_magic.bin";
+  {
+    std::ofstream s(path, std::ios::binary);
+    s << "this is not a femto file at all, padding padding";
+  }
+  EXPECT_THROW(File::load(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(FioFile, MissingFileThrows) {
+  EXPECT_THROW(File::load("/tmp/no_such_femto_file.bin"), IoError);
+}
+
+TEST(FioFile, OverwriteDataset) {
+  File f;
+  f.write_f64("/x", {1.0});
+  f.write_f64("/x", {2.0, 3.0});
+  EXPECT_EQ(f.read_f64("/x").size(), 2u);
+}
+
+}  // namespace
+}  // namespace femto::fio

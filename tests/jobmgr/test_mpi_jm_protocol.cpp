@@ -1,0 +1,110 @@
+// The mpi_jm control plane over REAL message passing: connect handshake
+// with grace period, job dispatch, completion accounting, dead-lump
+// tolerance, clean shutdown.
+
+#include "jobmgr/mpi_jm_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace femto::jm {
+namespace {
+
+std::vector<Task> make_tasks(int n, int nodes = 4) {
+  std::vector<Task> tasks;
+  for (int i = 0; i < n; ++i) {
+    Task t;
+    t.id = i;
+    t.nodes = nodes;
+    t.duration = 50 + 10 * (i % 3);
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+TEST(MpiJmProtocol, AllLumpsConnectAndAllJobsComplete) {
+  ProtocolOptions opts;
+  opts.n_lumps = 4;
+  const auto tasks = make_tasks(20);
+  const auto rep = run_mpi_jm_protocol(tasks, opts);
+  EXPECT_EQ(rep.lumps_connected, 4);
+  EXPECT_EQ(rep.lumps_ignored, 0);
+  EXPECT_EQ(rep.jobs_completed, 20);
+  EXPECT_TRUE(rep.clean_shutdown);
+  // Every job placed exactly once.
+  std::set<int> placed;
+  for (const auto& [job, lump] : rep.placement) {
+    EXPECT_GE(lump, 1);
+    EXPECT_LE(lump, 4);
+    placed.insert(job);
+  }
+  EXPECT_EQ(placed.size(), 20u);
+}
+
+TEST(MpiJmProtocol, WorkSpreadsAcrossLumps) {
+  ProtocolOptions opts;
+  opts.n_lumps = 4;
+  const auto rep = run_mpi_jm_protocol(make_tasks(24), opts);
+  // With 24 similar jobs on 4 lumps every lump must have run several.
+  for (int lump = 1; lump <= 4; ++lump)
+    EXPECT_GE(rep.lump_logs[static_cast<std::size_t>(lump)].size(), 3u)
+        << lump;
+}
+
+TEST(MpiJmProtocol, DeadLumpsAreIgnoredAndWorkStillFinishes) {
+  ProtocolOptions opts;
+  opts.n_lumps = 4;
+  opts.dead_lumps = {2, 3};  // half the machine never comes up
+  const auto tasks = make_tasks(12);
+  const auto rep = run_mpi_jm_protocol(tasks, opts);
+  EXPECT_EQ(rep.lumps_connected, 2);
+  EXPECT_EQ(rep.lumps_ignored, 2);
+  EXPECT_EQ(rep.jobs_completed, 12);
+  EXPECT_TRUE(rep.clean_shutdown);
+  // Nothing placed on the dead lumps.
+  for (const auto& [job, lump] : rep.placement) {
+    (void)job;
+    EXPECT_NE(lump, 2);
+    EXPECT_NE(lump, 3);
+  }
+}
+
+TEST(MpiJmProtocol, AllLumpsDeadShutsDownCleanly) {
+  ProtocolOptions opts;
+  opts.n_lumps = 3;
+  opts.dead_lumps = {1, 2, 3};
+  const auto rep = run_mpi_jm_protocol(make_tasks(5), opts);
+  EXPECT_EQ(rep.lumps_connected, 0);
+  EXPECT_EQ(rep.jobs_completed, 0);
+  EXPECT_TRUE(rep.clean_shutdown);
+}
+
+TEST(MpiJmProtocol, NoTasksIsCleanNoop) {
+  ProtocolOptions opts;
+  opts.n_lumps = 2;
+  const auto rep = run_mpi_jm_protocol({}, opts);
+  EXPECT_EQ(rep.jobs_completed, 0);
+  EXPECT_TRUE(rep.clean_shutdown);
+}
+
+TEST(MpiJmProtocol, OversizedTaskRejected) {
+  ProtocolOptions opts;
+  opts.n_lumps = 2;
+  opts.nodes_per_lump = 4;
+  EXPECT_THROW(run_mpi_jm_protocol(make_tasks(1, /*nodes=*/8), opts),
+               std::invalid_argument);
+}
+
+TEST(MpiJmProtocol, CompletionLogsAccountForEveryJob) {
+  ProtocolOptions opts;
+  opts.n_lumps = 3;
+  const auto rep = run_mpi_jm_protocol(make_tasks(15), opts);
+  std::set<int> seen;
+  for (const auto& log : rep.lump_logs)
+    for (int id : log) EXPECT_TRUE(seen.insert(id).second);
+  EXPECT_EQ(seen.size(), 15u);
+}
+
+}  // namespace
+}  // namespace femto::jm

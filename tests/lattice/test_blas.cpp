@@ -1,0 +1,114 @@
+#include "lattice/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lattice/flops.hpp"
+
+namespace femto {
+namespace {
+
+std::shared_ptr<const Geometry> geom44() {
+  return std::make_shared<Geometry>(4, 4, 4, 4);
+}
+
+class BlasTest : public ::testing::Test {
+ protected:
+  BlasTest()
+      : g(geom44()),
+        x(g, 4, Subset::Odd),
+        y(g, 4, Subset::Odd),
+        z(g, 4, Subset::Odd) {
+    x.gaussian(1);
+    y.gaussian(2);
+  }
+  std::shared_ptr<const Geometry> g;
+  SpinorField<double> x, y, z;
+};
+
+TEST_F(BlasTest, Norm2MatchesSerial) {
+  double expect = 0;
+  for (std::int64_t k = 0; k < x.reals(); ++k)
+    expect += x.data()[k] * x.data()[k];
+  EXPECT_NEAR(blas::norm2(x), expect, 1e-9 * expect);
+}
+
+TEST_F(BlasTest, AxpyMatchesSerial) {
+  z = y;
+  blas::axpy(0.75, x, z);
+  for (std::int64_t k = 0; k < z.reals(); k += 29)
+    EXPECT_DOUBLE_EQ(z.data()[k], y.data()[k] + 0.75 * x.data()[k]);
+}
+
+TEST_F(BlasTest, XpayMatchesSerial) {
+  z = y;
+  blas::xpay(x, -0.5, z);
+  for (std::int64_t k = 0; k < z.reals(); k += 31)
+    EXPECT_DOUBLE_EQ(z.data()[k], x.data()[k] - 0.5 * y.data()[k]);
+}
+
+TEST_F(BlasTest, AxpbyMatchesSerial) {
+  z = y;
+  blas::axpby(2.0, x, -1.0, z);
+  for (std::int64_t k = 0; k < z.reals(); k += 37)
+    EXPECT_DOUBLE_EQ(z.data()[k], 2.0 * x.data()[k] - y.data()[k]);
+}
+
+TEST_F(BlasTest, CaxpyMatchesComplexArithmetic) {
+  z = y;
+  const Cplx<double> a{0.3, -0.8};
+  blas::caxpy(a, x, z);
+  for (std::int64_t k = 0; k < z.reals() / 2; k += 41) {
+    const Cplx<double> xv{x.data()[2 * k], x.data()[2 * k + 1]};
+    const Cplx<double> yv{y.data()[2 * k], y.data()[2 * k + 1]};
+    const auto want = yv + a * xv;
+    EXPECT_NEAR(z.data()[2 * k], want.re, 1e-14);
+    EXPECT_NEAR(z.data()[2 * k + 1], want.im, 1e-14);
+  }
+}
+
+TEST_F(BlasTest, CdotHermitian) {
+  const auto xy = blas::cdot(x, y);
+  const auto yx = blas::cdot(y, x);
+  EXPECT_NEAR(xy.re, yx.re, 1e-9);
+  EXPECT_NEAR(xy.im, -yx.im, 1e-9);
+  const auto xx = blas::cdot(x, x);
+  EXPECT_NEAR(xx.im, 0.0, 1e-10);
+  EXPECT_NEAR(xx.re, blas::norm2(x), 1e-9);
+}
+
+TEST_F(BlasTest, RedotIsRealPartOfCdot) {
+  EXPECT_NEAR(blas::redot(x, y), blas::cdot(x, y).re, 1e-9);
+}
+
+TEST_F(BlasTest, ScalScalesNorm) {
+  const double n0 = blas::norm2(x);
+  blas::scal(2.0, x);
+  EXPECT_NEAR(blas::norm2(x), 4.0 * n0, 1e-9 * n0);
+}
+
+TEST_F(BlasTest, CopyAcrossPrecision) {
+  SpinorField<float> f(g, 4, Subset::Odd);
+  blas::copy(f, x);
+  SpinorField<double> back(g, 4, Subset::Odd);
+  blas::copy(back, f);
+  // float round trip: relative error at the float epsilon scale
+  for (std::int64_t k = 0; k < x.reals(); k += 43)
+    EXPECT_NEAR(back.data()[k], x.data()[k],
+                2e-7 * std::abs(x.data()[k]) + 1e-30);
+}
+
+TEST_F(BlasTest, FlopCounterAdvances) {
+  flops::reset();
+  blas::axpy(1.0, x, y);
+  EXPECT_EQ(flops::get(), 2 * x.reals());
+  blas::norm2(x);
+  EXPECT_EQ(flops::get(), 4 * x.reals());
+}
+
+TEST_F(BlasTest, ReductionsDeterministic) {
+  const double a = blas::norm2(x);
+  for (int rep = 0; rep < 5; ++rep) EXPECT_EQ(blas::norm2(x), a);
+}
+
+}  // namespace
+}  // namespace femto

@@ -1,0 +1,74 @@
+#include "lattice/complex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace femto {
+namespace {
+
+TEST(Cplx, BasicArithmetic) {
+  cdouble a{1.0, 2.0}, b{3.0, -1.0};
+  auto s = a + b;
+  EXPECT_DOUBLE_EQ(s.re, 4.0);
+  EXPECT_DOUBLE_EQ(s.im, 1.0);
+  auto d = a - b;
+  EXPECT_DOUBLE_EQ(d.re, -2.0);
+  EXPECT_DOUBLE_EQ(d.im, 3.0);
+  auto p = a * b;  // (1+2i)(3-i) = 3 - i + 6i - 2i^2 = 5 + 5i
+  EXPECT_DOUBLE_EQ(p.re, 5.0);
+  EXPECT_DOUBLE_EQ(p.im, 5.0);
+}
+
+TEST(Cplx, ConjAndNorm) {
+  cdouble a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(conj(a).im, -4.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 25.0);
+  EXPECT_DOUBLE_EQ(abs(a), 5.0);
+}
+
+TEST(Cplx, ConjMulMatchesConjTimesB) {
+  cdouble a{1.5, -2.5}, b{-0.5, 3.0};
+  auto lhs = conj_mul(a, b);
+  auto rhs = conj(a) * b;
+  EXPECT_DOUBLE_EQ(lhs.re, rhs.re);
+  EXPECT_DOUBLE_EQ(lhs.im, rhs.im);
+}
+
+TEST(Cplx, ImulIsMultiplicationByI) {
+  cdouble a{2.0, 3.0};
+  auto lhs = imul(a);
+  auto rhs = cdouble{0.0, 1.0} * a;
+  EXPECT_DOUBLE_EQ(lhs.re, rhs.re);
+  EXPECT_DOUBLE_EQ(lhs.im, rhs.im);
+  auto mlhs = mimul(a);
+  auto mrhs = cdouble{0.0, -1.0} * a;
+  EXPECT_DOUBLE_EQ(mlhs.re, mrhs.re);
+  EXPECT_DOUBLE_EQ(mlhs.im, mrhs.im);
+}
+
+TEST(Cplx, Division) {
+  cdouble a{5.0, 5.0}, b{3.0, -1.0};
+  auto q = a / b;  // should recover a when multiplied back
+  auto back = q * b;
+  EXPECT_NEAR(back.re, a.re, 1e-14);
+  EXPECT_NEAR(back.im, a.im, 1e-14);
+}
+
+TEST(Cplx, ScalarOps) {
+  cdouble a{1.0, -2.0};
+  auto r = 2.0 * a;
+  EXPECT_DOUBLE_EQ(r.re, 2.0);
+  EXPECT_DOUBLE_EQ(r.im, -4.0);
+  a *= 3.0;
+  EXPECT_DOUBLE_EQ(a.re, 3.0);
+  EXPECT_DOUBLE_EQ(a.im, -6.0);
+}
+
+TEST(Cplx, FloatDoubleConversion) {
+  cdouble a{1.25, -0.5};
+  cfloat f{a};
+  EXPECT_FLOAT_EQ(f.re, 1.25f);
+  EXPECT_FLOAT_EQ(f.im, -0.5f);
+}
+
+}  // namespace
+}  // namespace femto

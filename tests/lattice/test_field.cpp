@@ -1,0 +1,123 @@
+#include "lattice/field.hpp"
+
+#include <gtest/gtest.h>
+
+namespace femto {
+namespace {
+
+std::shared_ptr<const Geometry> geom44() {
+  return std::make_shared<Geometry>(4, 4, 4, 4);
+}
+
+TEST(SpinorFieldT, SizesAndSubsets) {
+  auto g = geom44();
+  SpinorField<double> full(g, 8, Subset::Full);
+  SpinorField<double> even(g, 8, Subset::Even);
+  EXPECT_EQ(full.sites(), g->volume());
+  EXPECT_EQ(even.sites(), g->half_volume());
+  EXPECT_EQ(full.reals(), g->volume() * 8 * 24);
+  EXPECT_EQ(full.bytes(), full.reals() * 8);
+}
+
+TEST(SpinorFieldT, LoadStoreRoundTrip) {
+  auto g = geom44();
+  SpinorField<double> f(g, 4, Subset::Odd);
+  Spinor<double> p;
+  for (int s = 0; s < kNs; ++s)
+    for (int c = 0; c < kNc; ++c)
+      p[s][c] = {static_cast<double>(s * 3 + c), -static_cast<double>(c)};
+  f.store(2, 17, p);
+  const auto q = f.load(2, 17);
+  for (int s = 0; s < kNs; ++s)
+    for (int c = 0; c < kNc; ++c) {
+      EXPECT_EQ(q[s][c].re, p[s][c].re);
+      EXPECT_EQ(q[s][c].im, p[s][c].im);
+    }
+}
+
+TEST(SpinorFieldT, GaussianIsReproducible) {
+  auto g = geom44();
+  SpinorField<double> a(g, 2, Subset::Full), b(g, 2, Subset::Full);
+  a.gaussian(99);
+  b.gaussian(99);
+  for (std::int64_t k = 0; k < a.reals(); ++k)
+    EXPECT_EQ(a.data()[k], b.data()[k]);
+}
+
+TEST(SpinorFieldT, GaussianSubsetMatchesFull) {
+  // The odd-subset field's site i must get the same randoms as the full
+  // field's odd half: decomposition independence.
+  auto g = geom44();
+  SpinorField<double> full(g, 2, Subset::Full);
+  SpinorField<double> odd(g, 2, Subset::Odd);
+  full.gaussian(123);
+  odd.gaussian(123);
+  for (int s = 0; s < 2; ++s)
+    for (std::int64_t i = 0; i < odd.sites(); ++i) {
+      const auto a = odd.load(s, i);
+      const auto b = full.load(s, g->half_volume() + i);
+      for (int sp = 0; sp < kNs; ++sp)
+        for (int c = 0; c < kNc; ++c) {
+          EXPECT_EQ(a[sp][c].re, b[sp][c].re);
+          EXPECT_EQ(a[sp][c].im, b[sp][c].im);
+        }
+    }
+}
+
+TEST(SpinorFieldT, ViewsAliasTheField) {
+  auto g = geom44();
+  SpinorField<double> f(g, 3, Subset::Even);
+  f.gaussian(5);
+  auto v = view(f);
+  EXPECT_EQ(v.sites, f.sites());
+  EXPECT_EQ(v.l5, 3);
+  const auto p = v.load(1, 10);
+  const auto q = f.load(1, 10);
+  EXPECT_EQ(p[2][1].re, q[2][1].re);
+  // Stores through the view are visible in the field.
+  Spinor<double> z;
+  v.store(1, 10, z);
+  EXPECT_EQ(f.load(1, 10)[2][1].re, 0.0);
+}
+
+TEST(SpinorFieldT, ParityViewsPartitionFullField) {
+  auto g = geom44();
+  SpinorField<double> f(g, 2, Subset::Full);
+  f.gaussian(7);
+  auto ev = parity_view(f, 0);
+  auto ov = parity_view(f, 1);
+  EXPECT_EQ(ev.sites, g->half_volume());
+  for (int s = 0; s < 2; ++s) {
+    const auto pe = ev.load(s, 3);
+    const auto fe = f.load(s, 3);
+    EXPECT_EQ(pe[0][0].re, fe[0][0].re);
+    const auto po = ov.load(s, 3);
+    const auto fo = f.load(s, g->half_volume() + 3);
+    EXPECT_EQ(po[0][0].re, fo[0][0].re);
+  }
+}
+
+TEST(GaugeFieldT, LoadStoreRoundTrip) {
+  auto g = geom44();
+  GaugeField<double> u(g);
+  ColorMat<double> m;
+  for (int i = 0; i < 9; ++i)
+    m.m[static_cast<size_t>(i)] = {static_cast<double>(i), 0.5};
+  u.store(2, 31, m);
+  const auto w = u.load(2, 31);
+  EXPECT_LT(dist2(w, m), 1e-28);
+}
+
+TEST(GaugeFieldT, ConvertToFloat) {
+  auto g = geom44();
+  GaugeField<double> u(g);
+  ColorMat<double> m = ColorMat<double>::identity();
+  u.store(0, 0, m);
+  auto uf = u.convert<float>();
+  const auto w = uf.load(0, 0);
+  EXPECT_FLOAT_EQ(w(0, 0).re, 1.0f);
+  EXPECT_FLOAT_EQ(w(2, 2).re, 1.0f);
+}
+
+}  // namespace
+}  // namespace femto

@@ -1,0 +1,109 @@
+#include "lattice/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lattice/gauge.hpp"
+#include "lattice/observables.hpp"
+
+namespace femto {
+namespace {
+
+std::shared_ptr<const Geometry> geom44() {
+  return std::make_shared<Geometry>(4, 4, 4, 4);
+}
+
+TEST(Su3Exp, ZeroGivesIdentity) {
+  ColorMat<double> z;
+  EXPECT_LT(dist2(su3_exp(z), ColorMat<double>::identity()), 1e-28);
+}
+
+TEST(Su3Exp, ResultIsUnitary) {
+  Xoshiro256 rng(71);
+  ColorMat<double> m;
+  for (auto& e : m.m) e = {0.2 * rng.gaussian(), 0.2 * rng.gaussian()};
+  const auto a = project_antihermitian_traceless(m);
+  const auto e = su3_exp(a);
+  EXPECT_LT(dist2(e * adj(e), ColorMat<double>::identity()), 1e-20);
+  EXPECT_NEAR(det(e).re, 1.0, 1e-10);
+}
+
+TEST(Su3Exp, InverseOfNegativeArgument) {
+  Xoshiro256 rng(72);
+  ColorMat<double> m;
+  for (auto& e : m.m) e = {0.1 * rng.gaussian(), 0.1 * rng.gaussian()};
+  const auto a = project_antihermitian_traceless(m);
+  ColorMat<double> minus_a = a;
+  minus_a *= -1.0;
+  const auto prod = su3_exp(a) * su3_exp(minus_a);
+  EXPECT_LT(dist2(prod, ColorMat<double>::identity()), 1e-18);
+}
+
+TEST(ProjectAntihermitian, Properties) {
+  Xoshiro256 rng(73);
+  ColorMat<double> m;
+  for (auto& e : m.m) e = {rng.gaussian(), rng.gaussian()};
+  const auto a = project_antihermitian_traceless(m);
+  // Antihermitian: a^dag = -a.
+  ColorMat<double> sum = adj(a) + a;
+  EXPECT_LT(norm2(sum), 1e-24);
+  // Traceless.
+  EXPECT_NEAR(trace(a).re, 0.0, 1e-13);
+  EXPECT_NEAR(trace(a).im, 0.0, 1e-13);
+  // Idempotent on its image.
+  EXPECT_LT(dist2(project_antihermitian_traceless(a), a), 1e-24);
+}
+
+TEST(WilsonFlow, FreeFieldIsFixedPoint) {
+  GaugeField<double> u(geom44());
+  unit_gauge(u);
+  wilson_flow_step(u, 0.02);
+  for (std::int64_t s = 0; s < u.geom().volume(); s += 17)
+    EXPECT_LT(dist2(u.load(2, s), ColorMat<double>::identity()), 1e-20);
+}
+
+TEST(WilsonFlow, LinksStaySu3) {
+  GaugeField<double> u = quenched_config(geom44(), 6.0, 10, 74);
+  wilson_flow_step(u, 0.02);
+  for (std::int64_t s = 0; s < u.geom().volume(); s += 13) {
+    const auto link = u.load(1, s);
+    EXPECT_LT(dist2(link * adj(link), ColorMat<double>::identity()),
+              1e-18);
+  }
+}
+
+TEST(WilsonFlow, ActionDecreasesMonotonically) {
+  // The defining property of gradient flow.
+  GaugeField<double> u = quenched_config(geom44(), 6.0, 10, 75);
+  double prev = action_density(u);
+  for (int k = 0; k < 5; ++k) {
+    wilson_flow_step(u, 0.02);
+    const double now = action_density(u);
+    EXPECT_LT(now, prev) << "step " << k;
+    prev = now;
+  }
+}
+
+TEST(WilsonFlow, PlaquetteApproachesOne) {
+  GaugeField<double> u = quenched_config(geom44(), 6.0, 10, 76);
+  const double p0 = plaquette(u);
+  FlowParams fp;
+  fp.epsilon = 0.02;
+  fp.steps = 15;
+  wilson_flow(u, fp);
+  const double p1 = plaquette(u);
+  EXPECT_GT(p1, p0);
+  EXPECT_GT(p1, 0.9);  // strongly smoothed
+}
+
+TEST(WilsonFlow, T2ECurveReturned) {
+  GaugeField<double> u = quenched_config(geom44(), 6.0, 10, 77);
+  FlowParams fp;
+  fp.epsilon = 0.02;
+  fp.steps = 8;
+  const auto t2e = wilson_flow(u, fp);
+  ASSERT_EQ(t2e.size(), 8u);
+  for (double v : t2e) EXPECT_GT(v, 0.0);
+}
+
+}  // namespace
+}  // namespace femto

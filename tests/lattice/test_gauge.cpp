@@ -1,0 +1,132 @@
+#include "lattice/gauge.hpp"
+
+#include <gtest/gtest.h>
+
+namespace femto {
+namespace {
+
+std::shared_ptr<const Geometry> geom44() {
+  return std::make_shared<Geometry>(4, 4, 4, 4);
+}
+
+TEST(Gauge, UnitGaugePlaquetteIsOne) {
+  GaugeField<double> u(geom44());
+  unit_gauge(u);
+  EXPECT_NEAR(plaquette(u), 1.0, 1e-14);
+}
+
+TEST(Gauge, HotGaugeLinksAreUnitary) {
+  GaugeField<double> u(geom44());
+  hot_gauge(u, 11);
+  for (int mu = 0; mu < 4; ++mu)
+    for (std::int64_t s = 0; s < u.geom().volume(); s += 17) {
+      const auto link = u.load(mu, s);
+      EXPECT_LT(dist2(link * adj(link), ColorMat<double>::identity()),
+                1e-20);
+      EXPECT_NEAR(det(link).re, 1.0, 1e-10);
+    }
+}
+
+TEST(Gauge, HotGaugePlaquetteNearZero) {
+  GaugeField<double> u(geom44());
+  hot_gauge(u, 12);
+  // Random links: <Re tr P>/3 averages to ~0 (within statistical noise of
+  // a 4^4 lattice).
+  EXPECT_LT(std::abs(plaquette(u)), 0.1);
+}
+
+TEST(Gauge, HotGaugeReproducible) {
+  GaugeField<double> a(geom44()), b(geom44());
+  hot_gauge(a, 13);
+  hot_gauge(b, 13);
+  for (std::int64_t k = 0; k < a.bytes() / 8; k += 97)
+    EXPECT_EQ(a.data()[k], b.data()[k]);
+}
+
+TEST(Gauge, WeakGaugePlaquetteNearOne) {
+  GaugeField<double> u(geom44());
+  weak_gauge(u, 14, 0.05);
+  const double p = plaquette(u);
+  EXPECT_GT(p, 0.95);
+  EXPECT_LT(p, 1.0 + 1e-12);
+}
+
+TEST(Gauge, WeakGaugeEpsControlsDisorder) {
+  GaugeField<double> a(geom44()), b(geom44());
+  weak_gauge(a, 15, 0.05);
+  weak_gauge(b, 15, 0.3);
+  EXPECT_GT(plaquette(a), plaquette(b));
+}
+
+TEST(Gauge, StapleMatchesPlaquetteSum) {
+  // Each plaquette contains 4 links and appears once in each of their
+  // staple sums, so summing Re tr(U_mu(x) staple_mu(x)) over all (x, mu)
+  // counts every plaquette exactly 4 times.
+  GaugeField<double> u(geom44());
+  weak_gauge(u, 16, 0.2);
+  const auto& geom = u.geom();
+  double plaq_sum = 0.0;
+  for (std::int64_t s = 0; s < geom.volume(); ++s)
+    for (int mu = 0; mu < 4; ++mu)
+      for (int nu = mu + 1; nu < 4; ++nu) {
+        const auto xpm = geom.site_fwd(s, mu);
+        const auto xpn = geom.site_fwd(s, nu);
+        plaq_sum += trace(u.load(mu, s) * u.load(nu, xpm) *
+                          adj(u.load(nu, s) * u.load(mu, xpn)))
+                        .re;
+      }
+  double staple_sum = 0.0;
+  for (std::int64_t s = 0; s < geom.volume(); ++s)
+    for (int mu = 0; mu < 4; ++mu)
+      staple_sum += trace(u.load(mu, s) * staple(u, mu, s)).re;
+  EXPECT_NEAR(staple_sum, 4.0 * plaq_sum, 1e-8 * std::abs(plaq_sum));
+}
+
+TEST(Gauge, HeatbathKeepsLinksInSu3) {
+  GaugeField<double> u(geom44());
+  hot_gauge(u, 17);
+  heatbath_sweep(u, 5.5, 18, 0);
+  for (int mu = 0; mu < 4; ++mu)
+    for (std::int64_t s = 0; s < u.geom().volume(); s += 13) {
+      const auto link = u.load(mu, s);
+      EXPECT_LT(dist2(link * adj(link), ColorMat<double>::identity()),
+                1e-18);
+      EXPECT_NEAR(det(link).re, 1.0, 1e-9);
+    }
+}
+
+TEST(Gauge, HeatbathIncreasesPlaquetteFromHotStart) {
+  GaugeField<double> u(geom44());
+  hot_gauge(u, 19);
+  const double p0 = plaquette(u);
+  for (int sweep = 0; sweep < 5; ++sweep) heatbath_sweep(u, 6.0, 20, sweep);
+  EXPECT_GT(plaquette(u), p0 + 0.2);
+}
+
+TEST(Gauge, HeatbathPlaquetteOrderedInBeta) {
+  // Stronger coupling (larger beta) must equilibrate to larger plaquette.
+  auto run = [&](double beta) {
+    GaugeField<double> u(geom44());
+    hot_gauge(u, 21);
+    for (int sweep = 0; sweep < 20; ++sweep)
+      heatbath_sweep(u, beta, 22, sweep);
+    return plaquette(u);
+  };
+  const double p_weak = run(1.0);
+  const double p_mid = run(5.0);
+  const double p_strong = run(9.0);
+  EXPECT_LT(p_weak, p_mid);
+  EXPECT_LT(p_mid, p_strong);
+}
+
+TEST(Gauge, QuenchedConfigNearLiteratureValue) {
+  // Quenched Wilson beta = 6.0: plaquette ~ 0.59 in the infinite-volume
+  // literature; a thermalised 4^4 lattice lands nearby.
+  auto u = quenched_config(geom44(), 6.0, 30, 23);
+  const double p = plaquette(u);
+  EXPECT_GT(p, 0.52);
+  EXPECT_LT(p, 0.68);
+}
+
+}  // namespace
+}  // namespace femto

@@ -1,0 +1,132 @@
+#include "lattice/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace femto {
+namespace {
+
+TEST(Geometry, VolumeAndHalfVolume) {
+  Geometry g(4, 4, 4, 8);
+  EXPECT_EQ(g.volume(), 4 * 4 * 4 * 8);
+  EXPECT_EQ(g.half_volume(), g.volume() / 2);
+}
+
+TEST(Geometry, RejectsOddExtents) {
+  EXPECT_THROW(Geometry(3, 4, 4, 4), std::invalid_argument);
+  EXPECT_THROW(Geometry(4, 4, 4, 5), std::invalid_argument);
+  EXPECT_THROW(Geometry(0, 4, 4, 4), std::invalid_argument);
+}
+
+TEST(Geometry, IndexCoordRoundTrip) {
+  Geometry g(4, 6, 4, 8);
+  std::set<std::int64_t> seen;
+  Coord x;
+  for (x[3] = 0; x[3] < 8; ++x[3])
+    for (x[2] = 0; x[2] < 4; ++x[2])
+      for (x[1] = 0; x[1] < 6; ++x[1])
+        for (x[0] = 0; x[0] < 4; ++x[0]) {
+          const auto idx = g.index(x);
+          ASSERT_GE(idx, 0);
+          ASSERT_LT(idx, g.volume());
+          EXPECT_TRUE(seen.insert(idx).second) << "duplicate index";
+          const auto back = g.coord(idx);
+          EXPECT_EQ(back, x);
+        }
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), g.volume());
+}
+
+TEST(Geometry, ParityOrderingOfIndices) {
+  Geometry g(4, 4, 4, 4);
+  Coord x;
+  for (x[3] = 0; x[3] < 4; ++x[3])
+    for (x[2] = 0; x[2] < 4; ++x[2])
+      for (x[1] = 0; x[1] < 4; ++x[1])
+        for (x[0] = 0; x[0] < 4; ++x[0]) {
+          const auto idx = g.index(x);
+          if (Geometry::parity(x) == 0)
+            EXPECT_LT(idx, g.half_volume());
+          else
+            EXPECT_GE(idx, g.half_volume());
+        }
+}
+
+TEST(Geometry, NeighborsHaveOppositeParityAndCorrectCoord) {
+  Geometry g(4, 4, 6, 4);
+  Coord x;
+  for (x[3] = 0; x[3] < 4; ++x[3])
+    for (x[2] = 0; x[2] < 6; ++x[2])
+      for (x[1] = 0; x[1] < 4; ++x[1])
+        for (x[0] = 0; x[0] < 4; ++x[0]) {
+          const int par = Geometry::parity(x);
+          const auto cb = g.cb_index(x);
+          for (int mu = 0; mu < 4; ++mu) {
+            Coord xf = x;
+            xf[mu] = (x[mu] + 1) % g.extent(mu);
+            EXPECT_EQ(g.neighbor_fwd(par, cb, mu), g.cb_index(xf));
+            Coord xb = x;
+            xb[mu] = (x[mu] - 1 + g.extent(mu)) % g.extent(mu);
+            EXPECT_EQ(g.neighbor_bwd(par, cb, mu), g.cb_index(xb));
+          }
+        }
+}
+
+TEST(Geometry, ForwardThenBackwardIsIdentity) {
+  Geometry g(4, 4, 4, 8);
+  for (int par = 0; par < 2; ++par)
+    for (std::int64_t cb = 0; cb < g.half_volume(); ++cb)
+      for (int mu = 0; mu < 4; ++mu) {
+        const auto f = g.neighbor_fwd(par, cb, mu);
+        EXPECT_EQ(g.neighbor_bwd(1 - par, f, mu), cb);
+      }
+}
+
+TEST(Geometry, SiteFwdBwdGlobalConsistency) {
+  Geometry g(4, 4, 4, 4);
+  for (std::int64_t s = 0; s < g.volume(); ++s)
+    for (int mu = 0; mu < 4; ++mu) {
+      EXPECT_EQ(g.site_bwd(g.site_fwd(s, mu), mu), s);
+      const auto x = g.coord(s);
+      auto xf = x;
+      xf[mu] = (x[mu] + 1) % g.extent(mu);
+      EXPECT_EQ(g.site_fwd(s, mu), g.index(xf));
+    }
+}
+
+TEST(Geometry, AntiperiodicPhaseOnlyAtTimeBoundary) {
+  Geometry g(4, 4, 4, 6);
+  Coord x;
+  for (x[3] = 0; x[3] < 6; ++x[3])
+    for (x[2] = 0; x[2] < 4; ++x[2])
+      for (x[1] = 0; x[1] < 4; ++x[1])
+        for (x[0] = 0; x[0] < 4; ++x[0]) {
+          const int par = Geometry::parity(x);
+          const auto cb = g.cb_index(x);
+          for (int mu = 0; mu < 4; ++mu) {
+            const float pf = g.phase_fwd(par, cb, mu);
+            const float pb = g.phase_bwd(par, cb, mu);
+            if (mu == 3 && x[3] == 5)
+              EXPECT_EQ(pf, -1.0f);
+            else
+              EXPECT_EQ(pf, 1.0f);
+            if (mu == 3 && x[3] == 0)
+              EXPECT_EQ(pb, -1.0f);
+            else
+              EXPECT_EQ(pb, 1.0f);
+          }
+        }
+}
+
+TEST(Geometry, PhaseSignsBalance) {
+  // Exactly one forward-wrap per time column.
+  Geometry g(4, 4, 4, 8);
+  int negatives = 0;
+  for (int par = 0; par < 2; ++par)
+    for (std::int64_t cb = 0; cb < g.half_volume(); ++cb)
+      if (g.phase_fwd(par, cb, 3) < 0) ++negatives;
+  EXPECT_EQ(negatives, 4 * 4 * 4);
+}
+
+}  // namespace
+}  // namespace femto

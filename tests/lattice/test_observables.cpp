@@ -1,0 +1,101 @@
+#include "lattice/observables.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lattice/gauge.hpp"
+#include "lattice/smear.hpp"
+
+namespace femto {
+namespace {
+
+std::shared_ptr<const Geometry> geom448() {
+  return std::make_shared<Geometry>(4, 4, 4, 8);
+}
+
+TEST(WilsonLoops, UnitGaugeGivesOne) {
+  GaugeField<double> u(geom448());
+  unit_gauge(u);
+  EXPECT_NEAR(wilson_loop(u, 1, 1), 1.0, 1e-13);
+  EXPECT_NEAR(wilson_loop(u, 2, 3), 1.0, 1e-13);
+}
+
+TEST(WilsonLoops, OneByOneIsThePlaquette) {
+  GaugeField<double> u(geom448());
+  weak_gauge(u, 1401, 0.25);
+  EXPECT_NEAR(wilson_loop(u, 1, 1), plaquette(u), 1e-12);
+}
+
+TEST(WilsonLoops, LargerLoopsAreSmaller) {
+  // On a thermalised configuration, W(R,T) decays with loop area.
+  GaugeField<double> u = quenched_config(geom448(), 5.8, 15, 1402);
+  const double w11 = wilson_loop(u, 1, 1);
+  const double w12 = wilson_loop(u, 1, 2);
+  const double w22 = wilson_loop(u, 2, 2);
+  EXPECT_GT(w11, w12);
+  EXPECT_GT(w12, w22);
+  EXPECT_GT(w22, 0.0);  // still positive in this regime
+}
+
+TEST(WilsonLoops, CreutzRatioPositiveWhenConfined) {
+  GaugeField<double> u = quenched_config(geom448(), 5.8, 15, 1403);
+  // chi(2,2) approximates the string tension: positive in the confined
+  // phase.
+  EXPECT_GT(creutz_ratio(u, 2, 2), 0.0);
+}
+
+TEST(Polyakov, UnitGaugeIsOne) {
+  GaugeField<double> u(geom448());
+  unit_gauge(u);
+  const auto p = polyakov_loop(u);
+  EXPECT_NEAR(p.re, 1.0, 1e-13);
+  EXPECT_NEAR(p.im, 0.0, 1e-13);
+}
+
+TEST(Polyakov, SmallInConfinedPhase) {
+  // A strongly-coupled quenched configuration: |<P>| near zero (center
+  // symmetry approximately intact), FAR below the free-field value 1.
+  GaugeField<double> u = quenched_config(geom448(), 5.0, 15, 1404);
+  const auto p = polyakov_loop(u);
+  EXPECT_LT(std::sqrt(p.re * p.re + p.im * p.im), 0.5);
+}
+
+TEST(CloverFieldStrength, VanishesOnFreeField) {
+  GaugeField<double> u(geom448());
+  unit_gauge(u);
+  const auto f = clover_field_strength(u, 7, 0, 1);
+  EXPECT_LT(norm2(f), 1e-24);
+  EXPECT_NEAR(action_density(u), 0.0, 1e-20);
+}
+
+TEST(CloverFieldStrength, AntihermitianTraceless) {
+  GaugeField<double> u(geom448());
+  weak_gauge(u, 1405, 0.3);
+  for (std::int64_t s = 0; s < 20; ++s) {
+    const auto f = clover_field_strength(u, s * 7, 1, 3);
+    // F^dag = -F
+    ColorMat<double> sum = adj(f) + f;
+    EXPECT_LT(norm2(sum), 1e-22);
+    const auto tr = trace(f);
+    EXPECT_NEAR(tr.re, 0.0, 1e-12);
+    EXPECT_NEAR(tr.im, 0.0, 1e-12);
+  }
+}
+
+TEST(ActionDensity, PositiveAndReducedBySmearing) {
+  GaugeField<double> u = quenched_config(geom448(), 6.0, 12, 1406);
+  const double rough = action_density(u);
+  EXPECT_GT(rough, 0.0);
+  const auto smooth = ape_smear(u, {0.5, 3});
+  const double smoothed = action_density(smooth);
+  EXPECT_LT(smoothed, rough);  // smearing removes UV roughness
+}
+
+TEST(ActionDensity, GrowsWithDisorder) {
+  GaugeField<double> mild(geom448()), wild(geom448());
+  weak_gauge(mild, 1407, 0.05);
+  weak_gauge(wild, 1407, 0.3);
+  EXPECT_LT(action_density(mild), action_density(wild));
+}
+
+}  // namespace
+}  // namespace femto

@@ -1,0 +1,131 @@
+#include "lattice/su3.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lattice/rng.hpp"
+
+namespace femto {
+namespace {
+
+ColorMat<double> random_mat(Xoshiro256& rng) {
+  ColorMat<double> m;
+  for (auto& e : m.m) e = {rng.gaussian(), rng.gaussian()};
+  return m;
+}
+
+ColorVec<double> random_vec(Xoshiro256& rng) {
+  ColorVec<double> v;
+  for (int i = 0; i < kNc; ++i) v[i] = {rng.gaussian(), rng.gaussian()};
+  return v;
+}
+
+TEST(Su3, IdentityActsTrivially) {
+  Xoshiro256 rng(1);
+  const auto id = ColorMat<double>::identity();
+  const auto v = random_vec(rng);
+  const auto w = id * v;
+  for (int i = 0; i < kNc; ++i) {
+    EXPECT_DOUBLE_EQ(w[i].re, v[i].re);
+    EXPECT_DOUBLE_EQ(w[i].im, v[i].im);
+  }
+}
+
+TEST(Su3, MatVecMatchesExplicitSum) {
+  Xoshiro256 rng(2);
+  const auto m = random_mat(rng);
+  const auto v = random_vec(rng);
+  const auto w = m * v;
+  for (int i = 0; i < kNc; ++i) {
+    cdouble s{};
+    for (int k = 0; k < kNc; ++k) s += m(i, k) * v[k];
+    EXPECT_DOUBLE_EQ(w[i].re, s.re);
+    EXPECT_DOUBLE_EQ(w[i].im, s.im);
+  }
+}
+
+TEST(Su3, AdjMulMatchesAdjointTimesVec) {
+  Xoshiro256 rng(3);
+  const auto m = random_mat(rng);
+  const auto v = random_vec(rng);
+  const auto lhs = adj_mul(m, v);
+  const auto rhs = adj(m) * v;
+  for (int i = 0; i < kNc; ++i) {
+    EXPECT_NEAR(lhs[i].re, rhs[i].re, 1e-13);
+    EXPECT_NEAR(lhs[i].im, rhs[i].im, 1e-13);
+  }
+}
+
+TEST(Su3, ProjectProducesUnitaryDetOne) {
+  Xoshiro256 rng(4);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto u = project_su3(random_mat(rng));
+    // U U^dag = 1
+    const auto prod = u * adj(u);
+    EXPECT_LT(dist2(prod, ColorMat<double>::identity()), 1e-24);
+    // det U = 1
+    const auto d = det(u);
+    EXPECT_NEAR(d.re, 1.0, 1e-12);
+    EXPECT_NEAR(d.im, 0.0, 1e-12);
+  }
+}
+
+TEST(Su3, ProjectIsIdempotentOnSu3) {
+  Xoshiro256 rng(5);
+  const auto u = project_su3(random_mat(rng));
+  const auto u2 = project_su3(u);
+  EXPECT_LT(dist2(u, u2), 1e-24);
+}
+
+TEST(Su3, UnitaryPreservesNorm) {
+  Xoshiro256 rng(6);
+  const auto u = project_su3(random_mat(rng));
+  const auto v = random_vec(rng);
+  EXPECT_NEAR(norm2(u * v), norm2(v), 1e-12 * norm2(v));
+}
+
+TEST(Su3, TraceOfProduct) {
+  Xoshiro256 rng(7);
+  const auto a = random_mat(rng);
+  const auto b = random_mat(rng);
+  // tr(ab) = tr(ba)
+  const auto t1 = trace(a * b);
+  const auto t2 = trace(b * a);
+  EXPECT_NEAR(t1.re, t2.re, 1e-12);
+  EXPECT_NEAR(t1.im, t2.im, 1e-12);
+}
+
+TEST(Su3, DotIsSesquilinear) {
+  Xoshiro256 rng(8);
+  const auto a = random_vec(rng);
+  const auto b = random_vec(rng);
+  const cdouble alpha{0.7, -1.3};
+  // <a, alpha b> = alpha <a, b>
+  ColorVec<double> ab = alpha * b;
+  const auto lhs = dot(a, ab);
+  const auto rhs = alpha * dot(a, b);
+  EXPECT_NEAR(lhs.re, rhs.re, 1e-12);
+  EXPECT_NEAR(lhs.im, rhs.im, 1e-12);
+  // <a, a> = ||a||^2 real
+  const auto aa = dot(a, a);
+  EXPECT_NEAR(aa.im, 0.0, 1e-14);
+  EXPECT_NEAR(aa.re, norm2(a), 1e-12);
+}
+
+TEST(Su3, MatrixProductAssociativity) {
+  Xoshiro256 rng(9);
+  const auto a = random_mat(rng), b = random_mat(rng), c = random_mat(rng);
+  const auto lhs = (a * b) * c;
+  const auto rhs = a * (b * c);
+  EXPECT_LT(dist2(lhs, rhs), 1e-20 * norm2(lhs));
+}
+
+TEST(Su3, AdjOfProduct) {
+  Xoshiro256 rng(10);
+  const auto a = random_mat(rng), b = random_mat(rng);
+  const auto lhs = adj(a * b);
+  const auto rhs = adj(b) * adj(a);
+  EXPECT_LT(dist2(lhs, rhs), 1e-20 * norm2(lhs));
+}
+
+}  // namespace
+}  // namespace femto

@@ -1,0 +1,144 @@
+// The analytic solver-performance model must reproduce the SHAPES of the
+// paper's scaling plots: effective-bandwidth ordering Titan < Ray < Sierra,
+// near-flat bandwidth at low GPU count, strong-scaling rollover, the
+// Summit 96^3x144 efficiency cliff past ~2000 GPUs, and RDMA > zero-copy >
+// host-staged policy ordering.
+
+#include "machine/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace femto::machine {
+namespace {
+
+LatticeProblem prob48() {
+  LatticeProblem p;
+  p.extents = {48, 48, 48, 64};
+  p.l5 = 12;
+  return p;
+}
+
+LatticeProblem prob96() {
+  LatticeProblem p;
+  p.extents = {96, 96, 96, 144};
+  p.l5 = 12;
+  return p;
+}
+
+TEST(PerfModel, BestGridCoversGpusAndDividesLattice) {
+  SolverPerfModel m(sierra(), prob48());
+  for (int n : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const auto g = m.best_grid(n);
+    EXPECT_EQ(g[0] * g[1] * g[2] * g[3], n) << n;
+    const auto& e = m.problem().extents;
+    for (int mu = 0; mu < 4; ++mu)
+      EXPECT_EQ(e[static_cast<std::size_t>(mu)] %
+                    g[static_cast<std::size_t>(mu)],
+                0)
+          << n;
+  }
+}
+
+TEST(PerfModel, LowCountBandwidthMatchesCalibration) {
+  // At the most efficient (lowest) GPU count the per-GPU bandwidth must be
+  // close to the paper's 139 / 516 / 975 GB/s.
+  for (const auto& [spec, expect] :
+       std::vector<std::pair<MachineSpec, double>>{
+           {titan(), 139.0}, {ray(), 516.0}, {sierra(), 975.0}}) {
+    SolverPerfModel m(spec, prob48());
+    const auto pt = m.strong_scaling_point(spec.gpus_per_node);
+    EXPECT_NEAR(pt.bw_per_gpu_gbs, expect, 0.25 * expect) << spec.name;
+  }
+}
+
+TEST(PerfModel, MachineGenerationOrdering) {
+  // At every GPU count: Sierra > Ray > Titan in TFLOPS (Fig. 3a) and in
+  // percent of peak at the low end (Fig. 3b).
+  SolverPerfModel ti(titan(), prob48()), ra(ray(), prob48()),
+      si(sierra(), prob48());
+  for (int n : {8, 16, 32, 64, 128}) {
+    EXPECT_GT(si.strong_scaling_point(n).tflops,
+              ra.strong_scaling_point(n).tflops)
+        << n;
+    EXPECT_GT(ra.strong_scaling_point(n).tflops,
+              ti.strong_scaling_point(n).tflops)
+        << n;
+  }
+}
+
+TEST(PerfModel, PeakEfficiencyAroundTwentyPercentOnSierra) {
+  SolverPerfModel m(sierra(), prob48());
+  const auto pt = m.strong_scaling_point(4);
+  EXPECT_GT(pt.pct_peak, 14.0);
+  EXPECT_LT(pt.pct_peak, 26.0);
+}
+
+TEST(PerfModel, EfficiencyFallsWithScale) {
+  // Strong scaling: per-GPU efficiency decreases monotonically as the
+  // local volume shrinks (Fig. 3b).
+  SolverPerfModel m(sierra(), prob48());
+  double last = 1e9;
+  for (int n : {4, 16, 64, 256}) {
+    const auto pt = m.strong_scaling_point(n);
+    EXPECT_LT(pt.pct_peak, last + 1e-9) << n;
+    last = pt.pct_peak;
+  }
+}
+
+TEST(PerfModel, AggregateThroughputStillGrows) {
+  // TFLOPS keeps rising with GPUs over the Fig. 3 range even as
+  // efficiency drops.
+  SolverPerfModel m(sierra(), prob48());
+  EXPECT_GT(m.strong_scaling_point(128).tflops,
+            m.strong_scaling_point(16).tflops);
+}
+
+TEST(PerfModel, SummitLargeLatticeReachesPetaflopsThenCliffs) {
+  // Fig. 4: 96^3 x 144 approaches ~1.5 PFLOPS but efficiency collapses
+  // past ~2000 GPUs.
+  SolverPerfModel m(summit(), prob96());
+  const auto p1536 = m.strong_scaling_point(1536);
+  const auto p6912 = m.strong_scaling_point(6912);
+  EXPECT_GT(p6912.tflops, 800.0);    // near-PFLOPS regime
+  EXPECT_LT(p6912.tflops, 3500.0);
+  // Efficiency cliff: per-GPU efficiency at 6912 far below at 1536.
+  EXPECT_LT(p6912.pct_peak, 0.7 * p1536.pct_peak);
+}
+
+TEST(PerfModel, PolicyOrdering) {
+  // With GDR available the tuned policy never loses to the others.
+  SolverPerfModel m(sierra(), prob48(), /*gdr_available=*/true);
+  const auto policies = comm_policies();
+  for (int n : {32, 128, 512}) {
+    const auto tuned = m.strong_scaling_point(n);
+    for (const auto& p : policies) {
+      const auto pt = m.point_with_policy(n, p);
+      EXPECT_LE(tuned.time_per_apply_s, pt.time_per_apply_s * (1 + 1e-12))
+          << p.name << " n=" << n;
+    }
+    // And explicitly: rdma >= zero-copy >= host-staged throughput.
+    const auto rdma = m.point_with_policy(n, policies[2]);
+    const auto zc = m.point_with_policy(n, policies[1]);
+    const auto hs = m.point_with_policy(n, policies[0]);
+    EXPECT_GE(rdma.tflops, zc.tflops);
+    EXPECT_GE(zc.tflops, hs.tflops);
+  }
+}
+
+TEST(PerfModel, GdrUnavailableExcludedFromTuning) {
+  // Sierra/Summit at submission time: no GPU Direct RDMA.
+  SolverPerfModel m(sierra(), prob48(), /*gdr_available=*/false);
+  const auto pt = m.strong_scaling_point(256);
+  EXPECT_NE(pt.policy, "gpu-direct-rdma");
+}
+
+TEST(PerfModel, SingleGpuHasNoCommCost) {
+  SolverPerfModel m(sierra(), prob48());
+  const auto pt = m.strong_scaling_point(1);
+  EXPECT_DOUBLE_EQ(pt.surface_fraction, 0.0);
+  // The whole lattice on one GPU runs at near-full occupancy.
+  EXPECT_NEAR(pt.bw_per_gpu_gbs, sierra().eff_bw_per_gpu_gbs, 20.0);
+}
+
+}  // namespace
+}  // namespace femto::machine

@@ -1,0 +1,70 @@
+#include "machine/specs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace femto::machine {
+namespace {
+
+TEST(Specs, TableTwoValues) {
+  const auto t = titan();
+  EXPECT_EQ(t.nodes, 18688);
+  EXPECT_EQ(t.gpus_per_node, 1);
+  EXPECT_DOUBLE_EQ(t.fp32_tflops_node, 4.0);
+  EXPECT_DOUBLE_EQ(t.gpu_bw_node_gbs, 250.0);
+
+  const auto r = ray();
+  EXPECT_EQ(r.nodes, 54);
+  EXPECT_EQ(r.gpus_per_node, 4);
+  EXPECT_DOUBLE_EQ(r.fp32_tflops_node, 44.0);
+
+  const auto s = sierra();
+  EXPECT_EQ(s.gpus_per_node, 4);
+  EXPECT_DOUBLE_EQ(s.fp32_tflops_node, 60.0);
+  EXPECT_DOUBLE_EQ(s.gpu_bw_node_gbs, 3600.0);
+  EXPECT_DOUBLE_EQ(s.cpu_gpu_bw_gbs, 75.0);
+
+  const auto m = summit();
+  EXPECT_EQ(m.gpus_per_node, 6);
+  EXPECT_DOUBLE_EQ(m.fp32_tflops_node, 90.0);
+  EXPECT_DOUBLE_EQ(m.gpu_bw_node_gbs, 5400.0);
+}
+
+TEST(Specs, PerGpuDerivedQuantities) {
+  const auto s = sierra();
+  EXPECT_DOUBLE_EQ(s.fp32_tflops_gpu(), 15.0);
+  EXPECT_DOUBLE_EQ(s.spec_bw_per_gpu_gbs(), 900.0);
+}
+
+TEST(Specs, CalibratedEffectiveBandwidths) {
+  // The paper's S VII numbers: 139, 516, 975 GB/s per GPU.
+  EXPECT_DOUBLE_EQ(titan().eff_bw_per_gpu_gbs, 139.0);
+  EXPECT_DOUBLE_EQ(ray().eff_bw_per_gpu_gbs, 516.0);
+  EXPECT_DOUBLE_EQ(sierra().eff_bw_per_gpu_gbs, 975.0);
+}
+
+TEST(Specs, CacheAmplificationGrowsAcrossGenerations) {
+  // "the maximum percent of peak performance achieved increases with
+  // successive GPU architectures ... improved cache structure ...
+  // amplifying the effective bandwidth."
+  EXPECT_LT(titan().bw_amplification(), ray().bw_amplification());
+  EXPECT_LT(ray().bw_amplification(), sierra().bw_amplification());
+  // Sierra's V100 beats its own spec sheet.
+  EXPECT_GT(sierra().bw_amplification(), 1.0);
+}
+
+TEST(Specs, AllMachinesListed) {
+  const auto all = all_machines();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "Titan");
+  EXPECT_EQ(all[3].name, "Summit");
+}
+
+TEST(Specs, FormattedTableContainsMachines) {
+  const auto s = format_table2();
+  for (const char* name : {"Titan", "Ray", "Sierra", "Summit"})
+    EXPECT_NE(s.find(name), std::string::npos) << name;
+  EXPECT_NE(s.find("GPUs / node"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace femto::machine

@@ -1,0 +1,134 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace femto::par {
+namespace {
+
+TEST(ThreadPool, SizeIsAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  ThreadPool pool3(3);
+  EXPECT_EQ(pool3.size(), 3u);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  int count = 0;
+  pool.parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, ChunkedCoversRangeWithoutOverlap) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(977);  // prime-ish size, uneven chunks
+  pool.parallel_for_chunked(0, hits.size(),
+                            [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+                            });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, GrainLimitsParallelism) {
+  ThreadPool pool(8);
+  // With grain = range size, only one chunk should run.
+  std::atomic<int> chunks{0};
+  pool.parallel_for_chunked(
+      0, 100, [&](std::size_t, std::size_t) { chunks++; }, 100);
+  EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST(ThreadPool, ReduceMatchesSerialSum) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  const double got = pool.parallel_reduce(0, n, [](std::size_t lo,
+                                                   std::size_t hi) {
+    double s = 0;
+    for (std::size_t i = lo; i < hi; ++i) s += static_cast<double>(i);
+    return s;
+  });
+  EXPECT_DOUBLE_EQ(got, static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+TEST(ThreadPool, ReduceIsDeterministicAcrossRepeats) {
+  ThreadPool pool(4);
+  std::vector<double> vals(50000);
+  for (std::size_t i = 0; i < vals.size(); ++i)
+    vals[i] = 1.0 / static_cast<double>(i + 1);
+  auto run = [&] {
+    return pool.parallel_reduce(0, vals.size(),
+                                [&](std::size_t lo, std::size_t hi) {
+                                  double s = 0;
+                                  for (std::size_t i = lo; i < hi; ++i)
+                                    s += vals[i];
+                                  return s;
+                                });
+  };
+  const double first = run();
+  for (int rep = 0; rep < 5; ++rep) EXPECT_EQ(run(), first);
+}
+
+TEST(ThreadPool, Reduce2SumsBothComponents) {
+  ThreadPool pool(2);
+  auto [a, b] = pool.parallel_reduce2(
+      0, 100, [](std::size_t lo, std::size_t hi) {
+        double s = 0;
+        for (std::size_t i = lo; i < hi; ++i) s += 1.0;
+        return std::make_pair(s, 2.0 * s);
+      });
+  EXPECT_DOUBLE_EQ(a, 100.0);
+  EXPECT_DOUBLE_EQ(b, 200.0);
+}
+
+TEST(ThreadPool, NestedUseOfDifferentPools) {
+  // A kernel running on one pool may use another pool internally.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> total{0};
+  outer.parallel_for(0, 4, [&](std::size_t) {
+    inner.parallel_for(0, 4, [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPool, ManySequentialLaunches) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int rep = 0; rep < 200; ++rep)
+    pool.parallel_for(0, 64, [&](std::size_t) { total++; });
+  EXPECT_EQ(total.load(), 200 * 64);
+}
+
+TEST(GlobalHelpers, ParallelForAndReduce) {
+  std::atomic<int> n{0};
+  parallel_for(0, 10, [&](std::size_t) { n++; });
+  EXPECT_EQ(n.load(), 10);
+  const double s = parallel_reduce(0, 10, [](std::size_t lo, std::size_t hi) {
+    return static_cast<double>(hi - lo);
+  });
+  EXPECT_DOUBLE_EQ(s, 10.0);
+}
+
+}  // namespace
+}  // namespace femto::par

@@ -1,0 +1,85 @@
+#include "simevent/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace femto::sim {
+namespace {
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule(3.0, [&] { order.push_back(3); });
+  eng.schedule(1.0, [&] { order.push_back(1); });
+  eng.schedule(2.0, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eng.now(), 3.0);
+  EXPECT_EQ(eng.events_processed(), 3);
+}
+
+TEST(Engine, SimultaneousEventsAreFifo) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    eng.schedule(5.0, [&order, i] { order.push_back(i); });
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine eng;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) eng.schedule(1.0, step);
+  };
+  eng.schedule(1.0, step);
+  eng.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(eng.now(), 5.0);
+}
+
+TEST(Engine, CannotScheduleInThePast) {
+  Engine eng;
+  eng.schedule(2.0, [&] {
+    EXPECT_THROW(eng.schedule_at(1.0, [] {}), std::invalid_argument);
+  });
+  eng.run();
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule(1.0, [&] { ++fired; });
+  eng.schedule(2.0, [&] { ++fired; });
+  eng.schedule(10.0, [&] { ++fired; });
+  eng.run_until(5.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(eng.now(), 5.0);
+  EXPECT_FALSE(eng.empty());
+  eng.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, ZeroDelayFiresAtCurrentTime) {
+  Engine eng;
+  double seen = -1;
+  eng.schedule(4.0, [&] {
+    eng.schedule(0.0, [&] { seen = eng.now(); });
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(seen, 4.0);
+}
+
+TEST(Engine, ManyEventsScale) {
+  Engine eng;
+  long sum = 0;
+  for (int i = 0; i < 10000; ++i)
+    eng.schedule(static_cast<Time>(i % 97), [&] { ++sum; });
+  eng.run();
+  EXPECT_EQ(sum, 10000);
+}
+
+}  // namespace
+}  // namespace femto::sim

@@ -1,0 +1,199 @@
+#include "solver/cg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dirac/mobius.hpp"
+#include "lattice/gauge.hpp"
+
+namespace femto {
+namespace {
+
+std::shared_ptr<const Geometry> geom44() {
+  return std::make_shared<Geometry>(4, 4, 4, 4);
+}
+
+const MobiusParams kParams{6, -1.8, 1.5, 0.5, 0.1};
+
+struct Fixture {
+  std::shared_ptr<const GaugeField<double>> u;
+  std::unique_ptr<MobiusOperator<double>> op;
+  Fixture() {
+    auto ug = std::make_shared<GaugeField<double>>(geom44());
+    weak_gauge(*ug, 111, 0.25);
+    u = ug;
+    op = std::make_unique<MobiusOperator<double>>(u, kParams);
+  }
+};
+
+TEST(Cg, SolvesIdentityInOneIteration) {
+  auto g = geom44();
+  SpinorField<double> b(g, 2, Subset::Odd), x(g, 2, Subset::Odd);
+  b.gaussian(112);
+  ApplyFn<double> identity = [](SpinorField<double>& out,
+                                const SpinorField<double>& in) {
+    out = in;
+  };
+  auto res = cg<double>(identity, x, b, 1e-12, 10);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 1);
+  blas::axpy(-1.0, b, x);
+  EXPECT_LT(blas::norm2(x), 1e-24 * blas::norm2(b));
+}
+
+TEST(Cg, SolvesDiagonalOperator) {
+  auto g = geom44();
+  SpinorField<double> b(g, 1, Subset::Even), x(g, 1, Subset::Even);
+  b.gaussian(113);
+  ApplyFn<double> diag = [](SpinorField<double>& out,
+                            const SpinorField<double>& in) {
+    out = in;
+    blas::scal(4.0, out);
+  };
+  auto res = cg<double>(diag, x, b, 1e-12, 10);
+  EXPECT_TRUE(res.converged);
+  blas::scal(4.0, x);
+  blas::axpy(-1.0, b, x);
+  EXPECT_LT(blas::norm2(x), 1e-20 * blas::norm2(b));
+}
+
+TEST(Cg, SolvesMobiusNormalEquations) {
+  Fixture s;
+  const auto g = s.u->geom_ptr();
+  SpinorField<double> b(g, kParams.l5, Subset::Odd),
+      x(g, kParams.l5, Subset::Odd), check(g, kParams.l5, Subset::Odd);
+  b.gaussian(114);
+  ApplyFn<double> normal = [&](SpinorField<double>& out,
+                               const SpinorField<double>& in) {
+    s.op->apply_normal(out, in);
+  };
+  auto res = cg<double>(normal, x, b, 1e-10, 2000);
+  ASSERT_TRUE(res.converged) << res.summary();
+  s.op->apply_normal(check, x);
+  blas::axpy(-1.0, b, check);
+  EXPECT_LT(std::sqrt(blas::norm2(check) / blas::norm2(b)), 1e-9);
+}
+
+TEST(Cg, WarmStartReducesIterations) {
+  Fixture s;
+  const auto g = s.u->geom_ptr();
+  SpinorField<double> b(g, kParams.l5, Subset::Odd),
+      x(g, kParams.l5, Subset::Odd);
+  b.gaussian(115);
+  ApplyFn<double> normal = [&](SpinorField<double>& out,
+                               const SpinorField<double>& in) {
+    s.op->apply_normal(out, in);
+  };
+  auto cold = cg<double>(normal, x, b, 1e-8, 2000);
+  ASSERT_TRUE(cold.converged);
+  // Re-solve to a tighter tolerance starting from the converged solution.
+  auto warm = cg<double>(normal, x, b, 1e-10, 2000);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LT(warm.iterations, cold.iterations);
+}
+
+TEST(Cg, ReportsResidualAndFlops) {
+  Fixture s;
+  const auto g = s.u->geom_ptr();
+  SpinorField<double> b(g, kParams.l5, Subset::Odd),
+      x(g, kParams.l5, Subset::Odd);
+  b.gaussian(116);
+  ApplyFn<double> normal = [&](SpinorField<double>& out,
+                               const SpinorField<double>& in) {
+    s.op->apply_normal(out, in);
+  };
+  auto res = cg<double>(normal, x, b, 1e-8, 2000);
+  ASSERT_TRUE(res.converged);
+  EXPECT_LE(res.final_rel_residual, 1e-8);
+  EXPECT_GT(res.flop_count, 0);
+  EXPECT_GT(res.seconds, 0.0);
+  EXPECT_GT(res.gflops(), 0.0);
+  EXPECT_NE(res.summary().find("converged"), std::string::npos);
+}
+
+TEST(Cg, RespectsMaxIter) {
+  Fixture s;
+  const auto g = s.u->geom_ptr();
+  SpinorField<double> b(g, kParams.l5, Subset::Odd),
+      x(g, kParams.l5, Subset::Odd);
+  b.gaussian(117);
+  ApplyFn<double> normal = [&](SpinorField<double>& out,
+                               const SpinorField<double>& in) {
+    s.op->apply_normal(out, in);
+  };
+  auto res = cg<double>(normal, x, b, 1e-14, 3);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 3);
+}
+
+class MixedCgTest : public ::testing::TestWithParam<Precision> {};
+
+TEST_P(MixedCgTest, ConvergesToDoublePrecisionTolerance) {
+  Fixture s;
+  auto uf = std::make_shared<GaugeField<float>>(s.u->convert<float>());
+  MobiusOperator<float> opf(uf, kParams);
+  const auto g = s.u->geom_ptr();
+  SpinorField<double> b(g, kParams.l5, Subset::Odd),
+      x(g, kParams.l5, Subset::Odd), check(g, kParams.l5, Subset::Odd);
+  b.gaussian(118);
+
+  ApplyFn<double> ad = [&](SpinorField<double>& out,
+                           const SpinorField<double>& in) {
+    s.op->apply_normal(out, in);
+  };
+  ApplyFn<float> af = [&](SpinorField<float>& out,
+                          const SpinorField<float>& in) {
+    opf.apply_normal(out, in);
+  };
+
+  SolverParams params;
+  params.tol = 1e-10;
+  params.sloppy = GetParam();
+  auto res = mixed_cg(ad, af, x, b, params);
+  ASSERT_TRUE(res.converged) << res.summary();
+  EXPECT_GT(res.reliable_updates, 0);
+
+  // Verify against the TRUE double operator, independent of the solver's
+  // own residual bookkeeping.
+  s.op->apply_normal(check, x);
+  blas::axpy(-1.0, b, check);
+  EXPECT_LT(std::sqrt(blas::norm2(check) / blas::norm2(b)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, MixedCgTest,
+                         ::testing::Values(Precision::Single,
+                                           Precision::Half),
+                         [](const ::testing::TestParamInfo<Precision>& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(MixedCg, MatchesPureDoubleSolution) {
+  Fixture s;
+  auto uf = std::make_shared<GaugeField<float>>(s.u->convert<float>());
+  MobiusOperator<float> opf(uf, kParams);
+  const auto g = s.u->geom_ptr();
+  SpinorField<double> b(g, kParams.l5, Subset::Odd),
+      xd(g, kParams.l5, Subset::Odd), xm(g, kParams.l5, Subset::Odd);
+  b.gaussian(119);
+
+  ApplyFn<double> ad = [&](SpinorField<double>& out,
+                           const SpinorField<double>& in) {
+    s.op->apply_normal(out, in);
+  };
+  ApplyFn<float> af = [&](SpinorField<float>& out,
+                          const SpinorField<float>& in) {
+    opf.apply_normal(out, in);
+  };
+
+  auto r1 = cg<double>(ad, xd, b, 1e-10, 5000);
+  SolverParams params;
+  params.tol = 1e-10;
+  params.sloppy = Precision::Half;
+  auto r2 = mixed_cg(ad, af, xm, b, params);
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  blas::axpy(-1.0, xd, xm);
+  EXPECT_LT(std::sqrt(blas::norm2(xm) / blas::norm2(xd)), 1e-7);
+}
+
+}  // namespace
+}  // namespace femto

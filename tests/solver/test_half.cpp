@@ -1,0 +1,100 @@
+#include "solver/half.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace femto {
+namespace {
+
+std::shared_ptr<const Geometry> geom44() {
+  return std::make_shared<Geometry>(4, 4, 4, 4);
+}
+
+TEST(HalfStorage, RoundTripErrorBounded) {
+  auto g = geom44();
+  SpinorField<float> f(g, 4, Subset::Odd), back(g, 4, Subset::Odd);
+  f.gaussian(101);
+  HalfSpinorField h(g, 4, Subset::Odd);
+  h.encode(f);
+  h.decode(back);
+  // Fixed point with per-block max-norm scale: error per component is at
+  // most scale / 2 / 32767.
+  for (std::int64_t b = 0; b < h.blocks(); ++b) {
+    float amax = 0;
+    for (int k = 0; k < kSpinorReals; ++k)
+      amax = std::max(amax, std::fabs(f.data()[b * kSpinorReals + k]));
+    for (int k = 0; k < kSpinorReals; ++k) {
+      const float err = std::fabs(back.data()[b * kSpinorReals + k] -
+                                  f.data()[b * kSpinorReals + k]);
+      EXPECT_LE(err, amax / 32767.0f * 0.51f);
+    }
+  }
+}
+
+TEST(HalfStorage, MaxComponentIsExact) {
+  auto g = geom44();
+  SpinorField<float> f(g, 1, Subset::Even), back(g, 1, Subset::Even);
+  f.gaussian(102);
+  HalfSpinorField h(g, 1, Subset::Even);
+  h.encode(f);
+  h.decode(back);
+  // The per-block max maps to +-32767 exactly, so it round-trips to within
+  // one part in 32767 of itself.
+  for (std::int64_t b = 0; b < h.blocks(); ++b) {
+    int arg = 0;
+    float amax = 0;
+    for (int k = 0; k < kSpinorReals; ++k) {
+      const float a = std::fabs(f.data()[b * kSpinorReals + k]);
+      if (a > amax) {
+        amax = a;
+        arg = k;
+      }
+    }
+    EXPECT_NEAR(back.data()[b * kSpinorReals + arg],
+                f.data()[b * kSpinorReals + arg], amax * 1e-4f);
+  }
+}
+
+TEST(HalfStorage, ZeroBlockStaysZero) {
+  auto g = geom44();
+  SpinorField<float> f(g, 1, Subset::Even), back(g, 1, Subset::Even);
+  f.zero();
+  HalfSpinorField h(g, 1, Subset::Even);
+  h.encode(f);
+  h.decode(back);
+  for (std::int64_t k = 0; k < f.reals(); ++k)
+    EXPECT_EQ(back.data()[k], 0.0f);
+}
+
+TEST(HalfStorage, ScaleAdaptsPerBlock) {
+  // A field with wildly different magnitudes per site must preserve
+  // RELATIVE precision per site (per-site scales, not a global scale).
+  auto g = geom44();
+  SpinorField<float> f(g, 1, Subset::Even), back(g, 1, Subset::Even);
+  for (std::int64_t b = 0; b < f.sites(); ++b) {
+    const float mag = std::pow(10.0f, static_cast<float>(b % 9) - 4.0f);
+    for (int k = 0; k < kSpinorReals; ++k)
+      f.data()[b * kSpinorReals + k] =
+          mag * (0.5f + 0.4f * static_cast<float>(k) / kSpinorReals);
+  }
+  HalfSpinorField h(g, 1, Subset::Even);
+  h.encode(f);
+  h.decode(back);
+  for (std::int64_t k = 0; k < f.reals(); ++k) {
+    const float rel =
+        std::fabs(back.data()[k] - f.data()[k]) / std::fabs(f.data()[k]);
+    EXPECT_LT(rel, 1e-4f);
+  }
+}
+
+TEST(HalfStorage, BytesAreHalfOfFloat) {
+  auto g = geom44();
+  SpinorField<float> f(g, 8, Subset::Odd);
+  HalfSpinorField h(g, 8, Subset::Odd);
+  // 2 bytes per component + 4-byte norm per 24-component block.
+  EXPECT_LT(h.bytes(), f.bytes() * 6 / 10);
+}
+
+}  // namespace
+}  // namespace femto

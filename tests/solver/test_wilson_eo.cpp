@@ -1,0 +1,102 @@
+#include "dirac/wilson_eo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lattice/blas.hpp"
+#include "lattice/gauge.hpp"
+#include "solver/cg.hpp"
+
+namespace femto {
+namespace {
+
+std::shared_ptr<const GaugeField<double>> make_gauge(std::uint64_t seed) {
+  auto g = std::make_shared<Geometry>(4, 4, 4, 8);
+  auto u = std::make_shared<GaugeField<double>>(g);
+  weak_gauge(*u, seed, 0.25);
+  return u;
+}
+
+TEST(WilsonEo, SchurSolvesFullSystem) {
+  auto u = make_gauge(901);
+  WilsonEoOperator<double> op(u, 0.1);
+  const auto g = u->geom_ptr();
+  SpinorField<double> x(g, 1, Subset::Full), b(g, 1, Subset::Full);
+  x.gaussian(902);
+  op.apply_full(b, x);
+
+  SpinorField<double> xo(g, 1, Subset::Odd);
+  const auto xov = parity_view(const_cast<const SpinorField<double>&>(x), 1);
+  for (std::int64_t i = 0; i < xo.sites(); ++i)
+    xo.store(0, i, xov.load(0, i));
+
+  SpinorField<double> bhat(g, 1, Subset::Odd), mx(g, 1, Subset::Odd);
+  op.prepare_source(bhat, b);
+  op.apply_schur(mx, xo);
+  blas::axpy(-1.0, bhat, mx);
+  EXPECT_LT(blas::norm2(mx), 1e-18 * blas::norm2(bhat));
+
+  SpinorField<double> xr(g, 1, Subset::Full);
+  op.reconstruct(xr, xo, b);
+  blas::axpy(-1.0, x, xr);
+  EXPECT_LT(blas::norm2(xr), 1e-18 * blas::norm2(x));
+}
+
+TEST(WilsonEo, SchurDaggerAdjointness) {
+  auto u = make_gauge(903);
+  WilsonEoOperator<double> op(u, 0.05);
+  const auto g = u->geom_ptr();
+  SpinorField<double> x(g, 1, Subset::Odd), y(g, 1, Subset::Odd),
+      mx(g, 1, Subset::Odd), mdy(g, 1, Subset::Odd);
+  x.gaussian(904);
+  y.gaussian(905);
+  op.apply_schur(mx, x, false);
+  op.apply_schur(mdy, y, true);
+  const auto lhs = blas::cdot(y, mx);
+  const auto rhs = blas::cdot(mdy, x);
+  EXPECT_NEAR(lhs.re, rhs.re, 1e-9 * (std::abs(lhs.re) + 1));
+  EXPECT_NEAR(lhs.im, rhs.im, 1e-9 * (std::abs(lhs.re) + 1));
+}
+
+TEST(WilsonEo, CgneSolveEndToEnd) {
+  auto u = make_gauge(906);
+  WilsonEoOperator<double> op(u, 0.2);
+  const auto g = u->geom_ptr();
+  SpinorField<double> b(g, 1, Subset::Full), bhat(g, 1, Subset::Odd),
+      rhs(g, 1, Subset::Odd), y(g, 1, Subset::Odd),
+      x(g, 1, Subset::Full), check(g, 1, Subset::Full);
+  b.gaussian(907);
+  op.prepare_source(bhat, b);
+  op.apply_schur(rhs, bhat, true);
+  ApplyFn<double> normal = [&](SpinorField<double>& out,
+                               const SpinorField<double>& in) {
+    op.apply_normal(out, in);
+  };
+  const auto res = cg<double>(normal, y, rhs, 1e-10, 5000);
+  ASSERT_TRUE(res.converged) << res.summary();
+  op.reconstruct(x, y, b);
+  op.apply_full(check, x);
+  blas::axpy(-1.0, b, check);
+  EXPECT_LT(std::sqrt(blas::norm2(check) / blas::norm2(b)), 1e-8);
+}
+
+TEST(WilsonEo, MassShiftsSpectrum) {
+  // Heavier mass -> better conditioned -> fewer CG iterations.
+  auto u = make_gauge(908);
+  const auto g = u->geom_ptr();
+  auto iterations = [&](double mass) {
+    WilsonEoOperator<double> op(u, mass);
+    SpinorField<double> b(g, 1, Subset::Odd), x(g, 1, Subset::Odd);
+    b.gaussian(909);
+    ApplyFn<double> normal = [&](SpinorField<double>& out,
+                                 const SpinorField<double>& in) {
+      op.apply_normal(out, in);
+    };
+    const auto res = cg<double>(normal, x, b, 1e-8, 5000);
+    EXPECT_TRUE(res.converged);
+    return res.iterations;
+  };
+  EXPECT_LT(iterations(0.5), iterations(0.02));
+}
+
+}  // namespace
+}  // namespace femto

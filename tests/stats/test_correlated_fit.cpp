@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lattice/rng.hpp"
+#include "stats/fit.hpp"
+#include "stats/stats.hpp"
+
+namespace femto::stats {
+namespace {
+
+/// Correlated synthetic samples: y_i = truth_i + common * c_i + own_i,
+/// where `common` is a shared fluctuation per sample — exactly the
+/// structure correlator timeslices have.
+std::vector<std::vector<double>> correlated_data(
+    const std::vector<double>& truth, int n_samples, double common_scale,
+    double own_scale, std::uint64_t seed) {
+  std::vector<std::vector<double>> data;
+  for (int s = 0; s < n_samples; ++s) {
+    Xoshiro256 rng(seed, static_cast<std::uint64_t>(s), 0xC0F);
+    const double common = rng.gaussian();
+    std::vector<double> row;
+    for (double v : truth)
+      row.push_back(v + common_scale * common * v +
+                    own_scale * rng.gaussian());
+    data.push_back(row);
+  }
+  return data;
+}
+
+TEST(CovarianceOfMean, DiagonalMatchesStdError) {
+  Xoshiro256 rng(41);
+  std::vector<std::vector<double>> data;
+  std::vector<double> flat;
+  for (int s = 0; s < 500; ++s) {
+    const double v = rng.gaussian();
+    data.push_back({v});
+    flat.push_back(v);
+  }
+  const auto cov = covariance_of_mean(data);
+  EXPECT_NEAR(std::sqrt(cov[0]), std_error(flat), 1e-12);
+}
+
+TEST(CovarianceOfMean, OffDiagonalCapturesSharedFluctuations) {
+  const std::vector<double> truth{1.0, 1.0};
+  const auto data = correlated_data(truth, 2000, 0.1, 0.001, 42);
+  const auto cov = covariance_of_mean(data);
+  // Strong positive correlation between the two dimensions.
+  const double corr = cov[1] / std::sqrt(cov[0] * cov[3]);
+  EXPECT_GT(corr, 0.9);
+}
+
+TEST(CovarianceOfMean, ShrinkageScalesOffDiagonalOnly) {
+  const auto data =
+      correlated_data({1.0, 2.0}, 300, 0.1, 0.01, 43);
+  const auto raw = covariance_of_mean(data, 0.0);
+  const auto shrunk = covariance_of_mean(data, 0.5);
+  EXPECT_DOUBLE_EQ(shrunk[0], raw[0]);
+  EXPECT_DOUBLE_EQ(shrunk[3], raw[3]);
+  EXPECT_NEAR(shrunk[1], 0.5 * raw[1], 1e-15);
+}
+
+TEST(CorrelatedFit, RecoversExponentialFromCorrelatedData) {
+  Model decay = [](const std::vector<double>& p, double t) {
+    return p[0] * std::exp(-p[1] * t);
+  };
+  std::vector<double> x, truth;
+  for (int t = 1; t <= 8; ++t) {
+    x.push_back(t);
+    truth.push_back(3.0 * std::exp(-0.35 * t));
+  }
+  const auto data = correlated_data(truth, 800, 0.05, 1e-4, 44);
+  const auto res = levmar_correlated(decay, x, data, {1.0, 0.2}, 0.05);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.params[0], 3.0, 0.1);
+  EXPECT_NEAR(res.params[1], 0.35, 0.01);
+  EXPECT_GT(res.errors[0], 0.0);
+}
+
+TEST(CorrelatedFit, ChisqHonestWhereDiagonalIsNot) {
+  // With shared fluctuations of a scale comparable to the independent
+  // noise, the diagonal chi^2/dof dips well below 1 (the diagonal sigmas
+  // double-count the common mode the fit absorbs), while the correlated
+  // chi^2/dof stays of order 1.
+  Model constm = [](const std::vector<double>& p, double) { return p[0]; };
+  const std::vector<double> truth(6, 2.0);
+  std::vector<double> x{0, 1, 2, 3, 4, 5};
+  // common shift ~ 0.03*2 = 0.06 absolute, own noise 0.02.
+  const auto data = correlated_data(truth, 600, 0.03, 0.02, 45);
+
+  const auto corr = levmar_correlated(constm, x, data, {1.5}, 0.01);
+  EXPECT_TRUE(corr.converged);
+  // Diagonal fit for comparison.
+  std::vector<double> y(6, 0.0), sg(6, 0.0);
+  for (const auto& row : data)
+    for (int i = 0; i < 6; ++i) y[static_cast<std::size_t>(i)] += row[i];
+  for (auto& v : y) v /= static_cast<double>(data.size());
+  const auto cov = covariance_of_mean(data);
+  for (int i = 0; i < 6; ++i)
+    sg[static_cast<std::size_t>(i)] =
+        std::sqrt(cov[static_cast<std::size_t>(i) * 6 + i]);
+  const auto diag = levmar(constm, x, y, sg, {1.5});
+
+  // Shared fluctuations make the diagonal fit look *too* good.
+  EXPECT_LT(diag.chisq_per_dof(), 0.5);
+  EXPECT_GT(corr.chisq_per_dof(), 2.0 * diag.chisq_per_dof());
+  EXPECT_LT(corr.chisq_per_dof(), 4.0);
+}
+
+TEST(CorrelatedFit, ZeroShrinkageSingularCovarianceThrows) {
+  // More points than samples: the raw covariance is singular; the fit
+  // must say so rather than return garbage.
+  Model constm = [](const std::vector<double>& p, double) { return p[0]; };
+  const std::vector<double> truth(8, 1.0);
+  std::vector<double> x{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto data = correlated_data(truth, 5, 0.0, 1e-3, 46);
+  EXPECT_THROW(levmar_correlated(constm, x, data, {1.0}, 0.0),
+               std::runtime_error);
+  // Shrinkage regulates it.
+  const auto res = levmar_correlated(constm, x, data, {1.0}, 0.5);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(CorrelatedFit, SizeMismatchThrows) {
+  Model constm = [](const std::vector<double>& p, double) { return p[0]; };
+  EXPECT_THROW(
+      levmar_correlated(constm, {0, 1}, {{1.0, 2.0, 3.0}}, {1.0}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace femto::stats

@@ -1,0 +1,128 @@
+#include "stats/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lattice/rng.hpp"
+
+namespace femto::stats {
+namespace {
+
+TEST(Levmar, RecoversLinearModel) {
+  // y = 2x + 1 exactly: the fit must hit machine-accurate parameters.
+  Model line = [](const std::vector<double>& p, double x) {
+    return p[0] * x + p[1];
+  };
+  std::vector<double> x, y, s;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + 1.0);
+    s.push_back(0.1);
+  }
+  const auto res = levmar(line, x, y, s, {0.5, 0.0});
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.params[0], 2.0, 1e-6);
+  EXPECT_NEAR(res.params[1], 1.0, 1e-6);
+  EXPECT_LT(res.chisq, 1e-10);
+  EXPECT_EQ(res.dof, 8);
+}
+
+TEST(Levmar, RecoversExponentialDecay) {
+  Model decay = [](const std::vector<double>& p, double x) {
+    return p[0] * std::exp(-p[1] * x);
+  };
+  std::vector<double> x, y, s;
+  for (int i = 0; i < 16; ++i) {
+    x.push_back(i);
+    y.push_back(3.5 * std::exp(-0.4 * i));
+    s.push_back(0.01 * y.back() + 1e-6);
+  }
+  const auto res = levmar(decay, x, y, s, {1.0, 0.1});
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.params[0], 3.5, 1e-4);
+  EXPECT_NEAR(res.params[1], 0.4, 1e-5);
+}
+
+TEST(Levmar, NoisyFitChisqPerDofNearOne) {
+  Model line = [](const std::vector<double>& p, double x) {
+    return p[0] * x + p[1];
+  };
+  Xoshiro256 rng(21);
+  std::vector<double> x, y, s;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(0.1 * i);
+    s.push_back(0.5);
+    y.push_back(1.3 * x.back() - 0.7 + 0.5 * rng.gaussian());
+  }
+  const auto res = levmar(line, x, y, s, {0.0, 0.0});
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.params[0], 1.3, 0.05);
+  EXPECT_NEAR(res.chisq_per_dof(), 1.0, 0.3);
+  // Errors should be the analytic least-squares errors (order sigma/sqrt N).
+  EXPECT_GT(res.errors[0], 0.0);
+  EXPECT_LT(res.errors[0], 0.05);
+}
+
+TEST(Levmar, ErrorsShrinkWithMoreData) {
+  Model constm = [](const std::vector<double>& p, double) { return p[0]; };
+  auto fit_n = [&](int n) {
+    std::vector<double> x, y, s;
+    for (int i = 0; i < n; ++i) {
+      x.push_back(i);
+      y.push_back(5.0);
+      s.push_back(1.0);
+    }
+    return levmar(constm, x, y, s, {4.0}).errors[0];
+  };
+  const double e100 = fit_n(100);
+  const double e400 = fit_n(400);
+  EXPECT_NEAR(e400, e100 / 2.0, 0.05 * e100);  // 1/sqrt(N)
+}
+
+TEST(Levmar, InputSizeMismatchThrows) {
+  Model m = [](const std::vector<double>& p, double) { return p[0]; };
+  EXPECT_THROW(levmar(m, {1, 2}, {1}, {1, 1}, {0.0}),
+               std::invalid_argument);
+}
+
+TEST(Models, TwoStateCorrelatorLimits) {
+  const std::vector<double> p{2.0, 0.5, 0.3, 0.8};
+  // At large t the excited state dies away.
+  const double t = 20.0;
+  EXPECT_NEAR(two_state_correlator(p, t), 2.0 * std::exp(-0.5 * t),
+              1e-6 * two_state_correlator(p, t));
+  // At t=0: A0 (1 + r).
+  EXPECT_DOUBLE_EQ(two_state_correlator(p, 0.0), 2.0 * 1.3);
+}
+
+TEST(Models, FhEffectiveCouplingPlateau) {
+  const std::vector<double> p{1.271, -0.3, 0.05, 0.5};
+  EXPECT_NEAR(fh_effective_coupling(p, 30.0), 1.271, 1e-5);
+  // Contamination is largest at small t.
+  EXPECT_GT(std::abs(fh_effective_coupling(p, 1.0) - 1.271),
+            std::abs(fh_effective_coupling(p, 5.0) - 1.271));
+}
+
+TEST(Models, TraditionalRatioApproachesFromBelow) {
+  const std::vector<double> p{1.271, -0.3, 0.5};
+  EXPECT_LT(traditional_ratio(p, 2.0), traditional_ratio(p, 10.0));
+  EXPECT_NEAR(traditional_ratio(p, 40.0), 1.271, 1e-8);
+}
+
+TEST(Levmar, FitsFhModelFromItsOwnData) {
+  const std::vector<double> truth{1.271, -0.34, 0.08, 0.5};
+  std::vector<double> x, y, s;
+  for (int t = 2; t <= 12; ++t) {
+    x.push_back(t);
+    y.push_back(fh_effective_coupling(truth, t));
+    s.push_back(0.002);
+  }
+  const auto res =
+      levmar(fh_effective_coupling, x, y, s, {1.2, -0.2, 0.05, 0.4});
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.params[0], 1.271, 1e-3);
+}
+
+}  // namespace
+}  // namespace femto::stats

@@ -1,0 +1,109 @@
+#include "stats/model_average.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lattice/rng.hpp"
+
+namespace femto::stats {
+namespace {
+
+TEST(ModelAverage, SingleWindowEqualsPlainFit) {
+  Model line = [](const std::vector<double>& p, double t) {
+    return p[0] + p[1] * t;
+  };
+  std::vector<double> x, y, s;
+  Xoshiro256 rng(61);
+  for (int t = 0; t < 12; ++t) {
+    x.push_back(t);
+    y.push_back(2.0 + 0.3 * t + 0.05 * rng.gaussian());
+    s.push_back(0.05);
+  }
+  const auto avg =
+      model_average(line, x, y, s, {1.0, 0.0}, {{0, 11}});
+  const auto plain = levmar(line, x, y, s, {1.0, 0.0});
+  EXPECT_NEAR(avg.value, plain.params[0], 1e-10);
+  EXPECT_NEAR(avg.stat_error, plain.errors[0], 1e-10);
+  EXPECT_NEAR(avg.model_error, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(avg.windows[0].weight, 1.0);
+}
+
+TEST(ModelAverage, DownweightsContaminatedWindows) {
+  // Truth: constant 1.27 for t >= 4 but a large un-modelled bump at
+  // small t.  Fitting a CONSTANT over windows starting at t_min =
+  // 1..6, the AIC weights must concentrate on windows that exclude
+  // the contamination, and the average must land near 1.27.
+  Model constm = [](const std::vector<double>& p, double) { return p[0]; };
+  std::vector<double> x, y, s;
+  Xoshiro256 rng(62);
+  for (int t = 1; t <= 12; ++t) {
+    x.push_back(t);
+    const double bump = 0.8 * std::exp(-1.2 * t);  // dies by t ~ 4
+    y.push_back(1.27 + bump + 0.004 * rng.gaussian());
+    s.push_back(0.004);
+  }
+  std::vector<FitWindow> windows;
+  for (int tmin = 1; tmin <= 6; ++tmin) windows.push_back({tmin, 12});
+  const auto avg = model_average(constm, x, y, s, {1.2}, windows);
+
+  EXPECT_NEAR(avg.value, 1.27, 0.01);
+  // Early windows (t_min 1, 2) carry negligible weight.
+  EXPECT_LT(avg.windows[0].weight, 1e-3);
+  EXPECT_LT(avg.windows[1].weight, 0.05);
+  // The best window starts after the bump has died.
+  EXPECT_GE(avg.best().window.t_min, 3);
+}
+
+TEST(ModelAverage, WeightsNormalised) {
+  Model constm = [](const std::vector<double>& p, double) { return p[0]; };
+  std::vector<double> x, y, s;
+  for (int t = 0; t < 10; ++t) {
+    x.push_back(t);
+    y.push_back(5.0);
+    s.push_back(0.1);
+  }
+  const auto avg = model_average(constm, x, y, s, {4.0},
+                                 {{0, 9}, {2, 9}, {4, 9}});
+  double sum = 0;
+  for (const auto& w : avg.windows) sum += w.weight;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ModelAverage, ModelErrorCapturesWindowSpread) {
+  // Data with a slow drift: different windows give different constants,
+  // so the across-window (model) error must be nonzero.
+  Model constm = [](const std::vector<double>& p, double) { return p[0]; };
+  std::vector<double> x, y, s;
+  for (int t = 0; t < 12; ++t) {
+    x.push_back(t);
+    y.push_back(1.0 + 0.02 * t);
+    s.push_back(0.02);
+  }
+  const auto avg = model_average(constm, x, y, s, {1.0},
+                                 {{0, 11}, {4, 11}, {8, 11}});
+  EXPECT_GT(avg.model_error, 0.0);
+  EXPECT_GE(avg.error, avg.stat_error);
+}
+
+TEST(ModelAverage, FailedWindowsGetZeroWeight) {
+  Model constm = [](const std::vector<double>& p, double) { return p[0]; };
+  std::vector<double> x{0, 1, 2, 3}, y{1, 1, 1, 1}, s{0.1, 0.1, 0.1, 0.1};
+  // Second window has zero dof (1 point, 1 param) -> excluded.
+  const auto avg =
+      model_average(constm, x, y, s, {0.5}, {{0, 3}, {3, 3}});
+  EXPECT_DOUBLE_EQ(avg.windows[1].weight, 0.0);
+  EXPECT_NEAR(avg.windows[0].weight, 1.0, 1e-12);
+}
+
+TEST(ModelAverage, ThrowsWhenNothingFits) {
+  Model constm = [](const std::vector<double>& p, double) { return p[0]; };
+  std::vector<double> x{0, 1}, y{1, 1}, s{0.1, 0.1};
+  EXPECT_THROW(model_average(constm, x, y, s, {0.5}, {{5, 9}}),
+               std::runtime_error);
+  EXPECT_THROW(model_average(constm, x, y, s, {0.5}, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace femto::stats

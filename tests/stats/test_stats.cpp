@@ -1,0 +1,119 @@
+#include "stats/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace femto::stats {
+namespace {
+
+TEST(Basic, MeanVarianceKnownValues) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(x), 3.0);
+  EXPECT_DOUBLE_EQ(variance(x), 2.5);
+  EXPECT_DOUBLE_EQ(stddev(x), std::sqrt(2.5));
+  EXPECT_DOUBLE_EQ(std_error(x), std::sqrt(2.5 / 5.0));
+}
+
+TEST(Basic, CovarianceOfLinearlyRelated) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + 1.0);
+  }
+  EXPECT_NEAR(covariance(x, y), 2.0 * variance(x), 1e-9);
+  EXPECT_NEAR(covariance(x, x), variance(x), 1e-12);
+}
+
+TEST(BootstrapTest, ReproducibleIndices) {
+  Bootstrap a(50, 20, 99), b(50, 20, 99);
+  for (int r = 0; r < 20; ++r) EXPECT_EQ(a.indices(r), b.indices(r));
+  Bootstrap c(50, 20, 100);
+  EXPECT_NE(a.indices(0), c.indices(0));
+}
+
+TEST(BootstrapTest, IndicesInRange) {
+  Bootstrap boot(10, 100, 1);
+  for (int b = 0; b < 100; ++b) {
+    EXPECT_EQ(boot.indices(b).size(), 10u);
+    for (int i : boot.indices(b)) {
+      EXPECT_GE(i, 0);
+      EXPECT_LT(i, 10);
+    }
+  }
+}
+
+TEST(BootstrapTest, ErrorMatchesStdErrorOfMean) {
+  // For the sample mean, the bootstrap error must approximate the
+  // classical standard error.
+  Xoshiro256 rng(5);
+  std::vector<std::vector<double>> data;
+  std::vector<double> flat;
+  for (int i = 0; i < 400; ++i) {
+    const double v = rng.gaussian();
+    data.push_back({v});
+    flat.push_back(v);
+  }
+  Bootstrap boot(400, 500, 7);
+  auto [center, err] =
+      boot.estimate(data, [](const std::vector<double>& m) { return m[0]; });
+  EXPECT_NEAR(center, mean(flat), 3.0 * std_error(flat));
+  EXPECT_NEAR(err, std_error(flat), 0.25 * std_error(flat));
+}
+
+TEST(BootstrapTest, NonlinearEstimator) {
+  std::vector<std::vector<double>> data;
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 200; ++i)
+    data.push_back({2.0 + 0.1 * rng.gaussian(), 1.0 + 0.1 * rng.gaussian()});
+  Bootstrap boot(200, 300, 8);
+  auto [ratio, err] = boot.estimate(
+      data, [](const std::vector<double>& m) { return m[0] / m[1]; });
+  EXPECT_NEAR(ratio, 2.0, 0.05);
+  EXPECT_GT(err, 0.0);
+  EXPECT_LT(err, 0.05);
+}
+
+TEST(JackknifeTest, LeaveOneOutMeans) {
+  std::vector<std::vector<double>> data{{1.0}, {2.0}, {3.0}};
+  Jackknife jk(3);
+  const auto means = jk.resampled_means(data);
+  ASSERT_EQ(means.size(), 3u);
+  EXPECT_DOUBLE_EQ(means[0][0], 2.5);  // leave out 1.0
+  EXPECT_DOUBLE_EQ(means[1][0], 2.0);
+  EXPECT_DOUBLE_EQ(means[2][0], 1.5);
+}
+
+TEST(JackknifeTest, ErrorMatchesStdErrorForMean) {
+  Xoshiro256 rng(7);
+  std::vector<std::vector<double>> data;
+  std::vector<double> flat;
+  for (int i = 0; i < 300; ++i) {
+    const double v = 5.0 + rng.gaussian();
+    data.push_back({v});
+    flat.push_back(v);
+  }
+  Jackknife jk(300);
+  auto [center, err] =
+      jk.estimate(data, [](const std::vector<double>& m) { return m[0]; });
+  EXPECT_NEAR(center, mean(flat), 1e-9);
+  // For the mean, jackknife error == standard error exactly.
+  EXPECT_NEAR(err, std_error(flat), 1e-9);
+}
+
+TEST(JackknifeTest, AgreesWithBootstrapOnSmoothEstimator) {
+  Xoshiro256 rng(8);
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 250; ++i)
+    data.push_back({3.0 + 0.2 * rng.gaussian()});
+  auto est = [](const std::vector<double>& m) { return m[0] * m[0]; };
+  Jackknife jk(250);
+  Bootstrap boot(250, 400, 9);
+  const auto [jc, je] = jk.estimate(data, est);
+  const auto [bc, be] = boot.estimate(data, est);
+  EXPECT_NEAR(jc, bc, 3.0 * je);
+  EXPECT_NEAR(je, be, 0.3 * je);
+}
+
+}  // namespace
+}  // namespace femto::stats

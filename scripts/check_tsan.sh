@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# ThreadSanitizer check of the mutating fused reduction kernels.
+#
+# The fused BLAS layer (lattice/blas.hpp) and the half-precision round-trips
+# (solver/half.cpp) mutate field data from inside parallel reductions; their
+# race-freedom rests on the thread pool handing each chunk to exactly one
+# worker.  This script builds the parallel, lattice, and solver test targets
+# with -fsanitize=thread and runs the tests that drive those kernels.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DFEMTO_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target test_parallel test_lattice test_solver
+
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+
+# Everything in the thread pool, then the kernel suites that exercise the
+# fused (mutating) reductions.  Filters keep the tsan run (10-20x slowdown)
+# to the relevant tests.
+"$BUILD_DIR/tests/test_parallel"
+"$BUILD_DIR/tests/test_lattice" --gtest_filter='Blas*.*'
+"$BUILD_DIR/tests/test_solver" --gtest_filter='HalfStorage.*:Cg.*:*MixedCg*'
+
+echo "tsan check passed"

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "lattice/flops.hpp"
+
 namespace femto::core {
 
 SustainedPerf sustained_performance(const machine::MachineSpec& m,
@@ -37,6 +39,12 @@ SustainedPerf sustained_performance(const machine::MachineSpec& m,
      << mpi_rate_factor << ")";
   s.description = os.str();
   return s;
+}
+
+double measured_arithmetic_intensity() {
+  const std::int64_t f = flops::get();
+  const std::int64_t b = flops::bytes();
+  return b > 0 ? static_cast<double>(f) / static_cast<double>(b) : 0.0;
 }
 
 double machine_speedup(const machine::MachineSpec& from,

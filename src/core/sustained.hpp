@@ -38,6 +38,15 @@ SustainedPerf sustained_performance(const machine::MachineSpec& m,
                                     double mpi_rate_factor = 1.0,
                                     const ApplicationSplit& split = {});
 
+/// Measured arithmetic intensity (flop/byte) of everything the kernels
+/// have run since the last flops::reset(): flops::get() / flops::bytes().
+/// This is the measured counterpart of the a-priori intensity in the
+/// perf-model roofline — the paper quotes 1.8-1.9 for the full solver —
+/// and is how the fused-BLAS byte accounting feeds the sustained-
+/// performance estimate (DESIGN.md "Fused BLAS & memory-traffic
+/// accounting").  Returns 0 when no bytes have been recorded.
+double measured_arithmetic_intensity();
+
 /// Machine-to-machine application speed-up for the paper's research
 /// program (S VII: Sierra ~12x and Summit ~15x over Titan).  Evaluated at
 /// the per-job scale the campaign uses (groups of n_gpus_per_job).

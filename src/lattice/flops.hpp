@@ -19,8 +19,16 @@ inline constexpr std::int64_t fifth_dim_per_site(int l5) {
   return std::int64_t(l5) * l5 * 12 * 4;
 }
 
-/// Thread-safe global flop counter.  Kernels add to it; benchmarks and the
-/// sustained-performance accounting read and reset it.
+/// Thread-safe global flop AND byte counters.  Kernels add to them;
+/// benchmarks and the sustained-performance accounting read and reset them.
+///
+/// The byte counter models compulsory DRAM traffic of the BLAS-1 phase the
+/// same way the flop counter models arithmetic: each kernel charges one
+/// read per input field pass, one read + one write for a field it updates
+/// in place (write-allocate), and nothing for data that stays within a
+/// cache-resident block of a single fused pass.  The ratio
+/// flops::get() / flops::bytes() is the measured arithmetic intensity the
+/// paper quotes as 1.8-1.9 for the full solver.
 class Counter {
  public:
   static Counter& global() {
@@ -29,14 +37,26 @@ class Counter {
   }
   void add(std::int64_t n) { count_.fetch_add(n, std::memory_order_relaxed); }
   std::int64_t get() const { return count_.load(std::memory_order_relaxed); }
-  void reset() { count_.store(0, std::memory_order_relaxed); }
+  void add_bytes(std::int64_t n) {
+    bytes_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    count_.store(0, std::memory_order_relaxed);
+    bytes_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> bytes_{0};
 };
 
 inline void add(std::int64_t n) { Counter::global().add(n); }
 inline std::int64_t get() { return Counter::global().get(); }
+inline void add_bytes(std::int64_t n) { Counter::global().add_bytes(n); }
+inline std::int64_t bytes() { return Counter::global().bytes(); }
 inline void reset() { Counter::global().reset(); }
 
 }  // namespace femto::flops

@@ -132,29 +132,45 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       grain);
 }
 
-double ThreadPool::parallel_reduce(
-    std::size_t begin, std::size_t end,
-    const std::function<double(std::size_t, std::size_t)>& chunk_body,
-    std::size_t grain) {
-  if (begin >= end) return 0.0;
+void ThreadPool::parallel_reduce_n(
+    std::size_t begin, std::size_t end, std::size_t ncomp,
+    const std::function<void(std::size_t, std::size_t, double*)>& chunk_body,
+    double* out, std::size_t grain) {
+  assert(ncomp >= 1);
+  for (std::size_t c = 0; c < ncomp; ++c) out[c] = 0.0;
+  if (begin >= end) return;
   const std::size_t n = end - begin;
   grain = std::max<std::size_t>(grain, 1);
   std::size_t n_chunks = std::min(n_threads_, (n + grain - 1) / grain);
   n_chunks = std::max<std::size_t>(n_chunks, 1);
 
-  std::vector<double> partials(n_chunks, 0.0);
+  std::vector<double> partials(n_chunks * ncomp, 0.0);
   parallel_for_chunked(
       0, n_chunks,
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t c = lo; c < hi; ++c) {
           auto [a, b] = chunk_range(begin, end, n_chunks, c);
-          partials[c] = chunk_body(a, b);
+          chunk_body(a, b, partials.data() + c * ncomp);
         }
       },
       1);
 
+  // Fixed chunk order => deterministic for a given thread count.
+  for (std::size_t c = 0; c < n_chunks; ++c)
+    for (std::size_t k = 0; k < ncomp; ++k) out[k] += partials[c * ncomp + k];
+}
+
+double ThreadPool::parallel_reduce(
+    std::size_t begin, std::size_t end,
+    const std::function<double(std::size_t, std::size_t)>& chunk_body,
+    std::size_t grain) {
   double sum = 0.0;
-  for (double p : partials) sum += p;  // fixed chunk order => deterministic
+  parallel_reduce_n(
+      begin, end, 1,
+      [&chunk_body](std::size_t lo, std::size_t hi, double* acc) {
+        acc[0] = chunk_body(lo, hi);
+      },
+      &sum, grain);
   return sum;
 }
 
@@ -163,29 +179,16 @@ std::pair<double, double> ThreadPool::parallel_reduce2(
     const std::function<std::pair<double, double>(std::size_t, std::size_t)>&
         chunk_body,
     std::size_t grain) {
-  if (begin >= end) return {0.0, 0.0};
-  const std::size_t n = end - begin;
-  grain = std::max<std::size_t>(grain, 1);
-  std::size_t n_chunks = std::min(n_threads_, (n + grain - 1) / grain);
-  n_chunks = std::max<std::size_t>(n_chunks, 1);
-
-  std::vector<std::pair<double, double>> partials(n_chunks, {0.0, 0.0});
-  parallel_for_chunked(
-      0, n_chunks,
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t c = lo; c < hi; ++c) {
-          auto [a, b] = chunk_range(begin, end, n_chunks, c);
-          partials[c] = chunk_body(a, b);
-        }
+  double sums[2] = {0.0, 0.0};
+  parallel_reduce_n(
+      begin, end, 2,
+      [&chunk_body](std::size_t lo, std::size_t hi, double* acc) {
+        auto [re, im] = chunk_body(lo, hi);
+        acc[0] = re;
+        acc[1] = im;
       },
-      1);
-
-  double re = 0.0, im = 0.0;
-  for (auto& p : partials) {
-    re += p.first;
-    im += p.second;
-  }
-  return {re, im};
+      sums, grain);
+  return {sums[0], sums[1]};
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
@@ -206,6 +209,14 @@ double parallel_reduce(
     const std::function<double(std::size_t, std::size_t)>& chunk_body,
     std::size_t grain) {
   return ThreadPool::global().parallel_reduce(begin, end, chunk_body, grain);
+}
+
+void parallel_reduce_n(
+    std::size_t begin, std::size_t end, std::size_t ncomp,
+    const std::function<void(std::size_t, std::size_t, double*)>& chunk_body,
+    double* out, std::size_t grain) {
+  ThreadPool::global().parallel_reduce_n(begin, end, ncomp, chunk_body, out,
+                                         grain);
 }
 
 }  // namespace femto::par

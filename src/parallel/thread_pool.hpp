@@ -80,6 +80,22 @@ class ThreadPool {
           chunk_body,
       std::size_t grain = 1);
 
+  /// Generic N-component deterministic reduction.  @p chunk_body receives a
+  /// chunk [lo, hi) and a pointer to its @p ncomp-slot partial accumulator
+  /// (zero-initialised); the @p ncomp sums over chunks, taken in chunk
+  /// order, are written to @p out.
+  ///
+  /// Unlike parallel_reduce, the body is free to MUTATE the data it walks:
+  /// chunks are disjoint and each is visited by exactly one worker, so a
+  /// fused update+reduce kernel (y += a*x accumulating ||y||^2) is race-free
+  /// and, with the fixed combination order, bitwise deterministic for a
+  /// given thread count.  This is the primitive behind the fused BLAS
+  /// kernels in lattice/blas.hpp.
+  void parallel_reduce_n(
+      std::size_t begin, std::size_t end, std::size_t ncomp,
+      const std::function<void(std::size_t, std::size_t, double*)>& chunk_body,
+      double* out, std::size_t grain = 1);
+
   /// The process-wide pool most kernels use.  Constructed on first use.
   static ThreadPool& global();
 
@@ -131,5 +147,10 @@ double parallel_reduce(
     std::size_t begin, std::size_t end,
     const std::function<double(std::size_t, std::size_t)>& chunk_body,
     std::size_t grain = 1);
+
+void parallel_reduce_n(
+    std::size_t begin, std::size_t end, std::size_t ncomp,
+    const std::function<void(std::size_t, std::size_t, double*)>& chunk_body,
+    double* out, std::size_t grain = 1);
 
 }  // namespace femto::par

@@ -8,10 +8,12 @@ namespace femto {
 
 template <typename T>
 SolveResult bicgstab(const ApplyFn<T>& a, SpinorField<T>& x,
-                     const SpinorField<T>& b, double tol, int max_iter) {
+                     const SpinorField<T>& b, double tol, int max_iter,
+                     std::size_t blas_grain) {
   SolveResult res;
   const auto t0 = std::chrono::steady_clock::now();
   const std::int64_t flops0 = flops::get();
+  const std::size_t g = blas_grain == 0 ? blas::kGrain : blas_grain;
 
   const auto geom = b.geom_ptr();
   const int l5 = b.l5();
@@ -19,57 +21,56 @@ SolveResult bicgstab(const ApplyFn<T>& a, SpinorField<T>& x,
 
   SpinorField<T> r = b;
   SpinorField<T> tmp(geom, l5, sub);
-  if (blas::norm2(x) > 0.0) {
+  if (blas::norm2(x, g) > 0.0) {
     a(tmp, x);
-    blas::axpy<T>(-1.0, tmp, r);
+    blas::axpy<T>(-1.0, tmp, r, g);
   }
   const SpinorField<T> rhat = r;  // shadow residual
   SpinorField<T> p = r;
   SpinorField<T> v(geom, l5, sub), s(geom, l5, sub), t(geom, l5, sub);
 
-  const double b2 = blas::norm2(b);
+  const double b2 = blas::norm2(b, g);
   const double target = tol * tol * b2;
-  Cplx<double> rho = blas::cdot(rhat, r);
-  double r2 = blas::norm2(r);
+  Cplx<double> rho = blas::cdot(rhat, r, g);
+  double r2 = blas::norm2(r, g);
 
   while (res.iterations < max_iter && r2 > target) {
     a(v, p);
     ++res.iterations;
-    const Cplx<double> rhat_v = blas::cdot(rhat, v);
+    const Cplx<double> rhat_v = blas::cdot(rhat, v, g);
     if (std::abs(rhat_v.re) + std::abs(rhat_v.im) < 1e-300) break;
     const Cplx<double> alpha = rho / rhat_v;
 
-    // s = r - alpha v
+    // s = r - alpha v, with ||s||^2 folded into the update pass.
     s = r;
-    blas::caxpy<T>(-alpha, v, s);
-    const double s2 = blas::norm2(s);
+    const double s2 = blas::caxpy_norm2<T>(-alpha, v, s, g);
     if (s2 <= target) {
-      blas::caxpy<T>(alpha, p, x);
+      blas::caxpy<T>(alpha, p, x, g);
       r2 = s2;
       break;
     }
 
     a(t, s);
     ++res.iterations;
-    const double t2 = blas::norm2(t);
+    // One pass over t and s gives both <t, s> and ||t||^2 for omega.
+    const auto [ts, t2] = blas::cdot_norm2<T>(t, s, g);
     if (t2 < 1e-300) break;
-    const Cplx<double> omega = blas::cdot(t, s) * Cplx<double>(1.0 / t2);
+    const Cplx<double> omega = ts * Cplx<double>(1.0 / t2);
 
     // x += alpha p + omega s
-    blas::caxpy<T>(alpha, p, x);
-    blas::caxpy<T>(omega, s, x);
-    // r = s - omega t
+    blas::caxpy<T>(alpha, p, x, g);
+    blas::caxpy<T>(omega, s, x, g);
+    // r = s - omega t, with ||r||^2 folded in.
     r = s;
-    blas::caxpy<T>(-omega, t, r);
-    r2 = blas::norm2(r);
+    r2 = blas::caxpy_norm2<T>(-omega, t, r, g);
 
-    const Cplx<double> rho_new = blas::cdot(rhat, r);
+    const Cplx<double> rho_new = blas::cdot(rhat, r, g);
     if (std::abs(rho.re) + std::abs(rho.im) < 1e-300) break;
     const Cplx<double> beta = (rho_new / rho) * (alpha / omega);
     rho = rho_new;
     // p = r + beta (p - omega v)
-    blas::caxpy<T>(-omega, v, p);
-    blas::cxpay<T>(r, beta, p);
+    blas::caxpy<T>(-omega, v, p, g);
+    blas::cxpay<T>(r, beta, p, g);
   }
 
   res.converged = r2 <= target;
@@ -84,9 +85,10 @@ SolveResult bicgstab(const ApplyFn<T>& a, SpinorField<T>& x,
 template SolveResult bicgstab<double>(const ApplyFn<double>&,
                                       SpinorField<double>&,
                                       const SpinorField<double>&, double,
-                                      int);
+                                      int, std::size_t);
 template SolveResult bicgstab<float>(const ApplyFn<float>&,
                                      SpinorField<float>&,
-                                     const SpinorField<float>&, double, int);
+                                     const SpinorField<float>&, double, int,
+                                     std::size_t);
 
 }  // namespace femto

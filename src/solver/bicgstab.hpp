@@ -10,17 +10,20 @@ namespace femto {
 
 /// Solve A x = b for a general (non-Hermitian) operator A.
 /// x carries the initial guess (typically zero) and the result.
+/// Residual updates use the fused caxpy_norm2 / cdot_norm2 kernels.
+/// @p blas_grain: chunk grain for the BLAS kernels (0 = blas::kGrain).
 template <typename T>
 SolveResult bicgstab(const ApplyFn<T>& a, SpinorField<T>& x,
-                     const SpinorField<T>& b, double tol, int max_iter);
+                     const SpinorField<T>& b, double tol, int max_iter,
+                     std::size_t blas_grain = 0);
 
 extern template SolveResult bicgstab<double>(const ApplyFn<double>&,
                                              SpinorField<double>&,
                                              const SpinorField<double>&,
-                                             double, int);
+                                             double, int, std::size_t);
 extern template SolveResult bicgstab<float>(const ApplyFn<float>&,
                                             SpinorField<float>&,
                                             const SpinorField<float>&,
-                                            double, int);
+                                            double, int, std::size_t);
 
 }  // namespace femto

@@ -24,39 +24,57 @@ std::string SolveResult::summary() const {
   return os.str();
 }
 
+namespace {
+
+std::size_t resolve_grain(std::size_t blas_grain) {
+  return blas_grain == 0 ? blas::kGrain : blas_grain;
+}
+
+// The half kernels chunk over 24-real blocks, not reals; derive their grain
+// from the BLAS grain so one tunable covers both.
+std::size_t half_grain(std::size_t blas_grain) {
+  if (blas_grain == 0) return HalfSpinorField::kHalfGrain;
+  return std::max<std::size_t>(1, blas_grain / kSpinorReals);
+}
+
+}  // namespace
+
 template <typename T>
 SolveResult cg(const ApplyFn<T>& a, SpinorField<T>& x,
-               const SpinorField<T>& b, double tol, int max_iter) {
+               const SpinorField<T>& b, double tol, int max_iter,
+               std::size_t blas_grain) {
   SolveResult res;
   const auto t0 = std::chrono::steady_clock::now();
   const std::int64_t flops0 = flops::get();
+  const std::size_t g = resolve_grain(blas_grain);
 
   SpinorField<T> r = b;
   SpinorField<T> ap(b.geom_ptr(), b.l5(), b.subset());
+  const double b2 = blas::norm2(b, g);
   // r = b - A x (skip the matvec if x is zero — caller convention is a
-  // zero initial guess, but handle a warm start correctly anyway).
-  const double xnorm = blas::norm2(x);
+  // zero initial guess, but handle a warm start correctly anyway; when
+  // r = b its norm is b2 already).
+  double rsq = b2;
+  const double xnorm = blas::norm2(x, g);
   if (xnorm > 0.0) {
     a(ap, x);
-    blas::axpy<T>(-1.0, ap, r);
+    rsq = blas::axpy_norm2<T>(-1.0, ap, r, g);
   }
   SpinorField<T> p = r;
 
-  const double b2 = blas::norm2(b);
-  double rsq = blas::norm2(r);
   const double target = tol * tol * b2;
 
   while (res.iterations < max_iter && rsq > target) {
     a(ap, p);
     ++res.iterations;
-    const double pap = blas::redot(p, ap);
+    const double pap = blas::redot(p, ap, g);
     const double alpha = rsq / pap;
-    blas::axpy<T>(alpha, p, x);
-    blas::axpy<T>(-alpha, ap, r);
-    const double rsq_new = blas::norm2(r);
+    // QUDA-style fused update: r and ||r||^2 in one pass, then the x and p
+    // updates share a single pass over p (axpyZpbx).
+    const double rsq_new = blas::axpy_norm2<T>(-alpha, ap, r, g);
     const double beta = rsq_new / rsq;
     rsq = rsq_new;
-    blas::xpay<T>(r, beta, p);
+    blas::axpy_zpbx<T>(alpha, p, x, r, beta, g);
   }
 
   res.converged = rsq <= target;
@@ -68,17 +86,6 @@ SolveResult cg(const ApplyFn<T>& a, SpinorField<T>& x,
   return res;
 }
 
-namespace {
-
-/// Round-trip a float field through 16-bit fixed-point storage: the
-/// precision loss a half-storage solver incurs on every vector it touches.
-void quantize(SpinorField<float>& f, HalfSpinorField& store) {
-  store.encode(f);
-  store.decode(f);
-}
-
-}  // namespace
-
 SolveResult mixed_cg(const ApplyFn<double>& a_double,
                      const ApplyFn<float>& a_single,
                      SpinorField<double>& x, const SpinorField<double>& b,
@@ -86,6 +93,8 @@ SolveResult mixed_cg(const ApplyFn<double>& a_double,
   SolveResult res;
   const auto t0 = std::chrono::steady_clock::now();
   const std::int64_t flops0 = flops::get();
+  const std::size_t g = resolve_grain(params.blas_grain);
+  const std::size_t hg = half_grain(params.blas_grain);
 
   const auto geom = b.geom_ptr();
   const int l5 = b.l5();
@@ -95,13 +104,13 @@ SolveResult mixed_cg(const ApplyFn<double>& a_double,
   // Outer (double) state.
   SpinorField<double> r_d = b;
   SpinorField<double> tmp_d(geom, l5, sub);
-  const double xnorm = blas::norm2(x);
+  const double b2 = blas::norm2(b, g);
+  double r2_d = b2;
+  const double xnorm = blas::norm2(x, g);
   if (xnorm > 0.0) {
     a_double(tmp_d, x);
-    blas::axpy<double>(-1.0, tmp_d, r_d);
+    r2_d = blas::axpy_norm2<double>(-1.0, tmp_d, r_d, g);
   }
-  const double b2 = blas::norm2(b);
-  double r2_d = blas::norm2(r_d);
   const double target = params.tol * params.tol * b2;
 
   // Sloppy state.
@@ -110,12 +119,14 @@ SolveResult mixed_cg(const ApplyFn<double>& a_double,
   HalfSpinorField hstore(geom, l5, sub);
 
   while (r2_d > target && res.iterations < params.max_iter) {
-    // (Re)start the inner solve from the true residual.
-    blas::copy(r_s, r_d);
-    if (half) quantize(r_s, hstore);
-    blas::copy(p_s, r_s);
+    // (Re)start the inner solve from the true residual.  In half mode the
+    // demoted residual is round-tripped through 16-bit storage and its
+    // norm taken in the same pass.
+    blas::copy(r_s, r_d, g);
+    double rsq = half ? hstore.roundtrip_norm2(r_s, hg)
+                      : blas::norm2(r_s, g);
+    blas::copy(p_s, r_s, g);
     xs.zero();
-    double rsq = blas::norm2(r_s);
     const double update_target = rsq * params.delta * params.delta;
     int inner = 0;
 
@@ -125,30 +136,36 @@ SolveResult mixed_cg(const ApplyFn<double>& a_double,
       a_single(ap_s, p_s);
       ++res.iterations;
       ++inner;
-      const double pap = blas::redot(p_s, ap_s);
+      const double pap = blas::redot(p_s, ap_s, g);
       if (!(pap > 0.0)) break;  // sloppy breakdown: force reliable update
       const double alpha = rsq / pap;
-      blas::axpy<float>(alpha, p_s, xs);
-      blas::axpy<float>(-alpha, ap_s, r_s);
+      double rsq_new;
       if (half) {
-        quantize(xs, hstore);
-        quantize(r_s, hstore);
+        // Each vector update fuses with its 16-bit quantisation (and, for
+        // r, with the norm): one pass per field instead of the naive
+        // update + 4-sweep quantize().
+        hstore.axpy_roundtrip(alpha, p_s, xs, hg);
+        rsq_new = hstore.axpy_roundtrip_norm2(-alpha, ap_s, r_s, hg);
+      } else {
+        // QUDA tripleCGUpdate: x += alpha p; r -= alpha ap; ||r||^2.
+        rsq_new = blas::triple_cg_update<float>(alpha, p_s, ap_s, xs, r_s, g);
       }
-      const double rsq_new = blas::norm2(r_s);
       const double beta = rsq_new / rsq;
       rsq = rsq_new;
-      blas::xpay<float>(r_s, beta, p_s);
-      if (half) quantize(p_s, hstore);
+      if (half) {
+        hstore.xpay_roundtrip(r_s, beta, p_s, hg);
+      } else {
+        blas::xpay<float>(r_s, beta, p_s, g);
+      }
     }
 
     // Reliable update: fold the sloppy solution into x, recompute the true
-    // residual in double.
-    blas::copy(tmp_d, xs);  // promote
-    blas::axpy<double>(1.0, tmp_d, x);
+    // residual in double with its norm fused into the subtraction.
+    blas::copy(tmp_d, xs, g);  // promote
+    blas::axpy<double>(1.0, tmp_d, x, g);
     a_double(tmp_d, x);
-    blas::copy(r_d, b);
-    blas::axpy<double>(-1.0, tmp_d, r_d);
-    r2_d = blas::norm2(r_d);
+    blas::copy(r_d, b, g);
+    r2_d = blas::axpy_norm2<double>(-1.0, tmp_d, r_d, g);
     ++res.reliable_updates;
 
     // If the sloppy solver could not take a single step the target is
@@ -166,8 +183,10 @@ SolveResult mixed_cg(const ApplyFn<double>& a_double,
 }
 
 template SolveResult cg<double>(const ApplyFn<double>&, SpinorField<double>&,
-                                const SpinorField<double>&, double, int);
+                                const SpinorField<double>&, double, int,
+                                std::size_t);
 template SolveResult cg<float>(const ApplyFn<float>&, SpinorField<float>&,
-                               const SpinorField<float>&, double, int);
+                               const SpinorField<float>&, double, int,
+                               std::size_t);
 
 }  // namespace femto

@@ -33,6 +33,9 @@ struct SolverParams {
   double delta = 0.1;         ///< reliable-update trigger: inner residual
                               ///< shrinks by this factor vs last update
   int min_inner_iter = 5;     ///< avoid thrashing updates
+  std::size_t blas_grain = 0;  ///< chunk grain for the solver's BLAS
+                               ///< kernels (0 = blas::kGrain); autotuned
+                               ///< via tune::tuned_blas_grain
 };
 
 struct SolveResult {
@@ -51,10 +54,14 @@ struct SolveResult {
 };
 
 /// Plain CG in precision T: solves A x = b, x is both the initial guess
-/// (typically zero) and the result.
+/// (typically zero) and the result.  The iteration body uses the fused
+/// single-pass kernels (axpy_norm2, axpy_zpbx), so each iteration makes 3
+/// full-field BLAS sweeps beyond the matvec instead of the naive 5.
+/// @p blas_grain: chunk grain for those kernels (0 = blas::kGrain).
 template <typename T>
 SolveResult cg(const ApplyFn<T>& a, SpinorField<T>& x,
-               const SpinorField<T>& b, double tol, int max_iter);
+               const SpinorField<T>& b, double tol, int max_iter,
+               std::size_t blas_grain = 0);
 
 /// Mixed-precision CG with reliable updates: the outer residual is held in
 /// double and recomputed with @p a_double; inner CG iterations run in
@@ -69,9 +76,10 @@ SolveResult mixed_cg(const ApplyFn<double>& a_double,
 extern template SolveResult cg<double>(const ApplyFn<double>&,
                                        SpinorField<double>&,
                                        const SpinorField<double>&, double,
-                                       int);
+                                       int, std::size_t);
 extern template SolveResult cg<float>(const ApplyFn<float>&,
                                       SpinorField<float>&,
-                                      const SpinorField<float>&, double, int);
+                                      const SpinorField<float>&, double, int,
+                                      std::size_t);
 
 }  // namespace femto

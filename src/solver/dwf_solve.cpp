@@ -1,5 +1,6 @@
 #include "solver/dwf_solve.hpp"
 
+#include "autotune/blas_tunable.hpp"
 #include "autotune/dslash_tunable.hpp"
 
 namespace femto {
@@ -7,6 +8,10 @@ namespace femto {
 void DwfSolver::autotune() {
   op_d_.tuning() = tune::tuned_dslash_grain<double>(u_d_, mobius_.l5, 0);
   op_f_.tuning() = tune::tuned_dslash_grain<float>(u_f_, mobius_.l5, 0);
+  // Sloppy iterations dominate the BLAS phase, so the single-precision
+  // winner sets the solver grain.
+  sparams_.blas_grain = tune::tuned_blas_grain<float>(u_f_->geom_ptr(),
+                                                     mobius_.l5, Subset::Odd);
 }
 
 DwfSolver::DwfSolver(std::shared_ptr<const GaugeField<double>> u,
@@ -63,8 +68,8 @@ SolveResult DwfSolver::solve_double(SpinorField<double>& x,
     op_d_.apply_normal(out, in);
   };
   SpinorField<double> y(geom, l5, Subset::Odd);
-  SolveResult res =
-      cg<double>(a_d, y, rhs, sparams_.tol, sparams_.max_iter);
+  SolveResult res = cg<double>(a_d, y, rhs, sparams_.tol, sparams_.max_iter,
+                               sparams_.blas_grain);
   op_d_.reconstruct(x, y, b);
   return res;
 }

@@ -60,11 +60,43 @@ class HalfSpinorField {
       vals[k] = static_cast<float>(q[k]) * s;
   }
 
+  /// Default block-grain for the whole-field kernels below (blocks per
+  /// worker chunk); swept by the autotuner like the BLAS grains.
+  static constexpr std::size_t kHalfGrain = 512;
+
   /// Quantise an entire float field into this storage.
-  void encode(const SpinorField<float>& src);
+  void encode(const SpinorField<float>& src, std::size_t grain = kHalfGrain);
 
   /// Expand into a float field.
-  void decode(SpinorField<float>& dst) const;
+  void decode(SpinorField<float>& dst, std::size_t grain = kHalfGrain) const;
+
+  // Fused round-trip kernels.  mixed_cg's reliable-update bookkeeping needs
+  // the working vectors to hold exactly what half storage holds ("quantise":
+  // f = decode(encode(f))).  Done naively that is four full-field sweeps
+  // (encode read+write, decode read+write); fused per block it is one, with
+  // the int16 staging cache-resident.  Each also folds in the BLAS update
+  // and/or norm the solver wants next, so the update, the quantisation and
+  // the reduction share a single pass.  All reductions accumulate in double
+  // per chunk and combine in fixed chunk order (deterministic for a given
+  // thread count), like lattice/blas.hpp.
+
+  /// f = decode(encode(f)); returns ||f||^2 of the quantised field.
+  double roundtrip_norm2(SpinorField<float>& f,
+                         std::size_t grain = kHalfGrain);
+
+  /// y += a*x, then y = decode(encode(y)).
+  void axpy_roundtrip(double a, const SpinorField<float>& x,
+                      SpinorField<float>& y, std::size_t grain = kHalfGrain);
+
+  /// y += a*x, then y = decode(encode(y)); returns ||y||^2 of the
+  /// quantised y.
+  double axpy_roundtrip_norm2(double a, const SpinorField<float>& x,
+                              SpinorField<float>& y,
+                              std::size_t grain = kHalfGrain);
+
+  /// y = x + b*y, then y = decode(encode(y)).
+  void xpay_roundtrip(const SpinorField<float>& x, double b,
+                      SpinorField<float>& y, std::size_t grain = kHalfGrain);
 
  private:
   std::shared_ptr<const Geometry> geom_;

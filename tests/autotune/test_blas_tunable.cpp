@@ -1,0 +1,84 @@
+#include "autotune/blas_tunable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lattice/blas.hpp"
+
+namespace femto::tune {
+namespace {
+
+std::shared_ptr<const Geometry> geom448() {
+  return std::make_shared<Geometry>(4, 4, 4, 8);
+}
+
+TEST(BlasTunable, KeyEncodesKernelShapeAndPrecision) {
+  auto g = geom448();
+  BlasTunable<float> t(g, 8, Subset::Odd, BlasKernel::AxpyNorm2);
+  EXPECT_NE(t.key().find("blas:axpy_norm2"), std::string::npos);
+  EXPECT_NE(t.key().find("4x4x4x8"), std::string::npos);
+  EXPECT_NE(t.key().find("l5=8"), std::string::npos);
+  EXPECT_NE(t.key().find("prec=4"), std::string::npos);
+
+  BlasTunable<double> td(g, 8, Subset::Odd, BlasKernel::AxpyNorm2);
+  EXPECT_NE(td.key(), t.key());
+  BlasTunable<float> tt(g, 8, Subset::Odd, BlasKernel::TripleCgUpdate);
+  EXPECT_NE(tt.key(), t.key());
+  EXPECT_NE(tt.key().find("triple_cg_update"), std::string::npos);
+}
+
+TEST(BlasTunable, CandidatesCoverGrainRange) {
+  auto g = geom448();
+  BlasTunable<float> t(g, 4, Subset::Odd, BlasKernel::AxpyNorm2);
+  const auto c = t.candidates();
+  ASSERT_GE(c.size(), 2u);
+  EXPECT_EQ(c.front().get("grain"), 1024);
+  // Last candidate runs the whole field in one chunk.
+  const std::int64_t reals =
+      g->half_volume() * 4 * static_cast<std::int64_t>(kSpinorReals);
+  EXPECT_EQ(c.back().get("grain"), reals);
+}
+
+TEST(BlasTunable, RestoreUndoesTheSearchMutations) {
+  // The fused kernels are data-destructive; the tuner's backup/restore
+  // hooks must leave the scratch fields bitwise where they started.
+  Autotuner tuner;
+  tuner.set_reps(1);
+  auto g = geom448();
+  BlasTunable<float> t(g, 2, Subset::Odd, BlasKernel::TripleCgUpdate);
+  const SpinorField<float> x_before = t.scratch_x();
+  const SpinorField<float> y_before = t.scratch_y();
+  tuner.tune(t);
+  for (std::int64_t k = 0; k < x_before.reals(); k += 13) {
+    ASSERT_EQ(t.scratch_x().data()[k], x_before.data()[k]) << "k=" << k;
+    ASSERT_EQ(t.scratch_y().data()[k], y_before.data()[k]) << "k=" << k;
+  }
+}
+
+TEST(BlasTunable, TunedGrainComesFromCacheWithFusedEntries) {
+  Autotuner::global().clear();
+  auto g = geom448();
+  const std::size_t grain = tuned_blas_grain<float>(g, 4, Subset::Odd);
+  EXPECT_GT(grain, 0u);
+  // The CG hot-path fused kernels are all visible in the tune cache.
+  EXPECT_GE(Autotuner::global().size(), 3u);
+  const auto misses = Autotuner::global().cache_misses();
+  const std::size_t again = tuned_blas_grain<float>(g, 4, Subset::Odd);
+  EXPECT_EQ(again, grain);
+  EXPECT_EQ(Autotuner::global().cache_misses(), misses);  // pure lookup
+  Autotuner::global().clear();
+}
+
+TEST(BlasTunable, MetricsPopulated) {
+  Autotuner tuner;
+  tuner.set_reps(1);
+  auto g = geom448();
+  BlasTunable<double> t(g, 2, Subset::Even, BlasKernel::AxpyNorm2);
+  const auto& e = tuner.tune(t);
+  EXPECT_GT(e.gflops, 0.0);
+  EXPECT_GT(e.gbytes, 0.0);
+  EXPECT_GT(e.seconds, 0.0);
+  EXPECT_GT(e.candidates_tried, 0);
+}
+
+}  // namespace
+}  // namespace femto::tune

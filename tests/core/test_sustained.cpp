@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "lattice/flops.hpp"
+
 namespace femto::core {
 namespace {
 
@@ -81,6 +83,15 @@ TEST(Sustained, MachineToMachineSpeedupsMatchPaperScale) {
 TEST(Sustained, DescriptionMentionsMachine) {
   const auto s = sustained_performance(machine::summit(), prob48(), 6, 1.0);
   EXPECT_NE(s.description.find("Summit"), std::string::npos);
+}
+
+TEST(Sustained, MeasuredArithmeticIntensityTracksCounters) {
+  flops::reset();
+  EXPECT_EQ(measured_arithmetic_intensity(), 0.0);  // no traffic recorded
+  flops::add(1800);
+  flops::add_bytes(1000);
+  EXPECT_DOUBLE_EQ(measured_arithmetic_intensity(), 1.8);
+  flops::reset();
 }
 
 }  // namespace

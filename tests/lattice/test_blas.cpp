@@ -110,5 +110,169 @@ TEST_F(BlasTest, ReductionsDeterministic) {
   for (int rep = 0; rep < 5; ++rep) EXPECT_EQ(blas::norm2(x), a);
 }
 
+// --- fused single-pass kernels ---------------------------------------------
+
+TEST_F(BlasTest, AxpyNorm2MatchesUnfusedBitwise) {
+  // Same per-element arithmetic and same chunk partition as the separate
+  // axpy + norm2 at equal grain, so the fusion must be bitwise identical.
+  z = y;
+  blas::axpy(0.75, x, z);
+  const double want = blas::norm2(z);
+  SpinorField<double> w = y;
+  const double got = blas::axpy_norm2(0.75, x, w);
+  EXPECT_EQ(got, want);
+  for (std::int64_t k = 0; k < w.reals(); k += 29)
+    EXPECT_EQ(w.data()[k], z.data()[k]);
+}
+
+TEST_F(BlasTest, XpayRedotMatchesUnfused) {
+  z = y;
+  blas::xpay(x, -0.5, z);
+  const double want = blas::redot(x, z);
+  SpinorField<double> w = y;
+  const double got = blas::xpay_redot(x, -0.5, w);
+  EXPECT_EQ(got, want);
+  for (std::int64_t k = 0; k < w.reals(); k += 31)
+    EXPECT_EQ(w.data()[k], z.data()[k]);
+}
+
+TEST_F(BlasTest, AxpbyNorm2MatchesUnfused) {
+  z = y;
+  blas::axpby(2.0, x, -1.0, z);
+  const double want = blas::norm2(z);
+  SpinorField<double> w = y;
+  const double got = blas::axpby_norm2(2.0, x, -1.0, w);
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(BlasTest, TripleCgUpdateMatchesUnfusedBitwise) {
+  // Seed iteration body: x += alpha p; r -= alpha ap; rsq = norm2(r).
+  SpinorField<double> p(g, 4, Subset::Odd), ap(g, 4, Subset::Odd);
+  p.gaussian(7);
+  ap.gaussian(8);
+  const double alpha = 0.375;
+  SpinorField<double> x1 = x, r1 = y;
+  blas::axpy(alpha, p, x1);
+  blas::axpy(-alpha, ap, r1);
+  const double want = blas::norm2(r1);
+  SpinorField<double> x2 = x, r2 = y;
+  const double got = blas::triple_cg_update(alpha, p, ap, x2, r2);
+  EXPECT_EQ(got, want);
+  for (std::int64_t k = 0; k < r2.reals(); k += 37) {
+    EXPECT_EQ(x2.data()[k], x1.data()[k]);
+    EXPECT_EQ(r2.data()[k], r1.data()[k]);
+  }
+}
+
+TEST_F(BlasTest, AxpyZpbxMatchesUnfusedBitwise) {
+  // Seed: x += alpha p (axpy), then p = z + beta p (xpay).
+  SpinorField<double> zz(g, 4, Subset::Odd);
+  zz.gaussian(9);
+  const double alpha = 0.25, beta = 0.6;
+  SpinorField<double> x1 = x, p1 = y;
+  blas::axpy(alpha, p1, x1);
+  blas::xpay(zz, beta, p1);
+  SpinorField<double> x2 = x, p2 = y;
+  blas::axpy_zpbx(alpha, p2, x2, zz, beta);
+  for (std::int64_t k = 0; k < p2.reals(); k += 29) {
+    EXPECT_EQ(x2.data()[k], x1.data()[k]);
+    EXPECT_EQ(p2.data()[k], p1.data()[k]);
+  }
+}
+
+TEST_F(BlasTest, CaxpyNorm2MatchesUnfused) {
+  const Cplx<double> a{0.3, -0.8};
+  z = y;
+  blas::caxpy(a, x, z);
+  const double want = blas::norm2(z);
+  SpinorField<double> w = y;
+  const double got = blas::caxpy_norm2(a, x, w);
+  EXPECT_NEAR(got, want, 1e-12 * want);
+  for (std::int64_t k = 0; k < w.reals(); k += 41)
+    EXPECT_EQ(w.data()[k], z.data()[k]);
+}
+
+TEST_F(BlasTest, CdotNorm2MatchesUnfused) {
+  const auto [dot, n2] = blas::cdot_norm2(x, y);
+  const auto want_dot = blas::cdot(x, y);
+  const double want_n2 = blas::norm2(x);
+  EXPECT_NEAR(dot.re, want_dot.re, 1e-10 * std::abs(want_dot.re) + 1e-12);
+  EXPECT_NEAR(dot.im, want_dot.im, 1e-10 * std::abs(want_dot.im) + 1e-12);
+  EXPECT_NEAR(n2, want_n2, 1e-12 * want_n2);
+}
+
+TEST_F(BlasTest, FusedReductionsBitIdenticalAcrossRuns) {
+  SpinorField<double> p(g, 4, Subset::Odd), ap(g, 4, Subset::Odd);
+  p.gaussian(7);
+  ap.gaussian(8);
+  double first_axpy = 0.0, first_triple = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    SpinorField<double> w = y, x2 = x, r2 = y;
+    const double a = blas::axpy_norm2(0.75, x, w);
+    const double t = blas::triple_cg_update(0.375, p, ap, x2, r2);
+    if (rep == 0) {
+      first_axpy = a;
+      first_triple = t;
+    } else {
+      EXPECT_EQ(a, first_axpy);
+      EXPECT_EQ(t, first_triple);
+    }
+  }
+}
+
+TEST_F(BlasTest, FusedAgreesAcrossGrains) {
+  // Different grains change the summation order, not the update: fields
+  // must stay bitwise equal and the reductions equal to rounding.
+  SpinorField<double> w1 = y, w2 = y;
+  const double n1 = blas::axpy_norm2(0.75, x, w1, 512);
+  const double n2 = blas::axpy_norm2(0.75, x, w2, 64);
+  EXPECT_NEAR(n1, n2, 1e-12 * n1);
+  for (std::int64_t k = 0; k < w1.reals(); k += 17)
+    EXPECT_EQ(w1.data()[k], w2.data()[k]);
+}
+
+TEST_F(BlasTest, ByteCounterModelsTraffic) {
+  const std::int64_t n = x.reals();
+  const auto e = static_cast<std::int64_t>(sizeof(double));
+  flops::reset();
+  blas::axpy(1.0, x, y);
+  EXPECT_EQ(flops::bytes(), 3 * n * e);  // read x, read+write y
+  flops::reset();
+  blas::norm2(x);
+  EXPECT_EQ(flops::bytes(), n * e);  // read x
+  flops::reset();
+  blas::axpy_norm2(1.0, x, y);
+  EXPECT_EQ(flops::bytes(), 3 * n * e);  // fused: no extra pass for the norm
+  flops::reset();
+  SpinorField<double> p(g, 4, Subset::Odd), ap(g, 4, Subset::Odd);
+  p.gaussian(7);
+  ap.gaussian(8);
+  blas::triple_cg_update(0.5, p, ap, x, y);
+  EXPECT_EQ(flops::bytes(), 6 * n * e);  // read p, ap; read+write x, r
+}
+
+TEST_F(BlasTest, FusedIterationMovesFewerBytes) {
+  // The CG iteration body beyond the matvec: seed's 5-kernel sequence vs
+  // the fused 3-kernel sequence, same arithmetic.
+  SpinorField<double> p(g, 4, Subset::Odd), ap(g, 4, Subset::Odd);
+  p.gaussian(7);
+  ap.gaussian(8);
+  flops::reset();
+  blas::redot(p, ap);
+  blas::axpy(0.5, p, x);
+  blas::axpy(-0.5, ap, y);
+  blas::norm2(y);
+  blas::xpay(y, 0.25, p);
+  const std::int64_t unfused = flops::bytes();
+  flops::reset();
+  blas::redot(p, ap);
+  blas::axpy_norm2(-0.5, ap, y);
+  blas::axpy_zpbx(0.5, p, x, y, 0.25);
+  const std::int64_t fused = flops::bytes();
+  EXPECT_LT(fused, unfused);
+  // 10 field-passes instead of 12.
+  EXPECT_EQ(fused * 12, unfused * 10);
+}
+
 }  // namespace
 }  // namespace femto

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "dirac/mobius.hpp"
+#include "lattice/flops.hpp"
 #include "lattice/gauge.hpp"
+#include "solver/half.hpp"
 
 namespace femto {
 namespace {
@@ -193,6 +195,93 @@ TEST(MixedCg, MatchesPureDoubleSolution) {
   ASSERT_TRUE(r2.converged);
   blas::axpy(-1.0, xd, xm);
   EXPECT_LT(std::sqrt(blas::norm2(xm) / blas::norm2(xd)), 1e-7);
+}
+
+TEST(Cg, FusedIterationTrafficMatchesModel) {
+  // Solve a diagonal system with a hand-rolled apply that charges no bytes,
+  // so flops::bytes() isolates the solver's own BLAS traffic.  The fused
+  // iteration makes 10 field-passes beyond the matvec (redot 2,
+  // axpy_norm2 3, axpy_zpbx 5); the seed's unfused body made 12.
+  auto g = geom44();
+  SpinorField<double> b(g, 2, Subset::Even), x(g, 2, Subset::Even);
+  b.gaussian(120);
+  ApplyFn<double> diag = [](SpinorField<double>& out,
+                            const SpinorField<double>& in) {
+    const double* id = in.data();
+    double* od = out.data();
+    for (std::int64_t k = 0; k < in.reals(); ++k) od[k] = 4.0 * id[k];
+  };
+  flops::reset();
+  auto res = cg<double>(diag, x, b, 1e-12, 10);
+  const std::int64_t measured = flops::bytes();
+  ASSERT_TRUE(res.converged);
+  const std::int64_t nb = b.reals() * static_cast<std::int64_t>(
+                                          sizeof(double));
+  // Setup: norm2(b) + norm2(x) = 2 passes (cold start skips norm2(r)).
+  const std::int64_t fused_model = (2 + 10 * res.iterations) * nb;
+  const std::int64_t seed_model = (3 + 12 * res.iterations) * nb;
+  EXPECT_EQ(measured, fused_model);
+  EXPECT_LT(measured, seed_model);
+}
+
+TEST(MixedCg, FusedHalfIterationCutsTrafficByQuarter) {
+  // One inner half-precision iteration's BLAS+quantise work, seed sequence
+  // vs fused, measured via the byte counter (acceptance: >= 25% less).
+  auto g = geom44();
+  SpinorField<float> p(g, 4, Subset::Odd), ap(g, 4, Subset::Odd),
+      xs(g, 4, Subset::Odd), r(g, 4, Subset::Odd);
+  p.gaussian(121);
+  ap.gaussian(122);
+  xs.gaussian(123);
+  r.gaussian(124);
+  HalfSpinorField store(g, 4, Subset::Odd);
+
+  flops::reset();
+  // Seed: redot, axpy x2, quantize x2 (4 sweeps each), norm2, xpay,
+  // quantize.
+  blas::redot(p, ap);
+  blas::axpy<float>(0.5, p, xs);
+  blas::axpy<float>(-0.5, ap, r);
+  store.encode(xs);
+  store.decode(xs);
+  store.encode(r);
+  store.decode(r);
+  blas::norm2(r);
+  blas::xpay<float>(r, 0.25, p);
+  store.encode(p);
+  store.decode(p);
+  const std::int64_t unfused = flops::bytes();
+
+  flops::reset();
+  blas::redot(p, ap);
+  store.axpy_roundtrip(0.5, p, xs);
+  store.axpy_roundtrip_norm2(-0.5, ap, r);
+  store.xpay_roundtrip(r, 0.25, p);
+  const std::int64_t fused = flops::bytes();
+
+  EXPECT_LE(4 * fused, 3 * unfused)
+      << "fused=" << fused << " unfused=" << unfused;
+}
+
+TEST(Cg, BlasGrainDoesNotChangeConvergence) {
+  Fixture s;
+  const auto g = s.u->geom_ptr();
+  SpinorField<double> b(g, kParams.l5, Subset::Odd),
+      x1(g, kParams.l5, Subset::Odd), x2(g, kParams.l5, Subset::Odd);
+  b.gaussian(125);
+  ApplyFn<double> normal = [&](SpinorField<double>& out,
+                               const SpinorField<double>& in) {
+    s.op->apply_normal(out, in);
+  };
+  auto r1 = cg<double>(normal, x1, b, 1e-10, 2000);
+  auto r2 = cg<double>(normal, x2, b, 1e-10, 2000, /*blas_grain=*/1024);
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  // The grain only reorders reduction partials; iteration counts must be
+  // equal or within the usual last-iteration wobble.
+  EXPECT_NEAR(r1.iterations, r2.iterations, 1);
+  blas::axpy(-1.0, x1, x2);
+  EXPECT_LT(std::sqrt(blas::norm2(x2) / blas::norm2(x1)), 1e-8);
 }
 
 }  // namespace

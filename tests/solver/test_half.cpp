@@ -4,6 +4,9 @@
 
 #include <cmath>
 
+#include "lattice/blas.hpp"
+#include "lattice/flops.hpp"
+
 namespace femto {
 namespace {
 
@@ -94,6 +97,98 @@ TEST(HalfStorage, BytesAreHalfOfFloat) {
   HalfSpinorField h(g, 8, Subset::Odd);
   // 2 bytes per component + 4-byte norm per 24-component block.
   EXPECT_LT(h.bytes(), f.bytes() * 6 / 10);
+}
+
+// --- fused round-trips ------------------------------------------------------
+
+TEST(HalfStorage, RoundtripNorm2MatchesEncodeDecode) {
+  auto g = geom44();
+  SpinorField<float> f(g, 4, Subset::Odd), want(g, 4, Subset::Odd);
+  f.gaussian(103);
+  want = f;
+  HalfSpinorField h(g, 4, Subset::Odd);
+  h.encode(want);
+  h.decode(want);
+  double want_n2 = 0;
+  for (std::int64_t k = 0; k < want.reals(); ++k)
+    want_n2 += static_cast<double>(want.data()[k]) *
+               static_cast<double>(want.data()[k]);
+
+  HalfSpinorField h2(g, 4, Subset::Odd);
+  const double got_n2 = h2.roundtrip_norm2(f);
+  for (std::int64_t k = 0; k < f.reals(); ++k)
+    ASSERT_EQ(f.data()[k], want.data()[k]) << "k=" << k;
+  EXPECT_NEAR(got_n2, want_n2, 1e-10 * want_n2);
+}
+
+TEST(HalfStorage, AxpyRoundtripMatchesUnfusedSequence) {
+  auto g = geom44();
+  SpinorField<float> x(g, 2, Subset::Odd), y1(g, 2, Subset::Odd);
+  x.gaussian(104);
+  y1.gaussian(105);
+  SpinorField<float> y2 = y1;
+
+  // Seed sequence: axpy then a full encode/decode quantise.
+  const float a = 0.375f;
+  for (std::int64_t k = 0; k < y1.reals(); ++k)
+    y1.data()[k] += a * x.data()[k];
+  HalfSpinorField h1(g, 2, Subset::Odd);
+  h1.encode(y1);
+  h1.decode(y1);
+
+  HalfSpinorField h2(g, 2, Subset::Odd);
+  h2.axpy_roundtrip(0.375, x, y2);
+  for (std::int64_t k = 0; k < y1.reals(); ++k)
+    ASSERT_EQ(y2.data()[k], y1.data()[k]) << "k=" << k;
+
+  // And the norm-fused variant returns the quantised norm.
+  SpinorField<float> y3(g, 2, Subset::Odd);
+  y3.gaussian(105);
+  HalfSpinorField h3(g, 2, Subset::Odd);
+  const double n2 = h3.axpy_roundtrip_norm2(0.375, x, y3);
+  double want = 0;
+  for (std::int64_t k = 0; k < y3.reals(); ++k)
+    want += static_cast<double>(y3.data()[k]) *
+            static_cast<double>(y3.data()[k]);
+  EXPECT_NEAR(n2, want, 1e-10 * want);
+}
+
+TEST(HalfStorage, XpayRoundtripMatchesUnfusedSequence) {
+  auto g = geom44();
+  SpinorField<float> x(g, 2, Subset::Odd), y1(g, 2, Subset::Odd);
+  x.gaussian(106);
+  y1.gaussian(107);
+  SpinorField<float> y2 = y1;
+
+  const float b = -0.625f;
+  for (std::int64_t k = 0; k < y1.reals(); ++k)
+    y1.data()[k] = x.data()[k] + b * y1.data()[k];
+  HalfSpinorField h1(g, 2, Subset::Odd);
+  h1.encode(y1);
+  h1.decode(y1);
+
+  HalfSpinorField h2(g, 2, Subset::Odd);
+  h2.xpay_roundtrip(x, -0.625, y2);
+  for (std::int64_t k = 0; k < y1.reals(); ++k)
+    ASSERT_EQ(y2.data()[k], y1.data()[k]) << "k=" << k;
+}
+
+TEST(HalfStorage, FusedRoundtripChargesFewerBytes) {
+  auto g = geom44();
+  SpinorField<float> x(g, 4, Subset::Odd), y(g, 4, Subset::Odd);
+  x.gaussian(108);
+  y.gaussian(109);
+  HalfSpinorField h(g, 4, Subset::Odd);
+  flops::reset();
+  // Seed: 3-pass axpy + 4-sweep quantise.
+  blas::axpy<float>(0.5, x, y);
+  h.encode(y);
+  h.decode(y);
+  const std::int64_t unfused = flops::bytes();
+  flops::reset();
+  h.axpy_roundtrip(0.5, x, y);
+  const std::int64_t fused = flops::bytes();
+  EXPECT_LT(fused, unfused);
 }
 
 }  // namespace

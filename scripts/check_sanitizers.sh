@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# AddressSanitizer + UndefinedBehaviorSanitizer sweep of the tier-1 suite.
+#
+# The numerics tests check values; they cannot see a heap overflow that
+# happens to land in padding, a use-after-move, or signed overflow that the
+# optimizer folded away.  This script builds the whole tree twice -- once
+# with -fsanitize=address, once with -fsanitize=undefined (non-recoverable,
+# so any UB aborts the test) -- and runs the full tier-1 ctest suite under
+# each.  See DESIGN.md §8.
+#
+# Usage: scripts/check_sanitizers.sh [asan|ubsan]   (default: both)
+
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+run_one() {
+  local name="$1" build_dir="$2" flag="$3"
+  echo "=== ${name}: configure + build (${build_dir}) ==="
+  cmake -B "$build_dir" -S . "-D${flag}=ON" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo || return 1
+  cmake --build "$build_dir" -j || return 1
+  echo "=== ${name}: tier-1 ctest ==="
+  (cd "$build_dir" && ctest --output-on-failure -j "$(nproc)") || return 1
+  echo "=== ${name}: PASS ==="
+}
+
+export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1 ${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+
+which="${1:-both}"
+rc=0
+
+if [[ "$which" == "asan" || "$which" == "both" ]]; then
+  run_one "asan" build-asan FEMTO_ASAN || rc=1
+fi
+if [[ "$which" == "ubsan" || "$which" == "both" ]]; then
+  run_one "ubsan" build-ubsan FEMTO_UBSAN || rc=1
+fi
+
+if [[ $rc -eq 0 ]]; then
+  echo "sanitizer check passed"
+else
+  echo "sanitizer check FAILED" >&2
+fi
+exit $rc

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "core/check.hpp"
+
 namespace femto::comm {
 
 const char* to_string(CommPolicy p) {
@@ -18,8 +20,12 @@ const char* to_string(Granularity g) {
 
 HaloField::HaloField(std::array<int, 4> local_extents, int n_reals)
     : local_(local_extents), n_reals_(n_reals) {
+  FEMTO_CHECK(n_reals > 0, "HaloField: n_reals must be positive");
   vol_ = 1;
-  for (int d : local_) vol_ *= d;
+  for (int d : local_) {
+    FEMTO_CHECK(d >= 1, "HaloField: every local extent must be >= 1");
+    vol_ *= d;
+  }
   data_.resize(static_cast<size_t>(vol_ * n_reals_));
   for (int mu = 0; mu < 4; ++mu) {
     const std::int64_t fs = face_sites(mu);
@@ -43,6 +49,7 @@ std::int64_t HaloField::face_index(int mu, std::array<int, 4> c) const {
 
 void HaloExchanger::pack_face(const HaloField& f, int mu, bool fwd_face,
                               std::vector<double>& buf) const {
+  FEMTO_ASSERT(mu >= 0 && mu < 4);
   const int face_x = fwd_face ? f.extent(mu) - 1 : 0;
   buf.resize(static_cast<size_t>(f.face_sites(mu) * f.n_reals()));
   std::array<int, 4> c{};
@@ -83,7 +90,13 @@ std::vector<std::byte> to_bytes(const std::vector<double>& v) {
   return p;
 }
 
-void from_bytes(const std::vector<std::byte>& p, double* out) {
+// Unpack a wire payload into a ghost buffer of @p n_expected doubles.  A
+// size mismatch means the sender's face extents disagree with ours —
+// corrupt ghost zones, not a recoverable condition.
+void from_bytes(const std::vector<std::byte>& p, double* out,
+                std::size_t n_expected) {
+  FEMTO_CHECK(p.size() == n_expected * sizeof(double),
+              "halo payload size does not match the ghost buffer extent");
   std::memcpy(out, p.data(), p.size());
 }
 }  // namespace
@@ -94,9 +107,11 @@ void HaloExchanger::wrap_dim_local(HaloField& field, int mu,
   // face (periodic wrap), no message needed.
   std::vector<double> buf;
   pack_face(field, mu, /*fwd_face=*/true, buf);
+  FEMTO_ASSERT(buf.size() == field.ghost_bwd_[static_cast<size_t>(mu)].size());
   std::memcpy(field.ghost_bwd_[static_cast<size_t>(mu)].data(), buf.data(),
               buf.size() * sizeof(double));
   pack_face(field, mu, /*fwd_face=*/false, buf);
+  FEMTO_ASSERT(buf.size() == field.ghost_fwd_[static_cast<size_t>(mu)].size());
   std::memcpy(field.ghost_fwd_[static_cast<size_t>(mu)].data(), buf.data(),
               buf.size() * sizeof(double));
   stats.unpack_passes += 1;
@@ -133,8 +148,10 @@ void HaloExchanger::exchange_dim(RankHandle& h, HaloField& field, int mu,
   Message mb = h.recv(nb, halo_tag(mu, true));
   Message mf = h.recv(nf, halo_tag(mu, false));
   if (policy_ == CommPolicy::HostStaged) stats.staging_copies += 2;
-  from_bytes(mb.payload, field.ghost_bwd_[static_cast<size_t>(mu)].data());
-  from_bytes(mf.payload, field.ghost_fwd_[static_cast<size_t>(mu)].data());
+  from_bytes(mb.payload, field.ghost_bwd_[static_cast<size_t>(mu)].data(),
+             field.ghost_bwd_[static_cast<size_t>(mu)].size());
+  from_bytes(mf.payload, field.ghost_fwd_[static_cast<size_t>(mu)].data(),
+             field.ghost_fwd_[static_cast<size_t>(mu)].size());
 }
 
 void HaloExchanger::exchange_begin(RankHandle& h, HaloField& field,
@@ -181,8 +198,10 @@ void HaloExchanger::exchange_finish(RankHandle& h, HaloField& field,
     Message mb = h.recv(nb, halo_tag(mu, true));
     Message mf = h.recv(nf, halo_tag(mu, false));
     if (policy_ == CommPolicy::HostStaged) local.staging_copies += 2;
-    from_bytes(mb.payload, field.ghost_bwd_[static_cast<size_t>(mu)].data());
-    from_bytes(mf.payload, field.ghost_fwd_[static_cast<size_t>(mu)].data());
+    from_bytes(mb.payload, field.ghost_bwd_[static_cast<size_t>(mu)].data(),
+               field.ghost_bwd_[static_cast<size_t>(mu)].size());
+    from_bytes(mf.payload, field.ghost_fwd_[static_cast<size_t>(mu)].data(),
+               field.ghost_fwd_[static_cast<size_t>(mu)].size());
     if (granularity_ == Granularity::PerDimension) local.unpack_passes += 1;
   }
   if (granularity_ == Granularity::Fused) local.unpack_passes += 1;

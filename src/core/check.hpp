@@ -1,0 +1,59 @@
+#pragma once
+// femtocheck invariant layer: checked-build assertions.
+//
+// FEMTO_ASSERT / FEMTO_CHECK compile to real tests only when the build
+// defines FEMTO_CHECKED (the `checked` CMake preset / -DFEMTO_CHECKED=ON).
+// In normal builds the condition is parsed but never evaluated, so checks
+// can sit on hot paths (field accessors, neighbour lookups) at zero cost.
+//
+//   FEMTO_ASSERT(cond)       -- hot-path invariant, expression-only message
+//   FEMTO_CHECK(cond, msg)   -- invariant with an explanatory message
+//
+// A failed check prints file:line, the expression, and the message, then
+// aborts: checked builds fail fast and loudly instead of feeding corrupt
+// indices or non-finite residuals into a fit.  See DESIGN.md §8.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace femto::check {
+
+[[noreturn]] inline void fail(const char* file, int line, const char* expr,
+                              const char* msg) {
+  std::fprintf(stderr, "FEMTO_CHECK failed: %s:%d: (%s)%s%s\n", file, line,
+               expr, (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace femto::check
+
+#if defined(FEMTO_CHECKED)
+#define FEMTO_CHECKED_ENABLED 1
+#define FEMTO_ASSERT(cond)                                       \
+  do {                                                           \
+    if (!(cond)) ::femto::check::fail(__FILE__, __LINE__, #cond, ""); \
+  } while (0)
+#define FEMTO_CHECK(cond, msg)                                     \
+  do {                                                             \
+    if (!(cond)) ::femto::check::fail(__FILE__, __LINE__, #cond, msg); \
+  } while (0)
+#else
+#define FEMTO_CHECKED_ENABLED 0
+// The condition still has to parse (catching bit-rot in the checks
+// themselves) but is never evaluated at run time.
+#define FEMTO_ASSERT(cond) \
+  do {                     \
+    if (false) {           \
+      (void)(cond);        \
+    }                      \
+  } while (0)
+#define FEMTO_CHECK(cond, msg) \
+  do {                         \
+    if (false) {               \
+      (void)(cond);            \
+      (void)(msg);             \
+    }                          \
+  } while (0)
+#endif

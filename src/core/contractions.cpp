@@ -3,11 +3,22 @@
 #include <cmath>
 #include <numbers>
 
+#include "lattice/flops.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace femto::core {
 
 namespace {
+
+/// Bytes of one propagator's data at a single site: 12 source components,
+/// each a 24-real double spinor.
+constexpr std::int64_t kPropSiteBytes =
+    12 * kSpinorReals * static_cast<std::int64_t>(sizeof(double));
+
+/// Coarse flop model for one Levi-Civita pair in the nucleon contraction:
+/// ~5 SpinMat (4x4 complex) multiplies at 4*4*(4*3+2*2) = 384+ flops plus
+/// block extraction and traces.
+constexpr std::int64_t kEpsPairFlops = 2500;
 
 /// The nonzero entries of the 3D Levi-Civita tensor.
 struct Eps {
@@ -116,6 +127,11 @@ Correlator contract(const Propagator& u, const Propagator* fh,
       },
       64);
 
+  // 36 Levi-Civita pairs per site, twice when the FH substitution doubles
+  // the Wick terms; traffic is one read pass per propagator streamed.
+  flops::add(geom.volume() * 36 * kEpsPairFlops * (fh != nullptr ? 2 : 1));
+  flops::add_bytes(geom.volume() * kPropSiteBytes *
+                   (fh != nullptr ? 3 : 2));
   return corr;
 }
 
@@ -166,6 +182,10 @@ Correlator pion_two_point(const Propagator& quark, int t_src,
               local[static_cast<std::size_t>(t)];
       },
       64);
+  // Per site: |column|^2 over 12 sources x 4 sink spins (3 flops per
+  // complex norm) plus the momentum phase; one propagator read pass.
+  flops::add(geom.volume() * (12 * 4 * kNc + 24));
+  flops::add_bytes(geom.volume() * kPropSiteBytes);
   return corr;
 }
 

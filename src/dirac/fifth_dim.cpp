@@ -59,6 +59,10 @@ void FifthDimOp::apply(const SpinorView<T>& out,
       grain);
 
   flops::add(flops::fifth_dim_per_site(n) * out.sites);
+  // Compulsory traffic: the hopping matrices are L5 x L5 constants held in
+  // cache; the field traffic is one read of in and one write of out.
+  flops::add_bytes(2 * out.sites * n * kSpinorReals *
+                   static_cast<std::int64_t>(sizeof(T)));
 }
 
 template void FifthDimOp::apply<double>(const SpinorView<double>&,

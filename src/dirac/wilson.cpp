@@ -74,6 +74,12 @@ void dslash_kernel(const SpinorView<T>& out, const GaugeT& u,
       tune.grain);
 
   flops::add(flops::kWilsonDslashPerSite * volh * l5);
+  // Compulsory traffic: stream the input parity once, the gauge field once
+  // (8 links per output site = one pass over all 4 volh * 2 links; s5
+  // re-reads are cache hits), and write the output parity.
+  const std::int64_t spinor_bytes =
+      volh * l5 * kSpinorReals * static_cast<std::int64_t>(sizeof(T));
+  flops::add_bytes(2 * spinor_bytes + u.bytes());
 }
 
 }  // namespace

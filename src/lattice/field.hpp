@@ -13,6 +13,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/check.hpp"
 #include "lattice/geometry.hpp"
 #include "lattice/rng.hpp"
 #include "lattice/spinor.hpp"
@@ -70,6 +71,8 @@ class SpinorField {
   /// Offset (in reals) of the spinor at 5th-dim slice @p s and 4D site
   /// index @p i (index within this field's subset).
   std::int64_t offset(int s, std::int64_t i) const {
+    FEMTO_ASSERT(s >= 0 && s < l5_);
+    FEMTO_ASSERT(i >= 0 && i < sites());
     return (std::int64_t(s) * sites() + i) * kSpinorReals;
   }
 
@@ -149,6 +152,8 @@ struct SpinorView {
       : data(o.data), stride(o.stride), sites(o.sites), l5(o.l5) {}
 
   std::int64_t offset(int s, std::int64_t i) const {
+    FEMTO_ASSERT(s >= 0 && s < l5);
+    FEMTO_ASSERT(i >= 0 && i < sites);
     return (std::int64_t(s) * stride + i) * kSpinorReals;
   }
 
@@ -233,6 +238,8 @@ class GaugeField {
   const T* data() const { return data_.data(); }
 
   std::int64_t offset(int mu, std::int64_t site) const {
+    FEMTO_ASSERT(mu >= 0 && mu < 4);
+    FEMTO_ASSERT(site >= 0 && site < geom_->volume());
     return (std::int64_t(mu) * geom_->volume() + site) * kLinkReals;
   }
 

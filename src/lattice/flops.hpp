@@ -19,6 +19,16 @@ inline constexpr std::int64_t fifth_dim_per_site(int l5) {
   return std::int64_t(l5) * l5 * 12 * 4;
 }
 
+/// SU(3) matrix-matrix multiply: 9 entries x (3 cmul + 2 cadd) = 198 flops.
+inline constexpr std::int64_t kSu3MatmulFlops = 198;
+
+/// SU(3) matrix-vector multiply: 3 rows x (3 cmul + 2 cadd) = 66 flops.
+inline constexpr std::int64_t kSu3MatvecFlops = 66;
+
+/// Sum of the six staples around one link: 4 matmuls per orthogonal
+/// direction (upper + lower staple, 2 each) plus 6 matrix adds.
+inline constexpr std::int64_t kStapleFlops = 12 * kSu3MatmulFlops + 6 * 18;
+
 /// Thread-safe global flop AND byte counters.  Kernels add to them;
 /// benchmarks and the sustained-performance accounting read and reset them.
 ///

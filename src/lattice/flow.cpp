@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "lattice/flops.hpp"
 #include "lattice/gauge.hpp"
 #include "lattice/observables.hpp"
 #include "parallel/thread_pool.hpp"
@@ -52,6 +53,11 @@ void wilson_flow_step(GaugeField<double>& u, double epsilon) {
                         out.store(mu, site, su3_exp(z) * link);
                       }
                     });
+  // Per link: staple sum, omega matmul, ~16-term Taylor exponential plus
+  // projection (~20 matmuls-worth).  Traffic: read u, write out.
+  flops::add(geom.volume() * 4 *
+             (flops::kStapleFlops + 20 * flops::kSu3MatmulFlops));
+  flops::add_bytes(2 * u.bytes());
   u = std::move(out);
 }
 

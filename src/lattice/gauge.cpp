@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "lattice/flops.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace femto {
@@ -30,6 +31,8 @@ void unit_gauge(GaugeField<double>& u) {
 
 void hot_gauge(GaugeField<double>& u, std::uint64_t seed) {
   const auto& geom = u.geom();
+  // femtolint: allow(kernel-traffic): RNG-bound initialisation, not a
+  // measured stencil/BLAS path; charging it would skew solver AI numbers.
   par::parallel_for(0, static_cast<size_t>(geom.volume()), [&](size_t s) {
     for (int mu = 0; mu < 4; ++mu) {
       Xoshiro256 rng(seed, s, static_cast<std::uint64_t>(mu));
@@ -40,6 +43,7 @@ void hot_gauge(GaugeField<double>& u, std::uint64_t seed) {
 
 void weak_gauge(GaugeField<double>& u, std::uint64_t seed, double eps) {
   const auto& geom = u.geom();
+  // femtolint: allow(kernel-traffic): RNG-bound initialisation, as above.
   par::parallel_for(0, static_cast<size_t>(geom.volume()), [&](size_t s) {
     for (int mu = 0; mu < 4; ++mu) {
       Xoshiro256 rng(seed, s, static_cast<std::uint64_t>(mu));
@@ -70,6 +74,9 @@ double plaquette(const GaugeField<double>& u) {
         }
         return acc;
       });
+  // 6 planes x 3 matmuls per site; one read pass over the gauge field.
+  flops::add(geom.volume() * 6 * 3 * flops::kSu3MatmulFlops);
+  flops::add_bytes(u.bytes());
   return sum / (3.0 * 6.0 * static_cast<double>(geom.volume()));
 }
 
@@ -200,6 +207,12 @@ void heatbath_sweep(GaugeField<double>& u, double beta, std::uint64_t seed,
       });
     }
   }
+  // 8 (parity, mu) classes of volh links: staple sum + 3 SU(2) subgroup
+  // updates + projection (~4 matmuls-worth) each.  Traffic: the sweep
+  // reads the staple environment and rewrites every link once.
+  flops::add(8 * geom.half_volume() *
+             (flops::kStapleFlops + 4 * flops::kSu3MatmulFlops));
+  flops::add_bytes(2 * u.bytes());
 }
 
 GaugeField<double> quenched_config(std::shared_ptr<const Geometry> geom,

@@ -91,12 +91,14 @@ Coord Geometry::coord(std::int64_t site) const {
 }
 
 std::int64_t Geometry::site_fwd(std::int64_t site, int mu) const {
+  FEMTO_ASSERT(site >= 0 && site < vol_);
   const int par = site >= volh_ ? 1 : 0;
   const std::int64_t cb = site - std::int64_t(par) * volh_;
   return std::int64_t(1 - par) * volh_ + neighbor_fwd(par, cb, mu);
 }
 
 std::int64_t Geometry::site_bwd(std::int64_t site, int mu) const {
+  FEMTO_ASSERT(site >= 0 && site < vol_);
   const int par = site >= volh_ ? 1 : 0;
   const std::int64_t cb = site - std::int64_t(par) * volh_;
   return std::int64_t(1 - par) * volh_ + neighbor_bwd(par, cb, mu);

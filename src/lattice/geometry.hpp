@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/check.hpp"
+
 namespace femto {
 
 /// Coordinates of a 4D site.
@@ -50,10 +52,16 @@ class Geometry {
   /// Neighbour in +mu direction of the site with checkerboard index @p cb
   /// and parity @p par.  Returns the checkerboard index in parity 1-par.
   std::int64_t neighbor_fwd(int par, std::int64_t cb, int mu) const {
+    FEMTO_ASSERT(par == 0 || par == 1);
+    FEMTO_ASSERT(mu >= 0 && mu < 4);
+    FEMTO_ASSERT(cb >= 0 && cb < volh_);
     return fwd_[static_cast<size_t>(par)][static_cast<size_t>(mu)]
                [static_cast<size_t>(cb)];
   }
   std::int64_t neighbor_bwd(int par, std::int64_t cb, int mu) const {
+    FEMTO_ASSERT(par == 0 || par == 1);
+    FEMTO_ASSERT(mu >= 0 && mu < 4);
+    FEMTO_ASSERT(cb >= 0 && cb < volh_);
     return bwd_[static_cast<size_t>(par)][static_cast<size_t>(mu)]
                [static_cast<size_t>(cb)];
   }
@@ -62,10 +70,16 @@ class Geometry {
   /// backward boundary in direction mu from this site.  Only the time
   /// direction is antiperiodic.
   float phase_fwd(int par, std::int64_t cb, int mu) const {
+    FEMTO_ASSERT(par == 0 || par == 1);
+    FEMTO_ASSERT(mu >= 0 && mu < 4);
+    FEMTO_ASSERT(cb >= 0 && cb < volh_);
     return sgn_fwd_[static_cast<size_t>(par)][static_cast<size_t>(mu)]
                    [static_cast<size_t>(cb)];
   }
   float phase_bwd(int par, std::int64_t cb, int mu) const {
+    FEMTO_ASSERT(par == 0 || par == 1);
+    FEMTO_ASSERT(mu >= 0 && mu < 4);
+    FEMTO_ASSERT(cb >= 0 && cb < volh_);
     return sgn_bwd_[static_cast<size_t>(par)][static_cast<size_t>(mu)]
                    [static_cast<size_t>(cb)];
   }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "lattice/flops.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace femto {
@@ -44,6 +45,12 @@ double wilson_loop(const GaugeField<double>& u, int r, int t) {
         }
         return acc;
       });
+  // Per site and plane: two line products of r and t links plus the 3
+  // matmuls combining the four sides.  One read pass over the gauge field
+  // (repeated loads of the same links are cache traffic, not compulsory).
+  flops::add(geom.volume() * 6 * (2 * std::int64_t(r + t) + 3) *
+             flops::kSu3MatmulFlops);
+  flops::add_bytes(u.bytes());
   return sum / (3.0 * 6.0 * static_cast<double>(geom.volume()));
 }
 
@@ -123,6 +130,10 @@ double action_density(const GaugeField<double>& u) {
             }
         return acc;
       });
+  // Per site and plane: the 4-leaf clover (12 matmuls plus adds and the
+  // antihermitian projection, ~13 matmuls-worth) and its norm.
+  flops::add(geom.volume() * 6 * 13 * flops::kSu3MatmulFlops);
+  flops::add_bytes(u.bytes());
   return sum / static_cast<double>(geom.volume());
 }
 

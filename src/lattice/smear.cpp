@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "lattice/flops.hpp"
 #include "lattice/gauge.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -26,6 +27,11 @@ void ape_smear_step(GaugeField<double>& u, double alpha) {
                         out.store(mu, site, project_su3(m));
                       }
                     });
+  // Matmul-dominated cost model: staple sum + ~3 matmuls-worth of scale /
+  // add / SU(3) projection per link.  Traffic: read u, write out.
+  flops::add(geom.volume() * 4 *
+             (flops::kStapleFlops + 3 * flops::kSu3MatmulFlops));
+  flops::add_bytes(2 * u.bytes());
   u = std::move(out);
 }
 
@@ -60,6 +66,11 @@ void spatial_hop(SpinorField<double>& out, const GaugeField<double>& u,
                       }
                       out.store(0, site, acc);
                     });
+  // 3 spatial dirs x 2 sides x 4 spins of SU(3) mat-vec plus the spinor
+  // accumulates.  Traffic: read in + u, write out.
+  flops::add(geom.volume() *
+             (3 * 2 * (4 * flops::kSu3MatvecFlops + kSpinorReals)));
+  flops::add_bytes(in.bytes() + u.bytes() + out.bytes());
 }
 
 void wuppertal_smear(SpinorField<double>& psi, const GaugeField<double>& u,

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/check.hpp"
 #include "lattice/flops.hpp"
 
 namespace femto {
@@ -44,6 +45,10 @@ SolveResult bicgstab(const ApplyFn<T>& a, SpinorField<T>& x,
     // s = r - alpha v, with ||s||^2 folded into the update pass.
     s = r;
     const double s2 = blas::caxpy_norm2<T>(-alpha, v, s, g);
+    // BiCGStab legitimately diverges on non-normal operators (the
+    // domain-wall Schur system; see test_bicgstab) — a non-finite
+    // residual is a breakdown to report, not a corruption to abort on.
+    if (!std::isfinite(s2)) break;
     if (s2 <= target) {
       blas::caxpy<T>(alpha, p, x, g);
       r2 = s2;
@@ -63,6 +68,7 @@ SolveResult bicgstab(const ApplyFn<T>& a, SpinorField<T>& x,
     // r = s - omega t, with ||r||^2 folded in.
     r = s;
     r2 = blas::caxpy_norm2<T>(-omega, t, r, g);
+    if (!std::isfinite(r2)) break;  // breakdown, as above
 
     const Cplx<double> rho_new = blas::cdot(rhat, r, g);
     if (std::abs(rho.re) + std::abs(rho.im) < 1e-300) break;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/check.hpp"
 #include "lattice/flops.hpp"
 #include "solver/half.hpp"
 
@@ -72,6 +73,9 @@ SolveResult cg(const ApplyFn<T>& a, SpinorField<T>& x,
     // QUDA-style fused update: r and ||r||^2 in one pass, then the x and p
     // updates share a single pass over p (axpyZpbx).
     const double rsq_new = blas::axpy_norm2<T>(-alpha, ap, r, g);
+    FEMTO_CHECK(std::isfinite(rsq_new),
+                "cg: residual norm went NaN/Inf (diverging operator or "
+                "corrupt field data)");
     const double beta = rsq_new / rsq;
     rsq = rsq_new;
     blas::axpy_zpbx<T>(alpha, p, x, r, beta, g);
@@ -150,6 +154,8 @@ SolveResult mixed_cg(const ApplyFn<double>& a_double,
         // QUDA tripleCGUpdate: x += alpha p; r -= alpha ap; ||r||^2.
         rsq_new = blas::triple_cg_update<float>(alpha, p_s, ap_s, xs, r_s, g);
       }
+      FEMTO_CHECK(std::isfinite(rsq_new),
+                  "mixed_cg: sloppy residual norm went NaN/Inf");
       const double beta = rsq_new / rsq;
       rsq = rsq_new;
       if (half) {
@@ -166,6 +172,9 @@ SolveResult mixed_cg(const ApplyFn<double>& a_double,
     a_double(tmp_d, x);
     blas::copy(r_d, b, g);
     r2_d = blas::axpy_norm2<double>(-1.0, tmp_d, r_d, g);
+    FEMTO_CHECK(std::isfinite(r2_d),
+                "mixed_cg: true residual norm went NaN/Inf at a reliable "
+                "update");
     ++res.reliable_updates;
 
     // If the sloppy solver could not take a single step the target is

@@ -1,7 +1,10 @@
 #include "solver/dwf_solve.hpp"
 
+#include <cmath>
+
 #include "autotune/blas_tunable.hpp"
 #include "autotune/dslash_tunable.hpp"
+#include "core/check.hpp"
 
 namespace femto {
 
@@ -47,6 +50,8 @@ SolveResult DwfSolver::solve(SpinorField<double>& x,
 
   SpinorField<double> y(geom, l5, Subset::Odd);
   SolveResult res = mixed_cg(a_d, a_f, y, rhs, sparams_);
+  FEMTO_CHECK(std::isfinite(res.final_rel_residual),
+              "DwfSolver::solve: mixed_cg returned a non-finite residual");
 
   op_d_.reconstruct(x, y, b);
   return res;
@@ -70,6 +75,8 @@ SolveResult DwfSolver::solve_double(SpinorField<double>& x,
   SpinorField<double> y(geom, l5, Subset::Odd);
   SolveResult res = cg<double>(a_d, y, rhs, sparams_.tol, sparams_.max_iter,
                                sparams_.blas_grain);
+  FEMTO_CHECK(std::isfinite(res.final_rel_residual),
+              "DwfSolver::solve_double: cg returned a non-finite residual");
   op_d_.reconstruct(x, y, b);
   return res;
 }

@@ -1,0 +1,15 @@
+// femtolint-expect: cast
+//
+// reinterpret_cast without an allow(cast) suppression: every aliasing or
+// constness escape hatch in the tree must carry a comment saying why it is
+// safe, so the audit trail survives refactors.
+
+#include <cstdint>
+
+namespace femto {
+
+std::uint64_t bits_of(double x) {
+  return *reinterpret_cast<std::uint64_t*>(&x);
+}
+
+}  // namespace femto

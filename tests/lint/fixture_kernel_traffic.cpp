@@ -1,0 +1,24 @@
+// femtolint-expect: kernel-traffic
+//
+// A field kernel that launches a parallel loop but never charges the
+// flops/bytes counters.  Silently corrupts the arithmetic-intensity model:
+// the solver's AI report would over-state intensity because this kernel's
+// memory traffic vanishes from the denominator.
+//
+// Fixtures are lint inputs, not build inputs -- they only have to parse as
+// text, so the femto types are sketched minimally.
+
+#include <cstddef>
+#include <vector>
+
+namespace femto {
+
+void scale_field(std::vector<double>& y, const std::vector<double>& x,
+                 double a) {
+  par::parallel_for(0, y.size(), [&](std::size_t i) {
+    y[i] = a * x[i];
+  });
+  // Missing: flops::add(y.size()); flops::add_bytes(...)
+}
+
+}  // namespace femto

@@ -1,0 +1,10 @@
+// femtolint-expect: pragma-once
+//
+// Header without the #pragma once guard: double inclusion breaks the
+// one-definition rule for the inline kernels headers carry.
+
+namespace femto {
+
+inline int answer() { return 42; }
+
+}  // namespace femto

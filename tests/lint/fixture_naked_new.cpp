@@ -1,0 +1,19 @@
+// femtolint-expect: no-naked-new
+//
+// Naked new[]/delete[] in kernel code: leaks on any early return and is
+// invisible to the field-memory accounting.  std::vector (or a smart
+// pointer) owns buffers in this codebase.
+
+#include <cstddef>
+
+namespace femto {
+
+double* make_buffer(std::size_t n) {
+  double* p = new double[n];
+  for (std::size_t i = 0; i < n; ++i) p[i] = 0.0;
+  return p;
+}
+
+void free_buffer(double* p) { delete[] p; }
+
+}  // namespace femto

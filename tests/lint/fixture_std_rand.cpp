@@ -1,0 +1,16 @@
+// femtolint-expect: no-std-rand
+//
+// std::rand is global-state RNG: results depend on call order across
+// threads, so any kernel using it loses per-site reproducibility.  The
+// repo's Xoshiro256 is counter-seeded per (seed, site, stream) instead.
+
+#include <cstdlib>
+
+namespace femto {
+
+double noisy_value() {
+  srand(12345);
+  return static_cast<double>(std::rand()) / RAND_MAX;
+}
+
+}  // namespace femto

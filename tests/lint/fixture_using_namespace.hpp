@@ -1,0 +1,15 @@
+#pragma once
+// femtolint-expect: header-hygiene
+//
+// `using namespace` in a header leaks the whole namespace into every
+// translation unit that includes it.
+
+#include <vector>
+
+using namespace std;
+
+namespace femto {
+
+inline vector<double> zeros(size_t n) { return vector<double>(n, 0.0); }
+
+}  // namespace femto

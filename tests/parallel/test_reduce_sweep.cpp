@@ -1,0 +1,167 @@
+// Thread-count sweep stress test for the deterministic reductions.
+//
+// The fused BLAS kernels (lattice/blas.hpp) lean on a strong promise from
+// parallel_reduce_n: for a FIXED thread count, repeated runs produce
+// bitwise-identical results, because chunks are disjoint, each chunk is
+// visited by exactly one worker, and the per-chunk partials are combined
+// in chunk order regardless of which worker finished first.  A scheduling
+// race (chunk visited twice, partial combined out of order, worker count
+// leaking into chunk boundaries non-deterministically) shows up here as a
+// bit flip long before it is visible in solver residuals.
+
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace femto::par {
+namespace {
+
+std::uint64_t bits(double x) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+/// Deterministic pseudo-random fill (no std::rand: order-independent).
+std::vector<double> test_data(std::size_t n, std::uint64_t seed) {
+  std::vector<double> v(n);
+  std::uint64_t s = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    // Mixed magnitudes so the summation order actually matters: any
+    // combination-order wobble changes the rounded result.
+    v[i] = (static_cast<double>(s % 2000001) - 1000000.0) *
+           std::pow(10.0, static_cast<int>(s % 7) - 3);
+  }
+  return v;
+}
+
+const std::size_t kSweep[] = {1, 2, 7, 0};  // 0 = default_thread_count()
+
+constexpr std::size_t kN = 10007;  // prime: uneven chunk boundaries
+constexpr int kRepeats = 5;
+
+TEST(ReduceSweep, ParallelReduceBitwiseStablePerThreadCount) {
+  const std::vector<double> x = test_data(kN, 42);
+  for (std::size_t nt : kSweep) {
+    ThreadPool pool(nt);
+    std::uint64_t first = 0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      const double sum = pool.parallel_reduce(
+          0, kN,
+          [&](std::size_t lo, std::size_t hi) {
+            double acc = 0.0;
+            for (std::size_t i = lo; i < hi; ++i) acc += x[i] * x[i];
+            return acc;
+          },
+          1);
+      if (rep == 0)
+        first = bits(sum);
+      else
+        EXPECT_EQ(bits(sum), first)
+            << "threads=" << pool.size() << " rep=" << rep;
+    }
+  }
+}
+
+TEST(ReduceSweep, ParallelReduce2BitwiseStablePerThreadCount) {
+  const std::vector<double> x = test_data(kN, 7);
+  const std::vector<double> y = test_data(kN, 11);
+  for (std::size_t nt : kSweep) {
+    ThreadPool pool(nt);
+    std::uint64_t first_re = 0, first_im = 0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      const auto [re, im] = pool.parallel_reduce2(
+          0, kN,
+          [&](std::size_t lo, std::size_t hi) {
+            double a = 0.0, b = 0.0;
+            for (std::size_t i = lo; i < hi; ++i) {
+              a += x[i] * y[i];
+              b += x[i] - y[i];
+            }
+            return std::make_pair(a, b);
+          },
+          1);
+      if (rep == 0) {
+        first_re = bits(re);
+        first_im = bits(im);
+      } else {
+        EXPECT_EQ(bits(re), first_re)
+            << "threads=" << pool.size() << " rep=" << rep;
+        EXPECT_EQ(bits(im), first_im)
+            << "threads=" << pool.size() << " rep=" << rep;
+      }
+    }
+  }
+}
+
+TEST(ReduceSweep, MutatingReduceNBitwiseStablePerThreadCount) {
+  // The fused-kernel shape: the body updates the data it walks (y += a*x)
+  // while accumulating two reduction components, exactly like the fused
+  // axpy_norm2 / caxpy_norm2 kernels in lattice/blas.hpp.
+  const std::vector<double> x = test_data(kN, 3);
+  const std::vector<double> y0 = test_data(kN, 5);
+  for (std::size_t nt : kSweep) {
+    ThreadPool pool(nt);
+    std::vector<std::uint64_t> first_out;
+    std::vector<std::uint64_t> first_y;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      std::vector<double> y = y0;  // fresh copy: the kernel mutates it
+      double out[2] = {0.0, 0.0};
+      pool.parallel_reduce_n(
+          0, kN, 2,
+          [&](std::size_t lo, std::size_t hi, double* partial) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              y[i] += 0.625 * x[i];
+              partial[0] += y[i] * y[i];
+              partial[1] += y[i] * x[i];
+            }
+          },
+          out, 1);
+      if (rep == 0) {
+        first_out = {bits(out[0]), bits(out[1])};
+        first_y.reserve(kN);
+        for (double v : y) first_y.push_back(bits(v));
+      } else {
+        EXPECT_EQ(bits(out[0]), first_out[0])
+            << "threads=" << pool.size() << " rep=" << rep;
+        EXPECT_EQ(bits(out[1]), first_out[1])
+            << "threads=" << pool.size() << " rep=" << rep;
+        // The mutated field must be bitwise stable too, not just the sums.
+        for (std::size_t i = 0; i < kN; ++i)
+          ASSERT_EQ(bits(y[i]), first_y[i])
+              << "threads=" << pool.size() << " rep=" << rep << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ReduceSweep, ReduceNMatchesSerialSumUpToRounding) {
+  // Cross-thread-count agreement is NOT bitwise (chunk boundaries move),
+  // but every thread count must agree with the serial sum to rounding.
+  const std::vector<double> x = test_data(kN, 13);
+  long double serial = 0.0L;
+  for (double v : x) serial += static_cast<long double>(v) * v;
+  for (std::size_t nt : kSweep) {
+    ThreadPool pool(nt);
+    double out[1] = {0.0};
+    pool.parallel_reduce_n(
+        0, kN, 1,
+        [&](std::size_t lo, std::size_t hi, double* partial) {
+          for (std::size_t i = lo; i < hi; ++i) partial[0] += x[i] * x[i];
+        },
+        out, 1);
+    EXPECT_NEAR(out[0] / static_cast<double>(serial), 1.0, 1e-12)
+        << "threads=" << pool.size();
+  }
+}
+
+}  // namespace
+}  // namespace femto::par

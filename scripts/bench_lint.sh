@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Benchmark the femtolint v2 scan over src/ and emit BENCH_lint.json.
+#
+# femtolint runs on every tier-1 build, so its cost scales the edit loop:
+# this script times the whole-tree scan single-threaded and with the
+# femtopar thread pool (the tool's default), tracking both the absolute
+# scan cost as the tree grows and the parallel speedup of the scanner
+# itself.  Timing is wall-clock over REPS runs, minimum taken (same
+# convention as the autotuner: min is the least noisy estimator of the
+# achievable time).
+#
+# Usage: scripts/bench_lint.sh [reps]   (default: 5)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPS="${1:-5}"
+BUILD_DIR="${BUILD_DIR:-build}"
+FEMTOLINT="${BUILD_DIR}/tools/femtolint/femtolint"
+LAYERS="tools/femtolint/layers.def"
+
+if [[ ! -x "$FEMTOLINT" ]]; then
+  echo "bench_lint: $FEMTOLINT not built (cmake --build $BUILD_DIR --target femtolint)" >&2
+  exit 1
+fi
+
+# Minimum wall-time in milliseconds over $REPS runs of "$@".
+min_ms() {
+  local best=""
+  for _ in $(seq "$REPS"); do
+    local t0 t1 dt
+    t0=$(date +%s%N)
+    "$@" > /dev/null
+    t1=$(date +%s%N)
+    dt=$(( (t1 - t0) / 1000000 ))
+    if [[ -z "$best" || "$dt" -lt "$best" ]]; then best="$dt"; fi
+  done
+  echo "$best"
+}
+
+N_FILES=$(find src -name '*.cpp' -o -name '*.hpp' | wc -l | tr -d ' ')
+
+echo "bench_lint: ${REPS} reps over ${N_FILES} files"
+SERIAL_MS=$(min_ms "$FEMTOLINT" --layers "$LAYERS" --threads 1 src)
+PARALLEL_MS=$(min_ms "$FEMTOLINT" --layers "$LAYERS" src)
+
+SPEEDUP=$(awk -v s="$SERIAL_MS" -v p="$PARALLEL_MS" \
+          'BEGIN { printf "%.2f", (p > 0) ? s / p : 0 }')
+
+cat > BENCH_lint.json <<EOF
+{
+  "benchmark": "femtolint_scan_src",
+  "files": ${N_FILES},
+  "reps": ${REPS},
+  "serial_ms": ${SERIAL_MS},
+  "parallel_ms": ${PARALLEL_MS},
+  "speedup": ${SPEEDUP},
+  "threads_parallel": "$(nproc)"
+}
+EOF
+
+echo "bench_lint: serial ${SERIAL_MS} ms, parallel ${PARALLEL_MS} ms (x${SPEEDUP})"
+echo "bench_lint: wrote BENCH_lint.json"

@@ -89,6 +89,16 @@ std::size_t Autotuner::size() const {
   return cache_.size();
 }
 
+std::int64_t Autotuner::cache_hits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hits_;
+}
+
+std::int64_t Autotuner::cache_misses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return misses_;
+}
+
 void Autotuner::clear() {
   std::lock_guard<std::mutex> lk(mu_);
   cache_.clear();

@@ -19,11 +19,14 @@
 // identical.  The same machinery tunes the communication policy (S V,
 // "Communication Autotuning") — see policy_tunable.hpp.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/check.hpp"
 
 namespace femto::tune {
 
@@ -101,8 +104,8 @@ class Autotuner {
   std::size_t size() const;
 
   /// Telemetry.
-  std::int64_t cache_hits() const { return hits_; }
-  std::int64_t cache_misses() const { return misses_; }
+  std::int64_t cache_hits() const;
+  std::int64_t cache_misses() const;
 
   /// Number of timing repetitions per candidate (min is taken).
   void set_reps(int reps) { reps_ = reps; }
@@ -111,10 +114,12 @@ class Autotuner {
   TuneEntry search(Tunable& t) const;
 
   mutable std::mutex mu_;
-  std::map<std::string, TuneEntry> cache_;
-  std::int64_t hits_ = 0;
-  std::int64_t misses_ = 0;
-  int reps_ = 3;
+  std::map<std::string, TuneEntry> cache_ FEMTO_GUARDED_BY(mu_);
+  std::int64_t hits_ FEMTO_GUARDED_BY(mu_) = 0;
+  std::int64_t misses_ FEMTO_GUARDED_BY(mu_) = 0;
+  // Read inside search(), which deliberately runs outside mu_ (the timing
+  // loop must not serialise against cache lookups), so atomic not guarded.
+  std::atomic<int> reps_{3};
 };
 
 }  // namespace femto::tune

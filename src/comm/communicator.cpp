@@ -109,11 +109,15 @@ double RankHandle::broadcast(double x, int root) {
   return v[0];
 }
 
-World::World(int n_ranks) : n_ranks_(n_ranks) {
-  mailboxes_.reserve(static_cast<size_t>(n_ranks));
-  for (int r = 0; r < n_ranks; ++r)
-    mailboxes_.push_back(std::make_unique<Mailbox>());
+std::vector<std::unique_ptr<Mailbox>> World::make_mailboxes(int n) {
+  std::vector<std::unique_ptr<Mailbox>> boxes;
+  boxes.reserve(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) boxes.push_back(std::make_unique<Mailbox>());
+  return boxes;
 }
+
+World::World(int n_ranks)
+    : n_ranks_(n_ranks), mailboxes_(make_mailboxes(n_ranks)) {}
 
 void World::barrier_wait() {
   std::unique_lock<std::mutex> lk(bar_mu_);

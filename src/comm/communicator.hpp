@@ -13,6 +13,8 @@
 
 #include <chrono>
 #include <condition_variable>
+
+#include "core/check.hpp"
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -50,7 +52,7 @@ class Mailbox {
  private:
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
+  std::deque<Message> queue_ FEMTO_GUARDED_BY(mu_);
 };
 
 class World;
@@ -123,13 +125,17 @@ class World {
   void barrier_wait();
 
  private:
-  int n_ranks_;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  static std::vector<std::unique_ptr<Mailbox>> make_mailboxes(int n);
+
+  // Rank count and mailbox table are fixed at construction; each Mailbox
+  // synchronises itself, so neither needs bar_mu_.
+  const int n_ranks_;
+  const std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   std::mutex bar_mu_;
   std::condition_variable bar_cv_;
-  int bar_count_ = 0;
-  std::uint64_t bar_gen_ = 0;
+  int bar_count_ FEMTO_GUARDED_BY(bar_mu_) = 0;
+  std::uint64_t bar_gen_ FEMTO_GUARDED_BY(bar_mu_) = 0;
 };
 
 /// Convenience: run an SPMD section with @p n ranks.

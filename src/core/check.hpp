@@ -12,9 +12,20 @@
 // A failed check prints file:line, the expression, and the message, then
 // aborts: checked builds fail fast and loudly instead of feeding corrupt
 // indices or non-finite residuals into a fit.  See DESIGN.md §8.
+//
+// FEMTO_GUARDED_BY(mu) is the lock-discipline annotation: it expands to
+// nothing at compile time, but femtolint's guarded-by pass verifies that an
+// annotated member is only touched inside methods that visibly take `mu`,
+// and its mutex-annotate pass requires every mutex-owning class to annotate
+// (or const/atomic-qualify) its shared mutable members.  See DESIGN.md §9.
 
 #include <cstdio>
 #include <cstdlib>
+
+// Lock-discipline annotation, enforced statically by femtolint (it never
+// reaches the compiler as anything but whitespace).  Placed after the
+// member name: `int count_ FEMTO_GUARDED_BY(mu_) = 0;`
+#define FEMTO_GUARDED_BY(mu)
 
 namespace femto::check {
 

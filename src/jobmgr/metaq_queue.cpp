@@ -62,8 +62,13 @@ Task MetaqQueue::parse_task(const std::string& text) {
 
 std::string MetaqQueue::submit(const Task& t, int priority) {
   priority = std::clamp(priority, 0, kMaxPriority);
+  int serial = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    serial = next_id_++;
+  }
   std::ostringstream name;
-  name << "task_" << t.id << "_" << next_id_++;
+  name << "task_" << t.id << "_" << serial;
   const std::string path =
       priority_dir(root_, priority) + "/" + name.str() + ".task";
   const std::string tmp = path + ".tmp";

@@ -15,10 +15,12 @@
 //
 // Task files are the key=value format of the node-description parser.
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/check.hpp"
 #include "jobmgr/task.hpp"
 
 namespace femto::jm {
@@ -60,8 +62,13 @@ class MetaqQueue {
   static Task parse_task(const std::string& text);
 
  private:
-  std::string root_;
-  int next_id_ = 0;
+  const std::string root_;
+
+  // submit() may be called from several drivers at once (the queue is
+  // explicitly multi-client); the filesystem rename protocol handles
+  // cross-process races, but the per-instance name counter needs a lock.
+  std::mutex mu_;
+  int next_id_ FEMTO_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace femto::jm

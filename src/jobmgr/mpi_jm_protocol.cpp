@@ -3,9 +3,12 @@
 #include <chrono>
 #include <cstring>
 #include <deque>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
+
+#include "core/check.hpp"
 
 namespace femto::jm {
 
@@ -19,6 +22,29 @@ constexpr int kTagDone = 12;
 // Command discriminators.
 constexpr std::int64_t kCmdStart = 1;
 constexpr std::int64_t kCmdShutdown = 2;
+
+// Per-lump completion logs, written concurrently by every lump-manager
+// rank as it finishes a job (each lump records its own completion order,
+// as the real mpi_jm job logs are written lump-side, not scheduler-side).
+class LumpLogBoard {
+ public:
+  explicit LumpLogBoard(int n_ranks)
+      : logs_(static_cast<std::size_t>(n_ranks)) {}
+
+  void record(int rank, int job_id) {
+    std::lock_guard<std::mutex> lk(mu_);
+    logs_[static_cast<std::size_t>(rank)].push_back(job_id);
+  }
+
+  std::vector<std::vector<int>> snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return logs_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<int>> logs_ FEMTO_GUARDED_BY(mu_);
+};
 
 void run_scheduler(comm::RankHandle& h, const std::vector<Task>& tasks,
                    const ProtocolOptions& opts, ProtocolReport* report) {
@@ -37,8 +63,6 @@ void run_scheduler(comm::RankHandle& h, const std::vector<Task>& tasks,
   }
   report->lumps_connected = static_cast<int>(connected.size());
   report->lumps_ignored = opts.n_lumps - report->lumps_connected;
-  report->lump_logs.assign(static_cast<std::size_t>(opts.n_lumps) + 1,
-                           {});  // indexed by rank (1..n_lumps)
   if (connected.empty()) {
     report->clean_shutdown = true;
     return;
@@ -66,8 +90,7 @@ void run_scheduler(comm::RankHandle& h, const std::vector<Task>& tasks,
     comm::Message m = h.recv(-1, kTagDone);
     std::int64_t job_id;
     std::memcpy(&job_id, m.payload.data(), sizeof(job_id));
-    report->lump_logs[static_cast<std::size_t>(m.src)].push_back(
-        static_cast<int>(job_id));
+    (void)job_id;  // completion order is recorded lump-side (LumpLogBoard)
     ++report->jobs_completed;
     --outstanding;
     idle.push_back(m.src);
@@ -79,7 +102,8 @@ void run_scheduler(comm::RankHandle& h, const std::vector<Task>& tasks,
   report->clean_shutdown = true;
 }
 
-void run_lump_manager(comm::RankHandle& h, const ProtocolOptions& opts) {
+void run_lump_manager(comm::RankHandle& h, const ProtocolOptions& opts,
+                      LumpLogBoard& board) {
   // CONNECT: the DPM handshake.
   h.send_vec<std::int64_t>(0, kTagConnect,
                            {static_cast<std::int64_t>(h.rank()),
@@ -95,6 +119,7 @@ void run_lump_manager(comm::RankHandle& h, const ProtocolOptions& opts) {
     // resources" — here: execute the (scaled) workload.
     if (dur_us > 0)
       std::this_thread::sleep_for(std::chrono::microseconds(dur_us));
+    board.record(h.rank(), static_cast<int>(job_id));
     h.send_vec<std::int64_t>(0, kTagDone, {job_id});
   }
 }
@@ -112,15 +137,17 @@ ProtocolReport run_mpi_jm_protocol(const std::vector<Task>& tasks,
 
   ProtocolReport report;
   const std::set<int> dead(opts.dead_lumps.begin(), opts.dead_lumps.end());
+  LumpLogBoard board(opts.n_lumps + 1);  // indexed by rank (1..n_lumps)
   // Rank 0: scheduler; ranks 1..n_lumps: lump managers.
   comm::run_ranks(opts.n_lumps + 1, [&](comm::RankHandle& h) {
     if (h.rank() == 0) {
       run_scheduler(h, tasks, opts, &report);
     } else if (!dead.count(h.rank())) {
-      run_lump_manager(h, opts);
+      run_lump_manager(h, opts, board);
     }
     // Dead lumps simply never connect.
   });
+  report.lump_logs = board.snapshot();
   return report;
 }
 

@@ -25,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/check.hpp"
+
 namespace femto::par {
 
 /// Number of workers to use when the caller does not specify: the hardware
@@ -116,7 +118,7 @@ class ThreadPool {
                                                          std::size_t n_chunks,
                                                          std::size_t chunk);
 
-  std::size_t n_threads_;
+  const std::size_t n_threads_;  // fixed at construction
   std::vector<std::thread> workers_;
 
   // Serialises concurrent launches from different caller threads; a launch
@@ -124,13 +126,14 @@ class ThreadPool {
   // .cpp), so re-entrant use cannot deadlock.
   std::mutex launch_mu_;
 
+  // Kernel hand-off state, shared between the launcher and every worker.
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  Task task_;
-  std::uint64_t epoch_ = 0;
-  std::size_t n_running_ = 0;
-  bool stop_ = false;
+  Task task_ FEMTO_GUARDED_BY(mu_);
+  std::uint64_t epoch_ FEMTO_GUARDED_BY(mu_) = 0;
+  std::size_t n_running_ FEMTO_GUARDED_BY(mu_) = 0;
+  bool stop_ FEMTO_GUARDED_BY(mu_) = false;
 };
 
 /// Convenience wrappers over ThreadPool::global().

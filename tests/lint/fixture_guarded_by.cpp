@@ -1,0 +1,42 @@
+// femtolint-expect: guarded-by, mutex-annotate
+//
+// Lock-discipline violations, both directions:
+//
+//   * `pending_` is FEMTO_GUARDED_BY(mu_) but poll() reads it without
+//     taking mu_ -- the classic "just a read" race that produces nearly
+//     right queue statistics (rule: guarded-by);
+//   * `dropped_` is shared mutable state in a mutex-owning class with no
+//     annotation at all, so femtolint cannot check it (rule:
+//     mutex-annotate).
+//
+// push() shows the compliant shape: lock_guard on the named mutex, then
+// touch the member.  Fixtures are lint inputs, not build inputs.
+
+#include <mutex>
+
+#define FEMTO_GUARDED_BY(mu)
+
+namespace femto {
+
+class WorkCounter {
+ public:
+  void push(int n) {
+    std::lock_guard<std::mutex> lk(mu_);
+    pending_ += n;  // fine: mu_ visibly held
+  }
+
+  int poll() const {
+    return pending_;  // guarded-by: mu_ not taken
+  }
+
+  void drop() {
+    ++dropped_;  // unchecked: the member was never annotated
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int pending_ FEMTO_GUARDED_BY(mu_) = 0;
+  int dropped_ = 0;  // mutex-annotate: shared, mutable, unannotated
+};
+
+}  // namespace femto

@@ -1,0 +1,39 @@
+// femtolint-expect: kernel-traffic
+//
+// The helper-function blind spot of the v1 line-regex rule: the kernel
+// launch lives in a helper, so no single function both launches and skips
+// the charge.  v2 builds the call graph and requires flops::add_bytes
+// somewhere along EVERY chain from a call-graph root to the launch.
+//
+//   scale_covered   -> launch_via_helper      (charges first: fine)
+//   scale_uncovered -> launch_via_helper      (no charge anywhere: fires)
+//
+// The finding is reported at the launch site inside the helper, because
+// that is where the un-accounted memory traffic happens.
+//
+// Fixtures are lint inputs, not build inputs -- they only have to parse as
+// text, so the femto types are sketched minimally.
+
+#include <cstddef>
+#include <vector>
+
+namespace femto {
+
+void launch_via_helper(std::vector<double>& y, double a) {
+  par::parallel_for(0, y.size(), [&](std::size_t i) { y[i] *= a; });
+  // No charge here: the helper trusts its callers to account the traffic.
+}
+
+void scale_covered(std::vector<double>& y, double a) {
+  flops::add(static_cast<long long>(y.size()));
+  flops::add_bytes(16 * static_cast<long long>(y.size()));
+  launch_via_helper(y, a);
+}
+
+void scale_uncovered(std::vector<double>& y, double a) {
+  // Missing flops::add_bytes on this chain: the kernel's traffic vanishes
+  // from the arithmetic-intensity denominator.
+  launch_via_helper(y, a);
+}
+
+}  // namespace femto

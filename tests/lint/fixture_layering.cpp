@@ -1,0 +1,25 @@
+// femtolint-module: fio
+// femtolint-expect: layering
+//
+// An I/O-layer file reaching up into the solver layer.  layers.def allows
+// fio -> lattice only: the propagator writers may depend on field layout,
+// but the moment fio calls back into the solver the module graph has a
+// de-facto cycle (solver already depends on fio-adjacent services through
+// core) and the "architecture DAG" in DESIGN.md §9 is fiction.  femtolint
+// extracts the include graph and fails the build on the undeclared edge.
+//
+// The femtolint-module directive above stands in for living under
+// src/fio/; fixtures are lint inputs, not build inputs.
+
+#include "lattice/field.hpp"  // allowed edge: fio -> lattice
+#include "solver/cg.hpp"      // forbidden edge: fio -> solver
+
+namespace femto::fio {
+
+inline double checkpoint_residual(const lat::Field& x) {
+  // Re-running CG from inside the writer is the layering violation the
+  // include above would enable.
+  return solver::cg_norm(x);
+}
+
+}  // namespace femto::fio

@@ -1,17 +1,12 @@
-// femtolint: repo-specific static checks for the femtoverse source tree.
+// femtolint: repo-specific static analysis for the femtoverse source tree.
 //
-// The tier-1 numerics tests cannot see two whole classes of bug that the
-// fused-kernel architecture makes possible: a kernel that forgets to charge
-// the flops/bytes counters silently corrupts the arithmetic-intensity model
-// the solver analysis rests on, and an accumulation into a captured scalar
-// inside a parallel_for body is a data race that happens to produce nearly
-// right numbers.  femtolint walks the source text and enforces these
-// invariants at build time; it runs as a tier-1 ctest (label `lint`).
+// v2 is a token-level engine (lexer.cpp + model.cpp + rules.cpp) instead of
+// the v1 line-regex scanner: comments, string/char/raw-string literals and
+// preprocessor directives are lexed properly, every file is parsed into a
+// symbol model (functions, call edges, classes, members, includes), and
+// three whole-program passes run over the combined model.  See DESIGN.md §9.
 //
-// Rules (each with a negative fixture in tests/lint/):
-//   kernel-traffic     functions that launch a parallel kernel must charge
-//                      flops::add / flops::add_bytes (src/parallel itself,
-//                      the execution engine, is exempt)
+// Per-file rules (each with a negative fixture in tests/lint/):
 //   race-shared-accum  no compound assignment to captured scalars inside
 //                      parallel_for / parallel_for_chunked bodies;
 //                      reductions must go through parallel_reduce*
@@ -25,596 +20,48 @@
 //   cast               reinterpret_cast / const_cast require an explicit
 //                      suppression stating why the cast is safe
 //
+// Whole-program passes:
+//   kernel-traffic     transitive: a function that launches a parallel
+//                      kernel (directly or through helpers) must charge
+//                      flops::add_bytes somewhere on every call chain
+//                      (src/parallel, the execution engine, is exempt)
+//   layering           the #include graph of src/ must conform to the
+//                      module DAG declared in layers.def (--layers)
+//   guarded-by         FEMTO_GUARDED_BY(mu) members are only touched in
+//                      methods that visibly take `mu`
+//   mutex-annotate     mutex-owning classes annotate all shared mutable
+//                      members
+//
 // Suppression: `// femtolint: allow(<rule>): reason` on the offending line
-// or within the three lines above it.
+// or within the three lines above it, or
+// `// femtolint: allow-file(<rule>): reason` anywhere in the file.
+// Suppressions live in comments (the lexer keeps them out of the token
+// stream), so commented-out code can never trip a rule.
 //
 // Usage:
-//   femtolint <dir-or-file>...        lint (exit 1 on findings)
-//   femtolint --self-test <dir>       run the negative fixtures: every
-//                                     `// femtolint-expect: <rule>` in a
-//                                     fixture must fire, and nothing else
+//   femtolint [--layers FILE] [--json] [--threads N] <dir-or-file>...
+//   femtolint [--layers FILE] --self-test <dir>
+//
+// The scan is parallelized over files with the femtopar thread pool;
+// findings are sorted (file, line, rule, message), so output is
+// deterministic for any thread count.
 
-#include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <set>
-#include <sstream>
 #include <string>
 #include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "model.hpp"
+#include "rules.hpp"
 
 namespace {
 
 namespace fs = std::filesystem;
-
-struct Finding {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string message;
-};
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// ---------------------------------------------------------------------------
-// Source model: raw text, comment/string-stripped text (same length, so
-// offsets agree), line table, and raw lines for suppression comments.
-// ---------------------------------------------------------------------------
-
-struct Source {
-  std::string path;
-  std::string raw;
-  std::string stripped;
-  std::vector<std::size_t> line_starts;
-  std::vector<std::string> lines;
-
-  int line_of(std::size_t pos) const {
-    auto it = std::upper_bound(line_starts.begin(), line_starts.end(), pos);
-    return static_cast<int>(it - line_starts.begin());
-  }
-
-  // A `// femtolint: allow(<rule>)` comment on the finding's line or within
-  // the three lines above it suppresses the finding.
-  bool suppressed(const std::string& rule, int line) const {
-    const std::string needle = "femtolint: allow(" + rule + ")";
-    for (int ln = std::max(1, line - 3); ln <= line; ++ln) {
-      if (lines[static_cast<std::size_t>(ln - 1)].find(needle) !=
-          std::string::npos)
-        return true;
-    }
-    return false;
-  }
-};
-
-// Blank comments and string/char literal contents (newlines kept so line
-// numbers survive).
-std::string strip(const std::string& src) {
-  std::string out = src;
-  enum class St { Code, Line, Block, Str, Chr };
-  St st = St::Code;
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char n = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (st) {
-      case St::Code:
-        if (c == '/' && n == '/') {
-          st = St::Line;
-          out[i] = ' ';
-        } else if (c == '/' && n == '*') {
-          st = St::Block;
-          out[i] = ' ';
-        } else if (c == '"') {
-          st = St::Str;
-        } else if (c == '\'') {
-          st = St::Chr;
-        }
-        break;
-      case St::Line:
-        if (c == '\n')
-          st = St::Code;
-        else
-          out[i] = ' ';
-        break;
-      case St::Block:
-        if (c == '*' && n == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          st = St::Code;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::Str:
-        if (c == '\\' && n != '\0') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          st = St::Code;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::Chr:
-        if (c == '\\' && n != '\0') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          st = St::Code;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-Source load(const fs::path& p) {
-  Source s;
-  s.path = p.string();
-  std::ifstream in(p, std::ios::binary);
-  std::ostringstream os;
-  os << in.rdbuf();
-  s.raw = os.str();
-  s.stripped = strip(s.raw);
-  s.line_starts.push_back(0);
-  std::string cur;
-  for (std::size_t i = 0; i < s.raw.size(); ++i) {
-    if (s.raw[i] == '\n') {
-      s.lines.push_back(cur);
-      cur.clear();
-      if (i + 1 < s.raw.size()) s.line_starts.push_back(i + 1);
-    } else {
-      cur += s.raw[i];
-    }
-  }
-  s.lines.push_back(cur);
-  return s;
-}
-
-// Next occurrence of @p word at an identifier boundary, from @p from.
-std::size_t find_word(const std::string& text, const std::string& word,
-                      std::size_t from) {
-  for (std::size_t p = text.find(word, from); p != std::string::npos;
-       p = text.find(word, p + 1)) {
-    const bool lb = p == 0 || !ident_char(text[p - 1]);
-    const std::size_t e = p + word.size();
-    const bool rb = e >= text.size() || !ident_char(text[e]);
-    if (lb && rb) return p;
-  }
-  return std::string::npos;
-}
-
-std::size_t skip_ws_back(const std::string& t, std::size_t i) {
-  while (i != std::string::npos && i > 0 &&
-         std::isspace(static_cast<unsigned char>(t[i])) != 0)
-    --i;
-  return i;
-}
-
-std::size_t skip_ws_fwd(const std::string& t, std::size_t i) {
-  while (i < t.size() && std::isspace(static_cast<unsigned char>(t[i])) != 0)
-    ++i;
-  return i;
-}
-
-// Identifier ending at (and including) position i; empty if none.
-std::string ident_ending_at(const std::string& t, std::size_t i) {
-  if (i >= t.size() || !ident_char(t[i])) return "";
-  std::size_t b = i;
-  while (b > 0 && ident_char(t[b - 1])) --b;
-  return t.substr(b, i - b + 1);
-}
-
-// Matching '(' for the ')' at @p close, scanning backwards.
-std::size_t match_paren_back(const std::string& t, std::size_t close) {
-  int depth = 0;
-  for (std::size_t i = close;; --i) {
-    if (t[i] == ')') ++depth;
-    if (t[i] == '(') {
-      --depth;
-      if (depth == 0) return i;
-    }
-    if (i == 0) break;
-  }
-  return std::string::npos;
-}
-
-// Matching closer for the opener at @p open ('(' / '[' / '{').
-std::size_t match_fwd(const std::string& t, std::size_t open) {
-  const char o = t[open];
-  const char c = o == '(' ? ')' : (o == '[' ? ']' : '}');
-  int depth = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    if (t[i] == o) ++depth;
-    if (t[i] == c) {
-      --depth;
-      if (depth == 0) return i;
-    }
-  }
-  return std::string::npos;
-}
-
-// ---------------------------------------------------------------------------
-// Brace regions and enclosing-function lookup.
-// ---------------------------------------------------------------------------
-
-struct Region {
-  std::size_t open = 0;
-  std::size_t close = 0;
-};
-
-std::vector<Region> brace_regions(const std::string& t) {
-  std::vector<Region> out;
-  std::vector<std::size_t> stack;
-  std::vector<std::size_t> idx_stack;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (t[i] == '{') {
-      stack.push_back(i);
-      out.push_back({i, t.size()});
-      idx_stack.push_back(out.size() - 1);
-    } else if (t[i] == '}' && !stack.empty()) {
-      out[idx_stack.back()].close = i;
-      stack.pop_back();
-      idx_stack.pop_back();
-    }
-  }
-  return out;
-}
-
-enum class BlockKind { Function, Control, Other };
-
-// What kind of block does the '{' at @p open start?  Classified from the
-// text just before it: function/lambda bodies follow a ')' (after optional
-// const/noexcept/etc.), control blocks follow if/for/while/switch/catch,
-// everything else (namespace, class, initializer) is Other.
-BlockKind classify(const std::string& t, std::size_t open) {
-  if (open == 0) return BlockKind::Other;
-  std::size_t i = skip_ws_back(t, open - 1);
-  // Skip trailing qualifiers between ')' and '{'.
-  for (;;) {
-    const std::string id = ident_ending_at(t, i);
-    if (id == "const" || id == "noexcept" || id == "override" ||
-        id == "mutable" || id == "final") {
-      i = skip_ws_back(t, i - id.size());
-      continue;
-    }
-    break;
-  }
-  if (t[i] == ')') {
-    const std::size_t op = match_paren_back(t, i);
-    if (op == std::string::npos) return BlockKind::Other;
-    if (op == 0) return BlockKind::Function;
-    std::size_t j = skip_ws_back(t, op - 1);
-    if (t[j] == ']') return BlockKind::Function;  // lambda
-    const std::string kw = ident_ending_at(t, j);
-    if (kw == "if" || kw == "for" || kw == "while" || kw == "switch" ||
-        kw == "catch")
-      return BlockKind::Control;
-    return BlockKind::Function;
-  }
-  const std::string kw = ident_ending_at(t, i);
-  if (kw == "else" || kw == "do" || kw == "try") return BlockKind::Control;
-  return BlockKind::Other;
-}
-
-// Innermost function (or lambda) body containing @p pos; npos-pair if none.
-Region enclosing_function(const std::vector<Region>& regions,
-                          const std::string& t, std::size_t pos) {
-  Region best{std::string::npos, std::string::npos};
-  std::size_t best_size = std::string::npos;
-  for (const Region& r : regions) {
-    if (!(r.open < pos && pos < r.close)) continue;
-    const std::size_t size = r.close - r.open;
-    if (size >= best_size) continue;
-    // Walk from this innermost candidate outward is implicit: we pick the
-    // smallest function-like region containing pos after skipping control
-    // blocks (a control block's enclosing function also contains pos and
-    // is itself function-like).
-    if (classify(t, r.open) == BlockKind::Function) {
-      best = r;
-      best_size = size;
-    }
-  }
-  return best;
-}
-
-// ---------------------------------------------------------------------------
-// Launch-site discovery shared by kernel-traffic and race-shared-accum.
-// ---------------------------------------------------------------------------
-
-struct Launch {
-  std::size_t pos = 0;      // start of the kernel-launch identifier
-  std::string name;         // parallel_for / parallel_for_chunked / ...
-};
-
-std::vector<Launch> find_launches(const Source& s) {
-  static const char* kNames[] = {"parallel_for_chunked", "parallel_reduce_n",
-                                 "parallel_reduce2", "parallel_reduce",
-                                 "parallel_for"};
-  std::vector<Launch> out;
-  for (const char* name : kNames) {
-    const std::string w = name;
-    for (std::size_t p = find_word(s.stripped, w, 0); p != std::string::npos;
-         p = find_word(s.stripped, w, p + 1)) {
-      // Only call sites: the next non-space char must open the arg list.
-      const std::size_t nx = skip_ws_fwd(s.stripped, p + w.size());
-      if (nx < s.stripped.size() && s.stripped[nx] == '(')
-        out.push_back({p, w});
-    }
-  }
-  // De-duplicate prefix matches (parallel_for inside parallel_for_chunked
-  // cannot happen thanks to word boundaries, but two patterns may still
-  // land on one site via overlapping scans).
-  std::sort(out.begin(), out.end(),
-            [](const Launch& a, const Launch& b) { return a.pos < b.pos; });
-  out.erase(std::unique(out.begin(), out.end(),
-                        [](const Launch& a, const Launch& b) {
-                          return a.pos == b.pos;
-                        }),
-            out.end());
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Rules.
-// ---------------------------------------------------------------------------
-
-bool is_header(const std::string& path) {
-  return path.size() > 4 && path.compare(path.size() - 4, 4, ".hpp") == 0;
-}
-
-bool in_parallel_engine(const std::string& path) {
-  return path.find("parallel/thread_pool") != std::string::npos ||
-         path.find("src/parallel/") != std::string::npos;
-}
-
-void rule_kernel_traffic(const Source& s, std::vector<Finding>& out) {
-  if (in_parallel_engine(s.path)) return;
-  const auto regions = brace_regions(s.stripped);
-  for (const Launch& l : find_launches(s)) {
-    const Region body = enclosing_function(regions, s.stripped, l.pos);
-    if (body.open == std::string::npos) continue;
-    const std::string fn =
-        s.stripped.substr(body.open, body.close - body.open);
-    // The bytes charge is mandatory (a flops-only kernel still corrupts
-    // the arithmetic-intensity denominator); a bytes-only kernel is fine
-    // (pure copies do no flops).
-    if (fn.find("flops::add_bytes") != std::string::npos) continue;
-    const int line = s.line_of(l.pos);
-    if (s.suppressed("kernel-traffic", line)) continue;
-    out.push_back({s.path, line, "kernel-traffic",
-                   "function launches " + l.name +
-                       " but never charges flops::add_bytes; the "
-                       "arithmetic-intensity model depends on every kernel "
-                       "recording its memory traffic"});
-  }
-}
-
-// Compound-assignment operators that accumulate.
-bool accum_op_at(const std::string& t, std::size_t i) {
-  if (i + 1 >= t.size() || t[i + 1] != '=') return false;
-  const char c = t[i];
-  if (c != '+' && c != '-' && c != '*' && c != '/') return false;
-  // Exclude `/=` that is really part of `!=`, `<=`, ... (cannot be: we
-  // matched the first char exactly), and exclude `==` neighbours: `+==`
-  // is not valid C++ anyway.
-  if (i + 2 < t.size() && t[i + 2] == '=') return false;  // `*==` etc.
-  return true;
-}
-
-// Does @p name look declared inside @p text (lambda params + body prefix)?
-// A declaration occurrence is one whose previous non-space char belongs to
-// a type token: identifier char, '&', '*', or a closing '>'.
-bool declared_in(const std::string& text, const std::string& name) {
-  for (std::size_t p = find_word(text, name, 0); p != std::string::npos;
-       p = find_word(text, name, p + 1)) {
-    if (p == 0) continue;
-    const std::size_t q = skip_ws_back(text, p - 1);
-    const char c = text[q];
-    if (ident_char(c) || c == '&' || c == '*' || c == '>') return true;
-  }
-  return false;
-}
-
-void rule_race_shared_accum(const Source& s, std::vector<Finding>& out) {
-  if (in_parallel_engine(s.path)) return;
-  for (const Launch& l : find_launches(s)) {
-    if (l.name != "parallel_for" && l.name != "parallel_for_chunked")
-      continue;
-    // Locate the lambda argument of the launch call.
-    const std::size_t call_open =
-        skip_ws_fwd(s.stripped, l.pos + l.name.size());
-    if (call_open >= s.stripped.size() || s.stripped[call_open] != '(')
-      continue;
-    const std::size_t call_close = match_fwd(s.stripped, call_open);
-    if (call_close == std::string::npos) continue;
-    // First '[' at paren depth 1 starts the capture list.
-    std::size_t cap = std::string::npos;
-    int pd = 0;
-    for (std::size_t i = call_open; i < call_close; ++i) {
-      const char c = s.stripped[i];
-      if (c == '(') ++pd;
-      if (c == ')') --pd;
-      if (c == '[' && pd == 1) {
-        cap = i;
-        break;
-      }
-    }
-    if (cap == std::string::npos) continue;
-    const std::size_t cap_end = match_fwd(s.stripped, cap);
-    if (cap_end == std::string::npos) continue;
-    std::size_t i = skip_ws_fwd(s.stripped, cap_end + 1);
-    std::size_t params_begin = i, params_end = i;
-    if (i < s.stripped.size() && s.stripped[i] == '(') {
-      params_end = match_fwd(s.stripped, i);
-      if (params_end == std::string::npos) continue;
-      i = skip_ws_fwd(s.stripped, params_end + 1);
-    }
-    while (i < s.stripped.size() && ident_char(s.stripped[i])) ++i;  // mutable
-    i = skip_ws_fwd(s.stripped, i);
-    if (i >= s.stripped.size() || s.stripped[i] != '{') continue;
-    const std::size_t body_open = i;
-    const std::size_t body_close = match_fwd(s.stripped, body_open);
-    if (body_close == std::string::npos) continue;
-
-    const std::string params =
-        s.stripped.substr(params_begin, params_end - params_begin);
-    const std::string body =
-        s.stripped.substr(body_open, body_close - body_open);
-
-    for (std::size_t p = 0; p + 1 < body.size(); ++p) {
-      if (!accum_op_at(body, p)) continue;
-      std::size_t q = skip_ws_back(body, p == 0 ? 0 : p - 1);
-      if (!ident_char(body[q])) continue;  // yd[k] +=, (*p) += ... are fine
-      const std::string name = ident_ending_at(body, q);
-      if (name.empty()) continue;
-      // Member / qualified access is not a captured scalar.
-      if (q + 1 > name.size()) {
-        const std::size_t before = skip_ws_back(body, q - name.size());
-        const char c = body[before];
-        if (c == '.' || c == '>' || c == ':') continue;
-      }
-      if (declared_in(params, name)) continue;
-      if (declared_in(body.substr(0, p), name)) continue;
-      const std::size_t global_pos = body_open + p;
-      const int line = s.line_of(global_pos);
-      if (s.suppressed("race-shared-accum", line)) continue;
-      out.push_back(
-          {s.path, line, "race-shared-accum",
-           "accumulation into captured scalar '" + name + "' inside a " +
-               l.name +
-               " body: a data race, and non-deterministic even if atomic; "
-               "use parallel_reduce / parallel_reduce_n"});
-    }
-  }
-}
-
-void rule_no_std_rand(const Source& s, std::vector<Finding>& out) {
-  const auto report = [&](std::size_t pos, const std::string& what) {
-    const int line = s.line_of(pos);
-    if (s.suppressed("no-std-rand", line)) return;
-    out.push_back({s.path, line, "no-std-rand",
-                   what + ": kernels must use the counter-based Xoshiro256 "
-                          "(reproducible per global site, thread-count "
-                          "independent)"});
-  };
-  for (std::size_t p = find_word(s.stripped, "srand", 0);
-       p != std::string::npos; p = find_word(s.stripped, "srand", p + 1)) {
-    const std::size_t nx = skip_ws_fwd(s.stripped, p + 5);
-    if (nx < s.stripped.size() && s.stripped[nx] == '(')
-      report(p, "call to srand");
-  }
-  for (std::size_t p = find_word(s.stripped, "rand", 0);
-       p != std::string::npos; p = find_word(s.stripped, "rand", p + 1)) {
-    std::size_t q = p >= 1 ? skip_ws_back(s.stripped, p - 1) : 0;
-    const bool qualified = p >= 2 && s.stripped[q] == ':';
-    if (qualified) {
-      // Only std::rand is banned; femto::... never defines rand.
-      if (q >= 4 && s.stripped.compare(q - 4, 5, "std::") == 0)
-        report(p, "call to std::rand");
-      continue;
-    }
-    if (p > 0 && (s.stripped[q] == '.' || s.stripped[q] == '>')) continue;
-    const std::size_t nx = skip_ws_fwd(s.stripped, p + 4);
-    if (nx < s.stripped.size() && s.stripped[nx] == '(')
-      report(p, "call to rand");
-  }
-}
-
-void rule_no_naked_new(const Source& s, std::vector<Finding>& out) {
-  const auto scan = [&](const std::string& word) {
-    for (std::size_t p = find_word(s.stripped, word, 0);
-         p != std::string::npos;
-         p = find_word(s.stripped, word, p + 1)) {
-      // operator new/delete declarations are not naked allocations.
-      const std::size_t q = p >= 1 ? skip_ws_back(s.stripped, p - 1) : 0;
-      if (ident_ending_at(s.stripped, q) == "operator") continue;
-      // `Foo(const Foo&) = delete;` deletes a function, not memory.
-      if (word == "delete" && s.stripped[q] == '=') continue;
-      // `#include <new>` and template args like `<new_t>` are not calls.
-      if (s.stripped[q] == '<') continue;
-      const int line = s.line_of(p);
-      if (s.suppressed("no-naked-new", line)) continue;
-      out.push_back({s.path, line, "no-naked-new",
-                     "naked `" + word +
-                         "` in kernel code: ownership belongs in "
-                         "std::vector / smart pointers (ASan-clean by "
-                         "construction)"});
-    }
-  };
-  scan("new");
-  scan("delete");
-}
-
-void rule_pragma_once(const Source& s, std::vector<Finding>& out) {
-  if (!is_header(s.path)) return;
-  const std::size_t first = skip_ws_fwd(s.stripped, 0);
-  if (first != std::string::npos &&
-      s.stripped.compare(first, 12, "#pragma once") == 0)
-    return;
-  const int line = first < s.stripped.size() ? s.line_of(first) : 1;
-  if (s.suppressed("pragma-once", line)) return;
-  out.push_back({s.path, line, "pragma-once",
-                 "header must start with #pragma once"});
-}
-
-void rule_header_hygiene(const Source& s, std::vector<Finding>& out) {
-  if (!is_header(s.path)) return;
-  const std::size_t un = s.stripped.find("using namespace");
-  if (un != std::string::npos) {
-    const int line = s.line_of(un);
-    if (!s.suppressed("header-hygiene", line))
-      out.push_back({s.path, line, "header-hygiene",
-                     "`using namespace` in a header leaks into every "
-                     "includer"});
-  }
-  if (s.stripped.find("namespace femto") == std::string::npos) {
-    if (!s.suppressed("header-hygiene", 1))
-      out.push_back({s.path, 1, "header-hygiene",
-                     "header declares nothing inside `namespace femto`"});
-  }
-}
-
-void rule_cast(const Source& s, std::vector<Finding>& out) {
-  const auto scan = [&](const std::string& word) {
-    for (std::size_t p = find_word(s.stripped, word, 0);
-         p != std::string::npos;
-         p = find_word(s.stripped, word, p + 1)) {
-      const int line = s.line_of(p);
-      if (s.suppressed("cast", line)) continue;
-      out.push_back({s.path, line, "cast",
-                     word +
-                         " requires an explicit `// femtolint: allow(cast): "
-                         "why it is safe` suppression (aliasing / constness "
-                         "audit trail)"});
-    }
-  };
-  scan("reinterpret_cast");
-  scan("const_cast");
-}
-
-std::vector<Finding> lint_file(const fs::path& p) {
-  const Source s = load(p);
-  std::vector<Finding> out;
-  rule_kernel_traffic(s, out);
-  rule_race_shared_accum(s, out);
-  rule_no_std_rand(s, out);
-  rule_no_naked_new(s, out);
-  rule_pragma_once(s, out);
-  rule_header_hygiene(s, out);
-  rule_cast(s, out);
-  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
-    return a.line < b.line;
-  });
-  return out;
-}
+using femtolint::Finding;
+using femtolint::LayerSpec;
+using femtolint::Program;
+using femtolint::Source;
 
 bool lintable(const fs::path& p) {
   const std::string e = p.extension().string();
@@ -630,48 +77,96 @@ std::vector<fs::path> collect(const std::vector<std::string>& roots) {
       continue;
     }
     for (const auto& e : fs::recursive_directory_iterator(root)) {
-      if (e.is_regular_file() && lintable(e.path()))
-        files.push_back(e.path());
+      if (e.is_regular_file() && lintable(e.path())) files.push_back(e.path());
     }
   }
   std::sort(files.begin(), files.end());
   return files;
 }
 
-// ---------------------------------------------------------------------------
-// Self-test over the negative fixtures.
-// ---------------------------------------------------------------------------
+// Parse every file and run the per-file rules, parallelized over files.
+// Each worker writes only its own slots, so the result is deterministic.
+Program scan(const std::vector<fs::path>& files, std::size_t threads,
+             std::vector<Finding>& findings) {
+  Program prog;
+  prog.sources.resize(files.size());
+  std::vector<std::vector<Finding>> per_file(files.size());
+  femto::par::ThreadPool pool(threads);
+  // femtolint: allow(kernel-traffic): lint scan is file I/O, not a numerics
+  // kernel -- there is no memory-traffic model to charge.
+  pool.parallel_for(0, files.size(), [&](std::size_t i) {
+    prog.sources[i] = femtolint::load_source(files[i].string());
+    femtolint::run_file_rules(prog.sources[i], per_file[i]);
+  });
+  for (auto& v : per_file)
+    findings.insert(findings.end(), v.begin(), v.end());
+  return prog;
+}
 
-std::set<std::string> expected_rules(const Source& s) {
-  std::set<std::string> out;
-  const std::string tag = "femtolint-expect:";
-  for (std::size_t p = s.raw.find(tag); p != std::string::npos;
-       p = s.raw.find(tag, p + 1)) {
-    std::size_t i = p + tag.size();
-    const std::size_t eol = s.raw.find('\n', i);
-    std::string rest = s.raw.substr(i, eol - i);
-    std::istringstream is(rest);
-    std::string id;
-    while (is >> id) {
-      while (!id.empty() && (id.back() == ',' || id.back() == '.'))
-        id.pop_back();
-      if (!id.empty()) out.insert(id);
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
-  out.erase("clean");
   return out;
 }
 
-int self_test(const std::string& dir) {
+void print_json(const std::vector<Finding>& all, std::size_t n_files) {
+  std::printf("{\n  \"files\": %zu,\n  \"findings\": [", n_files);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Finding& f = all[i];
+    std::printf(
+        "%s\n    {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", "
+        "\"message\": \"%s\"}",
+        i == 0 ? "" : ",", json_escape(f.file).c_str(), f.line,
+        f.rule.c_str(), json_escape(f.message).c_str());
+  }
+  std::printf("%s]\n}\n", all.empty() ? "" : "\n  ");
+}
+
+// ---------------------------------------------------------------------------
+// Self-test over the negative fixtures: every rule named by a
+// `// femtolint-expect:` directive must fire on its fixture and nothing
+// else may.  Whole-program passes run with the fixture as a one-file
+// program, so the cross-file rules are exercised too.
+// ---------------------------------------------------------------------------
+
+int self_test(const std::string& dir, const LayerSpec& spec) {
   int failures = 0;
   int n_fixtures = 0;
+  if (!spec.loaded)
+    std::printf(
+        "note: no --layers file given; layering fixtures are skipped\n");
   for (const fs::path& p : collect({dir})) {
-    const Source s = load(p);
-    if (s.raw.find("femtolint-expect:") == std::string::npos) continue;
+    const Source s = femtolint::load_source(p.string());
+    std::set<std::string> want = s.expected_rules();
+    if (!spec.loaded && want.count("layering") != 0) continue;
+    bool has_directive = false;
+    for (const auto& c : s.lx.comments)
+      if (c.text.find("femtolint-expect:") != std::string::npos)
+        has_directive = true;
+    if (!has_directive) continue;
     ++n_fixtures;
-    const std::set<std::string> want = expected_rules(s);
+    std::vector<Finding> findings;
+    femtolint::run_file_rules(s, findings);
+    Program prog;
+    prog.sources.push_back(s);
+    femtolint::run_program_rules(prog, spec, findings);
     std::set<std::string> got;
-    for (const Finding& f : lint_file(p)) got.insert(f.rule);
+    for (const Finding& f : findings) got.insert(f.rule);
     if (want == got) {
       std::printf("ok   %s\n", p.string().c_str());
       continue;
@@ -695,35 +190,70 @@ int self_test(const std::string& dir) {
   return failures == 0 ? 0 : 1;
 }
 
+int usage() {
+  std::fprintf(stderr,
+               "usage: femtolint [--layers FILE] [--json] [--threads N] "
+               "<dir-or-file>...\n"
+               "       femtolint [--layers FILE] --self-test <fixtures-dir>\n");
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  if (args.empty()) {
-    std::fprintf(stderr,
-                 "usage: femtolint <dir-or-file>...\n"
-                 "       femtolint --self-test <fixtures-dir>\n");
-    return 2;
-  }
-  if (args[0] == "--self-test") {
-    if (args.size() != 2) {
-      std::fprintf(stderr, "femtolint --self-test takes exactly one dir\n");
-      return 2;
+  LayerSpec spec;
+  bool json = false;
+  std::size_t threads = 0;  // 0 = femtopar default (hardware concurrency)
+  std::string self_test_dir;
+  bool want_self_test = false;
+  std::vector<std::string> roots;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--layers") {
+      if (i + 1 >= args.size()) return usage();
+      std::string err;
+      if (!femtolint::load_layers(args[++i], spec, err)) {
+        std::fprintf(stderr, "femtolint: %s\n", err.c_str());
+        return 2;
+      }
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--threads") {
+      if (i + 1 >= args.size()) return usage();
+      threads = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else if (a == "--self-test") {
+      if (i + 1 >= args.size()) return usage();
+      want_self_test = true;
+      self_test_dir = args[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      return usage();
+    } else {
+      roots.push_back(a);
     }
-    return self_test(args[1]);
   }
 
-  std::vector<Finding> all;
-  std::size_t n_files = 0;
-  for (const fs::path& p : collect(args)) {
-    ++n_files;
-    const auto f = lint_file(p);
-    all.insert(all.end(), f.begin(), f.end());
+  if (want_self_test) {
+    if (!roots.empty()) return usage();
+    return self_test(self_test_dir, spec);
   }
-  for (const Finding& f : all)
-    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
-                f.message.c_str());
-  std::printf("femtolint: %zu finding(s) in %zu file(s)\n", all.size(),
-              n_files);
+  if (roots.empty()) return usage();
+
+  const std::vector<fs::path> files = collect(roots);
+  std::vector<Finding> all;
+  const Program prog = scan(files, threads, all);
+  femtolint::run_program_rules(prog, spec, all);
+  femtolint::sort_findings(all);
+
+  if (json) {
+    print_json(all, files.size());
+  } else {
+    for (const Finding& f : all)
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    std::printf("femtolint: %zu finding(s) in %zu file(s)\n", all.size(),
+                files.size());
+  }
   return all.empty() ? 0 : 1;
 }

@@ -1,0 +1,67 @@
+#pragma once
+// femtolint v2 lexer: turns C++ source text into a token stream.
+//
+// The v1 scanner worked on comment-stripped *text* and paid for it: rules
+// fired on commented-out code that the stripper missed (nested quotes,
+// raw strings), and every rule re-derived structure with ad-hoc character
+// scans.  The lexer gives every downstream pass the same, correct view:
+//
+//   * line and block comments are removed from the token stream but kept
+//     in a side list (suppression comments and fixture directives live
+//     there);
+//   * string, char, and raw-string literals become single opaque tokens,
+//     so nothing inside a literal can ever match a rule;
+//   * a preprocessor directive (with backslash continuations joined) is
+//     one token, so `#include` graph extraction and `#pragma once` checks
+//     are trivial and `#include <new>` can no longer look like a naked
+//     `new`;
+//   * punctuation is maximal-munch (`::`, `+=`, `->`, ...), which the
+//     race-accum and guarded-by passes rely on.
+//
+// The lexer does not run the preprocessor: femtolint lints what the
+// developer wrote, not what the compiler saw.
+
+#include <string>
+#include <vector>
+
+namespace femtolint {
+
+enum class Tok {
+  Ident,    // identifiers AND keywords (rules match on text)
+  Number,   // pp-number: 0x1f, 1e-5, 3.14f, ...
+  Str,      // "..." or R"delim(...)delim"; text is a placeholder
+  Chr,      // '...'
+  Punct,    // maximal-munch operator / punctuator
+  Pp,       // one whole preprocessor directive, continuations joined
+};
+
+struct Token {
+  Tok kind = Tok::Punct;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+struct Comment {
+  int line = 0;       // line the comment starts on
+  int end_line = 0;   // last line it covers (== line for `//` comments)
+  std::string text;   // without the // or /* */ markers
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  int n_lines = 1;
+};
+
+/// Lex @p src.  Never fails: unterminated literals/comments are closed at
+/// end of input (linting must degrade gracefully on torn files).
+LexResult lex(const std::string& src);
+
+inline bool is_ident(const Token& t, const char* text) {
+  return t.kind == Tok::Ident && t.text == text;
+}
+inline bool is_punct(const Token& t, const char* text) {
+  return t.kind == Tok::Punct && t.text == text;
+}
+
+}  // namespace femtolint

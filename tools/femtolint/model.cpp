@@ -1,0 +1,577 @@
+#include "model.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace femtolint {
+
+namespace {
+
+const char* kLaunchNames[] = {"parallel_for", "parallel_for_chunked",
+                              "parallel_reduce", "parallel_reduce2",
+                              "parallel_reduce_n"};
+
+bool is_launch_name(const std::string& s) {
+  for (const char* n : kLaunchNames)
+    if (s == n) return true;
+  return false;
+}
+
+bool is_control_kw(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch" || s == "return" || s == "sizeof" || s == "alignof" ||
+         s == "decltype" || s == "static_assert";
+}
+
+std::vector<std::string> split_path(const std::string& p) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : p) {
+    if (c == '/' || c == '\\') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Token-tree walker: functions and classes.
+// ---------------------------------------------------------------------------
+
+class Extractor {
+ public:
+  Extractor(const std::vector<Token>& toks, Source& out)
+      : t_(toks), n_(toks.size()), out_(out) {}
+
+  void run() { walk(0, n_, /*cls=*/nullptr); }
+
+ private:
+  const std::vector<Token>& t_;
+  std::size_t n_;
+  Source& out_;
+
+  bool is(std::size_t i, const char* text) const {
+    return i < n_ && t_[i].text == text;
+  }
+  bool ident_at(std::size_t i) const {
+    return i < n_ && t_[i].kind == Tok::Ident;
+  }
+
+  // Matching closer for the (, [ or { at @p open; n_ if unbalanced.
+  std::size_t match(std::size_t open) const {
+    const std::string& o = t_[open].text;
+    const char* c = o == "(" ? ")" : (o == "[" ? "]" : "}");
+    int depth = 0;
+    for (std::size_t i = open; i < n_; ++i) {
+      if (t_[i].kind != Tok::Punct) continue;
+      if (t_[i].text == o) ++depth;
+      if (t_[i].text == c && --depth == 0) return i;
+    }
+    return n_;
+  }
+
+  // Skip a `template <...>` header starting at the 'template' keyword.
+  std::size_t skip_template(std::size_t i) const {
+    ++i;
+    if (!is(i, "<")) return i;
+    int depth = 0;
+    for (; i < n_; ++i) {
+      if (t_[i].kind != Tok::Punct) continue;
+      if (t_[i].text == "<")
+        ++depth;
+      else if (t_[i].text == ">")
+        --depth;
+      else if (t_[i].text == ">>")
+        depth -= 2;
+      else if (t_[i].text == "<<")
+        depth += 2;
+      if (depth <= 0 && t_[i].text.find('>') != std::string::npos)
+        return i + 1;
+    }
+    return n_;
+  }
+
+  // Declaration-scope walk over [begin, end); @p cls non-null inside a
+  // class body (collects members into it).
+  void walk(std::size_t begin, std::size_t end, ClassInfo* cls) {
+    std::vector<std::size_t> stmt;  // pending member-declaration tokens
+    for (std::size_t i = begin; i < end;) {
+      const Token& tk = t_[i];
+      if (tk.kind == Tok::Pp) {
+        ++i;
+        continue;
+      }
+      if (tk.kind == Tok::Ident) {
+        const std::string& w = tk.text;
+        if (w == "template") {
+          const std::size_t j = skip_template(i);
+          for (std::size_t k = i; k < j; ++k) stmt.push_back(k);
+          i = j;
+          continue;
+        }
+        if (w == "namespace" && cls == nullptr) {
+          std::size_t j = i + 1;
+          while (j < end && !is(j, "{") && !is(j, ";") && !is(j, "=")) ++j;
+          if (j < end && is(j, "{")) {
+            const std::size_t close = match(j);
+            walk(j + 1, close, nullptr);
+            i = close + 1;
+          } else {
+            while (j < end && !is(j, ";")) ++j;  // namespace alias
+            i = j + 1;
+          }
+          stmt.clear();
+          continue;
+        }
+        if (w == "class" || w == "struct" || w == "union") {
+          // Find the body '{' or the ';' of a forward declaration.
+          std::size_t j = i + 1;
+          while (j < end && !is(j, "{") && !is(j, ";") && !is(j, "(")) ++j;
+          if (j < end && is(j, "{")) {
+            ClassInfo ci;
+            ci.line = tk.line;
+            if (ident_at(i + 1)) ci.name = t_[i + 1].text;
+            const std::size_t close = match(j);
+            walk(j + 1, close, &ci);
+            out_.classes.push_back(std::move(ci));
+            i = close + 1;
+            stmt.clear();
+            continue;
+          }
+          // Forward declaration, elaborated type (`struct X x;`), or a
+          // function parameter -- fall through to plain accumulation.
+        }
+        if (w == "enum") {
+          std::size_t j = i + 1;
+          while (j < end && !is(j, "{") && !is(j, ";")) ++j;
+          i = (j < end && is(j, "{")) ? match(j) + 1 : j + 1;
+          stmt.clear();
+          continue;
+        }
+        if (w == "using" || w == "typedef" || w == "friend") {
+          std::size_t j = i;
+          while (j < end && !is(j, ";")) ++j;
+          i = j + 1;
+          stmt.clear();
+          continue;
+        }
+        if (w == "operator") {
+          // Build the operator-id, then treat like a named function.
+          std::size_t j = i + 1;
+          std::string opname = "operator";
+          if (is(j, "(") && is(j + 1, ")")) {
+            opname += "()";
+            j += 2;
+          } else {
+            while (j < end && t_[j].kind == Tok::Punct && !is(j, "(")) {
+              opname += t_[j].text;
+              ++j;
+            }
+          }
+          if (j < end && is(j, "(")) {
+            const std::size_t consumed =
+                try_function(j, end, opname, cls, /*name_tok=*/i);
+            if (consumed != 0) {
+              i = consumed;
+              stmt.clear();
+              continue;
+            }
+          }
+          for (std::size_t k = i; k < j; ++k) stmt.push_back(k);
+          i = j;
+          continue;
+        }
+      }
+      if (tk.kind == Tok::Punct && tk.text == "(" && i > begin &&
+          ident_at(i - 1) && !is_control_kw(t_[i - 1].text)) {
+        const std::size_t consumed =
+            try_function(i, end, t_[i - 1].text, cls, i - 1);
+        if (consumed != 0) {
+          i = consumed;
+          stmt.clear();
+          continue;
+        }
+      }
+      if (tk.kind == Tok::Punct && tk.text == "{") {
+        i = match(i) + 1;  // opaque block (initializer list, asm, ...)
+        stmt.clear();
+        continue;
+      }
+      if (tk.kind == Tok::Punct && tk.text == ";") {
+        if (cls != nullptr) analyze_member(stmt, *cls);
+        stmt.clear();
+        ++i;
+        continue;
+      }
+      stmt.push_back(i);
+      ++i;
+    }
+  }
+
+  // @p open is the '(' of a candidate function header whose name is
+  // @p name (token index @p name_tok).  Returns the token index to resume
+  // from if this was a definition (body consumed), 0 otherwise.
+  std::size_t try_function(std::size_t open, std::size_t end,
+                           const std::string& name, ClassInfo* cls,
+                           std::size_t name_tok) {
+    const std::size_t close = match(open);
+    if (close >= end) return 0;
+    std::size_t j = close + 1;
+    // Trailing qualifiers: const noexcept(...) override final & &&
+    // -> return-type tokens ... up to '{', ';', '=', or ':'.
+    while (j < end) {
+      if (is(j, "{") || is(j, ";") || is(j, "=") || is(j, ":")) break;
+      if (is(j, "(") || is(j, "[")) {
+        j = match(j) + 1;
+        continue;
+      }
+      if (is(j, ",") || is(j, ")")) return 0;  // inside an expression
+      ++j;
+    }
+    if (j >= end) return 0;
+    std::size_t body = n_;
+    if (is(j, "{")) {
+      body = j;
+    } else if (is(j, ":")) {
+      // Constructor initializer list: the body '{' is the first brace NOT
+      // preceded by an identifier (member-init braces follow their member
+      // name; the body brace follows ')' or '}').
+      std::size_t k = j + 1;
+      while (k < end) {
+        if (is(k, "(")) {
+          k = match(k) + 1;
+          continue;
+        }
+        if (is(k, "{")) {
+          if (k > 0 && ident_at(k - 1)) {
+            k = match(k) + 1;  // brace member-initializer
+            continue;
+          }
+          body = k;
+          break;
+        }
+        if (is(k, ";")) return 0;
+        ++k;
+      }
+    } else {
+      return 0;  // declaration, `= default`, or plain expression
+    }
+    if (body >= end) return 0;
+
+    FunctionInfo fn;
+    fn.name = name;
+    fn.line = t_[body].line;
+    fn.body_begin = body;
+    fn.body_end = match(body);
+    // Qualifier / scope resolution for the class name.
+    std::size_t q = name_tok;
+    bool dtor = false;
+    if (q > 0 && is(q - 1, "~")) {
+      dtor = true;
+      --q;
+    }
+    if (q >= 2 && is(q - 1, "::") && ident_at(q - 2))
+      fn.class_name = t_[q - 2].text;
+    else if (cls != nullptr)
+      fn.class_name = cls->name;
+    fn.is_ctor_or_dtor = dtor || (fn.name == fn.class_name);
+    scan_body(fn);
+    out_.functions.push_back(std::move(fn));
+    return out_.functions.back().body_end + 1;
+  }
+
+  void scan_body(FunctionInfo& fn) {
+    for (std::size_t k = fn.body_begin; k <= fn.body_end && k < n_; ++k) {
+      if (t_[k].kind != Tok::Ident) continue;
+      const std::string& w = t_[k].text;
+      if (w == "flops" && is(k + 1, "::") && k + 2 < n_ &&
+          t_[k + 2].text == "add_bytes") {
+        fn.charges = true;
+        continue;
+      }
+      if (k + 1 <= fn.body_end && is(k + 1, "(")) {
+        if (is_launch_name(w)) {
+          if (!fn.launches) {
+            fn.launches = true;
+            fn.first_launch_line = t_[k].line;
+            fn.first_launch_name = w;
+          }
+        } else if (!is_control_kw(w)) {
+          fn.callees.insert(w);
+        }
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Member-declaration analysis (one ';'-terminated statement at class
+  // scope, function definitions already consumed elsewhere).
+  // -------------------------------------------------------------------------
+
+  bool stmt_has_ident(const std::vector<std::size_t>& stmt,
+                      const char* text) const {
+    for (std::size_t k : stmt)
+      if (t_[k].kind == Tok::Ident && t_[k].text == text) return true;
+    return false;
+  }
+
+  void analyze_member(std::vector<std::size_t> stmt, ClassInfo& cls) {
+    // Strip access labels glued to the front (`public :`).
+    while (stmt.size() >= 2 && t_[stmt[0]].kind == Tok::Ident &&
+           (t_[stmt[0]].text == "public" || t_[stmt[0]].text == "private" ||
+            t_[stmt[0]].text == "protected") &&
+           t_[stmt[1]].text == ":") {
+      stmt.erase(stmt.begin(), stmt.begin() + 2);
+    }
+    if (stmt.empty()) return;
+    const std::string& first = t_[stmt[0]].text;
+    if (first == "using" || first == "typedef" || first == "friend" ||
+        first == "static" || first == "template" || first == "class" ||
+        first == "struct" || first == "enum" || first == "union" ||
+        first == "namespace" || first == "operator" || first == "explicit" ||
+        first == "virtual")
+      return;
+
+    // FEMTO_GUARDED_BY annotation: the member name is the identifier just
+    // before the macro; the guard is the identifier inside its parens.
+    for (std::size_t s = 0; s < stmt.size(); ++s) {
+      if (t_[stmt[s]].kind == Tok::Ident &&
+          t_[stmt[s]].text == "FEMTO_GUARDED_BY") {
+        MemberInfo m;
+        m.needs_guard = true;
+        if (s > 0 && t_[stmt[s - 1]].kind == Tok::Ident)
+          m.name = t_[stmt[s - 1]].text;
+        m.line = t_[stmt[s]].line;
+        if (s + 2 < stmt.size() && t_[stmt[s + 2]].kind == Tok::Ident)
+          m.guard = t_[stmt[s + 2]].text;
+        if (!m.name.empty()) cls.members.push_back(std::move(m));
+        return;
+      }
+    }
+
+    if (stmt_has_ident(stmt, "operator")) return;
+
+    // Declarator: the last depth-0 identifier before any top-level
+    // initializer.  Angle brackets nest only when opened after an
+    // identifier (template argument lists).  A depth-0 '(' directly after
+    // an identifier means this is a method *declaration*, not a member.
+    int paren = 0, angle = 0;
+    std::size_t declarator = stmt.size();
+    std::size_t cut = stmt.size();
+    for (std::size_t s = 0; s < stmt.size(); ++s) {
+      const Token& tk = t_[stmt[s]];
+      if (tk.kind == Tok::Punct) {
+        const std::string& p = tk.text;
+        if (p == "(" || p == "[") {
+          if (p == "(" && paren == 0 && angle == 0 && s > 0 &&
+              t_[stmt[s - 1]].kind == Tok::Ident)
+            return;  // function declaration
+          ++paren;
+        } else if (p == ")" || p == "]")
+          --paren;
+        else if (p == "<" && s > 0 && t_[stmt[s - 1]].kind == Tok::Ident)
+          ++angle;
+        else if (p == ">" && angle > 0)
+          --angle;
+        else if (p == ">>" && angle > 0)
+          angle = angle >= 2 ? angle - 2 : 0;
+        else if (p == "=" && paren == 0 && angle == 0) {
+          cut = s;
+          break;
+        }
+      }
+    }
+    paren = angle = 0;
+    for (std::size_t s = 0; s < cut; ++s) {
+      const Token& tk = t_[stmt[s]];
+      if (tk.kind == Tok::Punct) {
+        const std::string& p = tk.text;
+        if (p == "(" || p == "[")
+          ++paren;
+        else if (p == ")" || p == "]")
+          --paren;
+        else if (p == "<" && s > 0 && t_[stmt[s - 1]].kind == Tok::Ident)
+          ++angle;
+        else if (p == ">" && angle > 0)
+          --angle;
+        else if (p == ">>" && angle > 0)
+          angle = angle >= 2 ? angle - 2 : 0;
+      } else if (tk.kind == Tok::Ident && paren == 0 && angle == 0) {
+        declarator = s;
+      }
+    }
+    if (declarator >= cut) return;
+    // A declarator directly followed by '(' is a function declaration.
+    if (declarator + 1 < stmt.size() && t_[stmt[declarator + 1]].text == "(")
+      return;
+
+    const std::string name = t_[stmt[declarator]].text;
+    const int line = t_[stmt[declarator]].line;
+    if (stmt_has_ident(stmt, "mutex")) {
+      cls.mutexes.push_back(name);
+      return;
+    }
+    // Synchronisation-adjacent types manage their own thread safety (or,
+    // for std::thread handles, are owned by ctor/dtor alone).
+    if (stmt_has_ident(stmt, "condition_variable") ||
+        stmt_has_ident(stmt, "condition_variable_any") ||
+        stmt_has_ident(stmt, "atomic") || stmt_has_ident(stmt, "thread") ||
+        stmt_has_ident(stmt, "jthread"))
+      return;
+    // A const member (not a pointer-to-const) is immutable state.
+    bool has_star = false;
+    for (std::size_t k : stmt)
+      if (t_[k].text == "*") has_star = true;
+    if (first == "const" && !has_star) return;
+
+    MemberInfo m;
+    m.name = name;
+    m.line = line;
+    m.needs_guard = true;
+    cls.members.push_back(std::move(m));
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Source queries.
+// ---------------------------------------------------------------------------
+
+bool Source::is_header() const {
+  return path.size() > 4 && path.compare(path.size() - 4, 4, ".hpp") == 0;
+}
+
+bool Source::in_parallel_engine() const {
+  return rel.compare(0, 9, "parallel/") == 0 ||
+         path.find("src/parallel/") != std::string::npos;
+}
+
+bool Source::suppressed(const std::string& rule, int line) const {
+  if (file_allows_.count(rule) != 0) return true;
+  for (int ln = line - 3; ln <= line; ++ln) {
+    auto it = line_allows_.find(ln);
+    if (it != line_allows_.end() && it->second.count(rule) != 0) return true;
+  }
+  return false;
+}
+
+std::set<std::string> Source::expected_rules() const {
+  std::set<std::string> out;
+  const std::string tag = "femtolint-expect:";
+  for (const Comment& c : lx.comments) {
+    for (std::size_t p = c.text.find(tag); p != std::string::npos;
+         p = c.text.find(tag, p + 1)) {
+      std::istringstream is(c.text.substr(p + tag.size()));
+      std::string id;
+      while (is >> id) {
+        while (!id.empty() && (id.back() == ',' || id.back() == '.'))
+          id.pop_back();
+        if (!id.empty()) out.insert(id);
+      }
+    }
+  }
+  out.erase("clean");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+Source parse_source(std::string path, const std::string& text) {
+  Source s;
+  s.path = std::move(path);
+  const std::vector<std::string> comps = split_path(s.path);
+  for (std::size_t i = comps.size(); i-- > 0;) {
+    if (comps[i] == "src" && i + 1 < comps.size()) {
+      std::string rel;
+      for (std::size_t k = i + 1; k < comps.size(); ++k) {
+        if (!rel.empty()) rel += '/';
+        rel += comps[k];
+      }
+      s.rel = rel;
+      if (comps.size() - i > 2) s.module_dir = comps[i + 1];
+      break;
+    }
+  }
+  s.lx = lex(text);
+
+  // Suppressions, module directive.
+  const std::string allow_tag = "femtolint: allow(";
+  const std::string allow_file_tag = "femtolint: allow-file(";
+  const std::string mod_tag = "femtolint-module:";
+  for (const Comment& c : s.lx.comments) {
+    for (std::size_t p = c.text.find(allow_file_tag); p != std::string::npos;
+         p = c.text.find(allow_file_tag, p + 1)) {
+      const std::size_t b = p + allow_file_tag.size();
+      const std::size_t e = c.text.find(')', b);
+      if (e != std::string::npos)
+        s.file_allows_.insert(c.text.substr(b, e - b));
+    }
+    for (std::size_t p = c.text.find(allow_tag); p != std::string::npos;
+         p = c.text.find(allow_tag, p + 1)) {
+      // Don't re-match the tail of "allow-file(".
+      if (p >= 5 && c.text.compare(p, allow_file_tag.size(),
+                                   allow_file_tag) == 0)
+        continue;
+      const std::size_t b = p + allow_tag.size();
+      const std::size_t e = c.text.find(')', b);
+      if (e == std::string::npos) continue;
+      const std::string rule = c.text.substr(b, e - b);
+      for (int ln = c.line; ln <= c.end_line; ++ln)
+        s.line_allows_[ln].insert(rule);
+    }
+    // The module directive must open the comment (prose *mentioning* the
+    // directive, as in this tool's own docs, does not reassign the file).
+    std::size_t mp = 0;
+    while (mp < c.text.size() &&
+           std::isspace(static_cast<unsigned char>(c.text[mp])) != 0)
+      ++mp;
+    if (c.text.compare(mp, mod_tag.size(), mod_tag) == 0) {
+      std::istringstream is(c.text.substr(mp + mod_tag.size()));
+      is >> s.module_override;
+    }
+  }
+
+  // Includes.
+  for (const Token& t : s.lx.tokens) {
+    if (t.kind != Tok::Pp) continue;
+    std::size_t p = t.text.find('#');
+    if (p == std::string::npos) continue;
+    ++p;
+    while (p < t.text.size() &&
+           std::isspace(static_cast<unsigned char>(t.text[p])) != 0)
+      ++p;
+    if (t.text.compare(p, 7, "include") != 0) continue;
+    p += 7;
+    while (p < t.text.size() &&
+           std::isspace(static_cast<unsigned char>(t.text[p])) != 0)
+      ++p;
+    if (p >= t.text.size()) continue;
+    const char open = t.text[p];
+    if (open != '"' && open != '<') continue;
+    const char close = open == '"' ? '"' : '>';
+    const std::size_t e = t.text.find(close, p + 1);
+    if (e == std::string::npos) continue;
+    s.includes.push_back(
+        {t.text.substr(p + 1, e - p - 1), t.line, open == '<'});
+  }
+
+  Extractor(s.lx.tokens, s).run();
+  return s;
+}
+
+Source load_source(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return parse_source(path, os.str());
+}
+
+}  // namespace femtolint

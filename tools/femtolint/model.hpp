@@ -1,0 +1,106 @@
+#pragma once
+// femtolint v2 source model: everything the rules need, extracted once per
+// file from the token stream.
+//
+//   Source        tokens + comments + suppression queries (allow /
+//                 allow-file) + the #include list + module assignment
+//   FunctionInfo  every named function/method definition: body token
+//                 range, callee names, whether it launches a parallel
+//                 kernel, whether it charges flops::add_bytes
+//   ClassInfo     every class/struct with its data members, which mutexes
+//                 it owns, and FEMTO_GUARDED_BY annotations
+//   Program       the whole scanned set; the unit the cross-file passes
+//                 (layering, transitive kernel-traffic, lock discipline)
+//                 run over
+//
+// Extraction is a single forward walk with a scope stack -- no
+// backtracking heuristics over raw text.  It is still not a compiler: no
+// overload resolution (the call graph is name-based) and no preprocessing
+// (femtolint lints what was written).  Those limits are documented in
+// DESIGN.md §9.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace femtolint {
+
+struct IncludeEdge {
+  std::string path;  // as written inside the quotes
+  int line = 0;
+  bool system = false;  // <...> include
+};
+
+/// One named function (or method) definition.
+struct FunctionInfo {
+  std::string name;        // last identifier before the parameter list
+  std::string class_name;  // enclosing class or `X::` qualifier; "" if free
+  int line = 0;            // line of the opening brace
+  std::size_t body_begin = 0;  // token index of '{'
+  std::size_t body_end = 0;    // token index of matching '}'
+  bool is_ctor_or_dtor = false;
+  std::set<std::string> callees;  // identifiers called as `name(...)`
+  bool launches = false;          // calls parallel_for / parallel_reduce*
+  int first_launch_line = 0;
+  std::string first_launch_name;
+  bool charges = false;  // body contains flops::add_bytes
+};
+
+/// One data member of a class.
+struct MemberInfo {
+  std::string name;
+  int line = 0;
+  std::string guard;     // mutex named in FEMTO_GUARDED_BY; "" if none
+  bool needs_guard = false;  // mutable state that the discipline applies to
+};
+
+struct ClassInfo {
+  std::string name;
+  int line = 0;
+  std::vector<std::string> mutexes;  // names of std::mutex members
+  std::vector<MemberInfo> members;
+};
+
+struct Source {
+  std::string path;  // as passed on the command line
+  std::string rel;   // path relative to the src/ root ("" if not under one)
+  std::string module_dir;       // first component of rel ("" if none)
+  std::string module_override;  // `// femtolint-module: <m>` directive
+  LexResult lx;
+  std::vector<IncludeEdge> includes;
+  std::vector<FunctionInfo> functions;
+  std::vector<ClassInfo> classes;
+
+  bool is_header() const;
+  bool in_parallel_engine() const;
+
+  /// `// femtolint: allow(<rule>): reason` on the finding's line or the
+  /// three lines above it, or `// femtolint: allow-file(<rule>): reason`
+  /// anywhere in the file.
+  bool suppressed(const std::string& rule, int line) const;
+
+  /// Rules named by `// femtolint-expect:` directives (self-test mode).
+  std::set<std::string> expected_rules() const;
+
+ private:
+  friend Source parse_source(std::string path, const std::string& text);
+  std::set<std::string> file_allows_;
+  // line -> rules allowed on [line, line+3].
+  std::map<int, std::set<std::string>> line_allows_;
+};
+
+/// Parse one file's text into the full model.
+Source parse_source(std::string path, const std::string& text);
+
+/// Load from disk + parse.
+Source load_source(const std::string& path);
+
+struct Program {
+  std::vector<Source> sources;
+};
+
+}  // namespace femtolint

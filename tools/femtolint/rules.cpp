@@ -1,0 +1,534 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <tuple>
+
+namespace femtolint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+std::size_t match_fwd(const Tokens& t, std::size_t open) {
+  const std::string& o = t[open].text;
+  const char* c = o == "(" ? ")" : (o == "[" ? "]" : "}");
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != Tok::Punct) continue;
+    if (t[i].text == o) ++depth;
+    if (t[i].text == c && --depth == 0) return i;
+  }
+  return t.size();
+}
+
+bool is_member_access(const Tokens& t, std::size_t i) {
+  // t[i] is an identifier; true when it is written as `x.id` / `p->id` /
+  // `ns::id` (i.e. not a plain unqualified reference).  `this->id` still
+  // counts as unqualified for the rules that care.
+  if (i == 0) return false;
+  const std::string& p = t[i - 1].text;
+  return t[i - 1].kind == Tok::Punct &&
+         (p == "." || p == "->" || p == "::");
+}
+
+bool is_this_access(const Tokens& t, std::size_t i) {
+  return i >= 2 && t[i - 1].kind == Tok::Punct && t[i - 1].text == "->" &&
+         is_ident(t[i - 2], "this");
+}
+
+// ---------------------------------------------------------------------------
+// Per-file rules.
+// ---------------------------------------------------------------------------
+
+void rule_race_shared_accum(const Source& s, std::vector<Finding>& out) {
+  if (s.in_parallel_engine()) return;
+  const Tokens& t = s.lx.tokens;
+  // A name looks *declared* within a token range when some occurrence is
+  // preceded by a type-ish token (identifier, '&', '*', or closing '>').
+  const auto declared_in = [&](std::size_t b, std::size_t e,
+                               const std::string& name) {
+    for (std::size_t i = b; i < e; ++i) {
+      if (t[i].kind != Tok::Ident || t[i].text != name || i == 0) continue;
+      const Token& p = t[i - 1];
+      if (p.kind == Tok::Ident || p.text == "&" || p.text == "*" ||
+          p.text == ">" || p.text == ">>")
+        return true;
+    }
+    return false;
+  };
+
+  for (std::size_t k = 0; k + 1 < t.size(); ++k) {
+    if (t[k].kind != Tok::Ident) continue;
+    const std::string& name = t[k].text;
+    if (name != "parallel_for" && name != "parallel_for_chunked") continue;
+    if (!is_punct(t[k + 1], "(")) continue;
+    const std::size_t call_open = k + 1;
+    const std::size_t call_close = match_fwd(t, call_open);
+    if (call_close >= t.size()) continue;
+    // First '[' at paren depth 1 opens the body lambda's capture list.
+    std::size_t cap = t.size();
+    int pd = 0;
+    for (std::size_t i = call_open; i < call_close; ++i) {
+      if (t[i].kind != Tok::Punct) continue;
+      if (t[i].text == "(") ++pd;
+      if (t[i].text == ")") --pd;
+      if (t[i].text == "[" && pd == 1) {
+        cap = i;
+        break;
+      }
+    }
+    if (cap >= t.size()) continue;
+    const std::size_t cap_end = match_fwd(t, cap);
+    if (cap_end >= t.size()) continue;
+    std::size_t i = cap_end + 1;
+    std::size_t params_b = i, params_e = i;
+    if (i < t.size() && is_punct(t[i], "(")) {
+      params_b = i + 1;
+      params_e = match_fwd(t, i);
+      if (params_e >= t.size()) continue;
+      i = params_e + 1;
+    }
+    while (i < t.size() && t[i].kind == Tok::Ident) ++i;  // mutable etc.
+    if (i >= t.size() || !is_punct(t[i], "{")) continue;
+    const std::size_t body_open = i;
+    const std::size_t body_close = match_fwd(t, body_open);
+    if (body_close >= t.size()) continue;
+
+    for (std::size_t p = body_open + 1; p < body_close; ++p) {
+      if (t[p].kind != Tok::Punct) continue;
+      const std::string& op = t[p].text;
+      if (op != "+=" && op != "-=" && op != "*=" && op != "/=") continue;
+      if (p == 0 || t[p - 1].kind != Tok::Ident) continue;  // yd[k] += ok
+      const std::size_t id = p - 1;
+      if (is_member_access(t, id)) continue;
+      const std::string& var = t[id].text;
+      if (declared_in(params_b, params_e, var)) continue;
+      if (declared_in(body_open + 1, p, var)) continue;
+      const int line = t[p].line;
+      if (s.suppressed("race-shared-accum", line)) continue;
+      out.push_back(
+          {s.path, line, "race-shared-accum",
+           "accumulation into captured scalar '" + var + "' inside a " +
+               name +
+               " body: a data race, and non-deterministic even if atomic; "
+               "use parallel_reduce / parallel_reduce_n"});
+    }
+  }
+}
+
+void rule_no_std_rand(const Source& s, std::vector<Finding>& out) {
+  const Tokens& t = s.lx.tokens;
+  const auto report = [&](int line, const std::string& what) {
+    if (s.suppressed("no-std-rand", line)) return;
+    out.push_back({s.path, line, "no-std-rand",
+                   what + ": kernels must use the counter-based Xoshiro256 "
+                          "(reproducible per global site, thread-count "
+                          "independent)"});
+  };
+  for (std::size_t k = 0; k < t.size(); ++k) {
+    if (t[k].kind != Tok::Ident) continue;
+    if (t[k].text == "srand" && k + 1 < t.size() && is_punct(t[k + 1], "(")) {
+      report(t[k].line, "call to srand");
+      continue;
+    }
+    if (t[k].text != "rand") continue;
+    if (k > 0 && is_punct(t[k - 1], "::")) {
+      if (k >= 2 && is_ident(t[k - 2], "std"))
+        report(t[k].line, "call to std::rand");
+      continue;
+    }
+    if (k > 0 && (is_punct(t[k - 1], ".") || is_punct(t[k - 1], "->")))
+      continue;
+    if (k + 1 < t.size() && is_punct(t[k + 1], "("))
+      report(t[k].line, "call to rand");
+  }
+}
+
+void rule_no_naked_new(const Source& s, std::vector<Finding>& out) {
+  const Tokens& t = s.lx.tokens;
+  for (std::size_t k = 0; k < t.size(); ++k) {
+    if (t[k].kind != Tok::Ident) continue;
+    const std::string& w = t[k].text;
+    if (w != "new" && w != "delete") continue;
+    if (k > 0 && is_ident(t[k - 1], "operator")) continue;
+    // `Foo(const Foo&) = delete;` deletes a function, not memory.
+    if (w == "delete" && k > 0 && is_punct(t[k - 1], "=")) continue;
+    if (k > 0 && is_punct(t[k - 1], "<")) continue;  // template argument
+    const int line = t[k].line;
+    if (s.suppressed("no-naked-new", line)) continue;
+    out.push_back({s.path, line, "no-naked-new",
+                   "naked `" + w +
+                       "` in kernel code: ownership belongs in "
+                       "std::vector / smart pointers (ASan-clean by "
+                       "construction)"});
+  }
+}
+
+void rule_pragma_once(const Source& s, std::vector<Finding>& out) {
+  if (!s.is_header()) return;
+  const Tokens& t = s.lx.tokens;
+  if (!t.empty() && t[0].kind == Tok::Pp) {
+    // Normalise internal whitespace before comparing.
+    std::istringstream is(t[0].text.substr(t[0].text.find('#') + 1));
+    std::string a, b;
+    is >> a >> b;
+    if (a == "pragma" && b == "once") return;
+  }
+  const int line = t.empty() ? 1 : t[0].line;
+  if (s.suppressed("pragma-once", line)) return;
+  out.push_back(
+      {s.path, line, "pragma-once", "header must start with #pragma once"});
+}
+
+void rule_header_hygiene(const Source& s, std::vector<Finding>& out) {
+  if (!s.is_header()) return;
+  const Tokens& t = s.lx.tokens;
+  bool has_femto = false;
+  for (std::size_t k = 0; k + 1 < t.size(); ++k) {
+    if (is_ident(t[k], "using") && is_ident(t[k + 1], "namespace")) {
+      const int line = t[k].line;
+      if (!s.suppressed("header-hygiene", line))
+        out.push_back({s.path, line, "header-hygiene",
+                       "`using namespace` in a header leaks into every "
+                       "includer"});
+    }
+    if (is_ident(t[k], "namespace") && t[k + 1].kind == Tok::Ident &&
+        t[k + 1].text.compare(0, 5, "femto") == 0)
+      has_femto = true;
+  }
+  if (!has_femto && !s.suppressed("header-hygiene", 1))
+    out.push_back({s.path, 1, "header-hygiene",
+                   "header declares nothing inside `namespace femto`"});
+}
+
+void rule_cast(const Source& s, std::vector<Finding>& out) {
+  for (const Token& tk : s.lx.tokens) {
+    if (tk.kind != Tok::Ident) continue;
+    if (tk.text != "reinterpret_cast" && tk.text != "const_cast") continue;
+    if (s.suppressed("cast", tk.line)) continue;
+    out.push_back({s.path, tk.line, "cast",
+                   tk.text +
+                       " requires an explicit `// femtolint: allow(cast): "
+                       "why it is safe` suppression (aliasing / constness "
+                       "audit trail)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program pass: transitive kernel-traffic.
+// ---------------------------------------------------------------------------
+
+void pass_kernel_traffic(const Program& prog, std::vector<Finding>& out) {
+  struct Node {
+    const Source* src = nullptr;
+    const FunctionInfo* fn = nullptr;
+    std::set<std::size_t> callers;
+  };
+  std::vector<Node> nodes;
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  for (const Source& s : prog.sources)
+    for (const FunctionInfo& fn : s.functions) {
+      by_name[fn.name].push_back(nodes.size());
+      nodes.push_back({&s, &fn, {}});
+    }
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    for (const std::string& callee : nodes[i].fn->callees) {
+      auto it = by_name.find(callee);
+      if (it == by_name.end()) continue;
+      for (std::size_t j : it->second)
+        if (j != i) nodes[j].callers.insert(i);
+    }
+
+  // A launcher is *covered* when every call chain from a call-graph root
+  // down to it passes through a function that charges flops::add_bytes.
+  // uncovered(v): v is a root itself, or some caller chain reaches a root
+  // without ever charging.
+  std::set<std::size_t> stack;
+  std::function<bool(std::size_t)> uncovered = [&](std::size_t v) {
+    if (nodes[v].callers.empty()) return true;
+    stack.insert(v);
+    bool result = false;
+    for (std::size_t c : nodes[v].callers) {
+      if (stack.count(c) != 0) continue;  // recursion cycle: no new root
+      if (nodes[c].fn->charges) continue;
+      if (uncovered(c)) {
+        result = true;
+        break;
+      }
+    }
+    stack.erase(v);
+    return result;
+  };
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    if (!n.fn->launches || n.fn->charges) continue;
+    if (n.src->in_parallel_engine()) continue;  // the execution engine
+    if (!uncovered(i)) continue;
+    const int line = n.fn->first_launch_line;
+    if (n.src->suppressed("kernel-traffic", line)) continue;
+    out.push_back({n.src->path, line, "kernel-traffic",
+                   "function '" + n.fn->name + "' launches " +
+                       n.fn->first_launch_name +
+                       " but no call chain reaching it charges "
+                       "flops::add_bytes; the arithmetic-intensity model "
+                       "depends on every kernel recording its memory "
+                       "traffic"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program pass: lock discipline.
+// ---------------------------------------------------------------------------
+
+void pass_lock_discipline(const Program& prog, std::vector<Finding>& out) {
+  // mutex-annotate: every mutex-owning class annotates its mutable members.
+  for (const Source& s : prog.sources)
+    for (const ClassInfo& c : s.classes) {
+      if (c.mutexes.empty()) continue;
+      for (const MemberInfo& m : c.members) {
+        if (!m.needs_guard || !m.guard.empty()) continue;
+        if (s.suppressed("mutex-annotate", m.line)) continue;
+        out.push_back(
+            {s.path, m.line, "mutex-annotate",
+             "class '" + c.name + "' owns mutex '" + c.mutexes.front() +
+                 "' but member '" + m.name +
+                 "' has no FEMTO_GUARDED_BY annotation (annotate it, or "
+                 "make it const / std::atomic)"});
+      }
+    }
+
+  // guarded-by: annotated members only touched while visibly holding the
+  // named mutex.  Methods are matched to classes by name (lexical nesting
+  // or the `Class::` qualifier), so out-of-line definitions in the .cpp
+  // are checked against the annotations in the header.
+  std::map<std::string, std::map<std::string, std::string>> guards_by_class;
+  for (const Source& s : prog.sources)
+    for (const ClassInfo& c : s.classes)
+      for (const MemberInfo& m : c.members)
+        if (!m.guard.empty()) guards_by_class[c.name][m.name] = m.guard;
+
+  for (const Source& s : prog.sources) {
+    const Tokens& t = s.lx.tokens;
+    for (const FunctionInfo& fn : s.functions) {
+      if (fn.class_name.empty() || fn.is_ctor_or_dtor) continue;
+      auto git = guards_by_class.find(fn.class_name);
+      if (git == guards_by_class.end()) continue;
+      const std::map<std::string, std::string>& guards = git->second;
+
+      // Lock evidence within this body, per mutex name.
+      const auto holds = [&](const std::string& mu) {
+        bool takes_lock = false, names_mu = false;
+        for (std::size_t k = fn.body_begin;
+             k <= fn.body_end && k < t.size(); ++k) {
+          if (t[k].kind != Tok::Ident) continue;
+          const std::string& w = t[k].text;
+          if (w == "lock_guard" || w == "unique_lock" ||
+              w == "scoped_lock" || w == "shared_lock")
+            takes_lock = true;
+          else if (w == "lock" && k > 0 &&
+                   (is_punct(t[k - 1], ".") || is_punct(t[k - 1], "->")))
+            takes_lock = true;
+          if (w == mu) names_mu = true;
+        }
+        return takes_lock && names_mu;
+      };
+
+      std::set<std::string> reported;
+      for (std::size_t k = fn.body_begin; k <= fn.body_end && k < t.size();
+           ++k) {
+        if (t[k].kind != Tok::Ident) continue;
+        auto mit = guards.find(t[k].text);
+        if (mit == guards.end()) continue;
+        if (is_member_access(t, k) && !is_this_access(t, k)) continue;
+        if (reported.count(mit->first) != 0) continue;
+        reported.insert(mit->first);
+        if (holds(mit->second)) continue;
+        const int line = t[k].line;
+        if (s.suppressed("guarded-by", line)) continue;
+        out.push_back({s.path, line, "guarded-by",
+                       "member '" + mit->first + "' is FEMTO_GUARDED_BY(" +
+                           mit->second + ") but '" + fn.class_name +
+                           "::" + fn.name +
+                           "' touches it without visibly locking " +
+                           mit->second});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program pass: architecture layering.
+// ---------------------------------------------------------------------------
+
+bool find_dag_cycle(const LayerSpec& spec, std::string& cycle) {
+  // Colours: 0 white, 1 grey, 2 black.
+  std::map<std::string, int> colour;
+  std::vector<std::string> path;
+  std::function<bool(const std::string&)> dfs = [&](const std::string& m) {
+    colour[m] = 1;
+    path.push_back(m);
+    auto it = spec.allowed.find(m);
+    if (it != spec.allowed.end())
+      for (const std::string& d : it->second) {
+        if (colour[d] == 1) {
+          cycle.clear();
+          for (const std::string& p : path) cycle += p + " -> ";
+          cycle += d;
+          return true;
+        }
+        if (colour[d] == 0 && dfs(d)) return true;
+      }
+    colour[m] = 2;
+    path.pop_back();
+    return false;
+  };
+  for (const std::string& m : spec.modules)
+    if (colour[m] == 0 && dfs(m)) return true;
+  return false;
+}
+
+void pass_layering(const Program& prog, const LayerSpec& spec,
+                   std::vector<Finding>& out) {
+  if (!spec.loaded) return;
+  std::string cycle;
+  if (find_dag_cycle(spec, cycle)) {
+    out.push_back({spec.path, 1, "layering",
+                   "declared module graph has a cycle: " + cycle});
+    return;  // edge conformance against a cyclic spec is meaningless
+  }
+  for (const Source& s : prog.sources) {
+    const std::string m = module_of(s, spec);
+    if (m.empty()) continue;
+    if (spec.modules.count(m) == 0) {
+      if (!s.suppressed("layering", 1))
+        out.push_back({s.path, 1, "layering",
+                       "module '" + m + "' is not declared in " + spec.path});
+      continue;
+    }
+    const auto ait = spec.allowed.find(m);
+    for (const IncludeEdge& inc : s.includes) {
+      if (inc.system) continue;
+      std::string target;
+      auto fit = spec.file_overrides.find(inc.path);
+      if (fit != spec.file_overrides.end()) {
+        target = fit->second;
+      } else {
+        const std::size_t slash = inc.path.find('/');
+        if (slash == std::string::npos) continue;  // sibling include
+        target = inc.path.substr(0, slash);
+        if (spec.modules.count(target) == 0) continue;  // not a module path
+      }
+      if (target == m) continue;
+      if (ait != spec.allowed.end() && ait->second.count(target) != 0)
+        continue;
+      if (s.suppressed("layering", inc.line)) continue;
+      out.push_back({s.path, inc.line, "layering",
+                     "#include \"" + inc.path + "\" crosses modules " + m +
+                         " -> " + target + ", which is not an allowed edge "
+                         "in " + spec.path});
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public entry points.
+// ---------------------------------------------------------------------------
+
+bool load_layers(const std::string& path, LayerSpec& spec, std::string& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err = "cannot open " + path;
+    return false;
+  }
+  spec = LayerSpec{};
+  spec.path = path;
+  std::string line;
+  int ln = 0;
+  while (std::getline(in, line)) {
+    ++ln;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    for (char& c : line)
+      if (c == ':') c = ' ';
+    std::istringstream is(line);
+    std::string kw;
+    if (!(is >> kw)) continue;
+    if (kw == "module") {
+      std::string name;
+      if (!(is >> name)) {
+        err = path + ":" + std::to_string(ln) + ": module needs a name";
+        return false;
+      }
+      spec.modules.insert(name);
+      std::string dep;
+      while (is >> dep) spec.allowed[name].insert(dep);
+    } else if (kw == "file") {
+      std::string p, mod;
+      if (!(is >> p >> mod)) {
+        err = path + ":" + std::to_string(ln) +
+              ": file needs <path> <module>";
+        return false;
+      }
+      spec.file_overrides[p] = mod;
+    } else {
+      err = path + ":" + std::to_string(ln) + ": unknown directive '" + kw +
+            "' (expected module/file)";
+      return false;
+    }
+  }
+  for (const auto& [m, deps] : spec.allowed)
+    for (const std::string& d : deps)
+      if (spec.modules.count(d) == 0) {
+        err = path + ": module '" + m + "' allows undeclared module '" + d +
+              "'";
+        return false;
+      }
+  for (const auto& [p, m] : spec.file_overrides)
+    if (spec.modules.count(m) == 0) {
+      err = path + ": file override '" + p + "' names undeclared module '" +
+            m + "'";
+      return false;
+    }
+  spec.loaded = true;
+  return true;
+}
+
+std::string module_of(const Source& s, const LayerSpec& spec) {
+  if (!s.module_override.empty()) return s.module_override;
+  if (!s.rel.empty()) {
+    auto it = spec.file_overrides.find(s.rel);
+    if (it != spec.file_overrides.end()) return it->second;
+  }
+  return s.module_dir;
+}
+
+void run_file_rules(const Source& s, std::vector<Finding>& out) {
+  rule_race_shared_accum(s, out);
+  rule_no_std_rand(s, out);
+  rule_no_naked_new(s, out);
+  rule_pragma_once(s, out);
+  rule_header_hygiene(s, out);
+  rule_cast(s, out);
+}
+
+void run_program_rules(const Program& prog, const LayerSpec& spec,
+                       std::vector<Finding>& out) {
+  pass_kernel_traffic(prog, out);
+  pass_lock_discipline(prog, out);
+  pass_layering(prog, spec, out);
+}
+
+void sort_findings(std::vector<Finding>& v) {
+  std::sort(v.begin(), v.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+}
+
+}  // namespace femtolint

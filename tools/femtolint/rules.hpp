@@ -1,0 +1,62 @@
+#pragma once
+// femtolint v2 rules.
+//
+// Per-file rules run independently on one Source (parallelized over files);
+// whole-program passes run once over the full Program:
+//
+//   layering        #include graph of src/ vs. the declared module DAG in
+//                   layers.def (cycle-free, every cross-module edge declared)
+//   kernel-traffic  transitive: a function that launches a kernel (possibly
+//                   via helpers) must charge flops::add_bytes somewhere on
+//                   every call chain reaching the launch
+//   guarded-by      FEMTO_GUARDED_BY(mu) members only touched in methods
+//                   that visibly take `mu`
+//   mutex-annotate  a mutex-owning class must annotate every shared mutable
+//                   member (or mark it const / atomic)
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace femtolint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Module DAG declared in layers.def.  Line syntax:
+///   # comment
+///   module <name>: <allowed-dep> <allowed-dep> ...
+///   file <src-relative-path> <module>       (reassign one file)
+struct LayerSpec {
+  bool loaded = false;
+  std::string path;  // for error reporting
+  std::set<std::string> modules;
+  std::map<std::string, std::set<std::string>> allowed;   // module -> deps
+  std::map<std::string, std::string> file_overrides;      // rel path -> module
+};
+
+/// Parse @p path into @p spec; false + @p err on I/O or syntax error.
+bool load_layers(const std::string& path, LayerSpec& spec, std::string& err);
+
+/// Module a source belongs to ("" if it is outside the module tree).
+std::string module_of(const Source& s, const LayerSpec& spec);
+
+/// All single-file rules: race-shared-accum, no-std-rand, no-naked-new,
+/// pragma-once, header-hygiene, cast.
+void run_file_rules(const Source& s, std::vector<Finding>& out);
+
+/// All whole-program passes (layering skipped when !spec.loaded).
+void run_program_rules(const Program& prog, const LayerSpec& spec,
+                       std::vector<Finding>& out);
+
+/// Deterministic order: (file, line, rule, message).
+void sort_findings(std::vector<Finding>& v);
+
+}  // namespace femtolint

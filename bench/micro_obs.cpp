@@ -1,0 +1,158 @@
+// Femtoscope tracer overhead on the real solver workload: runs the CG
+// per-iteration fused BLAS sequence (the kernels that carry
+// FEMTO_TRACE_SCOPE in production) with tracing off and on, and reports
+// the enabled overhead plus the disabled per-scope cost measured on a
+// synthetic hot loop.  Emits BENCH_obs.json so future PRs can track the
+// tracer's cost trajectory against the <=2% enabled / ~0% disabled
+// budget.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "lattice/blas.hpp"
+#include "lattice/spinor.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using femto::SpinorField;
+using femto::Subset;
+
+constexpr int kIters = 40;     // fused sequences per timed rep
+constexpr int kReps = 5;       // min over reps (autotuner convention)
+constexpr int kScopesPerIter = 3;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One CG iteration's worth of fused BLAS traffic; every call enters one
+// FEMTO_TRACE_SCOPE.
+double fused_sequence(SpinorField<double>& x, SpinorField<double>& r,
+                      SpinorField<double>& p) {
+  double acc = 0.0;
+  acc += femto::blas::axpy_norm2(1.0000001, p, r);
+  acc += femto::blas::xpay_redot(r, 0.9999, p);
+  acc += femto::blas::axpby_norm2(0.5, r, 0.5000001, x);
+  return acc;
+}
+
+double time_workload(SpinorField<double>& x, SpinorField<double>& r,
+                     SpinorField<double>& p, double* sink) {
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const double t0 = now_s();
+    for (int i = 0; i < kIters; ++i) *sink += fused_sequence(x, r, p);
+    best = std::min(best, now_s() - t0);
+  }
+  return best;
+}
+
+inline std::uint64_t step(std::uint64_t s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+// Disabled per-scope cost: scoped minus bare xorshift loop, tracing off.
+double disabled_ns_per_scope(std::uint64_t* sink) {
+  constexpr std::size_t kN = 4'000'000;
+  double bare = 1e300, scoped = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::uint64_t s = 0x9E3779B97F4A7C15ull;
+    double t0 = now_s();
+    for (std::size_t i = 0; i < kN; ++i) s = step(s);
+    bare = std::min(bare, now_s() - t0);
+    t0 = now_s();
+    for (std::size_t i = 0; i < kN; ++i) {
+      FEMTO_TRACE_SCOPE("bench", "disabled_scope");
+      s = step(s);
+    }
+    scoped = std::min(scoped, now_s() - t0);
+    *sink += s;
+  }
+  return (scoped - bare) / static_cast<double>(kN) * 1e9;
+}
+
+}  // namespace
+
+int main() {
+  const auto geom = std::make_shared<femto::Geometry>(8, 8, 8, 16);
+  const int l5 = 8;
+  SpinorField<double> x(geom, l5, Subset::Odd), r(geom, l5, Subset::Odd),
+      p(geom, l5, Subset::Odd);
+  x.gaussian(1);
+  r.gaussian(2);
+  p.gaussian(3);
+  double sink = 0.0;
+
+  // Warm the pool and caches before any timing.
+  femto::obs::set_trace_enabled(false);
+  sink += fused_sequence(x, r, p);
+
+  std::uint64_t usink = 0;
+  const double off_ns_scope = disabled_ns_per_scope(&usink);
+  const double off_s = time_workload(x, r, p, &sink);
+
+  femto::obs::set_trace_enabled(true);
+  femto::obs::trace_clear();
+  const double on_s = time_workload(x, r, p, &sink);
+  const auto snap = femto::obs::trace_snapshot();
+  femto::obs::set_trace_enabled(false);
+
+  const double overhead_pct = (on_s / off_s - 1.0) * 100.0;
+  const double on_ns_scope = (on_s - off_s) /
+                             static_cast<double>(kIters * kScopesPerIter) *
+                             1e9;
+  const double iter_s = off_s / kIters;
+  const double off_pct = off_ns_scope * 1e-9 * kScopesPerIter / iter_s *
+                         100.0;
+
+  std::printf("femtoscope tracer overhead (fused BLAS sequence, 8x8x8x16 "
+              "l5=%d, %d iters, min of %d)\n",
+              l5, kIters, kReps);
+  std::printf("  tracing off : %10.6f s\n", off_s);
+  std::printf("  tracing on  : %10.6f s  (+%.3f%%, %.1f ns/scope)\n", on_s,
+              overhead_pct, on_ns_scope);
+  std::printf("  disabled scope cost: %.2f ns (%.4f%% of workload)\n",
+              off_ns_scope, off_pct);
+  std::printf("  spans recorded: %zu across %d threads (%llu dropped)\n",
+              snap.events.size(), snap.threads,
+              static_cast<unsigned long long>(snap.dropped));
+  if (sink == 0.0 && usink == 0) std::printf("(unreachable)\n");
+
+  std::FILE* f = std::fopen("BENCH_obs.json", "w");
+  if (f != nullptr) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"obs_tracer_overhead\",\n"
+        "  \"workload\": \"fused_blas_sequence_8x8x8x16_l5_%d\",\n"
+        "  \"iters\": %d,\n"
+        "  \"reps\": %d,\n"
+        "  \"scopes_per_iter\": %d,\n"
+        "  \"off_seconds\": %.9f,\n"
+        "  \"on_seconds\": %.9f,\n"
+        "  \"overhead_enabled_pct\": %.4f,\n"
+        "  \"enabled_ns_per_scope\": %.2f,\n"
+        "  \"disabled_ns_per_scope\": %.3f,\n"
+        "  \"overhead_disabled_pct\": %.5f,\n"
+        "  \"events\": %zu,\n"
+        "  \"dropped\": %llu,\n"
+        "  \"threads\": %d\n"
+        "}\n",
+        l5, kIters, kReps, kScopesPerIter, off_s, on_s, overhead_pct,
+        on_ns_scope, off_ns_scope, off_pct, snap.events.size(),
+        static_cast<unsigned long long>(snap.dropped), snap.threads);
+    std::fclose(f);
+    std::printf("wrote BENCH_obs.json\n");
+  }
+  return 0;
+}

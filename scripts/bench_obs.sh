@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Benchmark the femtoscope tracer and emit BENCH_obs.json.
+#
+# Runs bench/micro_obs: the CG per-iteration fused BLAS sequence with
+# tracing off and on (min-of-reps wall clock, same convention as the
+# autotuner), plus the disabled per-scope cost on a synthetic hot loop.
+# The budget the subsystem is held to: <=2% overhead enabled, ~0%
+# disabled.  The JSON lands in the repo root so successive PRs can track
+# the trajectory.
+#
+# Usage: scripts/bench_obs.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+MICRO_OBS="${BUILD_DIR}/bench/micro_obs"
+
+if [[ ! -x "$MICRO_OBS" ]]; then
+  echo "bench_obs: $MICRO_OBS not built (cmake --build $BUILD_DIR --target micro_obs)" >&2
+  exit 1
+fi
+
+# micro_obs writes BENCH_obs.json into the current directory.
+"$MICRO_OBS"
+
+# Guard the budget: enabled overhead must stay under 5% in this noisy
+# harness (the paper-facing claim is <=2% on a quiet machine); negative
+# readings mean the overhead is below measurement noise.
+python3 - <<'EOF'
+import json
+with open("BENCH_obs.json") as f:
+    bench = json.load(f)
+enabled = bench["overhead_enabled_pct"]
+disabled = bench["overhead_disabled_pct"]
+print(f"bench_obs: enabled {enabled:+.3f}%, disabled {disabled:+.5f}%")
+if enabled > 5.0:
+    raise SystemExit(f"bench_obs: enabled tracing overhead {enabled:.2f}% exceeds budget")
+if disabled > 1.0:
+    raise SystemExit(f"bench_obs: disabled tracing overhead {disabled:.4f}% exceeds budget")
+EOF
+echo "bench_obs: OK"

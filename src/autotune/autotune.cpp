@@ -5,6 +5,10 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace femto::tune {
 
 std::string TuneParam::to_string() const {
@@ -25,17 +29,49 @@ Autotuner& Autotuner::global() {
 
 const TuneEntry& Autotuner::tune(Tunable& t) {
   const std::string key = t.key();
+  // The kernel name is the key up to the first ',' (the remainder encodes
+  // geometry/precision); a cached sibling with the same name but a
+  // different key means a geometry change invalidated that entry.
+  std::string stale_key;
   {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++hits_;
+      ++it->second.hits;
+      obs::counter("autotune.cache_hits").add();
       return it->second;
     }
+    const std::string prefix = key.substr(0, key.find(',')) + ",";
+    for (const auto& [other, e] : cache_) {
+      if (other.size() > prefix.size() &&
+          other.compare(0, prefix.size(), prefix) == 0) {
+        stale_key = other;
+        break;
+      }
+    }
   }
+  if (!stale_key.empty())
+    FEMTO_LOG_WARN("autotune",
+                   "cache entry '" << stale_key
+                                   << "' invalidated by geometry change; "
+                                      "re-tuning for key '"
+                                   << key << "'");
   // Miss: brute-force outside the lock (searches can be slow; concurrent
   // misses on the same key just race to insert the same answer).
+  const auto s0 = std::chrono::steady_clock::now();
   TuneEntry entry = search(t);
+  entry.search_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - s0)
+                             .count();
+  obs::counter("autotune.cache_misses").add();
+  obs::histogram("autotune.search_us")
+      .observe(static_cast<std::int64_t>(entry.search_seconds * 1e6));
+  FEMTO_LOG_DEBUG("autotune",
+                  "tuned '" << key << "' in " << entry.search_seconds
+                            << " s (" << entry.candidates_tried
+                            << " candidates): " << entry.param.to_string()
+                            << ", " << entry.gflops << " GFLOP/s");
   std::lock_guard<std::mutex> lk(mu_);
   ++misses_;
   auto [it, inserted] = cache_.emplace(key, std::move(entry));
@@ -44,6 +80,7 @@ const TuneEntry& Autotuner::tune(Tunable& t) {
 }
 
 TuneEntry Autotuner::search(Tunable& t) const {
+  FEMTO_TRACE_SCOPE("autotune", "search");
   t.backup();
   TuneEntry best;
   best.seconds = std::numeric_limits<double>::infinity();
@@ -106,16 +143,20 @@ void Autotuner::clear() {
 }
 
 namespace {
-constexpr char kMagic[] = "femtotune-v1";
+// v2 appends per-entry hit counts and brute-force search wall time to the
+// persisted metadata; v1 files (no such columns) still load.
+constexpr char kMagicV1[] = "femtotune-v1";
+constexpr char kMagicV2[] = "femtotune-v2";
 }
 
 void Autotuner::save(const std::string& path) const {
   std::lock_guard<std::mutex> lk(mu_);
   std::ofstream out(path);
-  out << kMagic << "\n";
+  out << kMagicV2 << "\n";
   for (const auto& [key, e] : cache_) {
     out << key << "\t" << e.seconds << "\t" << e.gflops << "\t" << e.gbytes
-        << "\t" << e.candidates_tried << "\t" << e.param.knobs.size();
+        << "\t" << e.candidates_tried << "\t" << e.hits << "\t"
+        << e.search_seconds << "\t" << e.param.knobs.size();
     for (const auto& [name, value] : e.param.knobs)
       out << "\t" << name << "\t" << value;
     out << "\n";
@@ -127,7 +168,8 @@ int Autotuner::load(const std::string& path) {
   if (!in) return 0;
   std::string magic;
   std::getline(in, magic);
-  if (magic != kMagic) return 0;
+  const bool v2 = magic == kMagicV2;
+  if (!v2 && magic != kMagicV1) return 0;
   int loaded = 0;
   std::string line;
   std::lock_guard<std::mutex> lk(mu_);
@@ -137,7 +179,9 @@ int Autotuner::load(const std::string& path) {
     if (!std::getline(is, key, '\t')) continue;
     TuneEntry e;
     std::size_t n_knobs = 0;
-    is >> e.seconds >> e.gflops >> e.gbytes >> e.candidates_tried >> n_knobs;
+    is >> e.seconds >> e.gflops >> e.gbytes >> e.candidates_tried;
+    if (v2) is >> e.hits >> e.search_seconds;
+    is >> n_knobs;
     for (std::size_t k = 0; k < n_knobs; ++k) {
       std::string name;
       std::int64_t value;
@@ -149,6 +193,9 @@ int Autotuner::load(const std::string& path) {
       ++loaded;
     }
   }
+  FEMTO_LOG_INFO("autotune",
+                 "loaded " << loaded << " tune-cache entries from '" << path
+                           << "' (" << magic << ")");
   return loaded;
 }
 

@@ -75,6 +75,8 @@ struct TuneEntry {
   double gflops = 0.0;
   double gbytes = 0.0;     ///< effective bandwidth
   int candidates_tried = 0;
+  int hits = 0;               ///< lookups served from this entry
+  double search_seconds = 0.0;  ///< wall time the brute-force search cost
 };
 
 /// The tuner: keyed cache + brute-force search.

@@ -1,8 +1,11 @@
 #include "comm/halo.hpp"
 
 #include <cstring>
+#include <string>
 
 #include "core/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace femto::comm {
 
@@ -99,6 +102,24 @@ void from_bytes(const std::vector<std::byte>& p, double* out,
               "halo payload size does not match the ghost buffer extent");
   std::memcpy(out, p.data(), p.size());
 }
+
+obs::Histogram& halo_msg_hist() {
+  static obs::Histogram& h = obs::histogram("comm.halo_message_bytes");
+  return h;
+}
+
+// Fold one exchange's stats delta into the global metrics, and count the
+// policy/granularity choice so the report shows which paths actually ran.
+void charge_halo(const HaloStats& s, CommPolicy p, Granularity g) {
+  static obs::Counter& bytes = obs::counter("comm.halo_bytes");
+  static obs::Counter& msgs = obs::counter("comm.halo_messages");
+  static obs::Counter& staging = obs::counter("comm.staging_copies");
+  bytes.add(s.bytes_sent);
+  msgs.add(s.messages);
+  staging.add(s.staging_copies);
+  obs::counter(std::string("comm.policy.") + to_string(p)).add();
+  obs::counter(std::string("comm.granularity.") + to_string(g)).add();
+}
 }  // namespace
 
 void HaloExchanger::wrap_dim_local(HaloField& field, int mu,
@@ -142,6 +163,10 @@ void HaloExchanger::exchange_dim(RankHandle& h, HaloField& field, int mu,
 
   ship(fwd_buf, nf, halo_tag(mu, true));
   ship(bwd_buf, nb, halo_tag(mu, false));
+  halo_msg_hist().observe(
+      static_cast<std::int64_t>(fwd_buf.size() * sizeof(double)));
+  halo_msg_hist().observe(
+      static_cast<std::int64_t>(bwd_buf.size() * sizeof(double)));
 
   // Receive: ghost_bwd comes from the -mu neighbour's forward face;
   // ghost_fwd from the +mu neighbour's backward face.
@@ -156,6 +181,7 @@ void HaloExchanger::exchange_dim(RankHandle& h, HaloField& field, int mu,
 
 void HaloExchanger::exchange_begin(RankHandle& h, HaloField& field,
                                    HaloStats* stats) {
+  FEMTO_TRACE_SCOPE("comm", "halo_exchange_begin");
   HaloStats local;
   for (int mu = 0; mu < 4; ++mu) {
     if (grid_.dim(mu) == 1) {
@@ -183,12 +209,18 @@ void HaloExchanger::exchange_begin(RankHandle& h, HaloField& field,
     };
     ship(fwd_buf, nf, halo_tag(mu, true));
     ship(bwd_buf, nb, halo_tag(mu, false));
+    halo_msg_hist().observe(
+        static_cast<std::int64_t>(fwd_buf.size() * sizeof(double)));
+    halo_msg_hist().observe(
+        static_cast<std::int64_t>(bwd_buf.size() * sizeof(double)));
   }
+  charge_halo(local, policy_, granularity_);
   if (stats) *stats += local;
 }
 
 void HaloExchanger::exchange_finish(RankHandle& h, HaloField& field,
                                     HaloStats* stats) {
+  FEMTO_TRACE_SCOPE("comm", "halo_exchange_finish");
   HaloStats local;
   for (int mu = 0; mu < 4; ++mu) {
     if (grid_.dim(mu) == 1) continue;  // completed in begin()
@@ -210,6 +242,7 @@ void HaloExchanger::exchange_finish(RankHandle& h, HaloField& field,
 
 void HaloExchanger::exchange(RankHandle& h, HaloField& field,
                              HaloStats* stats) {
+  FEMTO_TRACE_SCOPE("comm", "halo_exchange");
   HaloStats local;
   if (granularity_ == Granularity::PerDimension) {
     for (int mu = 0; mu < 4; ++mu) {
@@ -234,6 +267,7 @@ void HaloExchanger::exchange(RankHandle& h, HaloField& field,
     }
     if (any_remote) local.unpack_passes += 1;
   }
+  charge_halo(local, policy_, granularity_);
   if (stats) *stats += local;
 }
 

@@ -5,6 +5,8 @@
 
 #include "fio/propagator_io.hpp"
 #include "lattice/gauge.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 
 namespace femto::core {
 
@@ -15,6 +17,17 @@ double elapsed_since(
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        t0)
       .count();
+}
+
+// The workflow stages pass locals across stage boundaries, so the RAII
+// trace scope does not fit; stages push their spans explicitly off the
+// same timer that feeds the report.
+std::int64_t stage_begin() {
+  return obs::trace_enabled() ? obs::uptime_ns() : -1;
+}
+
+void stage_end(const char* name, std::int64_t s0) {
+  if (s0 >= 0) obs::trace_push("workflow", name, s0, obs::uptime_ns() - s0);
 }
 
 }  // namespace
@@ -36,15 +49,21 @@ WorkflowReport run_workflow(const WorkflowOptions& opts) {
       opts.extents[0], opts.extents[1], opts.extents[2], opts.extents[3]);
 
   for (int cfg = 0; cfg < opts.n_configs; ++cfg) {
+    FEMTO_LOG_DEBUG("workflow",
+                    "config " << cfg + 1 << "/" << opts.n_configs
+                              << " starting");
     // --- stage 1: gluonic field ------------------------------------------
     auto t0 = std::chrono::steady_clock::now();
+    auto s0 = stage_begin();
     auto u = std::make_shared<GaugeField<double>>(quenched_config(
         geom, opts.beta, opts.thermalization,
         opts.seed + static_cast<std::uint64_t>(cfg) * 1000));
     rep.seconds_gauge += elapsed_since(t0);
+    stage_end("gauge", s0);
 
     // --- stage 2: propagator solves ---------------------------------------
     t0 = std::chrono::steady_clock::now();
+    s0 = stage_begin();
     SolverParams sp;
     sp.tol = opts.solver_tol;
     sp.max_iter = 20000;
@@ -65,9 +84,11 @@ WorkflowReport run_workflow(const WorkflowOptions& opts) {
       rep.all_converged = rep.all_converged && fstats.all_converged;
     }
     rep.seconds_propagators += elapsed_since(t0);
+    stage_end("propagators", s0);
 
     // --- stage 3: write propagators (I/O) ---------------------------------
     t0 = std::chrono::steady_clock::now();
+    s0 = stage_begin();
     const std::string fname = opts.scratch_dir + "/prop_cfg" +
                               std::to_string(cfg) + ".femto";
     {
@@ -96,9 +117,11 @@ WorkflowReport run_workflow(const WorkflowOptions& opts) {
               up_loaded.column(s, c));
     }
     rep.seconds_io += elapsed_since(t0);
+    stage_end("propagator_io", s0);
 
     // --- stage 4: contractions (CPU) --------------------------------------
     t0 = std::chrono::steady_clock::now();
+    s0 = stage_begin();
     const SpinMat pol = polarized_projector();
     const auto c2 = nucleon_two_point(up_loaded, up_loaded, pol, 0);
     std::vector<double> c2_re;
@@ -110,9 +133,11 @@ WorkflowReport run_workflow(const WorkflowOptions& opts) {
       rep.geff.push_back(fh_effective_coupling_series(c2, cfh));
     }
     rep.seconds_contractions += elapsed_since(t0);
+    stage_end("contractions", s0);
 
     // --- stage 5: write results (I/O) --------------------------------------
     t0 = std::chrono::steady_clock::now();
+    s0 = stage_begin();
     {
       fio::File f;
       fio::write_correlator(f, "nucleon_2pt_cfg" + std::to_string(cfg),
@@ -121,7 +146,12 @@ WorkflowReport run_workflow(const WorkflowOptions& opts) {
              ".femto");
     }
     rep.seconds_io += elapsed_since(t0);
+    stage_end("result_io", s0);
   }
+  if (rep.all_converged)
+    FEMTO_LOG_INFO("workflow", rep.summary());
+  else
+    FEMTO_LOG_WARN("workflow", rep.summary());
   return rep;
 }
 

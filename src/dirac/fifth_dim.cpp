@@ -1,5 +1,7 @@
 #include "dirac/fifth_dim.hpp"
 
+#include "obs/trace.hpp"
+
 namespace femto {
 
 SMat lambda_plus(int l5, double mf) {
@@ -20,6 +22,7 @@ template <typename T>
 void FifthDimOp::apply(const SpinorView<T>& out,
                        const SpinorView<const T>& in,
                        std::size_t grain) const {
+  FEMTO_TRACE_SCOPE("dirac", "fifth_dim_op");
   const int n = l5();
   assert(n <= kMaxL5);
   assert(out.l5 == n && in.l5 == n);

@@ -2,6 +2,7 @@
 
 #include "lattice/blas.hpp"
 #include "lattice/flops.hpp"
+#include "obs/trace.hpp"
 
 namespace femto {
 
@@ -14,6 +15,7 @@ template <typename T, typename GaugeT>
 void dslash_kernel(const SpinorView<T>& out, const GaugeT& u,
                    const SpinorView<const T>& in, int out_parity,
                    bool dagger, const DslashTuning& tune) {
+  FEMTO_TRACE_SCOPE("dirac", "dslash");
   const Geometry& geom = u.geom();
   const std::int64_t volh = geom.half_volume();
   const int in_parity = 1 - out_parity;

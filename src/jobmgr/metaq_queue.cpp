@@ -6,6 +6,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
 namespace fs = std::filesystem;
 
 namespace femto::jm {
@@ -77,6 +80,9 @@ std::string MetaqQueue::submit(const Task& t, int priority) {
     out << format_task(t);
   }
   fs::rename(tmp, path);  // publish atomically, never a half-written task
+  obs::counter("metaq.submitted").add();
+  FEMTO_LOG_DEBUG("metaq", "submitted " << name.str() << " at priority "
+                                        << priority);
   return name.str();
 }
 
@@ -106,6 +112,9 @@ std::optional<QueuedTask> MetaqQueue::claim(int free_nodes) {
       QueuedTask q;
       q.name = path.stem().string();
       q.task = t;
+      obs::counter("metaq.claimed").add();
+      FEMTO_LOG_DEBUG("metaq", "claimed " << q.name << " (" << t.nodes
+                                          << " nodes) from priority " << p);
       return q;
     }
   }
@@ -120,6 +129,7 @@ void MetaqQueue::finish(const QueuedTask& t) {
   if (ec)
     throw std::runtime_error("MetaqQueue::finish: task not in working/: " +
                              t.name);
+  obs::counter("metaq.finished").add();
 }
 
 void MetaqQueue::requeue(const QueuedTask& t, int priority) {
@@ -132,6 +142,9 @@ void MetaqQueue::requeue(const QueuedTask& t, int priority) {
   if (ec)
     throw std::runtime_error("MetaqQueue::requeue: task not in working/: " +
                              t.name);
+  obs::counter("metaq.requeued").add();
+  FEMTO_LOG_DEBUG("metaq",
+                  "requeued " << t.name << " at priority " << priority);
 }
 
 namespace {

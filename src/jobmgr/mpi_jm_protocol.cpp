@@ -9,6 +9,9 @@
 #include <thread>
 
 #include "core/check.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace femto::jm {
 
@@ -36,14 +39,33 @@ class LumpLogBoard {
     logs_[static_cast<std::size_t>(rank)].push_back(job_id);
   }
 
+  /// Each manager reports its measured busy/idle split once, at shutdown.
+  void account(std::int64_t busy_us, std::int64_t idle_us) {
+    std::lock_guard<std::mutex> lk(mu_);
+    busy_us_ += busy_us;
+    idle_us_ += idle_us;
+  }
+
   std::vector<std::vector<int>> snapshot() const {
     std::lock_guard<std::mutex> lk(mu_);
     return logs_;
   }
 
+  std::int64_t busy_us() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return busy_us_;
+  }
+
+  std::int64_t idle_us() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return idle_us_;
+  }
+
  private:
   mutable std::mutex mu_;
   std::vector<std::vector<int>> logs_ FEMTO_GUARDED_BY(mu_);
+  std::int64_t busy_us_ FEMTO_GUARDED_BY(mu_) = 0;
+  std::int64_t idle_us_ FEMTO_GUARDED_BY(mu_) = 0;
 };
 
 void run_scheduler(comm::RankHandle& h, const std::vector<Task>& tasks,
@@ -108,20 +130,35 @@ void run_lump_manager(comm::RankHandle& h, const ProtocolOptions& opts,
   h.send_vec<std::int64_t>(0, kTagConnect,
                            {static_cast<std::int64_t>(h.rank()),
                             static_cast<std::int64_t>(opts.nodes_per_lump)});
+  // Busy/idle timeline: waiting on the scheduler is idle, executing a job
+  // is busy — the split the paper's utilisation numbers are made of.
+  std::int64_t busy_us = 0, idle_us = 0;
   for (;;) {
+    const auto w0 = std::chrono::steady_clock::now();
     comm::Message m = h.recv(0, kTagCommand);
+    idle_us += std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - w0)
+                   .count();
     std::int64_t cmd, job_id, dur_us;
     std::memcpy(&cmd, m.payload.data(), sizeof(cmd));
     std::memcpy(&job_id, m.payload.data() + 8, sizeof(job_id));
     std::memcpy(&dur_us, m.payload.data() + 16, sizeof(dur_us));
-    if (cmd == kCmdShutdown) return;
+    if (cmd == kCmdShutdown) break;
     // "MPI_Comm_spawn_multiple to start the job on the assigned
     // resources" — here: execute the (scaled) workload.
-    if (dur_us > 0)
-      std::this_thread::sleep_for(std::chrono::microseconds(dur_us));
+    const auto j0 = std::chrono::steady_clock::now();
+    {
+      FEMTO_TRACE_SCOPE("jobmgr", "lump_job");
+      if (dur_us > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(dur_us));
+    }
+    busy_us += std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - j0)
+                   .count();
     board.record(h.rank(), static_cast<int>(job_id));
     h.send_vec<std::int64_t>(0, kTagDone, {job_id});
   }
+  board.account(busy_us, idle_us);
 }
 
 }  // namespace
@@ -138,16 +175,30 @@ ProtocolReport run_mpi_jm_protocol(const std::vector<Task>& tasks,
   ProtocolReport report;
   const std::set<int> dead(opts.dead_lumps.begin(), opts.dead_lumps.end());
   LumpLogBoard board(opts.n_lumps + 1);  // indexed by rank (1..n_lumps)
-  // Rank 0: scheduler; ranks 1..n_lumps: lump managers.
-  comm::run_ranks(opts.n_lumps + 1, [&](comm::RankHandle& h) {
-    if (h.rank() == 0) {
-      run_scheduler(h, tasks, opts, &report);
-    } else if (!dead.count(h.rank())) {
-      run_lump_manager(h, opts, board);
-    }
-    // Dead lumps simply never connect.
-  });
+  {
+    FEMTO_TRACE_SCOPE("jobmgr", "mpi_jm_protocol");
+    // Rank 0: scheduler; ranks 1..n_lumps: lump managers.
+    comm::run_ranks(opts.n_lumps + 1, [&](comm::RankHandle& h) {
+      if (h.rank() == 0) {
+        run_scheduler(h, tasks, opts, &report);
+      } else if (!dead.count(h.rank())) {
+        run_lump_manager(h, opts, board);
+      }
+      // Dead lumps simply never connect.
+    });
+  }
   report.lump_logs = board.snapshot();
+  report.lump_busy_seconds = static_cast<double>(board.busy_us()) * 1e-6;
+  report.lump_idle_seconds = static_cast<double>(board.idle_us()) * 1e-6;
+  obs::counter("jm.lump_busy_us").add(board.busy_us());
+  obs::counter("jm.lump_idle_us").add(board.idle_us());
+  obs::counter("jm.jobs_completed").add(report.jobs_completed);
+  FEMTO_LOG_INFO("jobmgr",
+                 "mpi_jm protocol: " << report.jobs_completed << " jobs on "
+                                     << report.lumps_connected << " lumps ("
+                                     << report.lumps_ignored
+                                     << " ignored), manager efficiency "
+                                     << report.efficiency() * 100.0 << "%");
   return report;
 }
 

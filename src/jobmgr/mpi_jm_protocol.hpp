@@ -49,7 +49,18 @@ struct ProtocolReport {
   std::map<int, int> placement;
   /// Completion order per lump, indexed by manager rank (entry 0 unused).
   std::vector<std::vector<int>> lump_logs;
+  /// Measured wall time the lump managers spent executing jobs vs waiting
+  /// for the scheduler, summed over all connected lumps.
+  double lump_busy_seconds = 0.0;
+  double lump_idle_seconds = 0.0;
   bool clean_shutdown = false;
+
+  /// Fraction of manager wall time spent on jobs (paper S V: the
+  /// utilisation mpi_jm recovers over bundled launching).
+  double efficiency() const {
+    const double total = lump_busy_seconds + lump_idle_seconds;
+    return total > 0.0 ? lump_busy_seconds / total : 0.0;
+  }
 };
 
 /// Run the full protocol for @p tasks (each task must fit in one lump:

@@ -8,6 +8,8 @@
 #include <sstream>
 
 #include "lattice/rng.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace femto::jm {
 
@@ -42,6 +44,16 @@ double effective_duration(const cluster::Cluster& cl, const Task& t,
                           double rate_factor) {
   const double rate = cl.min_perf(nodes) * rate_factor;
   return t.duration * penalty / rate;
+}
+
+// Every scheduler publishes its utilisation to femtoscope: last run wins
+// on the gauges (a run report describes ONE schedule), completions
+// accumulate on the counter.
+void publish(const ScheduleReport& rep) {
+  obs::gauge("jm.busy_node_seconds").set(rep.busy_node_seconds);
+  obs::gauge("jm.alloc_node_seconds").set(rep.alloc_node_seconds);
+  obs::counter("jm.jobs_completed").add(rep.tasks_completed);
+  FEMTO_LOG_INFO("jobmgr", rep.summary());
 }
 
 }  // namespace
@@ -111,6 +123,7 @@ ScheduleReport run_naive_bundling(cluster::Cluster& cl,
   rep.startup_time = opts.batch_launch_seconds;
   rep.alloc_node_seconds = static_cast<double>(total_nodes) * rep.makespan;
   rep.tasks_completed = static_cast<int>(rep.records.size());
+  publish(rep);
   return rep;
 }
 
@@ -201,6 +214,7 @@ ScheduleReport run_metaq(cluster::Cluster& cl, const std::vector<Task>& tasks,
   rep.alloc_node_seconds =
       static_cast<double>(avail.size()) * rep.makespan;
   rep.tasks_completed = static_cast<int>(rep.records.size());
+  publish(rep);
   return rep;
 }
 
@@ -345,6 +359,7 @@ ScheduleReport run_mpi_jm(cluster::Cluster& cl,
   rep.alloc_node_seconds =
       static_cast<double>(usable.size()) * rep.makespan;
   rep.tasks_completed = static_cast<int>(rep.records.size());
+  publish(rep);
   return rep;
 }
 

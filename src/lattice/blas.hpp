@@ -27,6 +27,7 @@
 #include "lattice/complex.hpp"
 #include "lattice/field.hpp"
 #include "lattice/flops.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace femto::blas {
@@ -166,6 +167,7 @@ void scal(double a, SpinorField<T>& x, std::size_t grain = kGrain) {
 /// ||x||^2 with double accumulation.
 template <typename T>
 double norm2(const SpinorField<T>& x, std::size_t grain = kGrain) {
+  FEMTO_TRACE_SCOPE("blas", "norm2");
   const T* xd = x.data();
   const double r = par::ThreadPool::global().parallel_reduce(
       0, static_cast<std::size_t>(x.reals()),
@@ -241,6 +243,7 @@ double redot(const SpinorField<T>& x, const SpinorField<T>& y,
 template <typename T>
 double axpy_norm2(double a, const SpinorField<T>& x, SpinorField<T>& y,
                   std::size_t grain = kGrain) {
+  FEMTO_TRACE_SCOPE("blas", "axpy_norm2");
   assert(y.compatible(x));
   const T aa = static_cast<T>(a);
   T* yd = y.data();
@@ -267,6 +270,7 @@ double axpy_norm2(double a, const SpinorField<T>& x, SpinorField<T>& y,
 template <typename T>
 double xpay_redot(const SpinorField<T>& x, double a, SpinorField<T>& y,
                   std::size_t grain = kGrain) {
+  FEMTO_TRACE_SCOPE("blas", "xpay_redot");
   assert(y.compatible(x));
   const T aa = static_cast<T>(a);
   T* yd = y.data();
@@ -292,6 +296,7 @@ double xpay_redot(const SpinorField<T>& x, double a, SpinorField<T>& y,
 template <typename T>
 double axpby_norm2(double a, const SpinorField<T>& x, double b,
                    SpinorField<T>& y, std::size_t grain = kGrain) {
+  FEMTO_TRACE_SCOPE("blas", "axpby_norm2");
   assert(y.compatible(x));
   const T aa = static_cast<T>(a), bb = static_cast<T>(b);
   T* yd = y.data();
@@ -320,6 +325,7 @@ template <typename T>
 double triple_cg_update(double alpha, const SpinorField<T>& p,
                         const SpinorField<T>& ap, SpinorField<T>& x,
                         SpinorField<T>& r, std::size_t grain = kGrain) {
+  FEMTO_TRACE_SCOPE("blas", "triple_cg_update");
   assert(x.compatible(p) && r.compatible(ap) && x.compatible(r));
   const T al = static_cast<T>(alpha);
   const T mal = static_cast<T>(-alpha);
@@ -351,6 +357,7 @@ double triple_cg_update(double alpha, const SpinorField<T>& p,
 template <typename T>
 void axpy_zpbx(double a, SpinorField<T>& p, SpinorField<T>& x,
                const SpinorField<T>& z, double b, std::size_t grain = kGrain) {
+  FEMTO_TRACE_SCOPE("blas", "axpy_zpbx");
   assert(x.compatible(p) && z.compatible(p));
   const T aa = static_cast<T>(a), bb = static_cast<T>(b);
   T* pd = p.data();
@@ -375,6 +382,7 @@ void axpy_zpbx(double a, SpinorField<T>& p, SpinorField<T>& x,
 template <typename T>
 double caxpy_norm2(Cplx<double> a, const SpinorField<T>& x, SpinorField<T>& y,
                    std::size_t grain = kGrain) {
+  FEMTO_TRACE_SCOPE("blas", "caxpy_norm2");
   assert(y.compatible(x));
   const T ar = static_cast<T>(a.re), ai = static_cast<T>(a.im);
   T* yd = y.data();
@@ -407,6 +415,7 @@ template <typename T>
 std::pair<Cplx<double>, double> cdot_norm2(const SpinorField<T>& x,
                                            const SpinorField<T>& y,
                                            std::size_t grain = kGrain) {
+  FEMTO_TRACE_SCOPE("blas", "cdot_norm2");
   assert(y.compatible(x));
   const T* xd = x.data();
   const T* yd = y.data();

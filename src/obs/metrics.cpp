@@ -1,0 +1,94 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace femto::obs {
+
+Registry& Registry::global() {
+  static Registry reg;
+  return reg;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::record_solve(SolveRecord rec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++total_solves_;
+  if (solves_.size() >= kMaxSolveRecords)
+    solves_.erase(solves_.begin());
+  solves_.push_back(std::move(rec));
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Registry::counters()
+    const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->get());
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->get());
+  return out;
+}
+
+std::vector<HistogramSnapshot> Registry::histograms() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.count = h->count();
+    snap.sum = h->sum();
+    for (int b = 0; b < Histogram::kBuckets; ++b)
+      snap.buckets[static_cast<std::size_t>(b)] = h->bucket(b);
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::vector<SolveRecord> Registry::solves() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return solves_;
+}
+
+std::int64_t Registry::total_solves() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_solves_;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+  solves_.clear();
+  total_solves_ = 0;
+}
+
+}  // namespace femto::obs

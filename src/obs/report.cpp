@@ -1,0 +1,297 @@
+#include "obs/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace femto::obs {
+
+namespace {
+
+struct Derived {
+  double solver_seconds = 0.0;
+  std::int64_t solver_flops = 0;
+  std::int64_t solver_bytes = 0;
+  double sustained_gflops = 0.0;
+  double arithmetic_intensity = 0.0;
+  std::int64_t autotune_hits = 0;
+  std::int64_t autotune_misses = 0;
+  double autotune_hit_rate = 0.0;
+  double jm_busy_s = 0.0;
+  double jm_idle_s = 0.0;
+  double jm_efficiency = 0.0;
+  const char* jm_source = "none";
+  double application_gflops = 0.0;
+};
+
+Derived derive() {
+  Registry& reg = Registry::global();
+  Derived d;
+  d.solver_seconds = reg.gauge("solver.seconds").get();
+  d.solver_flops = reg.counter("solver.flops").get();
+  d.solver_bytes = reg.counter("solver.bytes").get();
+  if (d.solver_seconds > 0.0)
+    d.sustained_gflops =
+        static_cast<double>(d.solver_flops) / d.solver_seconds * 1e-9;
+  if (d.solver_bytes > 0)
+    d.arithmetic_intensity = static_cast<double>(d.solver_flops) /
+                             static_cast<double>(d.solver_bytes);
+  d.autotune_hits = reg.counter("autotune.cache_hits").get();
+  d.autotune_misses = reg.counter("autotune.cache_misses").get();
+  if (d.autotune_hits + d.autotune_misses > 0)
+    d.autotune_hit_rate =
+        static_cast<double>(d.autotune_hits) /
+        static_cast<double>(d.autotune_hits + d.autotune_misses);
+  // jm efficiency: prefer the measured per-lump busy/idle timelines from
+  // the mpi_jm protocol; fall back to the schedule-model node-seconds.
+  const double lump_busy =
+      static_cast<double>(reg.counter("jm.lump_busy_us").get()) * 1e-6;
+  const double lump_idle =
+      static_cast<double>(reg.counter("jm.lump_idle_us").get()) * 1e-6;
+  const double busy_node_s = reg.gauge("jm.busy_node_seconds").get();
+  const double alloc_node_s = reg.gauge("jm.alloc_node_seconds").get();
+  if (lump_busy + lump_idle > 0.0) {
+    d.jm_busy_s = lump_busy;
+    d.jm_idle_s = lump_idle;
+    d.jm_efficiency = lump_busy / (lump_busy + lump_idle);
+    d.jm_source = "mpi_jm_lump_timeline";
+  } else if (alloc_node_s > 0.0) {
+    d.jm_busy_s = busy_node_s;
+    d.jm_idle_s = alloc_node_s - busy_node_s;
+    d.jm_efficiency = busy_node_s / alloc_node_s;
+    d.jm_source = "schedule_report";
+  }
+  d.application_gflops =
+      d.jm_efficiency > 0.0 ? d.sustained_gflops * d.jm_efficiency
+                            : d.sustained_gflops;
+  return d;
+}
+
+void append_kv(std::string* out, const char* key, const std::string& val,
+               bool* first) {
+  if (!*first) *out += ',';
+  *first = false;
+  *out += '"';
+  *out += key;  // well-known keys, no escaping needed
+  *out += "\":";
+  *out += val;
+}
+
+std::string quoted(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+}  // namespace
+
+std::string report_json(const std::string& title) {
+  Registry& reg = Registry::global();
+  const Derived d = derive();
+  const TraceSnapshot trace = trace_snapshot();
+
+  std::string out;
+  out.reserve(1 << 14);
+  out += '{';
+  bool first = true;
+  append_kv(&out, "schema", quoted(kReportSchema), &first);
+  append_kv(&out, "title", quoted(title), &first);
+
+  // counters
+  out += ",\"counters\":{";
+  {
+    bool f = true;
+    for (const auto& [name, v] : reg.counters()) {
+      if (!f) out += ',';
+      f = false;
+      out += quoted(name);
+      out += ':';
+      out += json_number(v);
+    }
+  }
+  out += '}';
+
+  // gauges
+  out += ",\"gauges\":{";
+  {
+    bool f = true;
+    for (const auto& [name, v] : reg.gauges()) {
+      if (!f) out += ',';
+      f = false;
+      out += quoted(name);
+      out += ':';
+      out += json_number(v);
+    }
+  }
+  out += '}';
+
+  // histograms: only non-empty buckets, as [bucket_lower_bound, count]
+  // pairs -- 64 mostly-zero buckets per histogram would dominate the file.
+  out += ",\"histograms\":{";
+  {
+    bool f = true;
+    for (const auto& h : reg.histograms()) {
+      if (!f) out += ',';
+      f = false;
+      out += quoted(h.name);
+      out += ":{\"count\":";
+      out += json_number(h.count);
+      out += ",\"sum\":";
+      out += json_number(h.sum);
+      out += ",\"buckets\":[";
+      bool fb = true;
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        const std::int64_t n = h.buckets[static_cast<std::size_t>(b)];
+        if (n == 0) continue;
+        if (!fb) out += ',';
+        fb = false;
+        out += '[';
+        out += json_number(Histogram::bucket_lower_bound(b));
+        out += ',';
+        out += json_number(n);
+        out += ']';
+      }
+      out += "]}";
+    }
+  }
+  out += '}';
+
+  // per-solve records with (downsampled) residual histories
+  out += ",\"solves\":[";
+  {
+    bool f = true;
+    for (const auto& s : reg.solves()) {
+      if (!f) out += ',';
+      f = false;
+      out += "{\"solver\":";
+      out += quoted(s.solver);
+      out += ",\"converged\":";
+      out += s.converged ? "true" : "false";
+      out += ",\"iterations\":";
+      out += json_number(static_cast<std::int64_t>(s.iterations));
+      out += ",\"reliable_updates\":";
+      out += json_number(static_cast<std::int64_t>(s.reliable_updates));
+      out += ",\"final_rel_residual\":";
+      out += json_number(s.final_rel_residual);
+      out += ",\"seconds\":";
+      out += json_number(s.seconds);
+      out += ",\"flops\":";
+      out += json_number(s.flops);
+      out += ",\"bytes\":";
+      out += json_number(s.bytes);
+      out += ",\"history\":[";
+      bool fh = true;
+      for (const auto& p : s.history) {
+        if (!fh) out += ',';
+        fh = false;
+        char prec[2] = {p.precision, '\0'};
+        out += "{\"iter\":";
+        out += json_number(static_cast<std::int64_t>(p.iteration));
+        out += ",\"rel_residual\":";
+        out += json_number(p.rel_residual);
+        out += ",\"precision\":";
+        out += quoted(prec);
+        out += ",\"reliable_update\":";
+        out += p.reliable_update ? "true" : "false";
+        out += '}';
+      }
+      out += "]}";
+    }
+  }
+  out += "],\"total_solves\":";
+  out += json_number(reg.total_solves());
+
+  // trace meta (the spans themselves live in the Chrome trace file)
+  out += ",\"trace\":{\"enabled\":";
+  out += trace_enabled() ? "true" : "false";
+  out += ",\"events\":";
+  out += json_number(static_cast<std::int64_t>(trace.events.size()));
+  out += ",\"dropped\":";
+  out += json_number(static_cast<std::int64_t>(trace.dropped));
+  out += ",\"threads\":";
+  out += json_number(static_cast<std::int64_t>(trace.threads));
+  out += '}';
+
+  // derived sustained-performance block (paper S VI-VII, measured)
+  out += ",\"derived\":{";
+  {
+    bool f = true;
+    append_kv(&out, "solver_seconds", json_number(d.solver_seconds), &f);
+    append_kv(&out, "solver_flops", json_number(d.solver_flops), &f);
+    append_kv(&out, "solver_bytes", json_number(d.solver_bytes), &f);
+    append_kv(&out, "sustained_gflops", json_number(d.sustained_gflops),
+              &f);
+    append_kv(&out, "arithmetic_intensity",
+              json_number(d.arithmetic_intensity), &f);
+    append_kv(&out, "autotune_hit_rate", json_number(d.autotune_hit_rate),
+              &f);
+    append_kv(&out, "jm_busy_seconds", json_number(d.jm_busy_s), &f);
+    append_kv(&out, "jm_idle_seconds", json_number(d.jm_idle_s), &f);
+    append_kv(&out, "jm_efficiency", json_number(d.jm_efficiency), &f);
+    append_kv(&out, "jm_source", quoted(d.jm_source), &f);
+    append_kv(&out, "application_gflops",
+              json_number(d.application_gflops), &f);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string report_summary() {
+  Registry& reg = Registry::global();
+  const Derived d = derive();
+  const TraceSnapshot trace = trace_snapshot();
+  char buf[256];
+  std::string out;
+  out += "femtoscope run report\n";
+  out += "  sustained performance (measured)\n";
+  std::snprintf(buf, sizeof(buf),
+                "    solver time           %12.3f s\n"
+                "    solver flops          %14" PRId64 "\n"
+                "    solver bytes          %14" PRId64 "\n"
+                "    sustained             %12.3f GFLOP/s\n"
+                "    arithmetic intensity  %12.3f flop/byte\n",
+                d.solver_seconds, d.solver_flops, d.solver_bytes,
+                d.sustained_gflops, d.arithmetic_intensity);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  autotune: %" PRId64 " hits / %" PRId64
+                " misses (hit rate %.1f%%)\n",
+                d.autotune_hits, d.autotune_misses,
+                d.autotune_hit_rate * 100.0);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  job manager [%s]: busy %.3f s, idle %.3f s, "
+                "efficiency %.1f%%\n",
+                d.jm_source, d.jm_busy_s, d.jm_idle_s,
+                d.jm_efficiency * 100.0);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  application-level sustained: %.3f GFLOP/s\n",
+                d.application_gflops);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  solves: %lld recorded (%lld retained)\n",
+                static_cast<long long>(reg.total_solves()),
+                static_cast<long long>(reg.solves().size()));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  trace: %s, %zu spans across %d threads (%llu dropped)\n",
+      trace_enabled() ? "enabled" : "disabled", trace.events.size(),
+      trace.threads, static_cast<unsigned long long>(trace.dropped));
+  out += buf;
+  return out;
+}
+
+bool write_report(const std::string& path, const std::string& title) {
+  const std::string body = report_json(title);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = (n == body.size()) && (std::fclose(f) == 0);
+  if (n != body.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace femto::obs

@@ -1,0 +1,48 @@
+#pragma once
+// Femtoscope end-of-run report: one schema-versioned JSON document plus a
+// human-readable summary, both derived from the global metrics Registry
+// and the trace registry.  The derived block reproduces the paper's
+// S VI-VII sustained-performance accounting from MEASURED data:
+//
+//   sustained_gflops      solver.flops / solver.seconds / 1e9
+//   arithmetic_intensity  solver.flops / solver.bytes      (flop/byte)
+//   autotune_hit_rate     hits / (hits + misses)
+//   jm_efficiency         busy / (busy + idle)  -- measured mpi_jm lump
+//                         timelines when present, else the schedule-model
+//                         gauges jm.busy_node_seconds/jm.alloc_node_seconds
+//   application_gflops    sustained_gflops * jm_efficiency
+//
+// Well-known metric names feeding the derived block (instrumentation
+// sites register these; anything else shows up verbatim in the metric
+// dumps):
+//
+//   counters   solver.flops, solver.bytes, solver.solves, solver.failures,
+//              autotune.cache_hits, autotune.cache_misses,
+//              comm.halo_bytes, comm.halo_messages, comm.staging_copies,
+//              pool.launches, pool.inline_runs,
+//              jm.lump_busy_us, jm.lump_idle_us, jm.jobs_completed
+//   gauges     solver.seconds, pool.threads,
+//              jm.busy_node_seconds, jm.alloc_node_seconds
+//   histograms solver.iterations, autotune.search_us, pool.queue_depth,
+//              comm.halo_message_bytes
+
+#include <string>
+
+namespace femto::obs {
+
+// Bumped whenever a field is renamed/removed; additions are compatible.
+inline constexpr const char* kReportSchema = "femtoscope-report-v1";
+
+// The full report as a JSON document (always parses; use
+// json_validate() to double-check in smoke tests).
+std::string report_json(const std::string& title = "femtoscope");
+
+// Human summary: the measured sustained-performance table plus solver /
+// autotune / job-manager roll-ups.
+std::string report_summary();
+
+// Write report_json(title) to a file.  Returns false on I/O failure.
+bool write_report(const std::string& path,
+                  const std::string& title = "femtoscope");
+
+}  // namespace femto::obs

@@ -1,0 +1,188 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "core/check.hpp"
+#include "obs/json.hpp"
+
+namespace femto::obs {
+
+TraceRing::TraceRing(std::size_t capacity, std::uint32_t tid)
+    : slots_(capacity == 0 ? 1 : capacity), tid_(tid) {}
+
+void TraceRing::push(const char* category, const char* name,
+                     std::int64_t t0_ns, std::int64_t dur_ns) {
+  const std::uint64_t h = head_.load(std::memory_order_relaxed);
+  TraceEvent& slot = slots_[static_cast<std::size_t>(h % slots_.size())];
+  slot.category = category;
+  slot.name = name;
+  slot.t0_ns = t0_ns;
+  slot.dur_ns = dur_ns;
+  slot.tid = tid_;
+  // Release so a reader that acquires head_ sees the slot contents.
+  head_.store(h + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRing::events() const {
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  const std::uint64_t cap = slots_.size();
+  const std::uint64_t n = h < cap ? h : cap;
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i)
+    out.push_back(slots_[static_cast<std::size_t>((h - n + i) % cap)]);
+  return out;
+}
+
+namespace detail {
+std::atomic<int> g_trace_state{-1};
+
+bool trace_enabled_slow() {
+  int expected = -1;
+  const char* e = std::getenv("FEMTO_TRACE");
+  const int from_env =
+      (e != nullptr && e[0] != '\0' && std::strcmp(e, "0") != 0) ? 1 : 0;
+  // First thread to get here settles the state; losers read the winner's.
+  g_trace_state.compare_exchange_strong(expected, from_env,
+                                        std::memory_order_relaxed);
+  return g_trace_state.load(std::memory_order_relaxed) != 0;
+}
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+// Owns every thread's ring (shared_ptr so rings outlive their threads and
+// exports see spans from joined workers).
+class TraceRegistry {
+ public:
+  static TraceRegistry& instance() {
+    static TraceRegistry reg;
+    return reg;
+  }
+
+  std::shared_ptr<TraceRing> register_thread() {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto ring = std::make_shared<TraceRing>(
+        capacity_.load(std::memory_order_relaxed), next_tid_);
+    ++next_tid_;
+    rings_.push_back(ring);
+    return ring;
+  }
+
+  std::vector<std::shared_ptr<TraceRing>> rings() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return rings_;
+  }
+
+  void set_capacity(std::size_t spans) {
+    capacity_.store(spans == 0 ? 1 : spans, std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<TraceRing>> rings_ FEMTO_GUARDED_BY(mu_);
+  std::uint32_t next_tid_ FEMTO_GUARDED_BY(mu_) = 0;
+  std::atomic<std::size_t> capacity_{kDefaultCapacity};
+};
+
+TraceRing* thread_ring() {
+  // The shared_ptr keeps the ring alive in the registry after thread exit;
+  // the raw cached pointer keeps the hot path to one thread_local read.
+  thread_local std::shared_ptr<TraceRing> ring =
+      TraceRegistry::instance().register_thread();
+  return ring.get();
+}
+
+}  // namespace
+
+void set_trace_enabled(bool on) {
+  detail::g_trace_state.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void set_trace_capacity(std::size_t spans) {
+  TraceRegistry::instance().set_capacity(spans);
+}
+
+std::size_t trace_capacity() {
+  return TraceRegistry::instance().capacity();
+}
+
+void trace_push(const char* category, const char* name, std::int64_t t0_ns,
+                std::int64_t dur_ns) {
+  thread_ring()->push(category, name, t0_ns, dur_ns);
+}
+
+TraceSnapshot trace_snapshot() {
+  TraceSnapshot snap;
+  const auto rings = TraceRegistry::instance().rings();
+  snap.threads = static_cast<int>(rings.size());
+  for (const auto& ring : rings) {
+    snap.dropped += ring->dropped();
+    auto evs = ring->events();
+    snap.events.insert(snap.events.end(), evs.begin(), evs.end());
+  }
+  std::stable_sort(snap.events.begin(), snap.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+                     return a.tid < b.tid;
+                   });
+  return snap;
+}
+
+void trace_clear() {
+  for (const auto& ring : TraceRegistry::instance().rings()) ring->clear();
+}
+
+std::string chrome_trace_json() {
+  const TraceSnapshot snap = trace_snapshot();
+  std::string out;
+  out.reserve(snap.events.size() * 96 + 256);
+  out += "{\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (const TraceEvent& e : snap.events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += json_escape(e.name != nullptr ? e.name : "?");
+    out += "\",\"cat\":\"";
+    out += json_escape(e.category != nullptr ? e.category : "?");
+    // ts/dur are microseconds; %.3f keeps exact nanosecond resolution.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,"
+                  "\"tid\":%u}",
+                  static_cast<double>(e.t0_ns) * 1e-3,
+                  static_cast<double>(e.dur_ns) * 1e-3, e.tid);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "],\"displayTimeUnit\":\"ns\",\"otherData\":{"
+                "\"dropped\":%llu,\"threads\":%d}}",
+                static_cast<unsigned long long>(snap.dropped),
+                snap.threads);
+  out += buf;
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string body = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = (n == body.size()) && (std::fclose(f) == 0);
+  if (n != body.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace femto::obs

@@ -1,0 +1,164 @@
+#pragma once
+// Femtoscope span tracer: FEMTO_TRACE_SCOPE("category", "name") records a
+// complete span into a per-thread lock-free ring buffer; a quiescent-point
+// export emits Chrome trace_event JSON loadable in Perfetto or
+// chrome://tracing.
+//
+// Cost model (the reason hot kernels can afford a scope):
+//   disabled  -- one relaxed atomic load + branch in the constructor; the
+//                destructor sees t0 < 0 and does nothing.  No clock reads.
+//   enabled   -- two steady_clock reads plus one single-writer ring store;
+//                no locks, no allocation after a thread's first span.
+// Compiling with -DFEMTO_OBS_NO_TRACE removes the scopes entirely.
+//
+// Buffers are bounded: when a thread outruns its ring the OLDEST spans are
+// overwritten and the export reports the drop count -- tracing never
+// stalls the traced code.  Export (trace_snapshot / chrome_trace_json) is
+// meant for quiescent points (end of run, between phases); it reads rings
+// that other threads may still append to, and concurrently appended spans
+// may or may not be included.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/log.hpp"
+
+namespace femto::obs {
+
+// One completed span.  Category/name must be string literals (or otherwise
+// outlive the export) -- the ring stores pointers, not copies, which is
+// what keeps the record path allocation-free.
+struct TraceEvent {
+  const char* category = nullptr;
+  const char* name = nullptr;
+  std::int64_t t0_ns = 0;
+  std::int64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+};
+
+// Fixed-capacity single-writer ring.  The owning thread pushes; any thread
+// may snapshot.  head_ is the count of spans EVER pushed (monotonic), so
+// readers derive both the live window and the overwrite count from it.
+class TraceRing {
+ public:
+  TraceRing(std::size_t capacity, std::uint32_t tid);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  // Owner thread only.
+  void push(const char* category, const char* name, std::int64_t t0_ns,
+            std::int64_t dur_ns);
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::uint32_t tid() const { return tid_; }
+
+  // Total spans ever pushed (>= capacity means the ring has wrapped).
+  std::uint64_t pushed() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  // Spans overwritten so far.
+  std::uint64_t dropped() const {
+    const std::uint64_t h = pushed();
+    return h > slots_.size() ? h - slots_.size() : 0;
+  }
+
+  // Copy out the surviving window, oldest first.  Exact at quiescent
+  // points; best-effort if the owner is still pushing.
+  std::vector<TraceEvent> events() const;
+
+  // Forget all recorded spans (owner quiescent only).
+  void clear() { head_.store(0, std::memory_order_release); }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::atomic<std::uint64_t> head_{0};
+  std::uint32_t tid_;
+};
+
+namespace detail {
+// -1 = not yet initialised (consult FEMTO_TRACE env), 0 = off, 1 = on.
+extern std::atomic<int> g_trace_state;
+// Slow path: resolves the env var once, then returns the settled state.
+bool trace_enabled_slow();
+}  // namespace detail
+
+// Fast global switch read by every scope constructor.
+inline bool trace_enabled() {
+  const int s = detail::g_trace_state.load(std::memory_order_relaxed);
+  if (s >= 0) return s != 0;
+  return detail::trace_enabled_slow();
+}
+
+void set_trace_enabled(bool on);
+
+// Ring capacity (spans) for threads that register AFTER the call; existing
+// rings keep their size.  Default 1<<16 spans/thread (~2.5 MiB).
+void set_trace_capacity(std::size_t spans);
+std::size_t trace_capacity();
+
+// Append one completed span to the calling thread's ring (registering the
+// thread on first use).  Normally reached via FEMTO_TRACE_SCOPE.
+void trace_push(const char* category, const char* name, std::int64_t t0_ns,
+                std::int64_t dur_ns);
+
+struct TraceSnapshot {
+  std::vector<TraceEvent> events;  // merged, sorted by (t0_ns, tid)
+  std::uint64_t dropped = 0;       // spans lost to ring wrap, all threads
+  int threads = 0;                 // rings registered
+};
+
+// Merge every thread's ring, sorted by start time then tid -- the order is
+// deterministic for a fixed set of recorded spans regardless of which
+// thread exports.
+TraceSnapshot trace_snapshot();
+
+// Reset all rings (quiescent points only: no concurrent FEMTO_TRACE_SCOPE
+// may be live while clearing).
+void trace_clear();
+
+// Chrome trace_event JSON ("X" complete events, ts/dur in microseconds).
+std::string chrome_trace_json();
+bool write_chrome_trace(const std::string& path);
+
+// RAII span: start time is taken at construction iff tracing is enabled;
+// the destructor records the span.
+class TraceScope {
+ public:
+  TraceScope(const char* category, const char* name)
+      : category_(category),
+        name_(name),
+        t0_ns_(trace_enabled() ? uptime_ns() : -1) {}
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  ~TraceScope() {
+    if (t0_ns_ >= 0)
+      trace_push(category_, name_, t0_ns_, uptime_ns() - t0_ns_);
+  }
+
+ private:
+  const char* category_;
+  const char* name_;
+  std::int64_t t0_ns_;
+};
+
+}  // namespace femto::obs
+
+#if defined(FEMTO_OBS_NO_TRACE)
+#define FEMTO_TRACE_SCOPE(category, name) \
+  do {                                    \
+  } while (0)
+#else
+#define FEMTO_TRACE_CONCAT2(a, b) a##b
+#define FEMTO_TRACE_CONCAT(a, b) FEMTO_TRACE_CONCAT2(a, b)
+// The scope's lifetime is the enclosing block; __LINE__ keeps two scopes
+// in one block from colliding.
+#define FEMTO_TRACE_SCOPE(category, name)                             \
+  ::femto::obs::TraceScope FEMTO_TRACE_CONCAT(femto_trace_scope_,     \
+                                              __LINE__)(category, name)
+#endif

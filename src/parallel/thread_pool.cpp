@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+
 namespace femto::par {
 
 namespace {
@@ -23,6 +25,7 @@ ThreadPool::ThreadPool(std::size_t n_threads)
   for (std::size_t i = 1; i < n_threads_; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
+  obs::gauge("pool.threads").set(static_cast<double>(n_threads_));
 }
 
 ThreadPool::~ThreadPool() {
@@ -90,11 +93,21 @@ void ThreadPool::parallel_for_chunked(
   std::size_t n_chunks = std::min(n_threads_, (n + grain - 1) / grain);
   n_chunks = std::max<std::size_t>(n_chunks, 1);
 
+  // Metric objects are resolved once; the per-launch cost is one relaxed
+  // atomic add (references stay valid: the registry never erases).
+  static obs::Counter& obs_inline = obs::counter("pool.inline_runs");
+  static obs::Counter& obs_launches = obs::counter("pool.launches");
+  static obs::Histogram& obs_depth = obs::histogram("pool.queue_depth");
+
   // Re-entrant launch from one of our own workers: run inline.
   if (n_chunks == 1 || n_threads_ == 1 || t_current_pool == this) {
+    obs_inline.add();
     body(begin, end);
     return;
   }
+
+  obs_launches.add();
+  obs_depth.observe(static_cast<std::int64_t>(n_chunks));
 
   std::lock_guard<std::mutex> launch_lk(launch_mu_);
 

@@ -4,6 +4,8 @@
 
 #include "core/check.hpp"
 #include "lattice/flops.hpp"
+#include "obs/trace.hpp"
+#include "solver/solver_obs.hpp"
 
 namespace femto {
 
@@ -11,9 +13,11 @@ template <typename T>
 SolveResult bicgstab(const ApplyFn<T>& a, SpinorField<T>& x,
                      const SpinorField<T>& b, double tol, int max_iter,
                      std::size_t blas_grain) {
+  FEMTO_TRACE_SCOPE("solver", "bicgstab");
   SolveResult res;
   const auto t0 = std::chrono::steady_clock::now();
   const std::int64_t flops0 = flops::get();
+  const std::int64_t bytes0 = flops::bytes();
   const std::size_t g = blas_grain == 0 ? blas::kGrain : blas_grain;
 
   const auto geom = b.geom_ptr();
@@ -52,6 +56,9 @@ SolveResult bicgstab(const ApplyFn<T>& a, SpinorField<T>& x,
     if (s2 <= target) {
       blas::caxpy<T>(alpha, p, x, g);
       r2 = s2;
+      res.history.push_back({res.iterations,
+                             b2 > 0.0 ? std::sqrt(r2 / b2) : 0.0,
+                             precision_of<T>(), false});
       break;
     }
 
@@ -69,6 +76,9 @@ SolveResult bicgstab(const ApplyFn<T>& a, SpinorField<T>& x,
     r = s;
     r2 = blas::caxpy_norm2<T>(-omega, t, r, g);
     if (!std::isfinite(r2)) break;  // breakdown, as above
+    res.history.push_back({res.iterations,
+                           b2 > 0.0 ? std::sqrt(r2 / b2) : 0.0,
+                           precision_of<T>(), false});
 
     const Cplx<double> rho_new = blas::cdot(rhat, r, g);
     if (std::abs(rho.re) + std::abs(rho.im) < 1e-300) break;
@@ -85,6 +95,8 @@ SolveResult bicgstab(const ApplyFn<T>& a, SpinorField<T>& x,
                     std::chrono::steady_clock::now() - t0)
                     .count();
   res.flop_count = flops::get() - flops0;
+  res.byte_count = flops::bytes() - bytes0;
+  solver_obs::record("bicgstab", res);
   return res;
 }
 

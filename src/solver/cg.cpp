@@ -5,7 +5,9 @@
 
 #include "core/check.hpp"
 #include "lattice/flops.hpp"
+#include "obs/trace.hpp"
 #include "solver/half.hpp"
+#include "solver/solver_obs.hpp"
 
 namespace femto {
 
@@ -44,9 +46,11 @@ template <typename T>
 SolveResult cg(const ApplyFn<T>& a, SpinorField<T>& x,
                const SpinorField<T>& b, double tol, int max_iter,
                std::size_t blas_grain) {
+  FEMTO_TRACE_SCOPE("solver", "cg");
   SolveResult res;
   const auto t0 = std::chrono::steady_clock::now();
   const std::int64_t flops0 = flops::get();
+  const std::int64_t bytes0 = flops::bytes();
   const std::size_t g = resolve_grain(blas_grain);
 
   SpinorField<T> r = b;
@@ -79,6 +83,9 @@ SolveResult cg(const ApplyFn<T>& a, SpinorField<T>& x,
     const double beta = rsq_new / rsq;
     rsq = rsq_new;
     blas::axpy_zpbx<T>(alpha, p, x, r, beta, g);
+    res.history.push_back({res.iterations,
+                           b2 > 0.0 ? std::sqrt(rsq / b2) : 0.0,
+                           precision_of<T>(), false});
   }
 
   res.converged = rsq <= target;
@@ -87,6 +94,8 @@ SolveResult cg(const ApplyFn<T>& a, SpinorField<T>& x,
                     std::chrono::steady_clock::now() - t0)
                     .count();
   res.flop_count = flops::get() - flops0;
+  res.byte_count = flops::bytes() - bytes0;
+  solver_obs::record("cg", res);
   return res;
 }
 
@@ -94,9 +103,11 @@ SolveResult mixed_cg(const ApplyFn<double>& a_double,
                      const ApplyFn<float>& a_single,
                      SpinorField<double>& x, const SpinorField<double>& b,
                      const SolverParams& params) {
+  FEMTO_TRACE_SCOPE("solver", "mixed_cg");
   SolveResult res;
   const auto t0 = std::chrono::steady_clock::now();
   const std::int64_t flops0 = flops::get();
+  const std::int64_t bytes0 = flops::bytes();
   const std::size_t g = resolve_grain(params.blas_grain);
   const std::size_t hg = half_grain(params.blas_grain);
 
@@ -104,6 +115,8 @@ SolveResult mixed_cg(const ApplyFn<double>& a_double,
   const int l5 = b.l5();
   const Subset sub = b.subset();
   const bool half = params.sloppy == Precision::Half;
+  const Precision inner_prec =
+      half ? Precision::Half : Precision::Single;
 
   // Outer (double) state.
   SpinorField<double> r_d = b;
@@ -163,6 +176,9 @@ SolveResult mixed_cg(const ApplyFn<double>& a_double,
       } else {
         blas::xpay<float>(r_s, beta, p_s, g);
       }
+      res.history.push_back({res.iterations,
+                             b2 > 0.0 ? std::sqrt(rsq / b2) : 0.0,
+                             inner_prec, false});
     }
 
     // Reliable update: fold the sloppy solution into x, recompute the true
@@ -176,6 +192,9 @@ SolveResult mixed_cg(const ApplyFn<double>& a_double,
                 "mixed_cg: true residual norm went NaN/Inf at a reliable "
                 "update");
     ++res.reliable_updates;
+    res.history.push_back({res.iterations,
+                           b2 > 0.0 ? std::sqrt(r2_d / b2) : 0.0,
+                           Precision::Double, true});
 
     // If the sloppy solver could not take a single step the target is
     // below the sloppy precision floor; stop rather than spin.
@@ -188,6 +207,8 @@ SolveResult mixed_cg(const ApplyFn<double>& a_double,
                     std::chrono::steady_clock::now() - t0)
                     .count();
   res.flop_count = flops::get() - flops0;
+  res.byte_count = flops::bytes() - bytes0;
+  solver_obs::record("mixed_cg", res);
   return res;
 }
 

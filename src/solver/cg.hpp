@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "lattice/blas.hpp"
 #include "lattice/field.hpp"
@@ -20,6 +21,14 @@ namespace femto {
 enum class Precision { Double, Single, Half };
 
 const char* to_string(Precision p);
+
+/// Precision tag of an arithmetic type (the half path stores 16-bit but
+/// computes in float, so half samples are tagged by the caller).
+template <typename T>
+constexpr Precision precision_of() {
+  return sizeof(T) == sizeof(double) ? Precision::Double
+                                     : Precision::Single;
+}
 
 /// y = A x application in precision T.  A must be Hermitian positive
 /// definite for CG (use the normal operator Mhat^dag Mhat).
@@ -38,6 +47,14 @@ struct SolverParams {
                                ///< via tune::tuned_blas_grain
 };
 
+/// One per-iteration point of a solve's convergence trajectory.
+struct ResidualSample {
+  int iteration = 0;
+  double rel_residual = 0.0;  ///< |r|/|b| as seen by the iteration
+  Precision precision = Precision::Double;  ///< precision of that residual
+  bool reliable_update = false;  ///< sample taken at a reliable update
+};
+
 struct SolveResult {
   bool converged = false;
   int iterations = 0;         ///< total matvec count (normal-op applies)
@@ -45,10 +62,22 @@ struct SolveResult {
   double final_rel_residual = 0.0;
   double seconds = 0.0;
   std::int64_t flop_count = 0;
+  std::int64_t byte_count = 0;  ///< compulsory traffic (flops::bytes delta)
+
+  /// Full residual history (one sample per iteration plus one per reliable
+  /// update), recorded by cg / mixed_cg / bicgstab so convergence
+  /// regressions are diagnosable from run artifacts.  The femtoscope
+  /// report stores a downsampled copy (solver_obs::record).
+  std::vector<ResidualSample> history;
 
   double gflops() const {
     return seconds > 0 ? static_cast<double>(flop_count) / seconds / 1e9
                        : 0.0;
+  }
+  double arithmetic_intensity() const {
+    return byte_count > 0 ? static_cast<double>(flop_count) /
+                                static_cast<double>(byte_count)
+                          : 0.0;
   }
   std::string summary() const;
 };

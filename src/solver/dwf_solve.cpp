@@ -5,16 +5,25 @@
 #include "autotune/blas_tunable.hpp"
 #include "autotune/dslash_tunable.hpp"
 #include "core/check.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 
 namespace femto {
 
 void DwfSolver::autotune() {
+  FEMTO_TRACE_SCOPE("autotune", "dwf_solver_autotune");
   op_d_.tuning() = tune::tuned_dslash_grain<double>(u_d_, mobius_.l5, 0);
   op_f_.tuning() = tune::tuned_dslash_grain<float>(u_f_, mobius_.l5, 0);
   // Sloppy iterations dominate the BLAS phase, so the single-precision
   // winner sets the solver grain.
   sparams_.blas_grain = tune::tuned_blas_grain<float>(u_f_->geom_ptr(),
                                                      mobius_.l5, Subset::Odd);
+  FEMTO_LOG_DEBUG("autotune",
+                  "dwf_solver: dslash grains d=" << op_d_.tuning().grain
+                                                 << " f="
+                                                 << op_f_.tuning().grain
+                                                 << ", blas grain "
+                                                 << sparams_.blas_grain);
 }
 
 DwfSolver::DwfSolver(std::shared_ptr<const GaugeField<double>> u,
@@ -28,6 +37,7 @@ DwfSolver::DwfSolver(std::shared_ptr<const GaugeField<double>> u,
 
 SolveResult DwfSolver::solve(SpinorField<double>& x,
                              const SpinorField<double>& b) {
+  FEMTO_TRACE_SCOPE("solver", "dwf_solve");
   assert(x.subset() == Subset::Full && b.subset() == Subset::Full);
   const auto geom = b.geom_ptr();
   const int l5 = b.l5();
@@ -59,6 +69,7 @@ SolveResult DwfSolver::solve(SpinorField<double>& x,
 
 SolveResult DwfSolver::solve_double(SpinorField<double>& x,
                                     const SpinorField<double>& b) {
+  FEMTO_TRACE_SCOPE("solver", "dwf_solve_double");
   assert(x.subset() == Subset::Full && b.subset() == Subset::Full);
   const auto geom = b.geom_ptr();
   const int l5 = b.l5();

@@ -5,6 +5,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
+
 namespace femto {
 
 void symmetric_eigen(std::vector<double> a, std::size_t n,
@@ -76,6 +79,7 @@ void symmetric_eigen(std::vector<double> a, std::size_t n,
 LanczosResult lanczos_lowest(const ApplyFn<double>& op,
                              const SpinorField<double>& prototype,
                              const LanczosParams& params) {
+  FEMTO_TRACE_SCOPE("solver", "lanczos_lowest");
   LanczosResult res;
   const auto geom = prototype.geom_ptr();
   const int l5 = prototype.l5();
@@ -151,6 +155,13 @@ LanczosResult lanczos_lowest(const ApplyFn<double>& op,
           res.vectors.push_back(std::move(rv));
         }
         res.converged = all_ok;
+        FEMTO_LOG_INFO("solver",
+                       "lanczos: " << res.values.size() << " Ritz pairs in "
+                                   << res.iterations
+                                   << " matvecs, lowest = "
+                                   << (res.values.empty() ? 0.0
+                                                          : res.values[0])
+                                   << (all_ok ? "" : " (NOT converged)"));
         return res;
       }
     }

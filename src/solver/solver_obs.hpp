@@ -1,0 +1,82 @@
+#pragma once
+// Femtoscope hooks shared by the Krylov solvers: fold a finished
+// SolveResult into the global metrics registry (counters, histograms, and
+// a structured per-solve record with a downsampled residual history) and
+// emit the leveled log line that replaced the old ostream prints.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "solver/cg.hpp"
+
+namespace femto::solver_obs {
+
+inline char precision_char(Precision p) {
+  switch (p) {
+    case Precision::Double: return 'd';
+    case Precision::Single: return 's';
+    default: return 'h';
+  }
+}
+
+// Downsample an N-point residual history to at most kMaxHistory points for
+// the report (stride-decimated; reliable-update samples and the final
+// point always survive -- they are the diagnostically interesting ones).
+inline constexpr std::size_t kMaxHistory = 128;
+
+inline std::vector<obs::ResidualPoint> downsample_history(
+    const std::vector<ResidualSample>& history) {
+  std::vector<obs::ResidualPoint> out;
+  if (history.empty()) return out;
+  const std::size_t stride =
+      history.size() <= kMaxHistory ? 1
+                                    : (history.size() + kMaxHistory - 1) /
+                                          kMaxHistory;
+  out.reserve(history.size() / stride + 2);
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const ResidualSample& s = history[i];
+    const bool keep = s.reliable_update || i % stride == 0 ||
+                      i + 1 == history.size();
+    if (!keep) continue;
+    obs::ResidualPoint p;
+    p.iteration = s.iteration;
+    p.rel_residual = s.rel_residual;
+    p.precision = precision_char(s.precision);
+    p.reliable_update = s.reliable_update;
+    out.push_back(p);
+  }
+  return out;
+}
+
+// Called once per completed solve, AFTER SolveResult is fully populated.
+inline void record(const char* solver, const SolveResult& res) {
+  obs::counter("solver.solves").add();
+  if (!res.converged) obs::counter("solver.failures").add();
+  obs::counter("solver.flops").add(res.flop_count);
+  obs::counter("solver.bytes").add(res.byte_count);
+  obs::counter("solver.reliable_updates").add(res.reliable_updates);
+  obs::gauge("solver.seconds").add(res.seconds);
+  obs::histogram("solver.iterations").observe(res.iterations);
+
+  obs::SolveRecord rec;
+  rec.solver = solver;
+  rec.converged = res.converged;
+  rec.iterations = res.iterations;
+  rec.reliable_updates = res.reliable_updates;
+  rec.final_rel_residual = res.final_rel_residual;
+  rec.seconds = res.seconds;
+  rec.flops = res.flop_count;
+  rec.bytes = res.byte_count;
+  rec.history = downsample_history(res.history);
+  obs::record_solve(std::move(rec));
+
+  if (res.converged) {
+    FEMTO_LOG_INFO("solver", solver << ": " << res.summary());
+  } else {
+    FEMTO_LOG_WARN("solver", solver << ": " << res.summary());
+  }
+}
+
+}  // namespace femto::solver_obs

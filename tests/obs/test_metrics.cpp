@@ -1,0 +1,146 @@
+// Femtoscope metrics: log2-histogram bucket edges, atomic counter/gauge
+// semantics, and the registry's stable-reference / bounded-solve-log
+// contracts.
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace femto::obs {
+namespace {
+
+TEST(Histogram, BucketOfEdgeCases) {
+  EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<std::int64_t>::min()),
+            0);
+  EXPECT_EQ(Histogram::bucket_of(-1), 0);
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);   // [1, 1]
+  EXPECT_EQ(Histogram::bucket_of(2), 2);   // [2, 3]
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);   // [4, 7]
+  EXPECT_EQ(Histogram::bucket_of(7), 3);
+  EXPECT_EQ(Histogram::bucket_of(8), 4);
+  EXPECT_EQ(Histogram::bucket_of((std::int64_t{1} << 62) - 1), 62);
+  EXPECT_EQ(Histogram::bucket_of(std::int64_t{1} << 62), 63);
+  EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<std::int64_t>::max()),
+            63);
+}
+
+TEST(Histogram, BucketLowerBoundInvertsBucketOf) {
+  EXPECT_EQ(Histogram::bucket_lower_bound(0), 0);
+  for (int b = 1; b < Histogram::kBuckets; ++b) {
+    const std::int64_t lo = Histogram::bucket_lower_bound(b);
+    EXPECT_EQ(Histogram::bucket_of(lo), b) << "bucket " << b;
+    if (b > 1) {
+      EXPECT_EQ(Histogram::bucket_of(lo - 1), b - 1) << "bucket " << b;
+    }
+  }
+}
+
+TEST(Histogram, ObserveAccumulatesAndResets) {
+  Histogram h;
+  h.observe(0);
+  h.observe(1);
+  h.observe(3);
+  h.observe(3);
+  h.observe(-7);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 0);  // 0 + 1 + 3 + 3 - 7
+  EXPECT_EQ(h.bucket(0), 2);
+  EXPECT_EQ(h.bucket(1), 1);
+  EXPECT_EQ(h.bucket(2), 2);
+  EXPECT_EQ(h.bucket(3), 0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.bucket(2), 0);
+}
+
+TEST(CounterGauge, Basics) {
+  Counter c;
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.get(), 42);
+  c.reset();
+  EXPECT_EQ(c.get(), 0);
+
+  Gauge g;
+  g.set(2.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.get(), 3.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.get(), 0.0);
+}
+
+TEST(CounterGauge, ConcurrentUpdatesAreLossless) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        g.add(1.0);
+        h.observe(i);
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.get(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(g.get(), kThreads * kPerThread);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+}
+
+TEST(Registry, SameNameSameObjectAndResetKeepsReferences) {
+  auto& reg = Registry::global();
+  reg.reset();
+  Counter& a = reg.counter("test.registry_counter");
+  Counter& b = reg.counter("test.registry_counter");
+  EXPECT_EQ(&a, &b);
+  a.add(5);
+  reg.reset();
+  // The object survives reset (cached references stay valid), zeroed.
+  EXPECT_EQ(b.get(), 0);
+  b.add(3);
+  EXPECT_EQ(reg.counter("test.registry_counter").get(), 3);
+}
+
+TEST(Registry, SnapshotsAreSortedByName) {
+  auto& reg = Registry::global();
+  reg.reset();
+  reg.counter("test.zzz").add(1);
+  reg.counter("test.aaa").add(2);
+  const auto cs = reg.counters();
+  for (std::size_t i = 1; i < cs.size(); ++i)
+    EXPECT_LT(cs[i - 1].first, cs[i].first);
+}
+
+TEST(Registry, SolveLogIsBoundedButTotalKeepsCounting) {
+  auto& reg = Registry::global();
+  reg.reset();
+  const auto base = reg.total_solves();
+  const int n = static_cast<int>(Registry::kMaxSolveRecords) + 44;
+  for (int i = 0; i < n; ++i) {
+    SolveRecord rec;
+    rec.solver = "solve_" + std::to_string(i);
+    rec.iterations = i;
+    reg.record_solve(std::move(rec));
+  }
+  const auto solves = reg.solves();
+  EXPECT_EQ(solves.size(), Registry::kMaxSolveRecords);
+  EXPECT_EQ(reg.total_solves() - base, n);
+  // Oldest evicted: the window starts at record 44.
+  EXPECT_EQ(solves.front().solver, "solve_44");
+  EXPECT_EQ(solves.back().solver, "solve_" + std::to_string(n - 1));
+}
+
+}  // namespace
+}  // namespace femto::obs

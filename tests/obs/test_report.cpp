@@ -1,0 +1,148 @@
+// Femtoscope report: JSON schema validation, the derived
+// sustained-performance block computed from seeded metrics, and the
+// human-readable summary.
+
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace femto::obs {
+namespace {
+
+// Seed the registry with a known telemetry state so every derived value
+// is predictable.
+void seed_registry() {
+  auto& reg = Registry::global();
+  reg.reset();
+  reg.counter("solver.flops").add(2'000'000'000);
+  reg.counter("solver.bytes").add(1'000'000'000);
+  reg.gauge("solver.seconds").set(2.0);
+  reg.counter("autotune.cache_hits").add(3);
+  reg.counter("autotune.cache_misses").add(1);
+  reg.counter("jm.lump_busy_us").add(900'000);
+  reg.counter("jm.lump_idle_us").add(100'000);
+  reg.histogram("solver.iterations").observe(100);
+
+  SolveRecord rec;
+  rec.solver = "mixed_cg";
+  rec.converged = true;
+  rec.iterations = 100;
+  rec.reliable_updates = 2;
+  rec.final_rel_residual = 1e-10;
+  rec.seconds = 2.0;
+  rec.flops = 2'000'000'000;
+  rec.bytes = 1'000'000'000;
+  rec.history.push_back({1, 0.5, 's', false});
+  rec.history.push_back({50, 1e-5, 'd', true});
+  reg.record_solve(std::move(rec));
+}
+
+// Pull the numeric value of "key": out of a flat JSON key (test helper,
+// not a parser: the report emits well-known keys exactly once).
+double json_value(const std::string& json, const std::string& key) {
+  const auto pos = json.find("\"" + key + "\":");
+  EXPECT_NE(pos, std::string::npos) << key;
+  if (pos == std::string::npos) return -1.0;
+  return std::stod(json.substr(pos + key.size() + 3));
+}
+
+TEST(Report, JsonValidatesAgainstSchema) {
+  seed_registry();
+  const std::string json = report_json("test-run");
+  std::string err;
+  ASSERT_TRUE(json_validate(json, &err)) << err;
+  EXPECT_NE(json.find(kReportSchema), std::string::npos);
+  EXPECT_NE(json.find("\"title\":\"test-run\""), std::string::npos);
+  for (const char* key :
+       {"counters", "gauges", "histograms", "solves", "total_solves",
+        "trace", "derived"})
+    EXPECT_NE(json.find("\"" + std::string(key) + "\""), std::string::npos)
+        << key;
+}
+
+TEST(Report, DerivedBlockComputedFromMeasuredMetrics) {
+  seed_registry();
+  const std::string json = report_json();
+  EXPECT_DOUBLE_EQ(json_value(json, "sustained_gflops"), 1.0);
+  EXPECT_DOUBLE_EQ(json_value(json, "arithmetic_intensity"), 2.0);
+  EXPECT_DOUBLE_EQ(json_value(json, "autotune_hit_rate"), 0.75);
+  EXPECT_DOUBLE_EQ(json_value(json, "jm_efficiency"), 0.9);
+  EXPECT_DOUBLE_EQ(json_value(json, "application_gflops"), 0.9);
+  // Measured lump timeline takes precedence over schedule-model gauges.
+  EXPECT_NE(json.find("\"jm_source\":\"mpi_jm_lump_timeline\""),
+            std::string::npos);
+}
+
+TEST(Report, JmEfficiencyFallsBackToScheduleReport) {
+  auto& reg = Registry::global();
+  reg.reset();
+  reg.gauge("jm.busy_node_seconds").set(75.0);
+  reg.gauge("jm.alloc_node_seconds").set(100.0);
+  const std::string json = report_json();
+  EXPECT_DOUBLE_EQ(json_value(json, "jm_efficiency"), 0.75);
+  EXPECT_NE(json.find("\"jm_source\":\"schedule_report\""),
+            std::string::npos);
+}
+
+TEST(Report, SolveHistorySurfacesPrecisionAndReliableUpdates) {
+  seed_registry();
+  const std::string json = report_json();
+  EXPECT_NE(json.find("\"solver\":\"mixed_cg\""), std::string::npos);
+  EXPECT_NE(json.find("\"precision\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"reliable_update\":true"), std::string::npos);
+}
+
+TEST(Report, SummaryMentionsEveryRollup) {
+  seed_registry();
+  const std::string s = report_summary();
+  EXPECT_NE(s.find("sustained"), std::string::npos);
+  EXPECT_NE(s.find("arithmetic intensity"), std::string::npos);
+  EXPECT_NE(s.find("autotune"), std::string::npos);
+  EXPECT_NE(s.find("job manager"), std::string::npos);
+  EXPECT_NE(s.find("trace"), std::string::npos);
+}
+
+TEST(Report, WriteReportProducesValidFile) {
+  seed_registry();
+  const std::string path =
+      testing::TempDir() + "/femtoscope_report_test.json";
+  ASSERT_TRUE(write_report(path, "file-run"));
+  std::ifstream in(path);
+  std::ostringstream body;
+  body << in.rdbuf();
+  std::string err;
+  EXPECT_TRUE(json_validate(body.str(), &err)) << err;
+  std::remove(path.c_str());
+}
+
+TEST(Json, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(json_validate("{\"a\":[1,2.5,-3e4,null,true,\"x\\n\"]}"));
+  EXPECT_FALSE(json_validate(""));
+  EXPECT_FALSE(json_validate("{"));
+  EXPECT_FALSE(json_validate("{\"a\":1,}"));
+  EXPECT_FALSE(json_validate("{\"a\":1} trailing"));
+  EXPECT_FALSE(json_validate("{'a':1}"));
+  EXPECT_FALSE(json_validate("{\"a\":01}"));
+  EXPECT_TRUE(json_validate("[]"));
+  EXPECT_TRUE(json_validate("-0.5e-2"));
+}
+
+TEST(Json, EscapeAndNumbers) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(json_number(std::int64_t{42}), "42");
+  // Non-finite doubles must not corrupt the document.
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_TRUE(json_validate(json_number(0.1)));
+}
+
+}  // namespace
+}  // namespace femto::obs

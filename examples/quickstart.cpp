@@ -31,8 +31,8 @@ int main() {
   // 2. Autotune the stencil for this volume (cached for later solves).
   const MobiusParams params{8, -1.8, 1.5, 0.5, 0.05};
   const auto tuned = tune::tuned_dslash_grain<double>(u, params.l5, 0);
-  std::printf("autotuned dslash work grain: %zu sites/chunk\n\n",
-              tuned.grain);
+  std::printf("autotuned dslash: %s kernel, %zu sites/chunk\n\n",
+              to_string(tuned.variant), tuned.grain);
 
   // 3. Solve D x = b with mixed-precision CGNE (16-bit sloppy storage,
   //    reliable updates to double).

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Benchmark the femtosimd hot paths and emit BENCH_simd.json.
+#
+# Runs bench/micro_simd: scalar vs vectorized dslash kernel variants and
+# W=1 vs native-width fused BLAS / half-precision quantise kernels
+# (min-of-reps wall clock, same convention as the autotuner), reporting
+# GFLOP/s, effective GB/s and the speedup per width.  The JSON lands in
+# the repo root so successive PRs can track the trajectory.
+#
+# The gate is the PR's vectorization claim: on a SIMD build the float
+# dslash (best variant) and the float fused BLAS kernels must beat the
+# scalar path by >= 1.5x.  A FEMTO_SIMD=OFF build reports width 1 and the
+# gate is skipped -- there is nothing to compare.
+#
+# Usage: scripts/bench_simd.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+MICRO_SIMD="${BUILD_DIR}/bench/micro_simd"
+
+if [[ ! -x "$MICRO_SIMD" ]]; then
+  echo "bench_simd: $MICRO_SIMD not built (cmake --build $BUILD_DIR --target micro_simd)" >&2
+  exit 1
+fi
+
+# micro_simd writes BENCH_simd.json into the current directory.
+"$MICRO_SIMD"
+
+python3 - <<'EOF'
+import json
+
+with open("BENCH_simd.json") as f:
+    bench = json.load(f)
+
+if bench["width_float"] <= 1:
+    print("bench_simd: scalar build (width 1), speedup gate skipped")
+    raise SystemExit(0)
+
+dslash = {s["precision"]: s["best_speedup"] for s in bench["dslash"]}
+fused = [
+    r["speedup"]
+    for r in bench["blas"]
+    if r["precision"] == "float" and r["kernel"] in ("axpy_norm2",
+                                                     "triple_cg_update")
+]
+print(f"bench_simd: float dslash best x{dslash['float']:.2f}, "
+      f"float fused BLAS best x{max(fused):.2f}")
+if dslash["float"] < 1.5:
+    raise SystemExit(
+        f"bench_simd: float dslash speedup x{dslash['float']:.2f} < 1.5")
+if max(fused) < 1.5:
+    raise SystemExit(
+        f"bench_simd: float fused BLAS speedup x{max(fused):.2f} < 1.5")
+EOF

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "lattice/flops.hpp"
+#include "obs/metrics.hpp"
+#include "simd/vec.hpp"
 
 namespace femto::tune {
 
@@ -10,24 +12,44 @@ template <typename T>
 std::string DslashTunable<T>::key() const {
   std::ostringstream os;
   const auto& d = u_->geom();
+  // The ISA/width tag keeps femtotune cache entries from a vectorized
+  // build out of a scalar (FEMTO_SIMD=OFF) build and vice versa: the
+  // variant knob below only means something at the width it was tuned at.
   os << "dslash,vol=" << d.extent(0) << "x" << d.extent(1) << "x"
      << d.extent(2) << "x" << d.extent(3) << ",l5=" << l5_
-     << ",parity=" << out_parity_ << ",prec=" << sizeof(T);
+     << ",parity=" << out_parity_ << ",prec=" << sizeof(T)
+     << ",simd=" << simd::kIsaName << "/" << simd::kWidth<T>;
   return os.str();
 }
 
 template <typename T>
 std::vector<TuneParam> DslashTunable<T>::candidates() const {
+  // Variant is the outer loop (scalar first, so the first candidate is the
+  // reference kernel at the smallest grain) and the grain sweep is inner,
+  // ending with the whole half-volume in one chunk.  The vector variants
+  // only enter the search when the build actually has lanes; at W == 1
+  // they are the scalar arithmetic with extra gather overhead.
+  std::vector<DslashVariant> variants = {DslashVariant::kScalar};
+  if constexpr (simd::kWidth<T> > 1) {
+    variants.push_back(DslashVariant::kVector);
+    variants.push_back(DslashVariant::kVectorBlocked);
+  }
   std::vector<TuneParam> cands;
   const std::int64_t volh = u_->geom().half_volume();
-  for (std::int64_t grain = 16; grain <= volh; grain *= 4) {
-    TuneParam p;
-    p.knobs["grain"] = grain;
-    cands.push_back(p);
+  for (const DslashVariant v : variants) {
+    std::size_t base = cands.size();
+    for (std::int64_t grain = 16; grain <= volh; grain *= 4) {
+      TuneParam p;
+      p.knobs["variant"] = static_cast<std::int64_t>(v);
+      p.knobs["grain"] = grain;
+      cands.push_back(p);
+    }
+    TuneParam whole;
+    whole.knobs["variant"] = static_cast<std::int64_t>(v);
+    whole.knobs["grain"] = volh;
+    if (cands.size() == base || !(cands.back() == whole))
+      cands.push_back(whole);
   }
-  TuneParam whole;
-  whole.knobs["grain"] = volh;
-  if (cands.empty() || !(cands.back() == whole)) cands.push_back(whole);
   return cands;
 }
 
@@ -35,6 +57,7 @@ template <typename T>
 void DslashTunable<T>::apply(const TuneParam& p) {
   DslashTuning tune;
   tune.grain = static_cast<std::size_t>(p.get("grain", 512));
+  tune.variant = static_cast<DslashVariant>(p.get("variant", 0));
   dslash<T>(view(out_), *u_, cview(in_), out_parity_, false, tune);
 }
 
@@ -60,6 +83,13 @@ DslashTuning tuned_dslash_grain(std::shared_ptr<const GaugeField<T>> u,
   const TuneEntry& e = Autotuner::global().tune(tunable);
   DslashTuning t;
   t.grain = static_cast<std::size_t>(e.param.get("grain", 512));
+  t.variant = static_cast<DslashVariant>(e.param.get("variant", 0));
+  // Surface the winner in the femtoscope registry; the run report's simd
+  // block decodes the variant ordinal (see obs/report.cpp).
+  const char* prec = sizeof(T) == 4 ? "f" : "d";
+  obs::gauge(std::string("dslash.variant_") + prec)
+      .set(static_cast<double>(e.param.get("variant", 0)));
+  obs::gauge(std::string("dslash.gbytes_") + prec).set(e.gbytes);
   return t;
 }
 

@@ -1,10 +1,11 @@
 #pragma once
 // Autotuned dslash: sweeps the stencil kernel's work-partition grain (our
-// analogue of a CUDA launch geometry) and remembers the winner per
-// (volume, L5, precision, parity) key.  This is the integration point
-// between femtotune and the production kernels: DwfSolver and the benches
-// call tuned_dslash_grain() to pick launch parameters exactly the way
-// Chroma+QUDA pick theirs.
+// analogue of a CUDA launch geometry) and, when the build has vector lanes,
+// the kernel variant (scalar / fifth-dim-vectorized / lane-blocked), and
+// remembers the winner per (volume, L5, precision, parity, ISA) key.  This
+// is the integration point between femtotune and the production kernels:
+// DwfSolver and the benches call tuned_dslash_grain() to pick launch
+// parameters exactly the way Chroma+QUDA pick theirs.
 
 #include <memory>
 #include <string>
@@ -44,8 +45,11 @@ class DslashTunable : public Tunable {
   SpinorField<T> in_, out_;
 };
 
-/// Convenience: returns the tuned grain for this gauge/l5/parity, running
-/// the brute-force search on first call.
+/// Convenience: returns the tuned grain and kernel variant for this
+/// gauge/l5/parity, running the brute-force search on first call.  Also
+/// publishes the winning variant and its achieved GB/s as femtoscope
+/// gauges (dslash.variant_{f,d}, dslash.gbytes_{f,d}) so run reports show
+/// what the tuner picked.
 template <typename T>
 DslashTuning tuned_dslash_grain(std::shared_ptr<const GaugeField<T>> u,
                                 int l5, int out_parity = 0);

@@ -51,7 +51,7 @@ std::int64_t HaloField::face_index(int mu, std::array<int, 4> c) const {
 }
 
 void HaloExchanger::pack_face(const HaloField& f, int mu, bool fwd_face,
-                              std::vector<double>& buf) const {
+                              HaloBuffer& buf) const {
   FEMTO_ASSERT(mu >= 0 && mu < 4);
   const int face_x = fwd_face ? f.extent(mu) - 1 : 0;
   buf.resize(static_cast<size_t>(f.face_sites(mu) * f.n_reals()));
@@ -87,7 +87,7 @@ int halo_tag(int mu, bool fwd_going) {
   return kTagHalo + mu * 2 + (fwd_going ? 0 : 1);
 }
 
-std::vector<std::byte> to_bytes(const std::vector<double>& v) {
+std::vector<std::byte> to_bytes(const HaloBuffer& v) {
   std::vector<std::byte> p(v.size() * sizeof(double));
   std::memcpy(p.data(), v.data(), p.size());
   return p;
@@ -126,7 +126,7 @@ void HaloExchanger::wrap_dim_local(HaloField& field, int mu,
                                    HaloStats& stats) const {
   // Process grid is one rank wide in mu: the ghost is our own opposite
   // face (periodic wrap), no message needed.
-  std::vector<double> buf;
+  HaloBuffer buf;
   pack_face(field, mu, /*fwd_face=*/true, buf);
   FEMTO_ASSERT(buf.size() == field.ghost_bwd_[static_cast<size_t>(mu)].size());
   std::memcpy(field.ghost_bwd_[static_cast<size_t>(mu)].data(), buf.data(),
@@ -144,14 +144,14 @@ void HaloExchanger::exchange_dim(RankHandle& h, HaloField& field, int mu,
   const int nf = grid_.neighbor(me, mu, +1);
   const int nb = grid_.neighbor(me, mu, -1);
 
-  std::vector<double> fwd_buf, bwd_buf;
+  HaloBuffer fwd_buf, bwd_buf;
   pack_face(field, mu, /*fwd_face=*/true, fwd_buf);
   pack_face(field, mu, /*fwd_face=*/false, bwd_buf);
 
-  auto ship = [&](const std::vector<double>& buf, int dest, int tag) {
+  auto ship = [&](const HaloBuffer& buf, int dest, int tag) {
     if (policy_ == CommPolicy::HostStaged) {
       // Bounce through a host staging buffer before the wire.
-      std::vector<double> staged = buf;
+      HaloBuffer staged = buf;
       stats.staging_copies += 1;
       h.send(dest, tag, to_bytes(staged));
     } else {
@@ -192,12 +192,12 @@ void HaloExchanger::exchange_begin(RankHandle& h, HaloField& field,
     const int me = h.rank();
     const int nf = grid_.neighbor(me, mu, +1);
     const int nb = grid_.neighbor(me, mu, -1);
-    std::vector<double> fwd_buf, bwd_buf;
+    HaloBuffer fwd_buf, bwd_buf;
     pack_face(field, mu, /*fwd_face=*/true, fwd_buf);
     pack_face(field, mu, /*fwd_face=*/false, bwd_buf);
-    auto ship = [&](const std::vector<double>& buf, int dest, int tag) {
+    auto ship = [&](const HaloBuffer& buf, int dest, int tag) {
       if (policy_ == CommPolicy::HostStaged) {
-        std::vector<double> staged = buf;
+        HaloBuffer staged = buf;
         local.staging_copies += 1;
         h.send(dest, tag, to_bytes(staged));
       } else {

@@ -28,8 +28,13 @@
 
 #include "comm/communicator.hpp"
 #include "comm/process_grid.hpp"
+#include "simd/aligned.hpp"
 
 namespace femto::comm {
+
+/// Halo payload/staging storage: 64-byte aligned so the pack/unpack memcpy
+/// and any vectorized ghost reads never split a cache line.
+using HaloBuffer = simd::aligned_vector<double>;
 
 enum class CommPolicy { HostStaged, ZeroCopy, DirectRdma };
 enum class Granularity { Fused, PerDimension };
@@ -99,16 +104,16 @@ class HaloField {
     return ghost_bwd_[static_cast<size_t>(mu)].data() + f * n_reals_;
   }
 
-  std::vector<double>& raw() { return data_; }
-  const std::vector<double>& raw() const { return data_; }
+  HaloBuffer& raw() { return data_; }
+  const HaloBuffer& raw() const { return data_; }
 
  private:
   friend class HaloExchanger;
   std::array<int, 4> local_;
   int n_reals_;
   std::int64_t vol_;
-  std::vector<double> data_;
-  std::array<std::vector<double>, 4> ghost_fwd_, ghost_bwd_;
+  HaloBuffer data_;
+  std::array<HaloBuffer, 4> ghost_fwd_, ghost_bwd_;
 };
 
 /// Performs the 4-step stencil prescription from the paper (pack halos,
@@ -139,7 +144,7 @@ class HaloExchanger {
 
  private:
   void pack_face(const HaloField& f, int mu, bool fwd_face,
-                 std::vector<double>& buf) const;
+                 HaloBuffer& buf) const;
   void exchange_dim(RankHandle& h, HaloField& field, int mu,
                     HaloStats& stats) const;
   void wrap_dim_local(HaloField& field, int mu, HaloStats& stats) const;

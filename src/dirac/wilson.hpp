@@ -21,10 +21,29 @@
 
 namespace femto {
 
+/// Which stencil implementation to run (swept by the autotuner alongside
+/// the grain; see DESIGN.md §11).
+///   kScalar        one 5D site at a time (the W=1 reference path)
+///   kVector        fifth-dim-vectorized, lane-gathering from the standard
+///                  [s5][site][real] layout
+///   kVectorBlocked fifth-dim-vectorized over a lane-blocked transpose
+///                  (BlockedSpinorView): contiguous vector loads at the
+///                  cost of a pack/unpack pass per call
+enum class DslashVariant : int { kScalar = 0, kVector = 1, kVectorBlocked = 2 };
+
+inline const char* to_string(DslashVariant v) {
+  switch (v) {
+    case DslashVariant::kScalar: return "scalar";
+    case DslashVariant::kVector: return "vector";
+    default: return "vector_blocked";
+  }
+}
+
 /// Tuning knobs for the stencil kernel (swept by the autotuner the same way
 /// QUDA sweeps CUDA launch geometry).
 struct DslashTuning {
   std::size_t grain = 512;  ///< minimum 4D sites per thread chunk
+  DslashVariant variant = DslashVariant::kScalar;
 };
 
 /// Apply the dslash from parity (1 - out_parity) sites of @p in to parity

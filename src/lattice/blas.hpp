@@ -20,8 +20,21 @@
 // Every kernel takes a trailing chunk-grain argument (minimum elements per
 // worker); the autotuner sweeps it via tune::BlasTunable exactly as it
 // sweeps the dslash launch grain.
+//
+// SIMD (DESIGN.md §11): every kernel is width-templated on a lane count W
+// defaulting to the build's native width (1 when FEMTO_SIMD=OFF).  The
+// vector bodies process W reals per step with a peeled scalar tail, and
+// reductions accumulate a W-lane double vector per chunk whose lanes are
+// summed in lane order before the tail — a fixed, index-determined order,
+// so the determinism guarantee (bitwise-stable per thread count and grain)
+// is unchanged.  Fused and unfused kernels share the same per-element
+// expressions and the same chunk-relative lane pattern, so at equal grain
+// and width the fusion stays bitwise identical to the separate operations.
+// Results DO differ across widths (lane-striped summation) within normal
+// rounding: cross-width agreement is a tolerance, not bitwise, property.
 
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 
 #include "lattice/complex.hpp"
@@ -29,10 +42,153 @@
 #include "lattice/flops.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "simd/vec.hpp"
 
 namespace femto::blas {
 
 inline constexpr std::size_t kGrain = 4096;
+
+namespace detail {
+
+// Chunk bodies shared by the fused and unfused kernels.  Keeping each
+// expression in exactly one place is what makes the bitwise
+// fused-== -unfused contract robust: both sides inline the same code.
+
+/// sum v^2 over [lo, hi) with double accumulation, W-lane striped over TWO
+/// independent accumulator chains.  One chain is latency-bound: every
+/// iteration's vector add waits on the previous one, which caps the
+/// reduction at one W-block per add latency.  Two chains overlap, roughly
+/// doubling throughput (measured in bench/micro_simd.cpp).  The
+/// combination order -- even-stripe chain (plus any trailing W-block),
+/// then odd-stripe chain, then scalar tail -- is fixed, so the result is
+/// still deterministic per width.
+template <int W, typename T>
+inline double norm2_chunk(const T* xd, std::size_t lo, std::size_t hi) {
+  double s = 0.0;
+  std::size_t k = lo;
+  if constexpr (W > 1) {
+    simd::Vec<double, W> acc0, acc1;
+    for (; k + 2 * W <= hi; k += 2 * W) {
+      const auto v0 = simd::convert<double>(simd::Vec<T, W>::load(xd + k));
+      const auto v1 = simd::convert<double>(simd::Vec<T, W>::load(xd + k + W));
+      acc0 += v0 * v0;
+      acc1 += v1 * v1;
+    }
+    for (; k + W <= hi; k += W) {
+      const auto v = simd::convert<double>(simd::Vec<T, W>::load(xd + k));
+      acc0 += v * v;
+    }
+    s = simd::sum_ordered(acc0) + simd::sum_ordered(acc1);
+  }
+  for (; k < hi; ++k) {
+    const double v = static_cast<double>(xd[k]);
+    s += v * v;
+  }
+  return s;
+}
+
+/// sum x*y over [lo, hi) with double accumulation, two-chain striped like
+/// norm2_chunk.
+template <int W, typename T>
+inline double redot_chunk(const T* xd, const T* yd, std::size_t lo,
+                          std::size_t hi) {
+  double s = 0.0;
+  std::size_t k = lo;
+  if constexpr (W > 1) {
+    simd::Vec<double, W> acc0, acc1;
+    for (; k + 2 * W <= hi; k += 2 * W) {
+      acc0 += simd::convert<double>(simd::Vec<T, W>::load(xd + k)) *
+              simd::convert<double>(simd::Vec<T, W>::load(yd + k));
+      acc1 += simd::convert<double>(simd::Vec<T, W>::load(xd + k + W)) *
+              simd::convert<double>(simd::Vec<T, W>::load(yd + k + W));
+    }
+    for (; k + W <= hi; k += W)
+      acc0 += simd::convert<double>(simd::Vec<T, W>::load(xd + k)) *
+              simd::convert<double>(simd::Vec<T, W>::load(yd + k));
+    s = simd::sum_ordered(acc0) + simd::sum_ordered(acc1);
+  }
+  for (; k < hi; ++k)
+    s += static_cast<double>(xd[k]) * static_cast<double>(yd[k]);
+  return s;
+}
+
+/// y += a*x over [lo, hi).
+template <int W, typename T>
+inline void axpy_chunk(T aa, const T* xd, T* yd, std::size_t lo,
+                       std::size_t hi) {
+  std::size_t k = lo;
+  if constexpr (W > 1) {
+    const simd::Vec<T, W> av(aa);
+    for (; k + W <= hi; k += W) {
+      auto y = simd::Vec<T, W>::load(yd + k);
+      y += av * simd::Vec<T, W>::load(xd + k);
+      y.store(yd + k);
+    }
+  }
+  for (; k < hi; ++k) yd[k] += aa * xd[k];
+}
+
+/// y = x + a*y over [lo, hi).
+template <int W, typename T>
+inline void xpay_chunk(const T* xd, T aa, T* yd, std::size_t lo,
+                       std::size_t hi) {
+  std::size_t k = lo;
+  if constexpr (W > 1) {
+    const simd::Vec<T, W> av(aa);
+    for (; k + W <= hi; k += W) {
+      const auto y = simd::Vec<T, W>::load(xd + k) +
+                     av * simd::Vec<T, W>::load(yd + k);
+      y.store(yd + k);
+    }
+  }
+  for (; k < hi; ++k) yd[k] = xd[k] + aa * yd[k];
+}
+
+/// y = a*x + b*y over [lo, hi).
+template <int W, typename T>
+inline void axpby_chunk(T aa, const T* xd, T bb, T* yd, std::size_t lo,
+                        std::size_t hi) {
+  std::size_t k = lo;
+  if constexpr (W > 1) {
+    const simd::Vec<T, W> av(aa), bv(bb);
+    for (; k + W <= hi; k += W) {
+      const auto y = av * simd::Vec<T, W>::load(xd + k) +
+                     bv * simd::Vec<T, W>::load(yd + k);
+      y.store(yd + k);
+    }
+  }
+  for (; k < hi; ++k) yd[k] = aa * xd[k] + bb * yd[k];
+}
+
+/// y += (ar + i ai)*x over complex-pair range [lo, hi) (pair indices).
+/// Vector trick: on the interleaved (re, im) stream, a complex axpy is
+///     y += ar*x + [-ai, +ai, ...] * swap_pairs(x)
+/// which keeps everything W reals wide with no shuffles beyond the pair
+/// swap.  Association differs from the scalar form by one regrouping, so
+/// pair kernels agree with scalar arithmetic to rounding (the fused and
+/// unfused pair kernels still match bitwise — both inline this body).
+template <int W, typename T>
+inline void caxpy_chunk(T ar, T ai, const T* xd, T* yd, std::size_t lo,
+                        std::size_t hi) {
+  std::size_t k = lo;
+  if constexpr (W > 1) {
+    const simd::Vec<T, W> arv(ar);
+    const auto aiv = simd::interleave<T, W>(-ai, ai);
+    for (; k + W / 2 <= hi; k += W / 2) {
+      const auto x = simd::Vec<T, W>::load(xd + 2 * k);
+      auto y = simd::Vec<T, W>::load(yd + 2 * k);
+      y += arv * x + aiv * simd::swap_pairs(x);
+      y.store(yd + 2 * k);
+    }
+  }
+  for (; k < hi; ++k) {
+    const T xr = xd[2 * k], xi = xd[2 * k + 1];
+    yd[2 * k] += ar * xr - ai * xi;
+    yd[2 * k + 1] += ar * xi + ai * xr;
+  }
+}
+
+}  // namespace detail
 
 /// y = x
 template <typename T, typename U>
@@ -52,7 +208,7 @@ void copy(SpinorField<T>& y, const SpinorField<U>& x,
 }
 
 /// y += a*x
-template <typename T>
+template <typename T, int W = simd::kWidth<T>>
 void axpy(double a, const SpinorField<T>& x, SpinorField<T>& y,
           std::size_t grain = kGrain) {
   assert(y.compatible(x));
@@ -62,7 +218,7 @@ void axpy(double a, const SpinorField<T>& x, SpinorField<T>& y,
   par::parallel_for_chunked(
       0, static_cast<std::size_t>(y.reals()),
       [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t k = lo; k < hi; ++k) yd[k] += aa * xd[k];
+        detail::axpy_chunk<W>(aa, xd, yd, lo, hi);
       },
       grain);
   flops::add(2 * y.reals());
@@ -70,7 +226,7 @@ void axpy(double a, const SpinorField<T>& x, SpinorField<T>& y,
 }
 
 /// y = x + a*y
-template <typename T>
+template <typename T, int W = simd::kWidth<T>>
 void xpay(const SpinorField<T>& x, double a, SpinorField<T>& y,
           std::size_t grain = kGrain) {
   assert(y.compatible(x));
@@ -80,7 +236,7 @@ void xpay(const SpinorField<T>& x, double a, SpinorField<T>& y,
   par::parallel_for_chunked(
       0, static_cast<std::size_t>(y.reals()),
       [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t k = lo; k < hi; ++k) yd[k] = xd[k] + aa * yd[k];
+        detail::xpay_chunk<W>(xd, aa, yd, lo, hi);
       },
       grain);
   flops::add(2 * y.reals());
@@ -88,7 +244,7 @@ void xpay(const SpinorField<T>& x, double a, SpinorField<T>& y,
 }
 
 /// y = a*x + b*y
-template <typename T>
+template <typename T, int W = simd::kWidth<T>>
 void axpby(double a, const SpinorField<T>& x, double b, SpinorField<T>& y,
            std::size_t grain = kGrain) {
   assert(y.compatible(x));
@@ -98,7 +254,7 @@ void axpby(double a, const SpinorField<T>& x, double b, SpinorField<T>& y,
   par::parallel_for_chunked(
       0, static_cast<std::size_t>(y.reals()),
       [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t k = lo; k < hi; ++k) yd[k] = aa * xd[k] + bb * yd[k];
+        detail::axpby_chunk<W>(aa, xd, bb, yd, lo, hi);
       },
       grain);
   flops::add(3 * y.reals());
@@ -106,7 +262,7 @@ void axpby(double a, const SpinorField<T>& x, double b, SpinorField<T>& y,
 }
 
 /// y += (a.re + i a.im) * x, treating consecutive real pairs as complex.
-template <typename T>
+template <typename T, int W = simd::kWidth<T>>
 void caxpy(Cplx<double> a, const SpinorField<T>& x, SpinorField<T>& y,
            std::size_t grain = kGrain) {
   assert(y.compatible(x));
@@ -116,11 +272,7 @@ void caxpy(Cplx<double> a, const SpinorField<T>& x, SpinorField<T>& y,
   par::parallel_for_chunked(
       0, static_cast<std::size_t>(y.reals() / 2),
       [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t k = lo; k < hi; ++k) {
-          const T xr = xd[2 * k], xi = xd[2 * k + 1];
-          yd[2 * k] += ar * xr - ai * xi;
-          yd[2 * k + 1] += ar * xi + ai * xr;
-        }
+        detail::caxpy_chunk<W>(ar, ai, xd, yd, lo, hi);
       },
       grain);
   flops::add(4 * y.reals());
@@ -128,7 +280,7 @@ void caxpy(Cplx<double> a, const SpinorField<T>& x, SpinorField<T>& y,
 }
 
 /// y = x + (a.re + i a.im) * y, complex pairs.
-template <typename T>
+template <typename T, int W = simd::kWidth<T>>
 void cxpay(const SpinorField<T>& x, Cplx<double> a, SpinorField<T>& y,
            std::size_t grain = kGrain) {
   assert(y.compatible(x));
@@ -138,7 +290,18 @@ void cxpay(const SpinorField<T>& x, Cplx<double> a, SpinorField<T>& y,
   par::parallel_for_chunked(
       0, static_cast<std::size_t>(y.reals() / 2),
       [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t k = lo; k < hi; ++k) {
+        std::size_t k = lo;
+        if constexpr (W > 1) {
+          const simd::Vec<T, W> arv(ar);
+          const auto aiv = simd::interleave<T, W>(-ai, ai);
+          for (; k + W / 2 <= hi; k += W / 2) {
+            const auto y0 = simd::Vec<T, W>::load(yd + 2 * k);
+            const auto y1 = simd::Vec<T, W>::load(xd + 2 * k) + arv * y0 +
+                            aiv * simd::swap_pairs(y0);
+            y1.store(yd + 2 * k);
+          }
+        }
+        for (; k < hi; ++k) {
           const T yr = yd[2 * k], yi = yd[2 * k + 1];
           yd[2 * k] = xd[2 * k] + ar * yr - ai * yi;
           yd[2 * k + 1] = xd[2 * k + 1] + ar * yi + ai * yr;
@@ -150,14 +313,21 @@ void cxpay(const SpinorField<T>& x, Cplx<double> a, SpinorField<T>& y,
 }
 
 /// scale: x *= a
-template <typename T>
+template <typename T, int W = simd::kWidth<T>>
 void scal(double a, SpinorField<T>& x, std::size_t grain = kGrain) {
   const T aa = static_cast<T>(a);
   T* xd = x.data();
   par::parallel_for_chunked(
       0, static_cast<std::size_t>(x.reals()),
       [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t k = lo; k < hi; ++k) xd[k] *= aa;
+        std::size_t k = lo;
+        if constexpr (W > 1) {
+          const simd::Vec<T, W> av(aa);
+          for (; k + W <= hi; k += W) {
+            (av * simd::Vec<T, W>::load(xd + k)).store(xd + k);
+          }
+        }
+        for (; k < hi; ++k) xd[k] *= aa;
       },
       grain);
   flops::add(x.reals());
@@ -165,19 +335,14 @@ void scal(double a, SpinorField<T>& x, std::size_t grain = kGrain) {
 }
 
 /// ||x||^2 with double accumulation.
-template <typename T>
+template <typename T, int W = simd::kWidth<T>>
 double norm2(const SpinorField<T>& x, std::size_t grain = kGrain) {
   FEMTO_TRACE_SCOPE("blas", "norm2");
   const T* xd = x.data();
   const double r = par::ThreadPool::global().parallel_reduce(
       0, static_cast<std::size_t>(x.reals()),
       [&](std::size_t lo, std::size_t hi) {
-        double s = 0.0;
-        for (std::size_t k = lo; k < hi; ++k) {
-          const double v = static_cast<double>(xd[k]);
-          s += v * v;
-        }
-        return s;
+        return detail::norm2_chunk<W>(xd, lo, hi);
       },
       grain);
   flops::add(2 * x.reals());
@@ -185,8 +350,11 @@ double norm2(const SpinorField<T>& x, std::size_t grain = kGrain) {
   return r;
 }
 
-/// <x, y> = sum conj(x) y with double accumulation.
-template <typename T>
+/// <x, y> = sum conj(x) y with double accumulation.  On the interleaved
+/// pair stream the real part is a plain elementwise product sum (xr*yr and
+/// xi*yi both land there) and the imaginary part pairs each lane with its
+/// partner via swap_pairs and an alternating sign.
+template <typename T, int W = simd::kWidth<T>>
 Cplx<double> cdot(const SpinorField<T>& x, const SpinorField<T>& y,
                   std::size_t grain = kGrain) {
   assert(y.compatible(x));
@@ -196,7 +364,22 @@ Cplx<double> cdot(const SpinorField<T>& x, const SpinorField<T>& y,
       0, static_cast<std::size_t>(x.reals() / 2),
       [&](std::size_t lo, std::size_t hi) {
         double sr = 0.0, si = 0.0;
-        for (std::size_t k = lo; k < hi; ++k) {
+        std::size_t k = lo;
+        if constexpr (W > 1) {
+          simd::Vec<double, W> racc, iacc;
+          const auto sign = simd::interleave<double, W>(1.0, -1.0);
+          for (; k + W / 2 <= hi; k += W / 2) {
+            const auto xv =
+                simd::convert<double>(simd::Vec<T, W>::load(xd + 2 * k));
+            const auto yv =
+                simd::convert<double>(simd::Vec<T, W>::load(yd + 2 * k));
+            racc += xv * yv;
+            iacc += sign * (xv * simd::swap_pairs(yv));
+          }
+          sr = simd::sum_ordered(racc);
+          si = simd::sum_ordered(iacc);
+        }
+        for (; k < hi; ++k) {
           const double xr = xd[2 * k], xi = xd[2 * k + 1];
           const double yr = yd[2 * k], yi = yd[2 * k + 1];
           sr += xr * yr + xi * yi;
@@ -211,7 +394,7 @@ Cplx<double> cdot(const SpinorField<T>& x, const SpinorField<T>& y,
 }
 
 /// Real part of <x, y> (the CG beta/alpha kernel for Hermitian operators).
-template <typename T>
+template <typename T, int W = simd::kWidth<T>>
 double redot(const SpinorField<T>& x, const SpinorField<T>& y,
              std::size_t grain = kGrain) {
   assert(y.compatible(x));
@@ -220,10 +403,7 @@ double redot(const SpinorField<T>& x, const SpinorField<T>& y,
   const double r = par::ThreadPool::global().parallel_reduce(
       0, static_cast<std::size_t>(x.reals()),
       [&](std::size_t lo, std::size_t hi) {
-        double s = 0.0;
-        for (std::size_t k = lo; k < hi; ++k)
-          s += static_cast<double>(xd[k]) * static_cast<double>(yd[k]);
-        return s;
+        return detail::redot_chunk<W>(xd, yd, lo, hi);
       },
       grain);
   flops::add(2 * x.reals());
@@ -235,12 +415,12 @@ double redot(const SpinorField<T>& x, const SpinorField<T>& y,
 // Fused update+reduce kernels (QUDA's blas_quda fusions).  Each touches its
 // fields exactly once; the reduction rides the update pass for free.  The
 // per-element arithmetic and the chunk partition match the unfused kernels,
-// so with the same grain the results are bitwise identical to running the
-// separate operations.
+// so with the same grain (and width) the results are bitwise identical to
+// running the separate operations.
 // ---------------------------------------------------------------------------
 
 /// y += a*x, returning ||y||^2 of the updated y (QUDA axpyNorm).
-template <typename T>
+template <typename T, int W = simd::kWidth<T>>
 double axpy_norm2(double a, const SpinorField<T>& x, SpinorField<T>& y,
                   std::size_t grain = kGrain) {
   FEMTO_TRACE_SCOPE("blas", "axpy_norm2");
@@ -252,13 +432,8 @@ double axpy_norm2(double a, const SpinorField<T>& x, SpinorField<T>& y,
   par::ThreadPool::global().parallel_reduce_n(
       0, static_cast<std::size_t>(y.reals()), 1,
       [&](std::size_t lo, std::size_t hi, double* acc) {
-        double s = 0.0;
-        for (std::size_t k = lo; k < hi; ++k) {
-          yd[k] += aa * xd[k];
-          const double v = static_cast<double>(yd[k]);
-          s += v * v;
-        }
-        acc[0] = s;
+        detail::axpy_chunk<W>(aa, xd, yd, lo, hi);
+        acc[0] = detail::norm2_chunk<W>(yd, lo, hi);
       },
       &n2, grain);
   flops::add(4 * y.reals());
@@ -267,7 +442,7 @@ double axpy_norm2(double a, const SpinorField<T>& x, SpinorField<T>& y,
 }
 
 /// y = x + a*y, returning <x, y_new> (real part) of the updated y.
-template <typename T>
+template <typename T, int W = simd::kWidth<T>>
 double xpay_redot(const SpinorField<T>& x, double a, SpinorField<T>& y,
                   std::size_t grain = kGrain) {
   FEMTO_TRACE_SCOPE("blas", "xpay_redot");
@@ -279,12 +454,8 @@ double xpay_redot(const SpinorField<T>& x, double a, SpinorField<T>& y,
   par::ThreadPool::global().parallel_reduce_n(
       0, static_cast<std::size_t>(y.reals()), 1,
       [&](std::size_t lo, std::size_t hi, double* acc) {
-        double s = 0.0;
-        for (std::size_t k = lo; k < hi; ++k) {
-          yd[k] = xd[k] + aa * yd[k];
-          s += static_cast<double>(xd[k]) * static_cast<double>(yd[k]);
-        }
-        acc[0] = s;
+        detail::xpay_chunk<W>(xd, aa, yd, lo, hi);
+        acc[0] = detail::redot_chunk<W>(xd, yd, lo, hi);
       },
       &dot, grain);
   flops::add(4 * y.reals());
@@ -293,7 +464,7 @@ double xpay_redot(const SpinorField<T>& x, double a, SpinorField<T>& y,
 }
 
 /// y = a*x + b*y, returning ||y||^2 of the updated y.
-template <typename T>
+template <typename T, int W = simd::kWidth<T>>
 double axpby_norm2(double a, const SpinorField<T>& x, double b,
                    SpinorField<T>& y, std::size_t grain = kGrain) {
   FEMTO_TRACE_SCOPE("blas", "axpby_norm2");
@@ -305,13 +476,8 @@ double axpby_norm2(double a, const SpinorField<T>& x, double b,
   par::ThreadPool::global().parallel_reduce_n(
       0, static_cast<std::size_t>(y.reals()), 1,
       [&](std::size_t lo, std::size_t hi, double* acc) {
-        double s = 0.0;
-        for (std::size_t k = lo; k < hi; ++k) {
-          yd[k] = aa * xd[k] + bb * yd[k];
-          const double v = static_cast<double>(yd[k]);
-          s += v * v;
-        }
-        acc[0] = s;
+        detail::axpby_chunk<W>(aa, xd, bb, yd, lo, hi);
+        acc[0] = detail::norm2_chunk<W>(yd, lo, hi);
       },
       &n2, grain);
   flops::add(5 * y.reals());
@@ -321,7 +487,7 @@ double axpby_norm2(double a, const SpinorField<T>& x, double b,
 
 /// The QUDA tripleCGUpdate: x += alpha*p; r -= alpha*ap; return ||r||^2 —
 /// the whole CG vector update in one pass over the four fields.
-template <typename T>
+template <typename T, int W = simd::kWidth<T>>
 double triple_cg_update(double alpha, const SpinorField<T>& p,
                         const SpinorField<T>& ap, SpinorField<T>& x,
                         SpinorField<T>& r, std::size_t grain = kGrain) {
@@ -337,14 +503,9 @@ double triple_cg_update(double alpha, const SpinorField<T>& p,
   par::ThreadPool::global().parallel_reduce_n(
       0, static_cast<std::size_t>(r.reals()), 1,
       [&](std::size_t lo, std::size_t hi, double* acc) {
-        double s = 0.0;
-        for (std::size_t k = lo; k < hi; ++k) {
-          xd[k] += al * pd[k];
-          rd[k] += mal * apd[k];
-          const double v = static_cast<double>(rd[k]);
-          s += v * v;
-        }
-        acc[0] = s;
+        detail::axpy_chunk<W>(al, pd, xd, lo, hi);
+        detail::axpy_chunk<W>(mal, apd, rd, lo, hi);
+        acc[0] = detail::norm2_chunk<W>(rd, lo, hi);
       },
       &n2, grain);
   flops::add(6 * r.reals());
@@ -354,7 +515,7 @@ double triple_cg_update(double alpha, const SpinorField<T>& p,
 
 /// The QUDA axpyZpbx: x += a*p; p = z + b*p.  Fuses CG's solution update
 /// with its search-direction update so p is read once for both.
-template <typename T>
+template <typename T, int W = simd::kWidth<T>>
 void axpy_zpbx(double a, SpinorField<T>& p, SpinorField<T>& x,
                const SpinorField<T>& z, double b, std::size_t grain = kGrain) {
   FEMTO_TRACE_SCOPE("blas", "axpy_zpbx");
@@ -366,11 +527,8 @@ void axpy_zpbx(double a, SpinorField<T>& p, SpinorField<T>& x,
   par::parallel_for_chunked(
       0, static_cast<std::size_t>(p.reals()),
       [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t k = lo; k < hi; ++k) {
-          const T pk = pd[k];
-          xd[k] += aa * pk;
-          pd[k] = zd[k] + bb * pk;
-        }
+        detail::axpy_chunk<W>(aa, pd, xd, lo, hi);
+        detail::xpay_chunk<W>(zd, bb, pd, lo, hi);
       },
       grain);
   flops::add(4 * p.reals());
@@ -379,7 +537,7 @@ void axpy_zpbx(double a, SpinorField<T>& p, SpinorField<T>& x,
 
 /// y += a*x (complex pairs), returning ||y||^2 of the updated y — the
 /// BiCGStab s- and r-update kernel.
-template <typename T>
+template <typename T, int W = simd::kWidth<T>>
 double caxpy_norm2(Cplx<double> a, const SpinorField<T>& x, SpinorField<T>& y,
                    std::size_t grain = kGrain) {
   FEMTO_TRACE_SCOPE("blas", "caxpy_norm2");
@@ -391,17 +549,8 @@ double caxpy_norm2(Cplx<double> a, const SpinorField<T>& x, SpinorField<T>& y,
   par::ThreadPool::global().parallel_reduce_n(
       0, static_cast<std::size_t>(y.reals() / 2), 1,
       [&](std::size_t lo, std::size_t hi, double* acc) {
-        double s = 0.0;
-        for (std::size_t k = lo; k < hi; ++k) {
-          const T xr = xd[2 * k], xi = xd[2 * k + 1];
-          const T yr = static_cast<T>(yd[2 * k] + (ar * xr - ai * xi));
-          const T yi = static_cast<T>(yd[2 * k + 1] + (ar * xi + ai * xr));
-          yd[2 * k] = yr;
-          yd[2 * k + 1] = yi;
-          s += static_cast<double>(yr) * static_cast<double>(yr) +
-               static_cast<double>(yi) * static_cast<double>(yi);
-        }
-        acc[0] = s;
+        detail::caxpy_chunk<W>(ar, ai, xd, yd, lo, hi);
+        acc[0] = detail::norm2_chunk<W>(yd, 2 * lo, 2 * hi);
       },
       &n2, grain);
   flops::add(6 * y.reals());
@@ -411,7 +560,7 @@ double caxpy_norm2(Cplx<double> a, const SpinorField<T>& x, SpinorField<T>& y,
 
 /// One pass computing both <x, y> and ||x||^2 — BiCGStab's omega kernel
 /// (omega = <t, s> / ||t||^2 via cdot_norm2(t, s)).
-template <typename T>
+template <typename T, int W = simd::kWidth<T>>
 std::pair<Cplx<double>, double> cdot_norm2(const SpinorField<T>& x,
                                            const SpinorField<T>& y,
                                            std::size_t grain = kGrain) {
@@ -424,7 +573,24 @@ std::pair<Cplx<double>, double> cdot_norm2(const SpinorField<T>& x,
       0, static_cast<std::size_t>(x.reals() / 2), 3,
       [&](std::size_t lo, std::size_t hi, double* acc) {
         double sr = 0.0, si = 0.0, sn = 0.0;
-        for (std::size_t k = lo; k < hi; ++k) {
+        std::size_t k = lo;
+        if constexpr (W > 1) {
+          simd::Vec<double, W> racc, iacc, nacc;
+          const auto sign = simd::interleave<double, W>(1.0, -1.0);
+          for (; k + W / 2 <= hi; k += W / 2) {
+            const auto xv =
+                simd::convert<double>(simd::Vec<T, W>::load(xd + 2 * k));
+            const auto yv =
+                simd::convert<double>(simd::Vec<T, W>::load(yd + 2 * k));
+            racc += xv * yv;
+            iacc += sign * (xv * simd::swap_pairs(yv));
+            nacc += xv * xv;
+          }
+          sr = simd::sum_ordered(racc);
+          si = simd::sum_ordered(iacc);
+          sn = simd::sum_ordered(nacc);
+        }
+        for (; k < hi; ++k) {
           const double xr = xd[2 * k], xi = xd[2 * k + 1];
           const double yr = yd[2 * k], yi = yd[2 * k + 1];
           sr += xr * yr + xi * yi;

@@ -1,0 +1,124 @@
+#pragma once
+// Lane-blocked spinor storage for the fifth-dimension-vectorized dslash.
+//
+// The standard field layout [s5][site][real] makes the natural DWF
+// vectorization — lane j = fifth-dim slice s0+j, so the same 8 gauge links
+// broadcast across all lanes — load each lane from a different s5 slice:
+// a W-lane gather with stride sites*kSpinorReals reals.  BlockedSpinorView
+// transposes a view into
+//     [s5_block][site][real][lane]      (lane = s5 within the block)
+// so the blocked kernel's loads and stores are contiguous W-real vectors.
+// Tail lanes of the last block (l5 % W != 0) are zero; the kernel computes
+// garbage-free zeros in them and unpack() ignores them.
+//
+// pack()/unpack() cost one read + one write pass per field; the autotuner
+// decides per geometry whether the contiguous kernel pays for them (the
+// `variant` knob in DslashTunable).
+
+#include <cstdint>
+
+#include "lattice/field.hpp"
+#include "parallel/thread_pool.hpp"
+#include "simd/aligned.hpp"
+
+namespace femto {
+
+template <typename T, int W>
+class BlockedSpinorView {
+ public:
+  static_assert(W >= 1, "lane count must be positive");
+
+  BlockedSpinorView(std::int64_t sites, int l5)
+      : sites_(sites),
+        l5_(l5),
+        nblocks_((l5 + W - 1) / W),
+        data_(static_cast<std::size_t>(nblocks_ * sites * kSpinorReals * W)) {}
+
+  std::int64_t sites() const { return sites_; }
+  int l5() const { return l5_; }
+  int blocks() const { return nblocks_; }
+
+  /// Re-point at a (sites, l5) shape, reusing the allocation when the
+  /// shape is unchanged.  The blocked dslash keeps its buffers in
+  /// thread-local scratch and reshapes per call: a fresh multi-hundred-KB
+  /// allocation every call is an mmap + zero + page-fault pass that rivals
+  /// the pack itself.  Same shape is a no-op, which also preserves the
+  /// tail-lane-zero invariant (pack never writes tail lanes, and with
+  /// zeroed inputs the kernel writes zeros back to them); any shape change
+  /// zero-fills the whole buffer again.
+  void reshape(std::int64_t sites, int l5) {
+    if (sites == sites_ && l5 == l5_) return;
+    sites_ = sites;
+    l5_ = l5;
+    nblocks_ = (l5 + W - 1) / W;
+    data_.assign(static_cast<std::size_t>(nblocks_ * sites * kSpinorReals * W),
+                 T());
+  }
+
+  /// Pointer to the kSpinorReals x W reals of (block, site).
+  T* block(int b, std::int64_t i) {
+    return data_.data() +
+           (std::int64_t(b) * sites_ + i) * (kSpinorReals * W);
+  }
+  const T* block(int b, std::int64_t i) const {
+    return data_.data() +
+           (std::int64_t(b) * sites_ + i) * (kSpinorReals * W);
+  }
+
+  /// Transpose a standard view in (lanes innermost).  Parallel over sites;
+  /// @p grain is in 4D sites, like the dslash launch grain.
+  void pack(const SpinorView<const T>& v, std::size_t grain) {
+    FEMTO_ASSERT(v.sites == sites_ && v.l5 == l5_);
+    par::parallel_for_chunked(
+        0, static_cast<std::size_t>(sites_),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            for (int b = 0; b < nblocks_; ++b) {
+              T* dst = block(b, static_cast<std::int64_t>(i));
+              const int nl = b * W + W <= l5_ ? W : l5_ - b * W;
+              for (int j = 0; j < nl; ++j) {
+                const T* src =
+                    v.data + v.offset(b * W + j, static_cast<std::int64_t>(i));
+                for (int k = 0; k < kSpinorReals; ++k) dst[k * W + j] = src[k];
+              }
+            }
+          }
+        },
+        grain);
+  }
+
+  /// Transpose back out to a standard view (tail lanes dropped).
+  void unpack(const SpinorView<T>& v, std::size_t grain) const {
+    FEMTO_ASSERT(v.sites == sites_ && v.l5 == l5_);
+    par::parallel_for_chunked(
+        0, static_cast<std::size_t>(sites_),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            for (int b = 0; b < nblocks_; ++b) {
+              const T* src = block(b, static_cast<std::int64_t>(i));
+              const int nl = b * W + W <= l5_ ? W : l5_ - b * W;
+              for (int j = 0; j < nl; ++j) {
+                T* dst =
+                    v.data + v.offset(b * W + j, static_cast<std::int64_t>(i));
+                for (int k = 0; k < kSpinorReals; ++k) dst[k] = src[k * W + j];
+              }
+            }
+          }
+        },
+        grain);
+  }
+
+  /// Bytes of blocked storage (includes tail-lane padding) — what one
+  /// pack/unpack pass writes/reads on the blocked side.
+  std::int64_t bytes() const {
+    return static_cast<std::int64_t>(data_.size() * sizeof(T));
+  }
+
+ private:
+  std::int64_t sites_;
+  int l5_;
+  int nblocks_;
+  simd::aligned_vector<T> data_;
+};
+
+}  // namespace femto

@@ -18,6 +18,7 @@
 #include "lattice/rng.hpp"
 #include "lattice/spinor.hpp"
 #include "lattice/su3.hpp"
+#include "simd/aligned.hpp"
 
 namespace femto {
 
@@ -125,7 +126,8 @@ class SpinorField {
   std::shared_ptr<const Geometry> geom_;
   int l5_;
   Subset subset_;
-  std::vector<T> data_;
+  // 64-byte aligned so vector loads never straddle a cache line.
+  simd::aligned_vector<T> data_;
 };
 
 /// A non-owning view of a spinor field (or of one parity of a full field):
@@ -273,7 +275,7 @@ class GaugeField {
 
  private:
   std::shared_ptr<const Geometry> geom_;
-  std::vector<T> data_;
+  simd::aligned_vector<T> data_;
 };
 
 }  // namespace femto

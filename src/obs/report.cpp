@@ -6,10 +6,21 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "simd/vec.hpp"
 
 namespace femto::obs {
 
 namespace {
+
+/// Decodes the dslash.variant_{f,d} gauge ordinal.  Mirrors the
+/// femto::DslashVariant encoding (obs sits below dirac in the layer DAG,
+/// so it cannot include the enum itself).
+const char* dslash_variant_name(double v) {
+  const int k = static_cast<int>(v);
+  if (k == 1) return "vector";
+  if (k == 2) return "vector_blocked";
+  return "scalar";
+}
 
 struct Derived {
   double solver_seconds = 0.0;
@@ -25,6 +36,10 @@ struct Derived {
   double jm_efficiency = 0.0;
   const char* jm_source = "none";
   double application_gflops = 0.0;
+  double dslash_variant_f = 0.0;
+  double dslash_variant_d = 0.0;
+  double dslash_gbytes_f = 0.0;
+  double dslash_gbytes_d = 0.0;
 };
 
 Derived derive() {
@@ -67,6 +82,10 @@ Derived derive() {
   d.application_gflops =
       d.jm_efficiency > 0.0 ? d.sustained_gflops * d.jm_efficiency
                             : d.sustained_gflops;
+  d.dslash_variant_f = reg.gauge("dslash.variant_f").get();
+  d.dslash_variant_d = reg.gauge("dslash.variant_d").get();
+  d.dslash_gbytes_f = reg.gauge("dslash.gbytes_f").get();
+  d.dslash_gbytes_d = reg.gauge("dslash.gbytes_d").get();
   return d;
 }
 
@@ -213,6 +232,25 @@ std::string report_json(const std::string& title) {
   out += json_number(static_cast<std::int64_t>(trace.threads));
   out += '}';
 
+  // simd build + tuned-kernel block: what the build vectorizes with and
+  // which dslash variant the autotuner picked at which bandwidth
+  out += ",\"simd\":{";
+  {
+    bool f = true;
+    append_kv(&out, "isa", quoted(simd::kIsaName), &f);
+    append_kv(&out, "width_float",
+              json_number(std::int64_t{simd::kWidth<float>}), &f);
+    append_kv(&out, "width_double",
+              json_number(std::int64_t{simd::kWidth<double>}), &f);
+    append_kv(&out, "dslash_variant_f",
+              quoted(dslash_variant_name(d.dslash_variant_f)), &f);
+    append_kv(&out, "dslash_variant_d",
+              quoted(dslash_variant_name(d.dslash_variant_d)), &f);
+    append_kv(&out, "dslash_gbytes_f", json_number(d.dslash_gbytes_f), &f);
+    append_kv(&out, "dslash_gbytes_d", json_number(d.dslash_gbytes_d), &f);
+  }
+  out += '}';
+
   // derived sustained-performance block (paper S VI-VII, measured)
   out += ",\"derived\":{";
   {
@@ -259,6 +297,13 @@ std::string report_summary() {
                 " misses (hit rate %.1f%%)\n",
                 d.autotune_hits, d.autotune_misses,
                 d.autotune_hit_rate * 100.0);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  simd [%s]: float x%d, double x%d; dslash "
+                "f=%s (%.2f GB/s), d=%s (%.2f GB/s)\n",
+                simd::kIsaName, simd::kWidth<float>, simd::kWidth<double>,
+                dslash_variant_name(d.dslash_variant_f), d.dslash_gbytes_f,
+                dslash_variant_name(d.dslash_variant_d), d.dslash_gbytes_d);
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "  job manager [%s]: busy %.3f s, idle %.3f s, "

@@ -1,0 +1,49 @@
+#pragma once
+// 64-byte-aligned allocation for field, halo, and staging buffers.
+//
+// Vector loads that straddle a cache line cost two transactions; on a
+// bandwidth-bound stencil that is pure waste.  Every bulk allocation in
+// the hot path goes through aligned_vector<T> so a full AVX-512 register
+// (64 bytes) — and therefore every narrower width — loads from one line.
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace femto::simd {
+
+/// One cache line / one AVX-512 register.
+inline constexpr std::size_t kAlignment = 64;
+
+/// Minimal std::allocator replacement that over-aligns to kAlignment.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(kAlignment)));
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(p, std::align_val_t(kAlignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const {
+    return false;
+  }
+};
+
+/// std::vector whose data() is 64-byte aligned.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace femto::simd

@@ -19,11 +19,13 @@ void DwfSolver::autotune() {
   sparams_.blas_grain = tune::tuned_blas_grain<float>(u_f_->geom_ptr(),
                                                      mobius_.l5, Subset::Odd);
   FEMTO_LOG_DEBUG("autotune",
-                  "dwf_solver: dslash grains d=" << op_d_.tuning().grain
-                                                 << " f="
-                                                 << op_f_.tuning().grain
-                                                 << ", blas grain "
-                                                 << sparams_.blas_grain);
+                  "dwf_solver: dslash d=" << to_string(op_d_.tuning().variant)
+                                          << "/" << op_d_.tuning().grain
+                                          << " f="
+                                          << to_string(op_f_.tuning().variant)
+                                          << "/" << op_f_.tuning().grain
+                                          << ", blas grain "
+                                          << sparams_.blas_grain);
 }
 
 DwfSolver::DwfSolver(std::shared_ptr<const GaugeField<double>> u,

@@ -1,20 +1,8 @@
 #include "solver/half.hpp"
 
 #include "lattice/flops.hpp"
-#include "parallel/thread_pool.hpp"
 
 namespace femto {
-
-namespace {
-// Traffic charged per block for a one-pass quantise round-trip over the
-// float field: read + write the 24 floats, write the 24 int16 and the
-// float scale (the int16 staging is read back while still cache resident,
-// so it is charged once).
-constexpr std::int64_t kRoundtripBytesPerBlock =
-    kSpinorReals * (2 * sizeof(float) + sizeof(std::int16_t)) + sizeof(float);
-// One extra float-field read for kernels that also stream an x input.
-constexpr std::int64_t kXReadBytesPerBlock = kSpinorReals * sizeof(float);
-}  // namespace
 
 void HalfSpinorField::encode(const SpinorField<float>& src,
                              std::size_t grain) {
@@ -48,117 +36,6 @@ void HalfSpinorField::decode(SpinorField<float>& dst,
                    static_cast<std::int64_t>(
                        kSpinorReals * (sizeof(float) + sizeof(std::int16_t)) +
                        sizeof(float)));
-}
-
-double HalfSpinorField::roundtrip_norm2(SpinorField<float>& f,
-                                        std::size_t grain) {
-  assert(f.l5() == l5_ && f.subset() == subset_);
-  float* fd = f.data();
-  double n2 = 0.0;
-  par::ThreadPool::global().parallel_reduce_n(
-      0, static_cast<std::size_t>(blocks()), 1,
-      [&](std::size_t lo, std::size_t hi, double* acc) {
-        double s = 0.0;
-        for (std::size_t b = lo; b < hi; ++b) {
-          float* vals = fd + b * kSpinorReals;
-          encode_block(static_cast<std::int64_t>(b), vals);
-          decode_block(static_cast<std::int64_t>(b), vals);
-          for (int k = 0; k < kSpinorReals; ++k) {
-            const double v = static_cast<double>(vals[k]);
-            s += v * v;
-          }
-        }
-        acc[0] = s;
-      },
-      &n2, grain);
-  flops::add(2 * f.reals());
-  flops::add_bytes(blocks() * kRoundtripBytesPerBlock);
-  return n2;
-}
-
-void HalfSpinorField::axpy_roundtrip(double a, const SpinorField<float>& x,
-                                     SpinorField<float>& y,
-                                     std::size_t grain) {
-  assert(y.compatible(x));
-  assert(y.l5() == l5_ && y.subset() == subset_);
-  const float aa = static_cast<float>(a);
-  const float* xd = x.data();
-  float* yd = y.data();
-  par::parallel_for_chunked(
-      0, static_cast<std::size_t>(blocks()),
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t b = lo; b < hi; ++b) {
-          float* vals = yd + b * kSpinorReals;
-          const float* xb = xd + b * kSpinorReals;
-          for (int k = 0; k < kSpinorReals; ++k) vals[k] += aa * xb[k];
-          encode_block(static_cast<std::int64_t>(b), vals);
-          decode_block(static_cast<std::int64_t>(b), vals);
-        }
-      },
-      grain);
-  flops::add(2 * y.reals());
-  flops::add_bytes(blocks() *
-                   (kRoundtripBytesPerBlock + kXReadBytesPerBlock));
-}
-
-double HalfSpinorField::axpy_roundtrip_norm2(double a,
-                                             const SpinorField<float>& x,
-                                             SpinorField<float>& y,
-                                             std::size_t grain) {
-  assert(y.compatible(x));
-  assert(y.l5() == l5_ && y.subset() == subset_);
-  const float aa = static_cast<float>(a);
-  const float* xd = x.data();
-  float* yd = y.data();
-  double n2 = 0.0;
-  par::ThreadPool::global().parallel_reduce_n(
-      0, static_cast<std::size_t>(blocks()), 1,
-      [&](std::size_t lo, std::size_t hi, double* acc) {
-        double s = 0.0;
-        for (std::size_t b = lo; b < hi; ++b) {
-          float* vals = yd + b * kSpinorReals;
-          const float* xb = xd + b * kSpinorReals;
-          for (int k = 0; k < kSpinorReals; ++k) vals[k] += aa * xb[k];
-          encode_block(static_cast<std::int64_t>(b), vals);
-          decode_block(static_cast<std::int64_t>(b), vals);
-          for (int k = 0; k < kSpinorReals; ++k) {
-            const double v = static_cast<double>(vals[k]);
-            s += v * v;
-          }
-        }
-        acc[0] = s;
-      },
-      &n2, grain);
-  flops::add(4 * y.reals());
-  flops::add_bytes(blocks() *
-                   (kRoundtripBytesPerBlock + kXReadBytesPerBlock));
-  return n2;
-}
-
-void HalfSpinorField::xpay_roundtrip(const SpinorField<float>& x, double b,
-                                     SpinorField<float>& y,
-                                     std::size_t grain) {
-  assert(y.compatible(x));
-  assert(y.l5() == l5_ && y.subset() == subset_);
-  const float bb = static_cast<float>(b);
-  const float* xd = x.data();
-  float* yd = y.data();
-  par::parallel_for_chunked(
-      0, static_cast<std::size_t>(blocks()),
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t blk = lo; blk < hi; ++blk) {
-          float* vals = yd + blk * kSpinorReals;
-          const float* xb = xd + blk * kSpinorReals;
-          for (int k = 0; k < kSpinorReals; ++k)
-            vals[k] = xb[k] + bb * vals[k];
-          encode_block(static_cast<std::int64_t>(blk), vals);
-          decode_block(static_cast<std::int64_t>(blk), vals);
-        }
-      },
-      grain);
-  flops::add(2 * y.reals());
-  flops::add_bytes(blocks() *
-                   (kRoundtripBytesPerBlock + kXReadBytesPerBlock));
 }
 
 }  // namespace femto

@@ -7,13 +7,25 @@
 // storage scheme faithfully: each (site, s5) spinor block stores its 24
 // real components as int16 scaled by the block's max-norm, plus one float
 // norm per block.  Arithmetic happens in float after expansion.
+//
+// SIMD: the whole-field kernels are width-templated like lattice/blas.hpp
+// (default = the build's native float width).  The max-abs scan, the BLAS
+// update, the int16 expansion and the norm accumulation vectorize; the
+// quantise store stays a scalar std::lrintf loop so the fixed-point
+// rounding is identical at every width.  Since max is exact, the block
+// scale — and therefore the quantised field contents — are bitwise
+// width-independent; only the lane-striped norm reductions differ across
+// widths within rounding.
 
 #include <cmath>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "lattice/blas.hpp"
 #include "lattice/field.hpp"
+#include "parallel/thread_pool.hpp"
+#include "simd/vec.hpp"
 
 namespace femto {
 
@@ -40,24 +52,50 @@ class HalfSpinorField {
   }
 
   /// Quantise one block of 24 floats.
+  template <int W = simd::kWidth<float>>
   void encode_block(std::int64_t block, const float* vals) {
     float amax = 0.0f;
-    for (int k = 0; k < kSpinorReals; ++k)
-      amax = std::max(amax, std::fabs(vals[k]));
+    int k = 0;
+    if constexpr (W > 1) {
+      simd::Vec<float, W> m;
+      for (; k + W <= kSpinorReals; k += W) {
+        const auto v = simd::Vec<float, W>::load(vals + k);
+        m = simd::max(m, simd::max(v, -v));
+      }
+      if (k < kSpinorReals) {
+        // Zero tail lanes are harmless under max-abs.
+        const auto v =
+            simd::Vec<float, W>::load_partial(vals + k, kSpinorReals - k);
+        m = simd::max(m, simd::max(v, -v));
+        k = kSpinorReals;
+      }
+      amax = simd::max_lanes(m);
+    }
+    for (; k < kSpinorReals; ++k) amax = std::max(amax, std::fabs(vals[k]));
     const float scale = amax > 0.0f ? amax : 1.0f;
     scale_[static_cast<size_t>(block)] = scale;
     const float inv = 32767.0f / scale;
     std::int16_t* q = q_.data() + block * kSpinorReals;
-    for (int k = 0; k < kSpinorReals; ++k)
-      q[k] = static_cast<std::int16_t>(std::lrintf(vals[k] * inv));
+    // Scalar on purpose: lrintf's round-to-nearest-even must be identical
+    // at every width, so the stored int16 never depend on the build.
+    for (int j = 0; j < kSpinorReals; ++j)
+      q[j] = static_cast<std::int16_t>(std::lrintf(vals[j] * inv));
   }
 
   /// Expand one block back to floats.
+  template <int W = simd::kWidth<float>>
   void decode_block(std::int64_t block, float* vals) const {
     const float s = scale_[static_cast<size_t>(block)] / 32767.0f;
     const std::int16_t* q = q_.data() + block * kSpinorReals;
-    for (int k = 0; k < kSpinorReals; ++k)
-      vals[k] = static_cast<float>(q[k]) * s;
+    int k = 0;
+    if constexpr (W > 1) {
+      const simd::Vec<float, W> sv(s);
+      for (; k + W <= kSpinorReals; k += W) {
+        const auto qv = simd::Vec<std::int16_t, W>::load(q + k);
+        (simd::convert<float>(qv) * sv).store(vals + k);
+      }
+    }
+    for (; k < kSpinorReals; ++k) vals[k] = static_cast<float>(q[k]) * s;
   }
 
   /// Default block-grain for the whole-field kernels below (blocks per
@@ -81,24 +119,127 @@ class HalfSpinorField {
   // thread count), like lattice/blas.hpp.
 
   /// f = decode(encode(f)); returns ||f||^2 of the quantised field.
+  template <int W = simd::kWidth<float>>
   double roundtrip_norm2(SpinorField<float>& f,
-                         std::size_t grain = kHalfGrain);
+                         std::size_t grain = kHalfGrain) {
+    assert(f.l5() == l5_ && f.subset() == subset_);
+    float* fd = f.data();
+    double n2 = 0.0;
+    par::ThreadPool::global().parallel_reduce_n(
+        0, static_cast<std::size_t>(blocks()), 1,
+        [&](std::size_t lo, std::size_t hi, double* acc) {
+          double s = 0.0;
+          for (std::size_t b = lo; b < hi; ++b) {
+            float* vals = fd + b * kSpinorReals;
+            encode_block<W>(static_cast<std::int64_t>(b), vals);
+            decode_block<W>(static_cast<std::int64_t>(b), vals);
+            s += blas::detail::norm2_chunk<W>(vals, 0, kSpinorReals);
+          }
+          acc[0] = s;
+        },
+        &n2, grain);
+    flops::add(2 * f.reals());
+    flops::add_bytes(blocks() * kRoundtripBytesPerBlock);
+    return n2;
+  }
 
   /// y += a*x, then y = decode(encode(y)).
+  template <int W = simd::kWidth<float>>
   void axpy_roundtrip(double a, const SpinorField<float>& x,
-                      SpinorField<float>& y, std::size_t grain = kHalfGrain);
+                      SpinorField<float>& y, std::size_t grain = kHalfGrain) {
+    assert(y.compatible(x));
+    assert(y.l5() == l5_ && y.subset() == subset_);
+    const float aa = static_cast<float>(a);
+    const float* xd = x.data();
+    float* yd = y.data();
+    par::parallel_for_chunked(
+        0, static_cast<std::size_t>(blocks()),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t b = lo; b < hi; ++b) {
+            float* vals = yd + b * kSpinorReals;
+            blas::detail::axpy_chunk<W>(aa, xd + b * kSpinorReals, vals, 0,
+                                        kSpinorReals);
+            encode_block<W>(static_cast<std::int64_t>(b), vals);
+            decode_block<W>(static_cast<std::int64_t>(b), vals);
+          }
+        },
+        grain);
+    flops::add(2 * y.reals());
+    flops::add_bytes(blocks() *
+                     (kRoundtripBytesPerBlock + kXReadBytesPerBlock));
+  }
 
   /// y += a*x, then y = decode(encode(y)); returns ||y||^2 of the
   /// quantised y.
+  template <int W = simd::kWidth<float>>
   double axpy_roundtrip_norm2(double a, const SpinorField<float>& x,
                               SpinorField<float>& y,
-                              std::size_t grain = kHalfGrain);
+                              std::size_t grain = kHalfGrain) {
+    assert(y.compatible(x));
+    assert(y.l5() == l5_ && y.subset() == subset_);
+    const float aa = static_cast<float>(a);
+    const float* xd = x.data();
+    float* yd = y.data();
+    double n2 = 0.0;
+    par::ThreadPool::global().parallel_reduce_n(
+        0, static_cast<std::size_t>(blocks()), 1,
+        [&](std::size_t lo, std::size_t hi, double* acc) {
+          double s = 0.0;
+          for (std::size_t b = lo; b < hi; ++b) {
+            float* vals = yd + b * kSpinorReals;
+            blas::detail::axpy_chunk<W>(aa, xd + b * kSpinorReals, vals, 0,
+                                        kSpinorReals);
+            encode_block<W>(static_cast<std::int64_t>(b), vals);
+            decode_block<W>(static_cast<std::int64_t>(b), vals);
+            s += blas::detail::norm2_chunk<W>(vals, 0, kSpinorReals);
+          }
+          acc[0] = s;
+        },
+        &n2, grain);
+    flops::add(4 * y.reals());
+    flops::add_bytes(blocks() *
+                     (kRoundtripBytesPerBlock + kXReadBytesPerBlock));
+    return n2;
+  }
 
   /// y = x + b*y, then y = decode(encode(y)).
+  template <int W = simd::kWidth<float>>
   void xpay_roundtrip(const SpinorField<float>& x, double b,
-                      SpinorField<float>& y, std::size_t grain = kHalfGrain);
+                      SpinorField<float>& y, std::size_t grain = kHalfGrain) {
+    assert(y.compatible(x));
+    assert(y.l5() == l5_ && y.subset() == subset_);
+    const float bb = static_cast<float>(b);
+    const float* xd = x.data();
+    float* yd = y.data();
+    par::parallel_for_chunked(
+        0, static_cast<std::size_t>(blocks()),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t blk = lo; blk < hi; ++blk) {
+            float* vals = yd + blk * kSpinorReals;
+            blas::detail::xpay_chunk<W>(xd + blk * kSpinorReals, bb, vals, 0,
+                                        kSpinorReals);
+            encode_block<W>(static_cast<std::int64_t>(blk), vals);
+            decode_block<W>(static_cast<std::int64_t>(blk), vals);
+          }
+        },
+        grain);
+    flops::add(2 * y.reals());
+    flops::add_bytes(blocks() *
+                     (kRoundtripBytesPerBlock + kXReadBytesPerBlock));
+  }
 
  private:
+  // Traffic charged per block for a one-pass quantise round-trip over the
+  // float field: read + write the 24 floats, write the 24 int16 and the
+  // float scale (the int16 staging is read back while still cache resident,
+  // so it is charged once).
+  static constexpr std::int64_t kRoundtripBytesPerBlock =
+      kSpinorReals * (2 * sizeof(float) + sizeof(std::int16_t)) +
+      sizeof(float);
+  // One extra float-field read for kernels that also stream an x input.
+  static constexpr std::int64_t kXReadBytesPerBlock =
+      kSpinorReals * sizeof(float);
+
   std::shared_ptr<const Geometry> geom_;
   int l5_;
   Subset subset_;

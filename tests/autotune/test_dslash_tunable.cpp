@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <sstream>
+
 #include "lattice/gauge.hpp"
+#include "simd/vec.hpp"
 
 namespace femto::tune {
 namespace {
@@ -34,6 +38,48 @@ TEST(DslashTunable, CandidatesCoverGrainRange) {
   EXPECT_EQ(c.front().get("grain"), 16);
   // Last candidate runs the whole half-volume in one chunk.
   EXPECT_EQ(c.back().get("grain"), u->geom().half_volume());
+}
+
+TEST(DslashTunable, CandidatesSweepKernelVariants) {
+  auto u = make_gauge();
+  DslashTunable<double> t(u, 4, 0);
+  const auto c = t.candidates();
+  // The reference kernel leads the search at every width.
+  EXPECT_EQ(c.front().get("variant"), 0);
+  std::set<std::int64_t> variants;
+  for (const auto& p : c) variants.insert(p.get("variant"));
+  if (simd::kWidth<double> > 1) {
+    // Vectorized builds race scalar vs vector vs lane-blocked; each
+    // variant gets the full grain sweep.
+    EXPECT_EQ(variants, (std::set<std::int64_t>{0, 1, 2}));
+    EXPECT_EQ(c.size() % variants.size(), 0u);
+  } else {
+    // Scalar builds must not waste tuning time on lane variants that
+    // degenerate to the scalar kernel with gather overhead.
+    EXPECT_EQ(variants, (std::set<std::int64_t>{0}));
+  }
+}
+
+TEST(DslashTunable, KeyEncodesSimdBuild) {
+  // A femtotune cache written by a vectorized build must miss in a scalar
+  // build (the variant ordinal would mean a kernel that isn't profitable
+  // there), so the ISA/width is part of the key.
+  auto u = make_gauge();
+  DslashTunable<double> t(u, 4, 0);
+  std::ostringstream want;
+  want << ",simd=" << simd::kIsaName << "/" << simd::kWidth<double>;
+  EXPECT_NE(t.key().find(want.str()), std::string::npos) << t.key();
+}
+
+TEST(DslashTunable, TunedVariantIsRecordedAndValid) {
+  Autotuner::global().clear();
+  auto u = make_gauge();
+  const auto t = tuned_dslash_grain<double>(u, 2, 0);
+  const int v = static_cast<int>(t.variant);
+  EXPECT_GE(v, 0);
+  EXPECT_LE(v, 2);
+  if (simd::kWidth<double> == 1) EXPECT_EQ(t.variant, DslashVariant::kScalar);
+  Autotuner::global().clear();
 }
 
 TEST(DslashTunable, TunedGrainComesFromCache) {

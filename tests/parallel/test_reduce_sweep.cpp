@@ -18,6 +18,8 @@
 #include <cstring>
 #include <vector>
 
+#include "simd/vec.hpp"
+
 namespace femto::par {
 namespace {
 
@@ -139,6 +141,40 @@ TEST(ReduceSweep, MutatingReduceNBitwiseStablePerThreadCount) {
           ASSERT_EQ(bits(y[i]), first_y[i])
               << "threads=" << pool.size() << " rep=" << rep << " i=" << i;
       }
+    }
+  }
+}
+
+TEST(ReduceSweep, LaneStripedChunkBodyBitwiseStablePerThreadCount) {
+  // The vectorized norm2_chunk shape from lattice/blas.hpp: a W-lane
+  // accumulator combined with sum_ordered() plus a scalar tail.  The
+  // determinism promise must survive the lanes: for a fixed thread count
+  // AND a fixed width, repeats are bitwise identical.
+  constexpr int W = 4;
+  const std::vector<double> x = test_data(kN, 21);
+  for (std::size_t nt : kSweep) {
+    ThreadPool pool(nt);
+    std::uint64_t first = 0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      const double sum = pool.parallel_reduce(
+          0, kN,
+          [&](std::size_t lo, std::size_t hi) {
+            simd::Vec<double, W> acc;
+            std::size_t i = lo;
+            for (; i + W <= hi; i += W) {
+              const auto v = simd::Vec<double, W>::load(x.data() + i);
+              acc += v * v;
+            }
+            double s = simd::sum_ordered(acc);
+            for (; i < hi; ++i) s += x[i] * x[i];
+            return s;
+          },
+          1);
+      if (rep == 0)
+        first = bits(sum);
+      else
+        EXPECT_EQ(bits(sum), first)
+            << "threads=" << pool.size() << " rep=" << rep;
     }
   }
 }

@@ -1,0 +1,155 @@
+// femtosimd unit tests: the Vec<T, W> contract every vectorized kernel
+// leans on.  The arithmetic tests run at several widths (including widths
+// wider than the hardware, which the compiler legalizes by splitting) so
+// a width bump can never change what the wrappers mean; sum_ordered is
+// pinned to EXACT lane order because the deterministic reductions in
+// lattice/blas.hpp define their answer in terms of it.
+
+#include "simd/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace femto::simd {
+namespace {
+
+template <typename T, int W>
+Vec<T, W> iota(T base, T step) {
+  Vec<T, W> v;
+  for (int j = 0; j < W; ++j)
+    v.set(j, base + static_cast<T>(j) * step);
+  return v;
+}
+
+TEST(Vec, WidthMatchesBuildMode) {
+  if (compiled_with_simd()) {
+    EXPECT_EQ(kWidth<float>,
+              kMaxVectorBytes / static_cast<int>(sizeof(float)));
+    EXPECT_EQ(kWidth<double>,
+              kMaxVectorBytes / static_cast<int>(sizeof(double)));
+    EXPECT_GE(kWidth<float>, 2);
+  } else {
+    EXPECT_EQ(kWidth<float>, 1);
+    EXPECT_EQ(kWidth<double>, 1);
+    EXPECT_STREQ(kIsaName, "scalar");
+  }
+}
+
+TEST(Vec, BroadcastAndLanes) {
+  const Vec<double, 4> v(2.5);
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(v[j], 2.5);
+  Vec<float, 8> w;  // default: all lanes zero
+  for (int j = 0; j < 8; ++j) EXPECT_EQ(w[j], 0.0f);
+  w.set(3, 1.5f);
+  EXPECT_EQ(w[3], 1.5f);
+  EXPECT_EQ(w[2], 0.0f);
+}
+
+TEST(Vec, LoadStoreRoundTrip) {
+  const double src[4] = {1.0, -2.0, 3.5, 0.25};
+  const auto v = Vec<double, 4>::load(src);
+  double dst[4] = {};
+  v.store(dst);
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(dst[j], src[j]);
+}
+
+TEST(Vec, PartialLoadZeroesTailAndPartialStoreLeavesTail) {
+  const float src[3] = {1.0f, 2.0f, 3.0f};
+  const auto v = Vec<float, 8>::load_partial(src, 3);
+  for (int j = 0; j < 3; ++j) EXPECT_EQ(v[j], src[j]);
+  for (int j = 3; j < 8; ++j) EXPECT_EQ(v[j], 0.0f);
+  float dst[8];
+  for (int j = 0; j < 8; ++j) dst[j] = -9.0f;
+  v.store_partial(dst, 3);
+  for (int j = 0; j < 3; ++j) EXPECT_EQ(dst[j], src[j]);
+  for (int j = 3; j < 8; ++j) EXPECT_EQ(dst[j], -9.0f);
+}
+
+TEST(Vec, ArithmeticIsLanewise) {
+  const auto a = iota<double, 4>(1.0, 0.5);
+  const auto b = iota<double, 4>(-2.0, 1.25);
+  const auto sum = a + b;
+  const auto prod = a * b;
+  const auto neg = -a;
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_EQ(sum[j], a[j] + b[j]);
+    EXPECT_EQ(prod[j], a[j] * b[j]);
+    EXPECT_EQ(neg[j], -a[j]);
+  }
+  auto c = a;
+  c += b;
+  c -= a;
+  c *= Vec<double, 4>(2.0);
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(c[j], b[j] * 2.0);
+}
+
+TEST(Vec, MaxAndMaxLanes) {
+  const auto a = iota<float, 4>(-1.0f, 1.0f);   // -1 0 1 2
+  const auto b = iota<float, 4>(2.0f, -1.0f);   //  2 1 0 -1
+  const auto m = max(a, b);
+  EXPECT_EQ(m[0], 2.0f);
+  EXPECT_EQ(m[1], 1.0f);
+  EXPECT_EQ(m[2], 1.0f);
+  EXPECT_EQ(m[3], 2.0f);
+  EXPECT_EQ(max_lanes(a), 2.0f);
+  // max(v, -v) is the vectorized fabs used by the half-precision encoder.
+  const auto ab = max(a, -a);
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(ab[j], std::fabs(a[j]));
+}
+
+TEST(Vec, SwapPairsAndInterleave) {
+  const auto v = iota<double, 4>(0.0, 1.0);  // 0 1 2 3
+  const auto s = swap_pairs(v);
+  EXPECT_EQ(s[0], 1.0);
+  EXPECT_EQ(s[1], 0.0);
+  EXPECT_EQ(s[2], 3.0);
+  EXPECT_EQ(s[3], 2.0);
+  const auto i = interleave<double, 4>(-7.0, 7.0);
+  EXPECT_EQ(i[0], -7.0);
+  EXPECT_EQ(i[1], 7.0);
+  EXPECT_EQ(i[2], -7.0);
+  EXPECT_EQ(i[3], 7.0);
+}
+
+TEST(Vec, ConvertInt16ToFloat) {
+  Vec<std::int16_t, 4> q;
+  const std::int16_t vals[4] = {-32767, -1, 0, 32767};
+  q = Vec<std::int16_t, 4>::load(vals);
+  const auto f = convert<float>(q);
+  for (int j = 0; j < 4; ++j)
+    EXPECT_EQ(f[j], static_cast<float>(vals[j]));
+}
+
+TEST(Vec, SumOrderedIsExactLaneOrder) {
+  // Values chosen so every association rounds differently; the contract is
+  // ((l0 + l1) + l2) + l3, nothing else.
+  Vec<double, 4> v;
+  v.set(0, 1.0);
+  v.set(1, 1e-16);
+  v.set(2, 1e-16);
+  v.set(3, -1.0);
+  const double want = ((1.0 + 1e-16) + 1e-16) + -1.0;
+  std::uint64_t a = 0, b = 0;
+  const double got = sum_ordered(v);
+  std::memcpy(&a, &got, sizeof(a));
+  std::memcpy(&b, &want, sizeof(b));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Vec, WidthOneIsPlainScalar) {
+  // The FEMTO_SIMD=OFF fallback width: everything must still compile and
+  // behave like a scalar.
+  Vec<double, 1> v(3.0);
+  EXPECT_EQ(v[0], 3.0);
+  EXPECT_EQ(sum_ordered(v), 3.0);
+  EXPECT_EQ(max_lanes(v), 3.0);
+  const double src = 5.0;
+  const auto loaded = Vec<double, 1>::load(&src);
+  EXPECT_EQ(loaded[0], 5.0);
+}
+
+}  // namespace
+}  // namespace femto::simd

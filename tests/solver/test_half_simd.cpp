@@ -1,0 +1,83 @@
+// Cross-width consistency for the 16-bit fixed-point storage.
+//
+// The encoder's guarantee: the max-abs scan uses only exact operations
+// (max, negate), so the per-block scale — and therefore the quantised
+// int16 contents — are bitwise identical at every vector width.  Only the
+// norm reductions returned by the fused round-trip kernels may differ
+// across widths, and then only to rounding.
+
+#include "solver/half.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lattice/blas.hpp"
+
+namespace femto {
+namespace {
+
+std::shared_ptr<const Geometry> geom() {
+  return std::make_shared<Geometry>(4, 4, 4, 4);
+}
+
+constexpr int kL5 = 3;
+
+SpinorField<float> make_field(std::uint64_t seed) {
+  SpinorField<float> f(geom(), kL5, Subset::Odd);
+  f.gaussian(seed);
+  return f;
+}
+
+TEST(HalfSimd, QuantisedContentsBitwiseWidthIndependent) {
+  auto f1 = make_field(5);
+  auto fw = f1;
+  HalfSpinorField h1(geom(), kL5, Subset::Odd);
+  HalfSpinorField hw(geom(), kL5, Subset::Odd);
+
+  // Drive the block encoder at W = 1 and at the native width through the
+  // fused round-trip; the decoded fields must match bit for bit.
+  const double n1 = h1.roundtrip_norm2<1>(f1);
+  const double nw = hw.roundtrip_norm2<simd::kWidth<float>>(fw);
+  for (std::int64_t k = 0; k < f1.reals(); ++k)
+    ASSERT_EQ(f1.data()[k], fw.data()[k]) << "k=" << k;
+  EXPECT_NEAR(nw / n1, 1.0, 1e-12);
+}
+
+TEST(HalfSimd, FusedUpdatesAgreeAcrossWidths) {
+  const auto x = make_field(7);
+  auto y1 = make_field(9);
+  auto yw = y1;
+  HalfSpinorField h1(geom(), kL5, Subset::Odd);
+  HalfSpinorField hw(geom(), kL5, Subset::Odd);
+
+  h1.axpy_roundtrip<1>(0.25, x, y1);
+  hw.axpy_roundtrip<simd::kWidth<float>>(0.25, x, yw);
+  // axpy is elementwise (bitwise width-independent) and the round-trip
+  // quantisation is bitwise width-independent, so the composition is too.
+  for (std::int64_t k = 0; k < y1.reals(); ++k)
+    ASSERT_EQ(y1.data()[k], yw.data()[k]) << "axpy k=" << k;
+
+  h1.xpay_roundtrip<1>(x, -0.5, y1);
+  hw.xpay_roundtrip<simd::kWidth<float>>(x, -0.5, yw);
+  for (std::int64_t k = 0; k < y1.reals(); ++k)
+    ASSERT_EQ(y1.data()[k], yw.data()[k]) << "xpay k=" << k;
+}
+
+TEST(HalfSimd, RoundTripMatchesEncodeDecode) {
+  // The fused one-pass round-trip must produce exactly what the two-pass
+  // whole-field encode(); decode() produces.
+  auto f = make_field(11);
+  auto g2 = f;
+  HalfSpinorField h(geom(), kL5, Subset::Odd);
+  HalfSpinorField h2(geom(), kL5, Subset::Odd);
+
+  h.roundtrip_norm2(f);
+  h2.encode(g2);
+  h2.decode(g2);
+  for (std::int64_t k = 0; k < f.reals(); ++k)
+    ASSERT_EQ(f.data()[k], g2.data()[k]) << "k=" << k;
+}
+
+}  // namespace
+}  // namespace femto

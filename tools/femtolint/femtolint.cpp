@@ -19,6 +19,9 @@
 //                      `using namespace`
 //   cast               reinterpret_cast / const_cast require an explicit
 //                      suppression stating why the cast is safe
+//   raw-intrinsics     vendor SIMD intrinsics (_mm*, NEON v*q_*) and their
+//                      headers are forbidden outside src/simd/; kernels use
+//                      the portable simd::Vec layer
 //
 // Whole-program passes:
 //   kernel-traffic     transitive: a function that launches a parallel

@@ -1,6 +1,7 @@
 #include "rules.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -214,6 +215,52 @@ void rule_cast(const Source& s, std::vector<Finding>& out) {
                        " requires an explicit `// femtolint: allow(cast): "
                        "why it is safe` suppression (aliasing / constness "
                        "audit trail)"});
+  }
+}
+
+void rule_raw_intrinsics(const Source& s, std::vector<Finding>& out) {
+  // Vendor SIMD belongs in src/simd/ behind the Vec<T, W> interface: the
+  // module that may legitimately specialize per ISA.  Everywhere else,
+  // kernels must stay width-agnostic so a new target is a new backend in
+  // one directory, not a tree-wide audit.
+  const std::string m =
+      !s.module_override.empty() ? s.module_override : s.module_dir;
+  if (m == "simd") return;
+  const auto report = [&](int line, const std::string& what) {
+    if (s.suppressed("raw-intrinsics", line)) return;
+    out.push_back({s.path, line, "raw-intrinsics",
+                   what + " outside src/simd/: portable kernels go through "
+                          "simd::Vec (femtosimd); per-ISA code lives in the "
+                          "simd module only"});
+  };
+  static const char* const kVendorHeaders[] = {
+      "immintrin.h", "x86intrin.h", "emmintrin.h", "xmmintrin.h",
+      "pmmintrin.h", "smmintrin.h", "tmmintrin.h", "nmmintrin.h",
+      "ammintrin.h", "wmmintrin.h", "arm_neon.h",  "arm_sve.h",
+  };
+  for (const IncludeEdge& inc : s.includes)
+    for (const char* h : kVendorHeaders)
+      if (inc.path == h)
+        report(inc.line, "#include <" + inc.path + ">");
+  const auto starts_with = [](const std::string& w, const char* p) {
+    return w.compare(0, std::strlen(p), p) == 0;
+  };
+  for (const Token& tk : s.lx.tokens) {
+    if (tk.kind != Tok::Ident) continue;
+    const std::string& w = tk.text;
+    const bool x86 = starts_with(w, "_mm") || starts_with(w, "__m128") ||
+                     starts_with(w, "__m256") || starts_with(w, "__m512") ||
+                     starts_with(w, "__builtin_ia32");
+    const bool neon = starts_with(w, "vld1") || starts_with(w, "vst1") ||
+                      starts_with(w, "vdupq_") || starts_with(w, "vaddq_") ||
+                      starts_with(w, "vsubq_") || starts_with(w, "vmulq_") ||
+                      starts_with(w, "vfmaq_") || starts_with(w, "vgetq_") ||
+                      starts_with(w, "float32x") ||
+                      starts_with(w, "float64x") ||
+                      starts_with(w, "int16x") || starts_with(w, "int32x") ||
+                      starts_with(w, "uint32x");
+    if (x86 || neon)
+      report(tk.line, "vendor intrinsic identifier '" + w + "'");
   }
 }
 
@@ -515,6 +562,7 @@ void run_file_rules(const Source& s, std::vector<Finding>& out) {
   rule_pragma_once(s, out);
   rule_header_hygiene(s, out);
   rule_cast(s, out);
+  rule_raw_intrinsics(s, out);
 }
 
 void run_program_rules(const Program& prog, const LayerSpec& spec,

@@ -93,11 +93,132 @@ DslashTuning tuned_dslash_grain(std::shared_ptr<const GaugeField<T>> u,
   return t;
 }
 
+template <typename T>
+DslashMultiTunable<T>::DslashMultiTunable(
+    std::shared_ptr<const GaugeField<T>> u, int l5, int out_parity,
+    std::size_t bmax)
+    : u_(std::move(u)), l5_(l5), out_parity_(out_parity), bmax_(bmax) {
+  FEMTO_CHECK(bmax_ >= 1, "DslashMultiTunable: bmax must be at least 1");
+  const Subset in_sub = out_parity == 0 ? Subset::Odd : Subset::Even;
+  const Subset out_sub = out_parity == 0 ? Subset::Even : Subset::Odd;
+  in_.reserve(bmax_);
+  out_.reserve(bmax_);
+  for (std::size_t r = 0; r < bmax_; ++r) {
+    in_.emplace_back(u_->geom_ptr(), l5, in_sub);
+    out_.emplace_back(u_->geom_ptr(), l5, out_sub);
+    in_.back().gaussian(0xD51A5 + static_cast<std::uint64_t>(r));
+  }
+}
+
+template <typename T>
+std::string DslashMultiTunable<T>::key() const {
+  std::ostringstream os;
+  const auto& d = u_->geom();
+  os << "dslash_multi,vol=" << d.extent(0) << "x" << d.extent(1) << "x"
+     << d.extent(2) << "x" << d.extent(3) << ",l5=" << l5_
+     << ",parity=" << out_parity_ << ",prec=" << sizeof(T)
+     << ",bmax=" << bmax_ << ",simd=" << simd::kIsaName << "/"
+     << simd::kWidth<T>;
+  return os.str();
+}
+
+template <typename T>
+std::vector<TuneParam> DslashMultiTunable<T>::candidates() const {
+  std::vector<DslashVariant> variants = {DslashVariant::kScalar};
+  if constexpr (simd::kWidth<T> > 1) {
+    variants.push_back(DslashVariant::kVector);
+    variants.push_back(DslashVariant::kVectorBlocked);
+  }
+  std::vector<TuneParam> cands;
+  const std::int64_t volh = u_->geom().half_volume();
+  for (const DslashVariant v : variants) {
+    for (std::size_t nrhs = 1; nrhs <= bmax_; nrhs *= 2) {
+      std::size_t base = cands.size();
+      for (std::int64_t grain = 16; grain <= volh; grain *= 4) {
+        TuneParam p;
+        p.knobs["variant"] = static_cast<std::int64_t>(v);
+        p.knobs["grain"] = grain;
+        p.knobs["nrhs"] = static_cast<std::int64_t>(nrhs);
+        cands.push_back(p);
+      }
+      TuneParam whole;
+      whole.knobs["variant"] = static_cast<std::int64_t>(v);
+      whole.knobs["grain"] = volh;
+      whole.knobs["nrhs"] = static_cast<std::int64_t>(nrhs);
+      if (cands.size() == base || !(cands.back() == whole))
+        cands.push_back(whole);
+    }
+  }
+  return cands;
+}
+
+template <typename T>
+void DslashMultiTunable<T>::apply(const TuneParam& p) {
+  DslashTuning tune;
+  tune.grain = static_cast<std::size_t>(p.get("grain", 512));
+  tune.variant = static_cast<DslashVariant>(p.get("variant", 0));
+  const std::size_t nrhs = static_cast<std::size_t>(p.get("nrhs", 1));
+  for (std::size_t r0 = 0; r0 < bmax_; r0 += nrhs) {
+    const std::size_t nb = std::min(nrhs, bmax_ - r0);
+    std::vector<SpinorView<T>> outs;
+    std::vector<SpinorView<const T>> ins;
+    outs.reserve(nb);
+    ins.reserve(nb);
+    for (std::size_t i = 0; i < nb; ++i) {
+      outs.push_back(view(out_[r0 + i]));
+      ins.push_back(cview(in_[r0 + i]));
+    }
+    dslash_multi<T>(outs, *u_, ins, out_parity_, false, tune);
+  }
+}
+
+template <typename T>
+std::int64_t DslashMultiTunable<T>::flops_per_call() const {
+  return static_cast<std::int64_t>(bmax_) * flops::kWilsonDslashPerSite *
+         u_->geom().half_volume() * l5_;
+}
+
+template <typename T>
+std::int64_t DslashMultiTunable<T>::bytes_per_call() const {
+  // Charged with the unamortised (B=1) traffic model so candidate gbytes
+  // are comparable across batch sizes: a candidate that amortises link
+  // loads shows up as HIGHER effective bandwidth, not lower traffic.
+  const std::int64_t volh = u_->geom().half_volume();
+  const std::int64_t spinor = kSpinorReals * sizeof(T);
+  const std::int64_t link = kLinkReals * sizeof(T);
+  return static_cast<std::int64_t>(bmax_) * volh * l5_ *
+         (9 * spinor + 8 * link);
+}
+
+template <typename T>
+MultiRhsTuning tuned_multi_rhs(std::shared_ptr<const GaugeField<T>> u,
+                               int l5, std::size_t bmax, int out_parity) {
+  DslashMultiTunable<T> tunable(std::move(u), l5, out_parity, bmax);
+  const TuneEntry& e = Autotuner::global().tune(tunable);
+  MultiRhsTuning t;
+  t.dslash.grain = static_cast<std::size_t>(e.param.get("grain", 512));
+  t.dslash.variant = static_cast<DslashVariant>(e.param.get("variant", 0));
+  t.nrhs = static_cast<std::size_t>(e.param.get("nrhs", 1));
+  const char* prec = sizeof(T) == 4 ? "f" : "d";
+  obs::gauge(std::string("dslash_multi.nrhs_") + prec)
+      .set(static_cast<double>(t.nrhs));
+  obs::gauge(std::string("dslash_multi.variant_") + prec)
+      .set(static_cast<double>(e.param.get("variant", 0)));
+  obs::gauge(std::string("dslash_multi.gbytes_") + prec).set(e.gbytes);
+  return t;
+}
+
 template class DslashTunable<double>;
 template class DslashTunable<float>;
 template DslashTuning tuned_dslash_grain<double>(
     std::shared_ptr<const GaugeField<double>>, int, int);
 template DslashTuning tuned_dslash_grain<float>(
     std::shared_ptr<const GaugeField<float>>, int, int);
+template class DslashMultiTunable<double>;
+template class DslashMultiTunable<float>;
+template MultiRhsTuning tuned_multi_rhs<double>(
+    std::shared_ptr<const GaugeField<double>>, int, std::size_t, int);
+template MultiRhsTuning tuned_multi_rhs<float>(
+    std::shared_ptr<const GaugeField<float>>, int, std::size_t, int);
 
 }  // namespace femto::tune

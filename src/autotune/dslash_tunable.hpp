@@ -54,11 +54,60 @@ template <typename T>
 DslashTuning tuned_dslash_grain(std::shared_ptr<const GaugeField<T>> u,
                                 int l5, int out_parity = 0);
 
+/// Multi-RHS dslash tuning: the launch parameters PLUS the batch size the
+/// sweep found fastest.  nrhs is the new autotune dimension the batched
+/// solve service exposes (ISSUE: "candidates sweep B x grain x variant").
+struct MultiRhsTuning {
+  DslashTuning dslash;
+  std::size_t nrhs = 1;
+};
+
+/// A Tunable wrapping a FIXED total of bmax dslash applications, issued as
+/// ceil(bmax/nrhs) dslash_multi calls of batch nrhs.  Every candidate does
+/// identical spinor arithmetic, so the timer compares per-batch launch
+/// overhead and link amortisation fairly across batch sizes; the candidate
+/// grid is the cross product nrhs x grain x variant and the cache key is
+/// the single-RHS key extended with the batch bound.
+template <typename T>
+class DslashMultiTunable : public Tunable {
+ public:
+  DslashMultiTunable(std::shared_ptr<const GaugeField<T>> u, int l5,
+                     int out_parity, std::size_t bmax);
+
+  std::string key() const override;
+  std::vector<TuneParam> candidates() const override;
+  void apply(const TuneParam& p) override;
+  std::int64_t flops_per_call() const override;
+  std::int64_t bytes_per_call() const override;
+
+ private:
+  std::shared_ptr<const GaugeField<T>> u_;
+  int l5_;
+  int out_parity_;
+  std::size_t bmax_;
+  std::vector<SpinorField<T>> in_, out_;
+};
+
+/// Tuned batch size + launch parameters for dslash_multi against this
+/// gauge/l5/parity with at most bmax right-hand sides per batch.  Runs the
+/// brute-force sweep on first call (cached process-wide) and publishes the
+/// winners as femtoscope gauges (dslash_multi.nrhs_{f,d},
+/// dslash_multi.variant_{f,d}, dslash_multi.gbytes_{f,d}).
+template <typename T>
+MultiRhsTuning tuned_multi_rhs(std::shared_ptr<const GaugeField<T>> u,
+                               int l5, std::size_t bmax, int out_parity = 0);
+
 extern template class DslashTunable<double>;
 extern template class DslashTunable<float>;
 extern template DslashTuning tuned_dslash_grain<double>(
     std::shared_ptr<const GaugeField<double>>, int, int);
 extern template DslashTuning tuned_dslash_grain<float>(
     std::shared_ptr<const GaugeField<float>>, int, int);
+extern template class DslashMultiTunable<double>;
+extern template class DslashMultiTunable<float>;
+extern template MultiRhsTuning tuned_multi_rhs<double>(
+    std::shared_ptr<const GaugeField<double>>, int, std::size_t, int);
+extern template MultiRhsTuning tuned_multi_rhs<float>(
+    std::shared_ptr<const GaugeField<float>>, int, std::size_t, int);
 
 }  // namespace femto::tune

@@ -29,6 +29,8 @@
 // is reconstructed as x_e = C^-1 (b_e + 1/2 Dslash_eo B x_o).
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "dirac/fifth_dim.hpp"
 #include "dirac/wilson.hpp"
@@ -47,6 +49,10 @@ struct MobiusParams {
   static MobiusParams shamir(int l5, double m5, double mf) {
     return {l5, m5, 1.0, 0.0, mf};
   }
+
+  /// Memberwise equality: the SolveService batches requests whose operator
+  /// params match exactly (same preconditioned system).
+  bool operator==(const MobiusParams&) const = default;
 };
 
 template <typename T>
@@ -72,6 +78,18 @@ class MobiusOperator {
   /// inverts).
   void apply_normal(SpinorField<T>& out, const SpinorField<T>& in) const;
 
+  /// Batched Schur operator over B right-hand sides: the two dslash
+  /// stages run through dslash_multi (links loaded once per block), the
+  /// site-diagonal fifth-dim stages per RHS.  Per-RHS output is bitwise
+  /// identical to apply_schur on the same field, whatever the batch.
+  void apply_schur_multi(std::span<SpinorField<T>* const> out,
+                         std::span<const SpinorField<T>* const> in,
+                         bool dagger = false) const;
+
+  /// Batched normal operator (what the block-CG solvers apply).
+  void apply_normal_multi(std::span<SpinorField<T>* const> out,
+                          std::span<const SpinorField<T>* const> in) const;
+
   /// Build the preconditioned right-hand side:
   ///   bhat_o = b_o - M_oe M_ee^-1 b_e = b_o + 1/2 Dslash_oe (B C^-1) b_e.
   void prepare_source(SpinorField<T>& bhat_odd,
@@ -96,6 +114,10 @@ class MobiusOperator {
   // Workspaces (documented non-thread-safe: one solve per operator).
   mutable SpinorField<T> tmp_e_, tmp_e2_, tmp_o_;
   mutable SpinorField<T> tmp_f_, tmp_f2_;
+  // Per-RHS workspaces for the batched applications, grown on demand to
+  // the largest batch seen (same non-thread-safe contract).
+  void ensure_multi(std::size_t n) const;
+  mutable std::vector<SpinorField<T>> mtmp_e_, mtmp_e2_, mtmp_o_, mtmp_mid_;
 };
 
 extern template class MobiusOperator<double>;

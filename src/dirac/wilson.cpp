@@ -275,6 +275,257 @@ void dslash_body_blocked(WidthTag<W>, const SpinorView<T>& out,
   flops::add_bytes(2 * plain_bytes + bin.bytes() + bout.bytes());
 }
 
+// ---------------------------------------------------------------------------
+// Multi-RHS bodies (DESIGN.md §12).  All of them hoist the SiteLinks
+// gather outside the RHS loop so the 8 phased links are loaded once per
+// site for the whole block; the vector bodies additionally lay the RHS
+// axis across SIMD lanes (lane j = RHS r0+j), broadcasting each link to
+// all lanes — the fifth dimension stays outermost because the RHS axis is
+// uniform by construction, so every lane runs the identical stencil and
+// per-RHS output stays bitwise equal to the scalar reference.
+// ---------------------------------------------------------------------------
+
+/// Gather a W-lane spinor whose lane j reads RHS j's spinor at @p bases[j]
+/// (one common offset, per-RHS base pointers).  Lanes >= nl stay zero.
+template <int W, typename T>
+Spinor<V<T, W>> gather_rhs(const T* const* bases, int nl) {
+  Spinor<V<T, W>> p;
+  for (int sp = 0; sp < kNs; ++sp)
+    for (int c = 0; c < kNc; ++c) {
+      const int k = (sp * kNc + c) * 2;
+      V<T, W> re, im;
+      for (int j = 0; j < nl; ++j) {
+        re.set(j, bases[j][k]);
+        im.set(j, bases[j][k + 1]);
+      }
+      p[sp][c] = {re, im};
+    }
+  return p;
+}
+
+/// Scatter lanes [0, nl) back to per-RHS spinors.
+template <int W, typename T>
+void scatter_rhs(T* const* bases, int nl, const Spinor<V<T, W>>& p) {
+  for (int sp = 0; sp < kNs; ++sp)
+    for (int c = 0; c < kNc; ++c) {
+      const int k = (sp * kNc + c) * 2;
+      for (int j = 0; j < nl; ++j) {
+        bases[j][k] = p[sp][c].re[j];
+        bases[j][k + 1] = p[sp][c].im[j];
+      }
+    }
+}
+
+/// Reference multi path: per site, gather links once, then loop RHS x s5.
+/// Per-RHS arithmetic is exactly dslash_body_scalar's.
+template <typename T, typename GaugeT>
+void dslash_multi_body_scalar(std::span<const SpinorView<T>> out,
+                              const GaugeT& u,
+                              std::span<const SpinorView<const T>> in,
+                              int out_parity, bool dagger,
+                              std::size_t grain) {
+  const Geometry& geom = u.geom();
+  const int l5 = out[0].l5;
+  const int fsign = dagger ? -1 : +1;
+  const std::size_t nb = out.size();
+  par::parallel_for_chunked(
+      0, static_cast<std::size_t>(geom.half_volume()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t cbs = lo; cbs < hi; ++cbs) {
+          const auto cb = static_cast<std::int64_t>(cbs);
+          const SiteLinks<T, GaugeT> lk(geom, u, out_parity, cb);
+          for (std::size_t r = 0; r < nb; ++r) {
+            for (int s = 0; s < l5; ++s) {
+              Spinor<T> acc;  // zero
+              for (int mu = 0; mu < 4; ++mu) {
+                reconstruct_add(
+                    mu, fsign,
+                    mul(lk.ufwd[mu],
+                        project(mu, fsign, in[r].load(s, lk.nf[mu]))),
+                    acc);
+                reconstruct_add(
+                    mu, -fsign,
+                    adj_mul(lk.ubwd[mu],
+                            project(mu, -fsign, in[r].load(s, lk.nb[mu]))),
+                    acc);
+              }
+              out[r].store(s, cb, acc);
+            }
+          }
+        }
+      },
+      grain);
+}
+
+/// RHS-vectorized over the standard layouts: lane loads are W-way gathers
+/// across the B input fields, links broadcast once per site.
+template <int W, typename T, typename GaugeT>
+void dslash_multi_body_vector(WidthTag<W>, std::span<const SpinorView<T>> out,
+                              const GaugeT& u,
+                              std::span<const SpinorView<const T>> in,
+                              int out_parity, bool dagger,
+                              std::size_t grain) {
+  const Geometry& geom = u.geom();
+  const int l5 = out[0].l5;
+  const int fsign = dagger ? -1 : +1;
+  const std::size_t nb = out.size();
+  par::parallel_for_chunked(
+      0, static_cast<std::size_t>(geom.half_volume()),
+      [&](std::size_t lo, std::size_t hi) {
+        const T* bases[W];
+        T* obases[W];
+        for (std::size_t cbs = lo; cbs < hi; ++cbs) {
+          const auto cb = static_cast<std::int64_t>(cbs);
+          const SiteLinks<T, GaugeT> lk(geom, u, out_parity, cb);
+          ColorMat<V<T, W>> vfwd[4], vbwd[4];
+          for (int mu = 0; mu < 4; ++mu) {
+            vfwd[mu] = broadcast_mat<W>(lk.ufwd[mu]);
+            vbwd[mu] = broadcast_mat<W>(lk.ubwd[mu]);
+          }
+          for (std::size_t r0 = 0; r0 < nb; r0 += W) {
+            const int nl = r0 + W <= nb ? W : static_cast<int>(nb - r0);
+            for (int s = 0; s < l5; ++s) {
+              Spinor<V<T, W>> acc;  // zero
+              for (int mu = 0; mu < 4; ++mu) {
+                const std::int64_t offf = in[r0].offset(s, lk.nf[mu]);
+                for (int j = 0; j < nl; ++j)
+                  bases[j] = in[r0 + std::size_t(j)].data + offf;
+                reconstruct_add(
+                    mu, fsign,
+                    mul(vfwd[mu],
+                        project(mu, fsign, gather_rhs<W>(bases, nl))),
+                    acc);
+                const std::int64_t offb = in[r0].offset(s, lk.nb[mu]);
+                for (int j = 0; j < nl; ++j)
+                  bases[j] = in[r0 + std::size_t(j)].data + offb;
+                reconstruct_add(
+                    mu, -fsign,
+                    adj_mul(vbwd[mu],
+                            project(mu, -fsign, gather_rhs<W>(bases, nl))),
+                    acc);
+              }
+              const std::int64_t offo = out[r0].offset(s, cb);
+              for (int j = 0; j < nl; ++j)
+                obases[j] = out[r0 + std::size_t(j)].data + offo;
+              scatter_rhs<W>(obases, nl, acc);
+            }
+          }
+        }
+      },
+      grain);
+}
+
+/// RHS-vectorized over the lane-blocked transpose: pack the B inputs into
+/// [s5][rhs_block][site][real][lane] scratch, run the stencil with
+/// contiguous vector loads/stores, unpack the B outputs.  Charges the
+/// pack/unpack traffic on top of the compulsory stencil traffic.
+template <int W, typename T, typename GaugeT>
+void dslash_multi_body_blocked(WidthTag<W>, std::span<const SpinorView<T>> out,
+                               const GaugeT& u,
+                               std::span<const SpinorView<const T>> in,
+                               int out_parity, bool dagger,
+                               std::size_t grain) {
+  const Geometry& geom = u.geom();
+  const int l5 = out[0].l5;
+  const int fsign = dagger ? -1 : +1;
+  const int nb = static_cast<int>(out.size());
+
+  thread_local BlockedMultiSpinor<T, W> bin(0, 0, 0), bout(0, 0, 0);
+  bin.reshape(in[0].sites, l5, nb);
+  bout.reshape(out[0].sites, l5, nb);
+  bin.pack(in, grain);
+
+  par::parallel_for_chunked(
+      0, static_cast<std::size_t>(geom.half_volume()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t cbs = lo; cbs < hi; ++cbs) {
+          const auto cb = static_cast<std::int64_t>(cbs);
+          const SiteLinks<T, GaugeT> lk(geom, u, out_parity, cb);
+          ColorMat<V<T, W>> vfwd[4], vbwd[4];
+          for (int mu = 0; mu < 4; ++mu) {
+            vfwd[mu] = broadcast_mat<W>(lk.ufwd[mu]);
+            vbwd[mu] = broadcast_mat<W>(lk.ubwd[mu]);
+          }
+          for (int s = 0; s < l5; ++s) {
+            for (int b = 0; b < bin.blocks(); ++b) {
+              Spinor<V<T, W>> acc;  // zero
+              for (int mu = 0; mu < 4; ++mu) {
+                reconstruct_add(
+                    mu, fsign,
+                    mul(vfwd[mu],
+                        project(mu, fsign,
+                                load_blocked<W>(bin.block(s, b, lk.nf[mu])))),
+                    acc);
+                reconstruct_add(
+                    mu, -fsign,
+                    adj_mul(vbwd[mu],
+                            project(mu, -fsign,
+                                    load_blocked<W>(
+                                        bin.block(s, b, lk.nb[mu])))),
+                    acc);
+              }
+              store_blocked<W>(bout.block(s, b, cb), acc);
+            }
+          }
+        }
+      },
+      grain);
+
+  bout.unpack(out, grain);
+  const std::int64_t plain_bytes =
+      static_cast<std::int64_t>(nb) * in[0].sites * l5 * kSpinorReals *
+      static_cast<std::int64_t>(sizeof(T));
+  flops::add_bytes(2 * plain_bytes + bin.bytes() + bout.bytes());
+}
+
+/// Batched dispatch + traffic model.  The flop charge scales with B; the
+/// compulsory byte charge streams each per-RHS spinor pair but the gauge
+/// field ONCE per block — the amortization the femtoscope AI derivation
+/// sees (bytes/site(B) in DESIGN.md §12).
+template <typename T, typename GaugeT>
+void dslash_kernel_multi(std::span<const SpinorView<T>> out, const GaugeT& u,
+                         std::span<const SpinorView<const T>> in,
+                         int out_parity, bool dagger,
+                         const DslashTuning& tune) {
+  FEMTO_TRACE_SCOPE("dirac", "dslash_multi");
+  const std::size_t nb = out.size();
+  if (nb == 0) return;
+  FEMTO_ASSERT(in.size() == nb);
+  for (std::size_t r = 0; r < nb; ++r) {
+    FEMTO_ASSERT(out[r].l5 == out[0].l5 && in[r].l5 == out[0].l5);
+    FEMTO_ASSERT(out[r].sites == out[0].sites && in[r].sites == in[0].sites);
+    FEMTO_ASSERT(out[r].stride == out[0].stride &&
+                 in[r].stride == in[0].stride);
+  }
+  constexpr int W = simd::kWidth<T>;
+  switch (tune.variant) {
+    case DslashVariant::kVector:
+      dslash_multi_body_vector(WidthTag<W>{}, out, u, in, out_parity, dagger,
+                               tune.grain);
+      break;
+    case DslashVariant::kVectorBlocked:
+      dslash_multi_body_blocked(WidthTag<W>{}, out, u, in, out_parity,
+                                dagger, tune.grain);
+      break;
+    default:
+      dslash_multi_body_scalar(out, u, in, out_parity, dagger, tune.grain);
+      break;
+  }
+
+  const std::int64_t volh = u.geom().half_volume();
+  const int l5 = out[0].l5;
+  flops::add(static_cast<std::int64_t>(nb) * flops::kWilsonDslashPerSite *
+             volh * l5);
+  // Compulsory traffic: each RHS streams its input parity in and output
+  // parity out, but the gauge field is gathered once per SITE for the
+  // whole block (SiteLinks hoisted above the RHS loop) — links cost
+  // u.bytes() per batched call, not per RHS.
+  const std::int64_t spinor_bytes =
+      volh * l5 * kSpinorReals * static_cast<std::int64_t>(sizeof(T));
+  flops::add_bytes(static_cast<std::int64_t>(nb) * 2 * spinor_bytes +
+                   u.bytes());
+}
+
 /// The stencil body, generic over the gauge container (full 18-real
 /// storage or reconstruct-12 compressed) — the container's load() is the
 /// only thing that differs.  Dispatches on the tuned variant; the vector
@@ -320,6 +571,13 @@ void dslash(const SpinorView<T>& out, const GaugeField<T>& u,
 }
 
 template <typename T>
+void dslash_multi(std::span<const SpinorView<T>> out, const GaugeField<T>& u,
+                  std::span<const SpinorView<const T>> in, int out_parity,
+                  bool dagger, const DslashTuning& tune) {
+  dslash_kernel_multi<T>(out, u, in, out_parity, dagger, tune);
+}
+
+template <typename T>
 void dslash_compressed(const SpinorView<T>& out,
                        const CompressedGaugeField<T>& u,
                        const SpinorView<const T>& in, int out_parity,
@@ -353,6 +611,14 @@ template void dslash<double>(const SpinorView<double>&,
 template void dslash<float>(const SpinorView<float>&, const GaugeField<float>&,
                             const SpinorView<const float>&, int, bool,
                             const DslashTuning&);
+template void dslash_multi<double>(std::span<const SpinorView<double>>,
+                                   const GaugeField<double>&,
+                                   std::span<const SpinorView<const double>>,
+                                   int, bool, const DslashTuning&);
+template void dslash_multi<float>(std::span<const SpinorView<float>>,
+                                  const GaugeField<float>&,
+                                  std::span<const SpinorView<const float>>,
+                                  int, bool, const DslashTuning&);
 template void dslash_compressed<double>(const SpinorView<double>&,
                                         const CompressedGaugeField<double>&,
                                         const SpinorView<const double>&, int,

@@ -14,6 +14,7 @@
 // wall fermions m is the (negative) domain-wall height M5.
 
 #include <cstddef>
+#include <span>
 
 #include "lattice/compressed_gauge.hpp"
 #include "lattice/field.hpp"
@@ -56,6 +57,24 @@ void dslash(const SpinorView<T>& out, const GaugeField<T>& u,
             const SpinorView<const T>& in, int out_parity, bool dagger,
             const DslashTuning& tune = {});
 
+/// Multi-RHS dslash (DESIGN.md §12): apply the same stencil to B spinors
+/// in one pass, gathering each site's 8 phased links ONCE and reusing them
+/// for every RHS — the gauge stream is charged once per block instead of
+/// once per RHS, which is the solver's biggest remaining bandwidth win.
+///
+/// All views must share (sites, stride, l5); per-RHS output is bitwise
+/// identical to B independent dslash() calls for EVERY variant, because
+/// the vector variants lay the RHS axis across SIMD lanes (lane j = RHS
+/// r0+j) and lane arithmetic is elementwise:
+///   kScalar        loops RHSs per site, links kept in registers
+///   kVector        W-lane RHS gather from the standard layouts
+///   kVectorBlocked RHS-lane-blocked transpose (BlockedMultiSpinor) for
+///                  contiguous vector loads, pack/unpack per call
+template <typename T>
+void dslash_multi(std::span<const SpinorView<T>> out, const GaugeField<T>& u,
+                  std::span<const SpinorView<const T>> in, int out_parity,
+                  bool dagger, const DslashTuning& tune = {});
+
 /// The same stencil reading reconstruct-12 compressed links (QUDA's
 /// bandwidth optimisation): 2/3 the gauge traffic, third row rebuilt in
 /// registers.  Bit-compatible with the full-storage kernel on SU(3)
@@ -81,6 +100,13 @@ extern template void dslash<float>(const SpinorView<float>&,
                                    const GaugeField<float>&,
                                    const ConstSpinorView<const float>&, int,
                                    bool, const DslashTuning&);
+extern template void dslash_multi<double>(
+    std::span<const SpinorView<double>>, const GaugeField<double>&,
+    std::span<const SpinorView<const double>>, int, bool,
+    const DslashTuning&);
+extern template void dslash_multi<float>(
+    std::span<const SpinorView<float>>, const GaugeField<float>&,
+    std::span<const SpinorView<const float>>, int, bool, const DslashTuning&);
 extern template void wilson_op<double>(SpinorField<double>&,
                                        const GaugeField<double>&,
                                        const SpinorField<double>&, double,

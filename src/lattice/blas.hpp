@@ -34,6 +34,7 @@
 // rounding: cross-width agreement is a tolerance, not bitwise, property.
 
 #include <cstdint>
+#include <span>
 #include <type_traits>
 #include <utility>
 
@@ -605,6 +606,172 @@ std::pair<Cplx<double>, double> cdot_norm2(const SpinorField<T>& x,
   flops::add(6 * x.reals());
   flops::add_bytes(2 * x.reals() * static_cast<std::int64_t>(sizeof(T)));
   return {Cplx<double>{sums[0], sums[1]}, sums[2]};
+}
+
+// ---------------------------------------------------------------------------
+// Multi-RHS kernels (DESIGN.md §12).  Each batched kernel makes ONE
+// parallel launch whose chunk body loops over the B right-hand sides,
+// reusing the detail:: chunk bodies above.  Because the chunk partition
+// depends only on (range, grain, thread count) — never on the component
+// count — and partials combine in the same fixed chunk order per
+// component, every RHS's result is bitwise identical to the single-RHS
+// kernel at the same grain, independent of which other RHSs share the
+// batch.  That is the per-RHS bitwise contract the block solvers and the
+// solve service rely on: batch composition can never change an answer.
+//
+// Traffic scales with B (every field pass happens per RHS); the batching
+// win here is launch amortization, not byte amortization — the byte win
+// lives in dslash_multi, where the gauge field is charged once per block.
+// ---------------------------------------------------------------------------
+
+/// ||x_r||^2 for each RHS.
+template <typename T, int W = simd::kWidth<T>>
+void norm2_multi(std::span<const SpinorField<T>* const> x,
+                 std::span<double> n2, std::size_t grain = kGrain) {
+  FEMTO_TRACE_SCOPE("blas", "norm2_multi");
+  const std::size_t nb = x.size();
+  FEMTO_ASSERT(n2.size() == nb);
+  if (nb == 0) return;
+  par::ThreadPool::global().parallel_reduce_n(
+      0, static_cast<std::size_t>(x[0]->reals()), nb,
+      [&](std::size_t lo, std::size_t hi, double* acc) {
+        for (std::size_t r = 0; r < nb; ++r)
+          acc[r] = detail::norm2_chunk<W>(x[r]->data(), lo, hi);
+      },
+      n2.data(), grain);
+  const std::int64_t reals = static_cast<std::int64_t>(nb) * x[0]->reals();
+  flops::add(2 * reals);
+  flops::add_bytes(reals * static_cast<std::int64_t>(sizeof(T)));
+}
+
+/// Re<x_r, y_r> for each RHS (the CG pAp kernel, batched).
+template <typename T, int W = simd::kWidth<T>>
+void redot_multi(std::span<const SpinorField<T>* const> x,
+                 std::span<const SpinorField<T>* const> y,
+                 std::span<double> dot, std::size_t grain = kGrain) {
+  FEMTO_TRACE_SCOPE("blas", "redot_multi");
+  const std::size_t nb = x.size();
+  FEMTO_ASSERT(y.size() == nb && dot.size() == nb);
+  if (nb == 0) return;
+  par::ThreadPool::global().parallel_reduce_n(
+      0, static_cast<std::size_t>(x[0]->reals()), nb,
+      [&](std::size_t lo, std::size_t hi, double* acc) {
+        for (std::size_t r = 0; r < nb; ++r)
+          acc[r] = detail::redot_chunk<W>(x[r]->data(), y[r]->data(), lo, hi);
+      },
+      dot.data(), grain);
+  const std::int64_t reals = static_cast<std::int64_t>(nb) * x[0]->reals();
+  flops::add(2 * reals);
+  flops::add_bytes(2 * reals * static_cast<std::int64_t>(sizeof(T)));
+}
+
+/// y_r = x_r + a_r*y_r for each RHS.
+template <typename T, int W = simd::kWidth<T>>
+void xpay_multi(std::span<const SpinorField<T>* const> x,
+                std::span<const double> a,
+                std::span<SpinorField<T>* const> y,
+                std::size_t grain = kGrain) {
+  FEMTO_TRACE_SCOPE("blas", "xpay_multi");
+  const std::size_t nb = y.size();
+  FEMTO_ASSERT(x.size() == nb && a.size() == nb);
+  if (nb == 0) return;
+  par::parallel_for_chunked(
+      0, static_cast<std::size_t>(y[0]->reals()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = 0; r < nb; ++r)
+          detail::xpay_chunk<W>(x[r]->data(), static_cast<T>(a[r]),
+                                y[r]->data(), lo, hi);
+      },
+      grain);
+  const std::int64_t reals = static_cast<std::int64_t>(nb) * y[0]->reals();
+  flops::add(2 * reals);
+  flops::add_bytes(3 * reals * static_cast<std::int64_t>(sizeof(T)));
+}
+
+/// y_r += a_r*x_r, returning ||y_r||^2 of each updated y_r.
+template <typename T, int W = simd::kWidth<T>>
+void axpy_norm2_multi(std::span<const double> a,
+                      std::span<const SpinorField<T>* const> x,
+                      std::span<SpinorField<T>* const> y,
+                      std::span<double> n2, std::size_t grain = kGrain) {
+  FEMTO_TRACE_SCOPE("blas", "axpy_norm2_multi");
+  const std::size_t nb = y.size();
+  FEMTO_ASSERT(x.size() == nb && a.size() == nb && n2.size() == nb);
+  if (nb == 0) return;
+  par::ThreadPool::global().parallel_reduce_n(
+      0, static_cast<std::size_t>(y[0]->reals()), nb,
+      [&](std::size_t lo, std::size_t hi, double* acc) {
+        for (std::size_t r = 0; r < nb; ++r) {
+          detail::axpy_chunk<W>(static_cast<T>(a[r]), x[r]->data(),
+                                y[r]->data(), lo, hi);
+          acc[r] = detail::norm2_chunk<W>(y[r]->data(), lo, hi);
+        }
+      },
+      n2.data(), grain);
+  const std::int64_t reals = static_cast<std::int64_t>(nb) * y[0]->reals();
+  flops::add(4 * reals);
+  flops::add_bytes(3 * reals * static_cast<std::int64_t>(sizeof(T)));
+}
+
+/// The tripleCGUpdate, batched: x_r += alpha_r*p_r; r_r -= alpha_r*ap_r;
+/// returning each ||r_r||^2.
+template <typename T, int W = simd::kWidth<T>>
+void triple_cg_update_multi(std::span<const double> alpha,
+                            std::span<const SpinorField<T>* const> p,
+                            std::span<const SpinorField<T>* const> ap,
+                            std::span<SpinorField<T>* const> x,
+                            std::span<SpinorField<T>* const> r,
+                            std::span<double> n2,
+                            std::size_t grain = kGrain) {
+  FEMTO_TRACE_SCOPE("blas", "triple_cg_update_multi");
+  const std::size_t nb = r.size();
+  FEMTO_ASSERT(p.size() == nb && ap.size() == nb && x.size() == nb &&
+               alpha.size() == nb && n2.size() == nb);
+  if (nb == 0) return;
+  par::ThreadPool::global().parallel_reduce_n(
+      0, static_cast<std::size_t>(r[0]->reals()), nb,
+      [&](std::size_t lo, std::size_t hi, double* acc) {
+        for (std::size_t rr = 0; rr < nb; ++rr) {
+          detail::axpy_chunk<W>(static_cast<T>(alpha[rr]), p[rr]->data(),
+                                x[rr]->data(), lo, hi);
+          detail::axpy_chunk<W>(static_cast<T>(-alpha[rr]), ap[rr]->data(),
+                                r[rr]->data(), lo, hi);
+          acc[rr] = detail::norm2_chunk<W>(r[rr]->data(), lo, hi);
+        }
+      },
+      n2.data(), grain);
+  const std::int64_t reals = static_cast<std::int64_t>(nb) * r[0]->reals();
+  flops::add(6 * reals);
+  flops::add_bytes(6 * reals * static_cast<std::int64_t>(sizeof(T)));
+}
+
+/// The axpyZpbx, batched: x_r += a_r*p_r; p_r = z_r + b_r*p_r.
+template <typename T, int W = simd::kWidth<T>>
+void axpy_zpbx_multi(std::span<const double> a,
+                     std::span<SpinorField<T>* const> p,
+                     std::span<SpinorField<T>* const> x,
+                     std::span<const SpinorField<T>* const> z,
+                     std::span<const double> b,
+                     std::size_t grain = kGrain) {
+  FEMTO_TRACE_SCOPE("blas", "axpy_zpbx_multi");
+  const std::size_t nb = p.size();
+  FEMTO_ASSERT(x.size() == nb && z.size() == nb && a.size() == nb &&
+               b.size() == nb);
+  if (nb == 0) return;
+  par::parallel_for_chunked(
+      0, static_cast<std::size_t>(p[0]->reals()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = 0; r < nb; ++r) {
+          detail::axpy_chunk<W>(static_cast<T>(a[r]), p[r]->data(),
+                                x[r]->data(), lo, hi);
+          detail::xpay_chunk<W>(z[r]->data(), static_cast<T>(b[r]),
+                                p[r]->data(), lo, hi);
+        }
+      },
+      grain);
+  const std::int64_t reals = static_cast<std::int64_t>(nb) * p[0]->reals();
+  flops::add(4 * reals);
+  flops::add_bytes(5 * reals * static_cast<std::int64_t>(sizeof(T)));
 }
 
 }  // namespace femto::blas

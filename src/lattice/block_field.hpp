@@ -1,0 +1,89 @@
+#pragma once
+// A block of right-hand-side spinor fields solved together.
+//
+// The multi-RHS stack (DESIGN.md §12) amortizes the gauge-field stream of
+// the dslash across B spinors: every batched kernel takes a span of
+// per-RHS fields or views, and this header is the small amount of glue
+// that owns B identically-shaped SpinorFields and converts between the
+// three currencies the stack trades in —
+//   SpinorField<T>        owning storage (one per RHS; layouts unchanged,
+//                         so every single-RHS kernel still works on a
+//                         block member)
+//   SpinorField<T>*       what the block solvers take (std::span of
+//                         pointers: the active set shrinks as RHSs
+//                         converge, and a span of pointers re-batches
+//                         without copying field data)
+//   SpinorView<T>         what dslash_multi takes (parity slices share a
+//                         code path with whole single-parity fields)
+//
+// Keeping each RHS in its own field (rather than interleaving RHSs in
+// memory) is what makes the per-RHS bitwise contract cheap: a block member
+// IS an ordinary field, so "batched result == B single results" can be
+// asserted with memcmp and the lane-blocked transpose stays an internal
+// detail of the blocked kernel variant (BlockedMultiSpinor).
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "lattice/field.hpp"
+
+namespace femto {
+
+template <typename T>
+class BlockSpinorField {
+ public:
+  BlockSpinorField(std::shared_ptr<const Geometry> geom, int l5,
+                   Subset subset, std::size_t nrhs) {
+    fields_.reserve(nrhs);
+    for (std::size_t r = 0; r < nrhs; ++r)
+      fields_.emplace_back(geom, l5, subset);
+  }
+
+  std::size_t size() const { return fields_.size(); }
+  SpinorField<T>& operator[](std::size_t r) { return fields_[r]; }
+  const SpinorField<T>& operator[](std::size_t r) const { return fields_[r]; }
+
+  auto begin() { return fields_.begin(); }
+  auto end() { return fields_.end(); }
+  auto begin() const { return fields_.begin(); }
+  auto end() const { return fields_.end(); }
+
+  /// Pointer sets for the block-solver APIs.
+  std::vector<SpinorField<T>*> ptrs() {
+    std::vector<SpinorField<T>*> v;
+    v.reserve(fields_.size());
+    for (auto& f : fields_) v.push_back(&f);
+    return v;
+  }
+  std::vector<const SpinorField<T>*> cptrs() const {
+    std::vector<const SpinorField<T>*> v;
+    v.reserve(fields_.size());
+    for (const auto& f : fields_) v.push_back(&f);
+    return v;
+  }
+
+ private:
+  std::vector<SpinorField<T>> fields_;
+};
+
+/// Whole-field views of a span of per-RHS fields (the dslash_multi input
+/// currency).
+template <typename T>
+std::vector<SpinorView<T>> views_of(std::span<SpinorField<T>* const> fs) {
+  std::vector<SpinorView<T>> v;
+  v.reserve(fs.size());
+  for (auto* f : fs) v.push_back(view(*f));
+  return v;
+}
+
+template <typename T>
+std::vector<SpinorView<const T>> cviews_of(
+    std::span<const SpinorField<T>* const> fs) {
+  std::vector<SpinorView<const T>> v;
+  v.reserve(fs.size());
+  for (const auto* f : fs) v.push_back(view(*f));
+  return v;
+}
+
+}  // namespace femto

@@ -16,6 +16,7 @@
 // `variant` knob in DslashTunable).
 
 #include <cstdint>
+#include <span>
 
 #include "lattice/field.hpp"
 #include "parallel/thread_pool.hpp"
@@ -117,6 +118,120 @@ class BlockedSpinorView {
  private:
   std::int64_t sites_;
   int l5_;
+  int nblocks_;
+  simd::aligned_vector<T> data_;
+};
+
+/// Lane-blocked storage for the MULTI-RHS dslash: lane j = right-hand side
+/// r0+j, so one broadcast of the site's 8 links feeds W different spinors.
+///     [s5][rhs_block][site][real][lane]      (lane = RHS within the block)
+/// This is the RHS-axis analogue of BlockedSpinorView's fifth-dim blocking:
+/// the fifth dimension stays outermost (scalar per lane) because the RHS
+/// axis, unlike s5, is guaranteed uniform — every lane runs the identical
+/// stencil, so per-RHS results stay bitwise equal to the scalar reference.
+/// Tail lanes of the last block (B % W != 0) are zero; pack() never writes
+/// them and unpack() ignores them, exactly like the s5-blocked transpose.
+template <typename T, int W>
+class BlockedMultiSpinor {
+ public:
+  static_assert(W >= 1, "lane count must be positive");
+
+  BlockedMultiSpinor(std::int64_t sites, int l5, int nrhs)
+      : sites_(sites),
+        l5_(l5),
+        nrhs_(nrhs),
+        nblocks_((nrhs + W - 1) / W),
+        data_(static_cast<std::size_t>(std::int64_t(l5) * nblocks_ * sites *
+                                       kSpinorReals * W)) {}
+
+  std::int64_t sites() const { return sites_; }
+  int l5() const { return l5_; }
+  int nrhs() const { return nrhs_; }
+  int blocks() const { return nblocks_; }
+
+  /// Re-point at a (sites, l5, nrhs) shape, reusing the allocation when
+  /// unchanged — same thread-local-scratch rationale as
+  /// BlockedSpinorView::reshape, and the same tail-lane-zero invariant.
+  void reshape(std::int64_t sites, int l5, int nrhs) {
+    if (sites == sites_ && l5 == l5_ && nrhs == nrhs_) return;
+    sites_ = sites;
+    l5_ = l5;
+    nrhs_ = nrhs;
+    nblocks_ = (nrhs + W - 1) / W;
+    data_.assign(static_cast<std::size_t>(std::int64_t(l5) * nblocks_ *
+                                          sites * kSpinorReals * W),
+                 T());
+  }
+
+  /// Pointer to the kSpinorReals x W reals of (s5, rhs_block, site).
+  T* block(int s, int b, std::int64_t i) {
+    return data_.data() + ((std::int64_t(s) * nblocks_ + b) * sites_ + i) *
+                              (kSpinorReals * W);
+  }
+  const T* block(int s, int b, std::int64_t i) const {
+    return data_.data() + ((std::int64_t(s) * nblocks_ + b) * sites_ + i) *
+                              (kSpinorReals * W);
+  }
+
+  /// Transpose B standard views in (RHS lanes innermost).  All views must
+  /// share (sites, l5); @p grain is in 4D sites like the dslash grain.
+  void pack(std::span<const SpinorView<const T>> in, std::size_t grain) {
+    FEMTO_ASSERT(static_cast<int>(in.size()) == nrhs_);
+    par::parallel_for_chunked(
+        0, static_cast<std::size_t>(sites_),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            for (int s = 0; s < l5_; ++s) {
+              for (int b = 0; b < nblocks_; ++b) {
+                T* dst = block(s, b, static_cast<std::int64_t>(i));
+                const int nl = b * W + W <= nrhs_ ? W : nrhs_ - b * W;
+                for (int j = 0; j < nl; ++j) {
+                  const SpinorView<const T>& v = in[std::size_t(b) * W + j];
+                  const T* src =
+                      v.data + v.offset(s, static_cast<std::int64_t>(i));
+                  for (int k = 0; k < kSpinorReals; ++k)
+                    dst[k * W + j] = src[k];
+                }
+              }
+            }
+          }
+        },
+        grain);
+  }
+
+  /// Transpose back out to B standard views (tail lanes dropped).
+  void unpack(std::span<const SpinorView<T>> out, std::size_t grain) const {
+    FEMTO_ASSERT(static_cast<int>(out.size()) == nrhs_);
+    par::parallel_for_chunked(
+        0, static_cast<std::size_t>(sites_),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            for (int s = 0; s < l5_; ++s) {
+              for (int b = 0; b < nblocks_; ++b) {
+                const T* src = block(s, b, static_cast<std::int64_t>(i));
+                const int nl = b * W + W <= nrhs_ ? W : nrhs_ - b * W;
+                for (int j = 0; j < nl; ++j) {
+                  const SpinorView<T>& v = out[std::size_t(b) * W + j];
+                  T* dst = v.data + v.offset(s, static_cast<std::int64_t>(i));
+                  for (int k = 0; k < kSpinorReals; ++k)
+                    dst[k] = src[k * W + j];
+                }
+              }
+            }
+          }
+        },
+        grain);
+  }
+
+  /// Bytes of blocked storage (includes tail-lane padding).
+  std::int64_t bytes() const {
+    return static_cast<std::int64_t>(data_.size() * sizeof(T));
+  }
+
+ private:
+  std::int64_t sites_;
+  int l5_;
+  int nrhs_;
   int nblocks_;
   simd::aligned_vector<T> data_;
 };

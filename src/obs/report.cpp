@@ -40,6 +40,11 @@ struct Derived {
   double dslash_variant_d = 0.0;
   double dslash_gbytes_f = 0.0;
   double dslash_gbytes_d = 0.0;
+  std::int64_t svc_completed = 0;
+  std::int64_t svc_batches = 0;
+  double svc_queue_depth = 0.0;
+  double svc_batch_mean = 0.0;
+  double svc_throughput = 0.0;
 };
 
 Derived derive() {
@@ -86,6 +91,16 @@ Derived derive() {
   d.dslash_variant_d = reg.gauge("dslash.variant_d").get();
   d.dslash_gbytes_f = reg.gauge("dslash.gbytes_f").get();
   d.dslash_gbytes_d = reg.gauge("dslash.gbytes_d").get();
+  // Async solve service (src/service): batch-occupancy mean comes from the
+  // batch_size histogram, throughput from completed / busy seconds.
+  d.svc_completed = reg.counter("solve_service.completed").get();
+  d.svc_batches = reg.counter("solve_service.batches").get();
+  d.svc_queue_depth = reg.gauge("solve_service.queue_depth").get();
+  const Histogram& bh = reg.histogram("solve_service.batch_size");
+  if (bh.count() > 0)
+    d.svc_batch_mean =
+        static_cast<double>(bh.sum()) / static_cast<double>(bh.count());
+  d.svc_throughput = reg.gauge("solve_service.throughput").get();
   return d;
 }
 
@@ -270,6 +285,15 @@ std::string report_json(const std::string& title) {
     append_kv(&out, "jm_source", quoted(d.jm_source), &f);
     append_kv(&out, "application_gflops",
               json_number(d.application_gflops), &f);
+    append_kv(&out, "solve_service_completed", json_number(d.svc_completed),
+              &f);
+    append_kv(&out, "solve_service_batches", json_number(d.svc_batches), &f);
+    append_kv(&out, "solve_service_queue_depth",
+              json_number(d.svc_queue_depth), &f);
+    append_kv(&out, "solve_service_batch_mean",
+              json_number(d.svc_batch_mean), &f);
+    append_kv(&out, "solve_service_throughput",
+              json_number(d.svc_throughput), &f);
   }
   out += "}}";
   return out;
@@ -315,6 +339,15 @@ std::string report_summary() {
                 "  application-level sustained: %.3f GFLOP/s\n",
                 d.application_gflops);
   out += buf;
+  if (d.svc_completed > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  solve service: %" PRId64 " solves in %" PRId64
+                  " batches (mean batch %.2f), queue depth %.0f, "
+                  "%.3f solves/s\n",
+                  d.svc_completed, d.svc_batches, d.svc_batch_mean,
+                  d.svc_queue_depth, d.svc_throughput);
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf),
                 "  solves: %lld recorded (%lld retained)\n",
                 static_cast<long long>(reg.total_solves()),

@@ -1,0 +1,70 @@
+#pragma once
+// Block Krylov solvers over a batch of right-hand sides (DESIGN.md §12).
+//
+// These are NOT "true" block-CG methods (no shared Krylov space, no
+// cross-RHS orthogonalisation): each RHS runs its OWN conjugate-gradient
+// recurrence — its own alpha/beta, its own stopping test, its own reliable
+// updates — and the batching is purely an execution-layer fusion: the B
+// matvecs share one dslash_multi pass (links loaded once per block) and
+// the B vector updates share one BLAS launch (blas::*_multi).  The payoff
+// is the per-RHS convergence contract:
+//
+//   Every RHS produces bitwise the SAME iterates, iteration count, and
+//   residual history it would produce in a solo cg / mixed_cg call at the
+//   same grain — independent of which other RHSs share the batch.
+//
+// That contract is what lets the SolveService batch greedily: adding or
+// removing a request from a batch can never change another request's
+// answer, so results stay deterministic under any queue timing.  As RHSs
+// converge they leave the active block (per-RHS stopping, shrinking
+// batch), so a straggler never pays for its finished neighbours beyond
+// the (smaller) batch it still shares.
+//
+// Reported per-RHS flop/byte/seconds are the RHS's share of the block
+// totals (total / B): the counters are process-global, and a block's work
+// is genuinely joint — attributing the full total to every RHS would
+// count it B times.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "lattice/field.hpp"
+#include "solver/cg.hpp"
+
+namespace femto {
+
+/// Batched y_r = A x_r application in precision T, r = 0..B-1.  Must be
+/// per-RHS bitwise identical to the corresponding ApplyFn for the
+/// convergence contract to hold (MobiusOperator::apply_normal_multi is).
+template <typename T>
+using MultiApplyFn = std::function<void(
+    std::span<SpinorField<T>* const>, std::span<const SpinorField<T>* const>)>;
+
+/// Plain CG over a block: solves A x_r = b_r for every r with per-RHS
+/// stopping.  x_r is the initial guess and the result.  Returns one
+/// SolveResult per RHS, bitwise matching cg() per RHS at the same grain.
+template <typename T>
+std::vector<SolveResult> block_cg(const MultiApplyFn<T>& a,
+                                  std::span<SpinorField<T>* const> x,
+                                  std::span<const SpinorField<T>* const> b,
+                                  double tol, int max_iter,
+                                  std::size_t blas_grain = 0);
+
+/// Mixed-precision CG with reliable updates over a block: per-RHS bitwise
+/// matching mixed_cg().  Each RHS triggers its own reliable updates (a
+/// batch-of-one double matvec); the sloppy inner iterations batch across
+/// every RHS currently mid-inner-solve.
+std::vector<SolveResult> block_mixed_cg(
+    const MultiApplyFn<double>& a_double, const MultiApplyFn<float>& a_single,
+    std::span<SpinorField<double>* const> x,
+    std::span<const SpinorField<double>* const> b, const SolverParams& params);
+
+extern template std::vector<SolveResult> block_cg<double>(
+    const MultiApplyFn<double>&, std::span<SpinorField<double>* const>,
+    std::span<const SpinorField<double>* const>, double, int, std::size_t);
+extern template std::vector<SolveResult> block_cg<float>(
+    const MultiApplyFn<float>&, std::span<SpinorField<float>* const>,
+    std::span<const SpinorField<float>* const>, double, int, std::size_t);
+
+}  // namespace femto

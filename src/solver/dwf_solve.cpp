@@ -28,6 +28,27 @@ void DwfSolver::autotune() {
                                           << sparams_.blas_grain);
 }
 
+std::size_t DwfSolver::autotune_multi(std::size_t bmax) {
+  FEMTO_TRACE_SCOPE("autotune", "dwf_solver_autotune_multi");
+  const tune::MultiRhsTuning td =
+      tune::tuned_multi_rhs<double>(u_d_, mobius_.l5, bmax, 0);
+  const tune::MultiRhsTuning tf =
+      tune::tuned_multi_rhs<float>(u_f_, mobius_.l5, bmax, 0);
+  op_d_.tuning() = td.dslash;
+  op_f_.tuning() = tf.dslash;
+  sparams_.blas_grain = tune::tuned_blas_grain<float>(u_f_->geom_ptr(),
+                                                     mobius_.l5, Subset::Odd);
+  FEMTO_LOG_DEBUG("autotune",
+                  "dwf_solver multi: d=" << to_string(td.dslash.variant)
+                                         << "/" << td.dslash.grain << "/B"
+                                         << td.nrhs << " f="
+                                         << to_string(tf.dslash.variant)
+                                         << "/" << tf.dslash.grain << "/B"
+                                         << tf.nrhs << ", blas grain "
+                                         << sparams_.blas_grain);
+  return tf.nrhs;
+}
+
 DwfSolver::DwfSolver(std::shared_ptr<const GaugeField<double>> u,
                      MobiusParams params, SolverParams solver_params)
     : mobius_(params),
@@ -66,6 +87,111 @@ SolveResult DwfSolver::solve(SpinorField<double>& x,
               "DwfSolver::solve: mixed_cg returned a non-finite residual");
 
   op_d_.reconstruct(x, y, b);
+  return res;
+}
+
+std::vector<SolveResult> DwfSolver::solve_multi(
+    std::span<SpinorField<double>* const> x,
+    std::span<const SpinorField<double>* const> b) {
+  FEMTO_TRACE_SCOPE("solver", "dwf_solve_multi");
+  const std::size_t nb = x.size();
+  FEMTO_ASSERT(b.size() == nb);
+  if (nb == 0) return {};
+  const auto geom = b[0]->geom_ptr();
+  const int l5 = b[0]->l5();
+  for (std::size_t r = 0; r < nb; ++r) {
+    assert(x[r]->subset() == Subset::Full && b[r]->subset() == Subset::Full);
+  }
+
+  // Source prep stays per RHS (one-time cost); the CGNE right-hand sides
+  // Mhat^dag bhat_r batch through the multi Schur operator.
+  std::vector<SpinorField<double>> bhat, rhs;
+  bhat.reserve(nb);
+  rhs.reserve(nb);
+  std::vector<SpinorField<double>*> rhsp;
+  std::vector<const SpinorField<double>*> cbhatp;
+  for (std::size_t r = 0; r < nb; ++r) {
+    bhat.emplace_back(geom, l5, Subset::Odd);
+    rhs.emplace_back(geom, l5, Subset::Odd);
+    op_d_.prepare_source(bhat.back(), *b[r]);
+  }
+  for (std::size_t r = 0; r < nb; ++r) {
+    rhsp.push_back(&rhs[r]);
+    cbhatp.push_back(&bhat[r]);
+  }
+  op_d_.apply_schur_multi(rhsp, cbhatp, /*dagger=*/true);
+
+  MultiApplyFn<double> a_d = [this](
+                                 std::span<SpinorField<double>* const> out,
+                                 std::span<const SpinorField<double>* const>
+                                     in) { op_d_.apply_normal_multi(out, in); };
+  MultiApplyFn<float> a_f = [this](
+                                std::span<SpinorField<float>* const> out,
+                                std::span<const SpinorField<float>* const>
+                                    in) { op_f_.apply_normal_multi(out, in); };
+
+  std::vector<SpinorField<double>> y;
+  y.reserve(nb);
+  std::vector<SpinorField<double>*> yp;
+  std::vector<const SpinorField<double>*> crhsp;
+  for (std::size_t r = 0; r < nb; ++r) {
+    y.emplace_back(geom, l5, Subset::Odd);
+    crhsp.push_back(&rhs[r]);
+  }
+  for (std::size_t r = 0; r < nb; ++r) yp.push_back(&y[r]);
+  std::vector<SolveResult> res = block_mixed_cg(a_d, a_f, yp, crhsp, sparams_);
+  for (std::size_t r = 0; r < nb; ++r) {
+    FEMTO_CHECK(std::isfinite(res[r].final_rel_residual),
+                "DwfSolver::solve_multi: block_mixed_cg returned a "
+                "non-finite residual");
+    op_d_.reconstruct(*x[r], y[r], *b[r]);
+  }
+  return res;
+}
+
+std::vector<SolveResult> DwfSolver::solve_multi_double(
+    std::span<SpinorField<double>* const> x,
+    std::span<const SpinorField<double>* const> b) {
+  FEMTO_TRACE_SCOPE("solver", "dwf_solve_multi_double");
+  const std::size_t nb = x.size();
+  FEMTO_ASSERT(b.size() == nb);
+  if (nb == 0) return {};
+  const auto geom = b[0]->geom_ptr();
+  const int l5 = b[0]->l5();
+
+  std::vector<SpinorField<double>> bhat, rhs, y;
+  bhat.reserve(nb);
+  rhs.reserve(nb);
+  y.reserve(nb);
+  std::vector<SpinorField<double>*> rhsp, yp;
+  std::vector<const SpinorField<double>*> cbhatp, crhsp;
+  for (std::size_t r = 0; r < nb; ++r) {
+    assert(x[r]->subset() == Subset::Full && b[r]->subset() == Subset::Full);
+    bhat.emplace_back(geom, l5, Subset::Odd);
+    rhs.emplace_back(geom, l5, Subset::Odd);
+    y.emplace_back(geom, l5, Subset::Odd);
+    op_d_.prepare_source(bhat.back(), *b[r]);
+  }
+  for (std::size_t r = 0; r < nb; ++r) {
+    rhsp.push_back(&rhs[r]);
+    cbhatp.push_back(&bhat[r]);
+    crhsp.push_back(&rhs[r]);
+    yp.push_back(&y[r]);
+  }
+  op_d_.apply_schur_multi(rhsp, cbhatp, /*dagger=*/true);
+
+  MultiApplyFn<double> a_d = [this](
+                                 std::span<SpinorField<double>* const> out,
+                                 std::span<const SpinorField<double>* const>
+                                     in) { op_d_.apply_normal_multi(out, in); };
+  std::vector<SolveResult> res = block_cg<double>(
+      a_d, yp, crhsp, sparams_.tol, sparams_.max_iter, sparams_.blas_grain);
+  for (std::size_t r = 0; r < nb; ++r) {
+    FEMTO_CHECK(std::isfinite(res[r].final_rel_residual),
+                "DwfSolver::solve_multi_double: block_cg returned a "
+                "non-finite residual");
+    op_d_.reconstruct(*x[r], y[r], *b[r]);
+  }
   return res;
 }
 

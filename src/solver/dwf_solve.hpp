@@ -12,8 +12,11 @@
 // same pair on the GPU).
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "dirac/mobius.hpp"
+#include "solver/block_cg.hpp"
 #include "solver/cg.hpp"
 
 namespace femto {
@@ -30,6 +33,14 @@ class DwfSolver {
   /// Chroma+QUDA tune on first encounter.  Cached process-wide.
   void autotune();
 
+  /// Autotune for BATCHED solves: sweeps the multi-RHS dslash's
+  /// nrhs x grain x variant grid (batch bound bmax), installs the winning
+  /// launch parameters for both precisions, and returns the sweet-spot
+  /// batch size the sweep found (from the single-precision winner, which
+  /// dominates mixed-precision solve time).  Callers — the SolveService —
+  /// can feed that back into their batching bound.
+  std::size_t autotune_multi(std::size_t bmax);
+
   const MobiusOperator<double>& op() const { return op_d_; }
   const MobiusParams& params() const { return mobius_; }
   SolverParams& solver_params() { return sparams_; }
@@ -40,6 +51,19 @@ class DwfSolver {
   /// Solve in pure double precision (reference / correctness baseline).
   SolveResult solve_double(SpinorField<double>& x,
                            const SpinorField<double>& b);
+
+  /// Solve D x_r = b_r for a block of right-hand sides against the shared
+  /// gauge field: source prep and CGNE run batched (dslash_multi streams
+  /// the links once per block), each RHS converging independently with
+  /// per-RHS results bitwise matching solve() (see block_cg.hpp).
+  std::vector<SolveResult> solve_multi(
+      std::span<SpinorField<double>* const> x,
+      std::span<const SpinorField<double>* const> b);
+
+  /// Pure-double block solve (reference / correctness baseline).
+  std::vector<SolveResult> solve_multi_double(
+      std::span<SpinorField<double>* const> x,
+      std::span<const SpinorField<double>* const> b);
 
  private:
   MobiusParams mobius_;

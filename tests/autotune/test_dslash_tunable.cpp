@@ -105,5 +105,51 @@ TEST(DslashTunable, MetricsPopulated) {
   EXPECT_GT(e.seconds, 0.0);
 }
 
+TEST(DslashMultiTunable, KeyExtendsSingleRhsKeyWithBatchBound) {
+  auto u = make_gauge();
+  DslashMultiTunable<double> t4(u, 2, 0, 4);
+  DslashMultiTunable<double> t8(u, 2, 0, 8);
+  EXPECT_NE(t4.key().find("dslash_multi"), std::string::npos);
+  EXPECT_NE(t4.key().find("bmax=4"), std::string::npos);
+  EXPECT_NE(t4.key(), t8.key());  // batch bound is part of the cache key
+  DslashTunable<double> single(u, 2, 0);
+  EXPECT_NE(t4.key(), single.key());
+}
+
+TEST(DslashMultiTunable, CandidatesSweepBatchTimesGrainTimesVariant) {
+  auto u = make_gauge();
+  DslashMultiTunable<double> t(u, 2, 0, 8);
+  const auto c = t.candidates();
+  std::set<std::int64_t> nrhs, grains, variants;
+  for (const auto& p : c) {
+    nrhs.insert(p.get("nrhs"));
+    grains.insert(p.get("grain"));
+    variants.insert(p.get("variant"));
+  }
+  // Power-of-two batch sizes up to the bound, every grain, and the same
+  // variant set the single-RHS tunable races.
+  EXPECT_EQ(nrhs, (std::set<std::int64_t>{1, 2, 4, 8}));
+  EXPECT_GE(grains.size(), 2u);
+  if (simd::kWidth<double> > 1)
+    EXPECT_EQ(variants, (std::set<std::int64_t>{0, 1, 2}));
+  else
+    EXPECT_EQ(variants, (std::set<std::int64_t>{0}));
+}
+
+TEST(DslashMultiTunable, TunedMultiRhsReturnsValidBatch) {
+  Autotuner::global().clear();
+  auto u = make_gauge();
+  const MultiRhsTuning t = tuned_multi_rhs<double>(u, 2, 4, 0);
+  EXPECT_GE(t.nrhs, 1u);
+  EXPECT_LE(t.nrhs, 4u);
+  EXPECT_GT(t.dslash.grain, 0u);
+  // Cached: a second lookup with the same bound is a pure cache hit.
+  const auto misses = Autotuner::global().cache_misses();
+  const MultiRhsTuning t2 = tuned_multi_rhs<double>(u, 2, 4, 0);
+  EXPECT_EQ(t2.nrhs, t.nrhs);
+  EXPECT_EQ(Autotuner::global().cache_misses(), misses);
+  Autotuner::global().clear();
+}
+
 }  // namespace
 }  // namespace femto::tune

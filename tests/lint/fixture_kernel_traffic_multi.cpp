@@ -1,0 +1,46 @@
+// femtolint-expect: kernel-traffic
+//
+// The batched-kernel variant of the traffic blind spot: a multi-RHS
+// kernel streams B spinor fields through one launch, so its charge must
+// scale with the batch (nb * spinor traffic + ONE pass over the shared
+// links — see dslash_kernel_multi).  Forgetting the charge entirely is
+// the failure this fixture pins: the batched path silently vanishes from
+// the arithmetic-intensity denominator exactly when it starts carrying
+// most of the solver's traffic.
+//
+//   axpy_multi_covered   -> launch per RHS   (charges nb * bytes: fine)
+//   axpy_multi_uncovered -> launch per RHS   (no charge anywhere: fires)
+//
+// Fixtures are lint inputs, not build inputs -- they only have to parse as
+// text, so the femto types are sketched minimally.
+
+#include <cstddef>
+#include <vector>
+
+namespace femto {
+
+void axpy_one(std::vector<double>& y, const std::vector<double>& x,
+              double a) {
+  par::parallel_for(0, y.size(), [&](std::size_t i) { y[i] += a * x[i]; });
+  // No charge here: batched callers account the whole block at once.
+}
+
+void axpy_multi_covered(std::vector<std::vector<double>*>& ys,
+                        const std::vector<const std::vector<double>*>& xs,
+                        double a) {
+  long long reals = 0;
+  for (const auto* x : xs) reals += static_cast<long long>(x->size());
+  flops::add(2 * reals);
+  flops::add_bytes(3 * 8 * reals);  // per-RHS traffic scales with the batch
+  for (std::size_t r = 0; r < ys.size(); ++r) axpy_one(*ys[r], *xs[r], a);
+}
+
+void axpy_multi_uncovered(std::vector<std::vector<double>*>& ys,
+                          const std::vector<const std::vector<double>*>& xs,
+                          double a) {
+  // Missing: the per-block flops::add_bytes charge.  Every RHS streamed
+  // here is invisible to the AI model.
+  for (std::size_t r = 0; r < ys.size(); ++r) axpy_one(*ys[r], *xs[r], a);
+}
+
+}  // namespace femto

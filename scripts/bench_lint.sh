@@ -47,6 +47,16 @@ PARALLEL_MS=$(min_ms "$FEMTOLINT" --layers "$LAYERS" src)
 SPEEDUP=$(awk -v s="$SERIAL_MS" -v p="$PARALLEL_MS" \
           'BEGIN { printf "%.2f", (p > 0) ? s / p : 0 }')
 
+# One --json run reports the v3 effect-inference pass (call-graph closure
+# + determinism rules) on its own clock, so its cost is tracked separately
+# as the tree grows.  `|| true` inside the group: findings make femtolint
+# exit 1 but its JSON (and the timing) is still valid, and the bench must
+# not gate on lint cleanliness; `|| echo 0` only covers a broken pipe /
+# unparseable output.
+EFFECT_MS=$({ "$FEMTOLINT" --layers "$LAYERS" --json src 2>/dev/null || true; } \
+              | python3 -c 'import json,sys; print(json.load(sys.stdin)["effect_pass_ms"])' \
+            || echo 0)
+
 cat > BENCH_lint.json <<EOF
 {
   "benchmark": "femtolint_scan_src",
@@ -54,10 +64,11 @@ cat > BENCH_lint.json <<EOF
   "reps": ${REPS},
   "serial_ms": ${SERIAL_MS},
   "parallel_ms": ${PARALLEL_MS},
+  "effect_pass_ms": ${EFFECT_MS},
   "speedup": ${SPEEDUP},
   "threads_parallel": "$(nproc)"
 }
 EOF
 
-echo "bench_lint: serial ${SERIAL_MS} ms, parallel ${PARALLEL_MS} ms (x${SPEEDUP})"
+echo "bench_lint: serial ${SERIAL_MS} ms, parallel ${PARALLEL_MS} ms (x${SPEEDUP}), effect pass ${EFFECT_MS} ms"
 echo "bench_lint: wrote BENCH_lint.json"

@@ -1,6 +1,5 @@
 #include "autotune/autotune.hpp"
 
-#include <chrono>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -8,6 +7,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/wallclock.hpp"
 
 namespace femto::tune {
 
@@ -59,11 +59,9 @@ const TuneEntry& Autotuner::tune(Tunable& t) {
                                    << key << "'");
   // Miss: brute-force outside the lock (searches can be slow; concurrent
   // misses on the same key just race to insert the same answer).
-  const auto s0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch sw;
   TuneEntry entry = search(t);
-  entry.search_seconds = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - s0)
-                             .count();
+  entry.search_seconds = sw.seconds();
   obs::counter("autotune.cache_misses").add();
   obs::histogram("autotune.search_us")
       .observe(static_cast<std::int64_t>(entry.search_seconds * 1e6));
@@ -90,11 +88,9 @@ TuneEntry Autotuner::search(Tunable& t) const {
     t.apply(p);
     double best_time = std::numeric_limits<double>::infinity();
     for (int r = 0; r < reps_; ++r) {
-      const auto t0 = std::chrono::steady_clock::now();
+      const obs::Stopwatch sw;
       t.apply(p);
-      const double dt = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
+      const double dt = sw.seconds();
       best_time = std::min(best_time, dt);
     }
     if (best_time < best.seconds) {

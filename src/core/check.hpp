@@ -18,6 +18,14 @@
 // annotated member is only touched inside methods that visibly take `mu`,
 // and its mutex-annotate pass requires every mutex-owning class to annotate
 // (or const/atomic-qualify) its shared mutable members.  See DESIGN.md §9.
+//
+// FEMTO_NONDET_OK(reason) is the determinism annotation (DESIGN.md §13):
+// placed inside a function body it declares that the nondeterminism sources
+// in THAT function (clock reads, env reads, thread ids, pointer hashing)
+// are observational only and can never reach numerics.  femtolint's
+// nondet-in-kernel pass treats the function as determinism-clean; without
+// the blessing, any such source reachable from a kernel-launching call
+// chain is a finding.
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +34,13 @@
 // reaches the compiler as anything but whitespace).  Placed after the
 // member name: `int count_ FEMTO_GUARDED_BY(mu_) = 0;`
 #define FEMTO_GUARDED_BY(mu)
+
+// Determinism blessing, enforced statically by femtolint (expands to
+// nothing).  The reason is part of the audit trail the same way a
+// `femtolint: allow` comment is: say WHY the nondeterminism cannot alter
+// any number a run produces.  First statement of the function it blesses:
+//   FEMTO_NONDET_OK("telemetry-only wall clock; feeds timers, never data");
+#define FEMTO_NONDET_OK(reason)
 
 namespace femto::check {
 

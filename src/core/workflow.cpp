@@ -1,23 +1,16 @@
 #include "core/workflow.hpp"
 
-#include <chrono>
 #include <sstream>
 
 #include "fio/propagator_io.hpp"
 #include "lattice/gauge.hpp"
 #include "obs/log.hpp"
 #include "obs/trace.hpp"
+#include "obs/wallclock.hpp"
 
 namespace femto::core {
 
 namespace {
-
-double elapsed_since(
-    const std::chrono::steady_clock::time_point& t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       t0)
-      .count();
-}
 
 // The workflow stages pass locals across stage boundaries, so the RAII
 // trace scope does not fit; stages push their spans explicitly off the
@@ -53,16 +46,16 @@ WorkflowReport run_workflow(const WorkflowOptions& opts) {
                     "config " << cfg + 1 << "/" << opts.n_configs
                               << " starting");
     // --- stage 1: gluonic field ------------------------------------------
-    auto t0 = std::chrono::steady_clock::now();
+    obs::Stopwatch sw;
     auto s0 = stage_begin();
     auto u = std::make_shared<GaugeField<double>>(quenched_config(
         geom, opts.beta, opts.thermalization,
         opts.seed + static_cast<std::uint64_t>(cfg) * 1000));
-    rep.seconds_gauge += elapsed_since(t0);
+    rep.seconds_gauge += sw.seconds();
     stage_end("gauge", s0);
 
     // --- stage 2: propagator solves ---------------------------------------
-    t0 = std::chrono::steady_clock::now();
+    sw.restart();
     s0 = stage_begin();
     SolverParams sp;
     sp.tol = opts.solver_tol;
@@ -83,11 +76,11 @@ WorkflowReport run_workflow(const WorkflowOptions& opts) {
       rep.solver_iterations += fstats.total_iterations;
       rep.all_converged = rep.all_converged && fstats.all_converged;
     }
-    rep.seconds_propagators += elapsed_since(t0);
+    rep.seconds_propagators += sw.seconds();
     stage_end("propagators", s0);
 
     // --- stage 3: write propagators (I/O) ---------------------------------
-    t0 = std::chrono::steady_clock::now();
+    sw.restart();
     s0 = stage_begin();
     const std::string fname = opts.scratch_dir + "/prop_cfg" +
                               std::to_string(cfg) + ".femto";
@@ -116,11 +109,11 @@ WorkflowReport run_workflow(const WorkflowOptions& opts) {
               f, "up_s" + std::to_string(s) + "c" + std::to_string(c),
               up_loaded.column(s, c));
     }
-    rep.seconds_io += elapsed_since(t0);
+    rep.seconds_io += sw.seconds();
     stage_end("propagator_io", s0);
 
     // --- stage 4: contractions (CPU) --------------------------------------
-    t0 = std::chrono::steady_clock::now();
+    sw.restart();
     s0 = stage_begin();
     const SpinMat pol = polarized_projector();
     const auto c2 = nucleon_two_point(up_loaded, up_loaded, pol, 0);
@@ -132,11 +125,11 @@ WorkflowReport run_workflow(const WorkflowOptions& opts) {
                                               pol, 0);
       rep.geff.push_back(fh_effective_coupling_series(c2, cfh));
     }
-    rep.seconds_contractions += elapsed_since(t0);
+    rep.seconds_contractions += sw.seconds();
     stage_end("contractions", s0);
 
     // --- stage 5: write results (I/O) --------------------------------------
-    t0 = std::chrono::steady_clock::now();
+    sw.restart();
     s0 = stage_begin();
     {
       fio::File f;
@@ -145,7 +138,7 @@ WorkflowReport run_workflow(const WorkflowOptions& opts) {
       f.save(opts.scratch_dir + "/corr_cfg" + std::to_string(cfg) +
              ".femto");
     }
-    rep.seconds_io += elapsed_since(t0);
+    rep.seconds_io += sw.seconds();
     stage_end("result_io", s0);
   }
   if (rep.all_converged)

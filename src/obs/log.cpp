@@ -7,11 +7,16 @@
 #include <cstring>
 #include <mutex>
 
+#include "core/check.hpp"
+
 namespace femto::obs {
 
 namespace {
 
 std::int64_t clock_base_ns() {
+  FEMTO_NONDET_OK(
+      "process timebase for log/trace timestamps: the value only offsets "
+      "telemetry output and never reaches numerics or control flow");
   // First call pins the process timebase; steady_clock so spans and log
   // timestamps never go backwards.
   static const std::int64_t base =
@@ -65,6 +70,9 @@ void stderr_sink(LogLevel /*level*/, const char* /*category*/,
 }  // namespace
 
 std::int64_t uptime_ns() {
+  FEMTO_NONDET_OK(
+      "monotone span clock for FEMTO_LOG_* timestamps and trace spans: "
+      "consumed only by femtoscope output, never by numerics");
   // Pin the base BEFORE reading the clock: on the very first call the
   // other order would produce a (slightly) negative uptime, which
   // TraceScope interprets as "tracing was disabled at construction".

@@ -43,6 +43,9 @@ namespace detail {
 std::atomic<int> g_trace_state{-1};
 
 bool trace_enabled_slow() {
+  FEMTO_NONDET_OK(
+      "one-shot FEMTO_TRACE toggle: decides only whether trace spans are "
+      "recorded; kernels compute identical results either way");
   int expected = -1;
   const char* e = std::getenv("FEMTO_TRACE");
   const int from_env =

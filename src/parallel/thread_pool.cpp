@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 #include "obs/metrics.hpp"
 
@@ -11,9 +12,24 @@ namespace {
 // The pool (if any) whose worker is executing on this thread.  Used to run
 // re-entrant launches inline rather than deadlocking on the launch mutex.
 thread_local const ThreadPool* t_current_pool = nullptr;
+
+// Upper bound on reduction partials.  The reduce decomposition must be a
+// pure function of the range (never of the worker count) for sums to be
+// bitwise identical across thread counts; the cap keeps the partial buffer
+// and the serial combination loop small on huge ranges.
+constexpr std::size_t kReduceChunks = 64;
 }  // namespace
 
 std::size_t default_thread_count() {
+  // FEMTO_THREADS pins the worker count: the knob CI and the
+  // cross-thread-count determinism test turn (they re-run the same solve
+  // under FEMTO_THREADS=1/2/7 and demand identical bits).
+  if (const char* e = std::getenv("FEMTO_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(e, &end, 10);
+    if (end != e && *end == '\0' && v >= 1)
+      return static_cast<std::size_t>(v);
+  }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
@@ -154,7 +170,11 @@ void ThreadPool::parallel_reduce_n(
   if (begin >= end) return;
   const std::size_t n = end - begin;
   grain = std::max<std::size_t>(grain, 1);
-  std::size_t n_chunks = std::min(n_threads_, (n + grain - 1) / grain);
+  // Decomposition depends on (n, grain) only -- NOT on n_threads_ -- so
+  // the partial boundaries, and with them every bit of the sum, are the
+  // same whether the pool has 1 worker or 64.  Scheduling still adapts to
+  // the pool through the inner parallel_for_chunked over chunk ids.
+  std::size_t n_chunks = std::min(kReduceChunks, (n + grain - 1) / grain);
   n_chunks = std::max<std::size_t>(n_chunks, 1);
 
   std::vector<double> partials(n_chunks * ncomp, 0.0);
@@ -168,7 +188,7 @@ void ThreadPool::parallel_reduce_n(
       },
       1);
 
-  // Fixed chunk order => deterministic for a given thread count.
+  // Fixed chunk order => deterministic for any thread count.
   for (std::size_t c = 0; c < n_chunks; ++c)
     for (std::size_t k = 0; k < ncomp; ++k) out[k] += partials[c * ncomp + k];
 }

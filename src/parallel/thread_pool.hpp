@@ -7,10 +7,11 @@
 // The pool exposes the two primitives the kernels need:
 //
 //   * parallel_for(begin, end, body)   -- static partition of an index range
-//   * parallel_reduce(begin, end, ...) -- per-thread partials combined in a
-//     fixed order, so reductions are bitwise deterministic for a given
-//     thread count (mirroring QUDA's deterministic double-precision
-//     reductions, which the mixed-precision solver relies on).
+//   * parallel_reduce(begin, end, ...) -- per-chunk partials combined in a
+//     fixed order over a decomposition that depends only on the range, so
+//     reductions are bitwise identical for ANY worker count (mirroring
+//     QUDA's deterministic double-precision reductions, which the
+//     mixed-precision solver relies on; see DESIGN.md §13).
 //
 // Worker threads park on a condition variable between kernels.  A kernel
 // launch costs roughly one mutex round-trip per worker; the autotuner
@@ -29,8 +30,9 @@
 
 namespace femto::par {
 
-/// Number of workers to use when the caller does not specify: the hardware
-/// concurrency, with a floor of 1.
+/// Number of workers to use when the caller does not specify: the value of
+/// the FEMTO_THREADS environment variable when set to a positive integer,
+/// otherwise the hardware concurrency, with a floor of 1.
 std::size_t default_thread_count();
 
 /// A persistent pool of worker threads executing range-based kernels.
@@ -90,9 +92,9 @@ class ThreadPool {
   /// Unlike parallel_reduce, the body is free to MUTATE the data it walks:
   /// chunks are disjoint and each is visited by exactly one worker, so a
   /// fused update+reduce kernel (y += a*x accumulating ||y||^2) is race-free
-  /// and, with the fixed combination order, bitwise deterministic for a
-  /// given thread count.  This is the primitive behind the fused BLAS
-  /// kernels in lattice/blas.hpp.
+  /// and, with the thread-count-independent decomposition and the fixed
+  /// combination order, bitwise deterministic for any worker count.  This
+  /// is the primitive behind the fused BLAS kernels in lattice/blas.hpp.
   void parallel_reduce_n(
       std::size_t begin, std::size_t end, std::size_t ncomp,
       const std::function<void(std::size_t, std::size_t, double*)>& chunk_body,

@@ -1,10 +1,11 @@
 #include "service/solve_service.hpp"
 
-#include <chrono>
+#include <algorithm>
 #include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/wallclock.hpp"
 
 namespace femto {
 
@@ -55,6 +56,11 @@ void SolveService::drain() {
   cv_idle_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+std::size_t SolveService::effective_max_batch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return effective_max_batch_;
+}
+
 std::size_t SolveService::pending() const {
   std::lock_guard<std::mutex> lk(mu_);
   return queue_.size();
@@ -80,12 +86,13 @@ void SolveService::worker_loop() {
 
 std::vector<SolveService::Item> SolveService::take_batch_locked() {
   // femtolint: allow(guarded-by): private helper; every caller holds mu_.
+  const std::size_t cap = effective_max_batch_;
   std::vector<Item> batch;
   batch.push_back(std::move(queue_.front()));
   queue_.pop_front();
   const SolveRequest& head = batch.front().req;
   for (auto it = queue_.begin();
-       it != queue_.end() && batch.size() < cfg_.max_batch;) {
+       it != queue_.end() && batch.size() < cap;) {
     if (it->req.u.get() == head.u.get() && it->req.params == head.params) {
       batch.push_back(std::move(*it));
       it = queue_.erase(it);
@@ -115,8 +122,16 @@ DwfSolver& SolveService::solver_for(const SolveRequest& req) {
   DwfSolver& solver = *solvers_.back().solver;
   lk.unlock();
   // Batched solves want the multi-RHS sweep: batch size is an autotune
-  // dimension alongside grain and variant (see DslashMultiTunable).
-  if (cfg_.autotune) solver.autotune_multi(cfg_.max_batch);
+  // dimension alongside grain and variant (see DslashMultiTunable), and
+  // the sweet spot it measures becomes the live batching bound.
+  if (cfg_.autotune) {
+    const std::size_t best = solver.autotune_multi(cfg_.max_batch);
+    std::lock_guard<std::mutex> tuned_lk(mu_);
+    effective_max_batch_ =
+        std::min(cfg_.max_batch, std::max<std::size_t>(best, 1));
+    obs::gauge("solve_service.effective_max_batch")
+        .set(static_cast<double>(effective_max_batch_));
+  }
   return solver;
 }
 
@@ -134,7 +149,7 @@ void SolveService::run_batch(std::vector<Item> batch) {
   FEMTO_TRACE_SCOPE("service", "solve_batch");
   const std::size_t nb = batch.size();
   DwfSolver& solver = solver_for(batch.front().req);
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch sw;
 
   std::vector<std::shared_ptr<SpinorField<double>>> xs;
   std::vector<SolveResult> stats;
@@ -157,9 +172,7 @@ void SolveService::run_batch(std::vector<Item> batch) {
     error = std::current_exception();
   }
   release_solver(solver);
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  const double secs = sw.seconds();
 
   for (std::size_t r = 0; r < nb; ++r) {
     if (ok)

@@ -10,6 +10,10 @@
 // (same gauge field, same operator params — i.e. the same preconditioned
 // system) up to a tunable max batch B, and run them through
 // DwfSolver::solve_multi so the B solves share every gauge-link load.
+// With autotune on, the first solver build sweeps the multi-RHS grid and
+// the measured sweet-spot batch size becomes the live bound (clamped to
+// [1, max_batch]) — the queue stops growing batches past the point the
+// sweep found counter-productive.
 //
 // Batching policy: a worker pops the oldest pending request, then scans
 // the rest of the queue in FIFO order pulling every compatible request
@@ -30,6 +34,7 @@
 //   solve_service.batch_size    histogram, one observation per batch
 //   solve_service.throughput    gauge, completed solves / busy second
 //   solve_service.submitted / .completed / .batches   counters
+//   solve_service.effective_max_batch   gauge, the live batching bound
 
 #include <condition_variable>
 #include <cstdint>
@@ -90,6 +95,11 @@ class SolveService {
   /// Pending (not yet claimed) requests.
   std::size_t pending() const;
 
+  /// The live greedy batching bound: config().max_batch until the first
+  /// autotuned solver build replaces it with the multi-RHS sweep's
+  /// measured sweet spot (always within [1, config().max_batch]).
+  std::size_t effective_max_batch() const;
+
   const SolveServiceConfig& config() const { return cfg_; }
 
  private:
@@ -133,6 +143,7 @@ class SolveService {
   double busy_seconds_ FEMTO_GUARDED_BY(mu_) = 0.0;
   bool stopping_ FEMTO_GUARDED_BY(mu_) = false;
   std::vector<SolverEntry> solvers_ FEMTO_GUARDED_BY(mu_);
+  std::size_t effective_max_batch_ FEMTO_GUARDED_BY(mu_) = cfg_.max_batch;
 
   std::vector<std::thread> workers_;
 };

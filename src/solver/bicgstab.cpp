@@ -5,6 +5,7 @@
 #include "core/check.hpp"
 #include "lattice/flops.hpp"
 #include "obs/trace.hpp"
+#include "obs/wallclock.hpp"
 #include "solver/solver_obs.hpp"
 
 namespace femto {
@@ -15,7 +16,7 @@ SolveResult bicgstab(const ApplyFn<T>& a, SpinorField<T>& x,
                      std::size_t blas_grain) {
   FEMTO_TRACE_SCOPE("solver", "bicgstab");
   SolveResult res;
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch sw;
   const std::int64_t flops0 = flops::get();
   const std::int64_t bytes0 = flops::bytes();
   const std::size_t g = blas_grain == 0 ? blas::kGrain : blas_grain;
@@ -91,9 +92,7 @@ SolveResult bicgstab(const ApplyFn<T>& a, SpinorField<T>& x,
 
   res.converged = r2 <= target;
   res.final_rel_residual = std::sqrt(r2 / b2);
-  res.seconds = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
+  res.seconds = sw.seconds();
   res.flop_count = flops::get() - flops0;
   res.byte_count = flops::bytes() - bytes0;
   solver_obs::record("bicgstab", res);

@@ -1,12 +1,12 @@
 #include "solver/block_cg.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
 #include "core/check.hpp"
 #include "lattice/flops.hpp"
 #include "obs/trace.hpp"
+#include "obs/wallclock.hpp"
 #include "solver/half.hpp"
 #include "solver/solver_obs.hpp"
 
@@ -69,7 +69,7 @@ std::vector<SolveResult> block_cg(const MultiApplyFn<T>& a,
   FEMTO_ASSERT(b.size() == nb);
   std::vector<SolveResult> results(nb);
   if (nb == 0) return results;
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch sw;
   const std::int64_t flops0 = flops::get();
   const std::int64_t bytes0 = flops::bytes();
   const std::size_t g = resolve_grain(blas_grain);
@@ -167,9 +167,7 @@ std::vector<SolveResult> block_cg(const MultiApplyFn<T>& a,
     results[i].final_rel_residual = std::sqrt(rsq[i] / b2[i]);
   }
   finalize_block(results, "block_cg",
-                 std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - t0)
-                     .count(),
+                 sw.seconds(),
                  flops::get() - flops0, flops::bytes() - bytes0);
   return results;
 }
@@ -211,7 +209,7 @@ std::vector<SolveResult> block_mixed_cg(
   FEMTO_ASSERT(b.size() == nb);
   std::vector<SolveResult> results(nb);
   if (nb == 0) return results;
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch sw;
   const std::int64_t flops0 = flops::get();
   const std::int64_t bytes0 = flops::bytes();
   const std::size_t g = resolve_grain(params.blas_grain);
@@ -418,9 +416,7 @@ std::vector<SolveResult> block_mixed_cg(
     results[i].final_rel_residual = std::sqrt(st[i].r2_d / st[i].b2);
   }
   finalize_block(results, "block_mixed_cg",
-                 std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - t0)
-                     .count(),
+                 sw.seconds(),
                  flops::get() - flops0, flops::bytes() - bytes0);
   return results;
 }

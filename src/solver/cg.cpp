@@ -6,6 +6,7 @@
 #include "core/check.hpp"
 #include "lattice/flops.hpp"
 #include "obs/trace.hpp"
+#include "obs/wallclock.hpp"
 #include "solver/half.hpp"
 #include "solver/solver_obs.hpp"
 
@@ -48,7 +49,7 @@ SolveResult cg(const ApplyFn<T>& a, SpinorField<T>& x,
                std::size_t blas_grain) {
   FEMTO_TRACE_SCOPE("solver", "cg");
   SolveResult res;
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch sw;
   const std::int64_t flops0 = flops::get();
   const std::int64_t bytes0 = flops::bytes();
   const std::size_t g = resolve_grain(blas_grain);
@@ -90,9 +91,7 @@ SolveResult cg(const ApplyFn<T>& a, SpinorField<T>& x,
 
   res.converged = rsq <= target;
   res.final_rel_residual = std::sqrt(rsq / b2);
-  res.seconds = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
+  res.seconds = sw.seconds();
   res.flop_count = flops::get() - flops0;
   res.byte_count = flops::bytes() - bytes0;
   solver_obs::record("cg", res);
@@ -105,7 +104,7 @@ SolveResult mixed_cg(const ApplyFn<double>& a_double,
                      const SolverParams& params) {
   FEMTO_TRACE_SCOPE("solver", "mixed_cg");
   SolveResult res;
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch sw;
   const std::int64_t flops0 = flops::get();
   const std::int64_t bytes0 = flops::bytes();
   const std::size_t g = resolve_grain(params.blas_grain);
@@ -203,9 +202,7 @@ SolveResult mixed_cg(const ApplyFn<double>& a_double,
 
   res.converged = r2_d <= target;
   res.final_rel_residual = std::sqrt(r2_d / b2);
-  res.seconds = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
+  res.seconds = sw.seconds();
   res.flop_count = flops::get() - flops0;
   res.byte_count = flops::bytes() - bytes0;
   solver_obs::record("mixed_cg", res);

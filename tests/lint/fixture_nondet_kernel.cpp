@@ -1,0 +1,25 @@
+// femtolint-expect: nondet-in-kernel
+//
+// A raw clock read in a function that launches a parallel kernel: the
+// value is produced inside the same dynamic extent as kernel work, where
+// it can leak into numerics or control flow that varies run to run.
+// Telemetry timing must go through obs::Stopwatch / obs::wall_seconds()
+// (the one audited chokepoint, src/obs/wallclock.hpp), or the function
+// must be blessed with FEMTO_NONDET_OK(reason).
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+namespace femto {
+
+double timed_scale(std::vector<double>& y, double a) {
+  const auto t0 = std::chrono::steady_clock::now();
+  par::parallel_for(0, y.size(), [&](std::size_t i) { y[i] *= a; });
+  flops::add_bytes(16 * static_cast<long long>(y.size()));
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+}  // namespace femto

@@ -1,0 +1,23 @@
+// femtolint-expect: unordered-iteration-emit
+//
+// Iterating an unordered container straight into a report: the emit order
+// is the hash-table order, which varies with the standard library
+// version, insertion history, and (for pointer keys) addresses -- so the
+// written artifact is not reproducible run to run.  Materialize and sort
+// first: a loop that only COLLECTS keys into a vector (sorted before a
+// second, ordered, emitting loop) passes this rule.
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+namespace femto {
+
+void dump_counters(const std::unordered_map<std::string, long>& counters,
+                   std::FILE* f) {
+  for (const auto& [name, value] : counters) {
+    std::fprintf(f, "%s=%ld\n", name.c_str(), value);
+  }
+}
+
+}  // namespace femto

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <string>
 #include <vector>
 
 namespace femto::par {
@@ -178,9 +180,10 @@ TEST(ThreadPool, ReduceNBodyMayMutateData) {
   for (const double v : vals) ASSERT_EQ(v, 3.0);
 }
 
-TEST(ThreadPool, ReduceNDeterministicPerThreadCountSweep) {
-  // For every thread count: repeated runs are bit-identical (fixed chunk
-  // order), and counts agree with each other to rounding.
+TEST(ThreadPool, ReduceNDeterministicAcrossThreadCountSweep) {
+  // Repeated runs are bit-identical, and -- because the chunk
+  // decomposition depends only on the range -- so are runs under
+  // different worker counts.
   std::vector<double> vals(50000);
   for (std::size_t i = 0; i < vals.size(); ++i)
     vals[i] = 1.0 / static_cast<double>(i + 1);
@@ -216,9 +219,27 @@ TEST(ThreadPool, ReduceNDeterministicPerThreadCountSweep) {
       EXPECT_EQ(again.first, first.first) << "threads=" << nt;
       EXPECT_EQ(again.second, first.second) << "threads=" << nt;
     }
-    EXPECT_NEAR(first.first, ref_s, 1e-12 * ref_s) << "threads=" << nt;
-    EXPECT_NEAR(first.second, ref_q, 1e-12 * ref_q) << "threads=" << nt;
+    EXPECT_EQ(first.first, ref_s) << "threads=" << nt;
+    EXPECT_EQ(first.second, ref_q) << "threads=" << nt;
   }
+}
+
+TEST(ThreadPool, DefaultThreadCountReadsFemtoThreads) {
+  // FEMTO_THREADS pins the default worker count (the cross-thread-count
+  // golden determinism test re-execs itself under it); garbage or zero
+  // falls back to the hardware concurrency.
+  const char* saved = std::getenv("FEMTO_THREADS");
+  const std::string restore = saved ? saved : "";
+  setenv("FEMTO_THREADS", "5", 1);
+  EXPECT_EQ(default_thread_count(), 5u);
+  setenv("FEMTO_THREADS", "0", 1);
+  EXPECT_GE(default_thread_count(), 1u);
+  setenv("FEMTO_THREADS", "banana", 1);
+  EXPECT_GE(default_thread_count(), 1u);
+  if (saved)
+    setenv("FEMTO_THREADS", restore.c_str(), 1);
+  else
+    unsetenv("FEMTO_THREADS");
 }
 
 TEST(GlobalHelpers, ParallelForAndReduce) {

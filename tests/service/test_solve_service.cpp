@@ -191,5 +191,35 @@ TEST(SolveService, MetricsAndDestructorDrain) {
       0);
 }
 
+TEST(SolveService, AutotunedBatchBoundFeedsBack) {
+  auto u = make_gauge(406);
+  SolveServiceConfig cfg;
+  cfg.max_batch = 4;
+  cfg.autotune = true;
+  cfg.solver.tol = 1e-8;
+
+  SolveService svc(cfg);
+  // Before any solver is built the bound is the configured cap.
+  EXPECT_EQ(svc.effective_max_batch(), cfg.max_batch);
+
+  std::vector<std::future<SolveOutcome>> futs;
+  std::vector<std::shared_ptr<const SpinorField<double>>> b;
+  for (std::uint64_t r = 0; r < 4; ++r) {
+    b.push_back(make_source(u, 460 + r));
+    futs.push_back(svc.submit(SolveRequest{u, kParams, b.back()}));
+  }
+  svc.drain();
+  for (auto& f : futs) EXPECT_TRUE(f.get().stats.converged);
+
+  // The first solver build ran autotune_multi and installed the sweep's
+  // sweet spot as the live bound, clamped to [1, max_batch].
+  EXPECT_GE(svc.effective_max_batch(), 1u);
+  EXPECT_LE(svc.effective_max_batch(), cfg.max_batch);
+  EXPECT_EQ(obs::Registry::global()
+                .gauge("solve_service.effective_max_batch")
+                .get(),
+            static_cast<double>(svc.effective_max_batch()));
+}
+
 }  // namespace
 }  // namespace femto

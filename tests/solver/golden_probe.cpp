@@ -1,0 +1,59 @@
+// Golden-determinism probe: runs one small mixed-precision CG solve on the
+// GLOBAL thread pool (so FEMTO_THREADS controls the worker count) and
+// prints a bitwise fingerprint of the outcome on one line:
+//
+//   fnv=<16-hex FNV-1a over the solution doubles> iters=<n> converged=<0|1>
+//
+// test_determinism.cpp re-execs this binary under FEMTO_THREADS=1/2/7 and
+// the inherited default and compares the lines verbatim: the femtoverse
+// reproducibility contract (DESIGN.md §13) says the bits may not depend on
+// how many workers happened to run the kernels.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "lattice/gauge.hpp"
+#include "solver/dwf_solve.hpp"
+
+namespace {
+
+std::uint64_t fnv1a(const double* d, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, d + i, sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      h ^= (bits >> (8 * b)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  using namespace femto;
+  auto geom = std::make_shared<Geometry>(4, 4, 4, 4);
+  const MobiusParams params{6, -1.8, 1.5, 0.5, 0.1};
+
+  auto u = std::make_shared<GaugeField<double>>(geom);
+  weak_gauge(*u, 2027, 0.25);
+
+  SpinorField<double> b(geom, params.l5, Subset::Full);
+  b.gaussian(4091);
+  SpinorField<double> x(geom, params.l5, Subset::Full);
+
+  SolverParams sp;
+  sp.tol = 1e-10;
+  DwfSolver solver(u, params, sp);
+  const SolveResult res = solver.solve(x, b);
+
+  std::printf("fnv=%016" PRIx64 " iters=%d converged=%d\n",
+              fnv1a(x.data(), static_cast<std::size_t>(x.reals())),
+              res.iterations, res.converged ? 1 : 0);
+  return 0;
+}

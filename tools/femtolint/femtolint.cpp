@@ -10,6 +10,11 @@
 //   race-shared-accum  no compound assignment to captured scalars inside
 //                      parallel_for / parallel_for_chunked bodies;
 //                      reductions must go through parallel_reduce*
+//   fp-accumulation-discipline
+//                      inside parallel_reduce* chunk bodies, FP partials
+//                      accumulate into the per-chunk slot (or a local),
+//                      never a captured scalar: the fixed chunk-order
+//                      combination is what makes sums reproducible
 //   no-std-rand        no std::rand / srand / rand(): kernels must use the
 //                      counter-based Xoshiro256 (reproducible per site)
 //   no-naked-new       no naked new / delete in kernel code; containers or
@@ -35,6 +40,21 @@
 //   mutex-annotate     mutex-owning classes annotate all shared mutable
 //                      members
 //
+// Effect-inference passes (v3, DESIGN.md §13): per-function effect sets
+// (launches_parallel, fp_accumulates, nondet_source, unordered_iteration,
+// emits_output) extracted per file and propagated transitively over the
+// name-based call graph:
+//   nondet-in-kernel   no unblessed nondeterminism source (std::chrono
+//                      *::now, get_id, std::random_device, getenv, pointer
+//                      hashing) on or beside a kernel-launching call
+//                      chain; FEMTO_NONDET_OK(reason) blesses a function
+//   unordered-iteration-emit
+//                      a range-for over an unordered_{map,set,...} whose
+//                      body writes output (directly or via a transitively
+//                      emitting callee) must iterate a sorted view
+//   unused-suppression a stale allow / allow-file directive (one that no
+//                      longer suppresses anything) is itself a finding
+//
 // Suppression: `// femtolint: allow(<rule>): reason` on the offending line
 // or within the three lines above it, or
 // `// femtolint: allow-file(<rule>): reason` anywhere in the file.
@@ -49,6 +69,7 @@
 // findings are sorted (file, line, rule, message), so output is
 // deterministic for any thread count.
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -127,7 +148,8 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-void print_json(const std::vector<Finding>& all, std::size_t n_files) {
+void print_json(const std::vector<Finding>& all, std::size_t n_files,
+                const femtolint::EffectStats& es, double effect_pass_ms) {
   std::printf("{\n  \"files\": %zu,\n  \"findings\": [", n_files);
   for (std::size_t i = 0; i < all.size(); ++i) {
     const Finding& f = all[i];
@@ -137,7 +159,14 @@ void print_json(const std::vector<Finding>& all, std::size_t n_files) {
         i == 0 ? "" : ",", json_escape(f.file).c_str(), f.line,
         f.rule.c_str(), json_escape(f.message).c_str());
   }
-  std::printf("%s]\n}\n", all.empty() ? "" : "\n  ");
+  std::printf("%s],\n", all.empty() ? "" : "\n  ");
+  std::printf(
+      "  \"effect_pass_ms\": %.3f,\n"
+      "  \"effects\": {\"functions\": %zu, \"launching\": %zu, "
+      "\"nondet_sources\": %zu, \"emitting\": %zu, \"fp_accumulating\": "
+      "%zu, \"unordered_names\": %zu}\n}\n",
+      effect_pass_ms, es.functions, es.launching, es.nondet_sources,
+      es.emitting, es.fp_accumulating, es.unordered_names);
 }
 
 // ---------------------------------------------------------------------------
@@ -164,10 +193,14 @@ int self_test(const std::string& dir, const LayerSpec& spec) {
     if (!has_directive) continue;
     ++n_fixtures;
     std::vector<Finding> findings;
-    femtolint::run_file_rules(s, findings);
     Program prog;
     prog.sources.push_back(s);
+    // Rules mark suppressions used on prog's copy; run everything against
+    // it so the unused-suppression audit sees the same marks.
+    femtolint::run_file_rules(prog.sources.front(), findings);
     femtolint::run_program_rules(prog, spec, findings);
+    femtolint::run_effect_rules(prog, findings);
+    femtolint::run_unused_suppression_rule(prog, findings);
     std::set<std::string> got;
     for (const Finding& f : findings) got.insert(f.rule);
     if (want == got) {
@@ -247,10 +280,18 @@ int main(int argc, char** argv) {
   std::vector<Finding> all;
   const Program prog = scan(files, threads, all);
   femtolint::run_program_rules(prog, spec, all);
+  femtolint::EffectStats es;
+  const auto e0 = std::chrono::steady_clock::now();
+  femtolint::run_effect_rules(prog, all, &es);
+  const double effect_pass_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - e0)
+          .count();
+  femtolint::run_unused_suppression_rule(prog, all);
   femtolint::sort_findings(all);
 
   if (json) {
-    print_json(all, files.size());
+    print_json(all, files.size(), es, effect_pass_ms);
   } else {
     for (const Finding& f : all)
       std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),

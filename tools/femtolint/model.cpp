@@ -18,10 +18,104 @@ bool is_launch_name(const std::string& s) {
   return false;
 }
 
+bool is_reduce_name(const std::string& s) {
+  return s == "parallel_reduce" || s == "parallel_reduce2" ||
+         s == "parallel_reduce_n";
+}
+
+// Direct output: stream objects and C stdio writers.  String builders
+// (ostringstream) are not output until something writes them.
+const char* kEmitNames[] = {"ofstream", "fopen",  "freopen", "fprintf",
+                            "vfprintf", "printf", "puts",    "fputs",
+                            "fputc",    "putc",   "fwrite",  "cout",
+                            "cerr",     "clog"};
+
+bool is_emit_name(const std::string& s) {
+  for (const char* n : kEmitNames)
+    if (s == n) return true;
+  return false;
+}
+
+const char* kUnorderedNames[] = {"unordered_map", "unordered_set",
+                                 "unordered_multimap", "unordered_multiset"};
+
+bool is_unordered_name(const std::string& s) {
+  for (const char* n : kUnorderedNames)
+    if (s == n) return true;
+  return false;
+}
+
 bool is_control_kw(const std::string& s) {
   return s == "if" || s == "for" || s == "while" || s == "switch" ||
          s == "catch" || s == "return" || s == "sizeof" || s == "alignof" ||
          s == "decltype" || s == "static_assert";
+}
+
+// Token index just past a template argument list opening at @p open
+// (which must be '<'); @p n bounds the scan.
+std::size_t skip_angle_list(const std::vector<Token>& t, std::size_t open,
+                            std::size_t n) {
+  int depth = 0;
+  for (std::size_t i = open; i < n; ++i) {
+    if (t[i].kind != Tok::Punct) continue;
+    const std::string& p = t[i].text;
+    if (p == "<")
+      ++depth;
+    else if (p == ">")
+      --depth;
+    else if (p == ">>")
+      depth -= 2;
+    else if (p == "<<")
+      depth += 2;
+    else if (p == ";")
+      return i;  // torn list: bail at statement end
+    if (depth <= 0) return i + 1;
+  }
+  return n;
+}
+
+// Names declared with an unordered container type, one alias hop deep.
+// `std::unordered_map<K, V> counts;` records `counts`;
+// `using Cache = std::unordered_map<K, V>;` + `Cache cache_;` records
+// `cache_`; an accessor `const std::unordered_map<K, V>& cache() const`
+// records `cache` (iterating its result is iterating the container).
+std::set<std::string> find_unordered_names(const std::vector<Token>& t) {
+  const std::size_t n = t.size();
+  std::set<std::string> aliases;
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    if (!is_ident(t[k], "using") || t[k + 1].kind != Tok::Ident ||
+        !is_punct(t[k + 2], "="))
+      continue;
+    for (std::size_t j = k + 3; j < n && !is_punct(t[j], ";"); ++j)
+      if (t[j].kind == Tok::Ident && is_unordered_name(t[j].text)) {
+        aliases.insert(t[k + 1].text);
+        break;
+      }
+  }
+  std::set<std::string> names;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (t[k].kind != Tok::Ident) continue;
+    if (!is_unordered_name(t[k].text) && aliases.count(t[k].text) == 0)
+      continue;
+    std::size_t j = k + 1;
+    if (j < n && is_punct(t[j], "<")) j = skip_angle_list(t, j, n);
+    // Walk through nested-name, ref/pointer, and cv noise to the
+    // declarator: `>& counts`, `>::iterator it`, `> const* m`.
+    for (;;) {
+      if (j + 1 < n && is_punct(t[j], "::")) {
+        j += 2;
+        continue;
+      }
+      if (j < n && (is_punct(t[j], "&") || is_punct(t[j], "&&") ||
+                    is_punct(t[j], "*") || is_ident(t[j], "const"))) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (j < n && t[j].kind == Tok::Ident) names.insert(t[j].text);
+  }
+  return names;
 }
 
 std::vector<std::string> split_path(const std::string& p) {
@@ -92,6 +186,38 @@ class Extractor {
         depth += 2;
       if (depth <= 0 && t_[i].text.find('>') != std::string::npos)
         return i + 1;
+    }
+    return n_;
+  }
+
+  // Index of the `(` opening a call of the identifier at @p k, or n_ if
+  // the identifier is not called.  Handles a plain `name(` and, so that
+  // `norm2_multi<T>(..)` counts as a call of norm2_multi, an explicit
+  // template-argument list between the name and the paren.  The list is
+  // only accepted when every token inside is type-ish (identifier,
+  // number, `::`, `,`, `*`, `&`, nested angles) and short -- anything
+  // else means `<` was a comparison, not a template bracket.
+  std::size_t call_open_paren(std::size_t k) const {
+    if (is(k + 1, "(")) return k + 1;
+    if (!is(k + 1, "<")) return n_;
+    int depth = 0;
+    const std::size_t limit = std::min(n_, k + 1 + 32);
+    for (std::size_t i = k + 1; i < limit; ++i) {
+      const Token& tk = t_[i];
+      if (tk.kind == Tok::Ident || tk.kind == Tok::Number) continue;
+      if (tk.kind != Tok::Punct) return n_;
+      if (tk.text == "<") {
+        ++depth;
+      } else if (tk.text == ">") {
+        if (--depth == 0) return is(i + 1, "(") ? i + 1 : n_;
+      } else if (tk.text == ">>") {
+        depth -= 2;
+        if (depth == 0) return is(i + 1, "(") ? i + 1 : n_;
+        if (depth < 0) return n_;
+      } else if (tk.text != "::" && tk.text != "," && tk.text != "*" &&
+                 tk.text != "&") {
+        return n_;
+      }
     }
     return n_;
   }
@@ -294,18 +420,128 @@ class Extractor {
         fn.charges = true;
         continue;
       }
-      if (k + 1 <= fn.body_end && is(k + 1, "(")) {
+      if (w == "FEMTO_NONDET_OK") {
+        fn.nondet_ok = true;
+        continue;
+      }
+      scan_nondet(fn, k);
+      if (is_emit_name(w) && !fn.emits) {
+        fn.emits = true;
+        fn.first_emit_line = t_[k].line;
+        fn.first_emit_what = w;
+      }
+      if (w == "for" && is(k + 1, "(")) scan_range_for(fn, k + 1);
+      if (call_open_paren(k) <= fn.body_end) {
         if (is_launch_name(w)) {
           if (!fn.launches) {
             fn.launches = true;
             fn.first_launch_line = t_[k].line;
             fn.first_launch_name = w;
           }
+          if (is_reduce_name(w)) fn.fp_accumulates = true;
         } else if (!is_control_kw(w)) {
           fn.callees.insert(w);
+          if (w == "sum_ordered") fn.fp_accumulates = true;
         }
       }
     }
+  }
+
+  // Direct nondeterminism sources at token k (an identifier): clock reads,
+  // thread ids, random_device, env reads, pointer hashing.  rand/srand are
+  // left to the dedicated no-std-rand rule.
+  void scan_nondet(FunctionInfo& fn, std::size_t k) {
+    const std::string& w = t_[k].text;
+    const auto add = [&](const std::string& what) {
+      fn.nondet_sources.push_back({t_[k].line, what});
+    };
+    if (w == "now" && k >= 2 && is(k - 1, "::") && ident_at(k - 2) &&
+        is(k + 1, "(")) {
+      const std::string& c = t_[k - 2].text;
+      if (c == "steady_clock" || c == "system_clock" ||
+          c == "high_resolution_clock")
+        add("std::chrono::" + c + "::now()");
+      return;
+    }
+    if (w == "get_id" && is(k + 1, "(")) {
+      add("thread id (get_id)");
+      return;
+    }
+    if (w == "random_device") {
+      add("std::random_device");
+      return;
+    }
+    if ((w == "getenv" || w == "secure_getenv") && is(k + 1, "(")) {
+      add("environment read (" + w + ")");
+      return;
+    }
+    if (w == "hash" && is(k + 1, "<")) {
+      // std::hash<T*> hashes an address: run-to-run nondeterministic under
+      // ASLR.  Look for a '*' inside the template argument list.
+      int depth = 0;
+      for (std::size_t i = k + 1; i <= fn.body_end && i < n_; ++i) {
+        if (t_[i].kind != Tok::Punct) continue;
+        const std::string& p = t_[i].text;
+        if (p == "<")
+          ++depth;
+        else if (p == ">")
+          --depth;
+        else if (p == ">>")
+          depth -= 2;
+        else if (p == "<<")
+          depth += 2;
+        else if (p == "*" && depth >= 1) {
+          add("std::hash over a pointer type");
+          return;
+        }
+        if (depth <= 0) return;
+      }
+    }
+  }
+
+  // @p open is the '(' after a `for`.  Records a RangeFor when the
+  // parenthesised head contains a depth-1 ':' (range-based for), capturing
+  // the range expression's identifiers and the loop body's direct writes
+  // and callees.
+  void scan_range_for(FunctionInfo& fn, std::size_t open) {
+    const std::size_t close = match(open);
+    if (close >= n_) return;
+    std::size_t colon = n_;
+    int pd = 0;
+    for (std::size_t i = open; i < close; ++i) {
+      if (t_[i].kind != Tok::Punct) continue;
+      if (t_[i].text == ";") return;  // classic for, not range-based
+      if (t_[i].text == "(") ++pd;
+      if (t_[i].text == ")") --pd;
+      if (t_[i].text == ":" && pd == 1 && colon == n_) colon = i;
+    }
+    if (colon >= close) return;
+    RangeFor rf;
+    rf.line = t_[open].line;
+    for (std::size_t i = colon + 1; i < close; ++i)
+      if (t_[i].kind == Tok::Ident) rf.range_idents.insert(t_[i].text);
+    // Loop body: the '{...}' block after ')', or the single statement up
+    // to the next top-level ';'.
+    std::size_t b = close + 1, e = close;
+    if (b < n_ && is(b, "{")) {
+      e = match(b);
+    } else {
+      e = b;
+      while (e < n_ && !is(e, ";")) {
+        if (is(e, "(") || is(e, "[") || is(e, "{")) {
+          e = match(e);
+          if (e >= n_) break;
+        }
+        ++e;
+      }
+    }
+    for (std::size_t i = b; i < e && i < n_; ++i) {
+      if (t_[i].kind != Tok::Ident) continue;
+      if (is_emit_name(t_[i].text)) rf.body_emits = true;
+      if (call_open_paren(i) < e && !is_control_kw(t_[i].text))
+        rf.body_callees.insert(t_[i].text);
+    }
+    fn.range_fors.push_back(std::move(rf));
   }
 
   // -------------------------------------------------------------------------
@@ -453,12 +689,18 @@ bool Source::in_parallel_engine() const {
 }
 
 bool Source::suppressed(const std::string& rule, int line) const {
-  if (file_allows_.count(rule) != 0) return true;
-  for (int ln = line - 3; ln <= line; ++ln) {
-    auto it = line_allows_.find(ln);
-    if (it != line_allows_.end() && it->second.count(rule) != 0) return true;
+  // Mark EVERY matching directive used (overlapping duplicates are both
+  // "doing the job"; only directives that match no finding at all are
+  // stale), then report whether any matched.
+  bool hit = false;
+  for (const AllowDirective& d : allow_directives) {
+    if (d.rule != rule) continue;
+    if (d.file_scope || (line >= d.line && line <= d.end_line + 3)) {
+      d.used = true;
+      hit = true;
+    }
   }
-  return false;
+  return hit;
 }
 
 std::set<std::string> Source::expected_rules() const {
@@ -512,7 +754,8 @@ Source parse_source(std::string path, const std::string& text) {
       const std::size_t b = p + allow_file_tag.size();
       const std::size_t e = c.text.find(')', b);
       if (e != std::string::npos)
-        s.file_allows_.insert(c.text.substr(b, e - b));
+        s.allow_directives.push_back(
+            {c.line, c.end_line, c.text.substr(b, e - b), /*file_scope=*/true});
     }
     for (std::size_t p = c.text.find(allow_tag); p != std::string::npos;
          p = c.text.find(allow_tag, p + 1)) {
@@ -523,9 +766,9 @@ Source parse_source(std::string path, const std::string& text) {
       const std::size_t b = p + allow_tag.size();
       const std::size_t e = c.text.find(')', b);
       if (e == std::string::npos) continue;
-      const std::string rule = c.text.substr(b, e - b);
-      for (int ln = c.line; ln <= c.end_line; ++ln)
-        s.line_allows_[ln].insert(rule);
+      s.allow_directives.push_back({c.line, c.end_line,
+                                    c.text.substr(b, e - b),
+                                    /*file_scope=*/false});
     }
     // The module directive must open the comment (prose *mentioning* the
     // directive, as in this tool's own docs, does not reassign the file).
@@ -563,6 +806,7 @@ Source parse_source(std::string path, const std::string& text) {
         {t.text.substr(p + 1, e - p - 1), t.line, open == '<'});
   }
 
+  s.unordered_names = find_unordered_names(s.lx.tokens);
   Extractor(s.lx.tokens, s).run();
   return s;
 }

@@ -35,6 +35,26 @@ struct IncludeEdge {
   bool system = false;  // <...> include
 };
 
+/// One direct nondeterminism source in a function body (effect
+/// `nondet_source`): a clock read, env read, thread id, random_device, or
+/// pointer hashing.
+struct NondetUse {
+  int line = 0;
+  std::string what;  // e.g. "std::chrono::steady_clock::now()"
+};
+
+/// One range-based for statement in a function body; the identifiers of
+/// the range expression let the unordered-iteration-emit rule match them
+/// against unordered-container declarations program-wide, and the loop
+/// body's direct writes / callees tell it whether the iteration feeds
+/// output (directly or through a transitively-emitting helper).
+struct RangeFor {
+  int line = 0;
+  std::set<std::string> range_idents;
+  bool body_emits = false;  // stream/FILE write lexically inside the body
+  std::set<std::string> body_callees;
+};
+
 /// One named function (or method) definition.
 struct FunctionInfo {
   std::string name;        // last identifier before the parameter list
@@ -48,6 +68,17 @@ struct FunctionInfo {
   int first_launch_line = 0;
   std::string first_launch_name;
   bool charges = false;  // body contains flops::add_bytes
+
+  // Direct effects for the determinism analysis (DESIGN.md §13); the
+  // transitive closures are computed per Program by run_effect_rules.
+  std::vector<NondetUse> nondet_sources;  // effect nondet_source
+  bool nondet_ok = false;   // body carries FEMTO_NONDET_OK(reason)
+  bool emits = false;       // effect emits_output: writes a stream/FILE
+  int first_emit_line = 0;
+  std::string first_emit_what;
+  bool fp_accumulates = false;  // ordered FP accumulation (reduce family /
+                                // simd::sum_ordered)
+  std::vector<RangeFor> range_fors;  // effect unordered_iteration feed
 };
 
 /// One data member of a class.
@@ -65,6 +96,17 @@ struct ClassInfo {
   std::vector<MemberInfo> members;
 };
 
+/// One `// femtolint: allow(...)` / `allow-file(...)` comment directive.
+/// `used` is flipped by Source::suppressed() when the directive actually
+/// suppresses a finding; the unused-suppression pass reports the rest.
+struct AllowDirective {
+  int line = 0;      // first line of the carrying comment
+  int end_line = 0;  // last line of the carrying comment
+  std::string rule;
+  bool file_scope = false;
+  mutable bool used = false;
+};
+
 struct Source {
   std::string path;  // as passed on the command line
   std::string rel;   // path relative to the src/ root ("" if not under one)
@@ -74,23 +116,22 @@ struct Source {
   std::vector<IncludeEdge> includes;
   std::vector<FunctionInfo> functions;
   std::vector<ClassInfo> classes;
+  std::vector<AllowDirective> allow_directives;
+  // Names declared (anywhere in this file) with an unordered_* container
+  // type, including one alias hop (`using Cache = std::unordered_map<...>`
+  // makes both `Cache` and variables declared as `Cache` unordered).
+  std::set<std::string> unordered_names;
 
   bool is_header() const;
   bool in_parallel_engine() const;
 
   /// `// femtolint: allow(<rule>): reason` on the finding's line or the
   /// three lines above it, or `// femtolint: allow-file(<rule>): reason`
-  /// anywhere in the file.
+  /// anywhere in the file.  Marks every matching directive used.
   bool suppressed(const std::string& rule, int line) const;
 
   /// Rules named by `// femtolint-expect:` directives (self-test mode).
   std::set<std::string> expected_rules() const;
-
- private:
-  friend Source parse_source(std::string path, const std::string& text);
-  std::set<std::string> file_allows_;
-  // line -> rules allowed on [line, line+3].
-  std::map<int, std::set<std::string>> line_allows_;
 };
 
 /// Parse one file's text into the full model.

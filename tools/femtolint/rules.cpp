@@ -44,22 +44,55 @@ bool is_this_access(const Tokens& t, std::size_t i) {
 // Per-file rules.
 // ---------------------------------------------------------------------------
 
+// A name looks *declared* within [b, e) when some occurrence is preceded by
+// a type-ish token (identifier, '&', '*', or a closing '>'), or when it is
+// a later declarator in a comma list whose statement head declares
+// (`double sr = 0.0, si = 0.0;` and `Vec<double, W> racc, iacc;` declare
+// si and iacc too).  A comma reached only by leaving a '(' or '[' is an
+// argument separator, not a declarator list, and never counts.
+bool declared_in(const Tokens& t, std::size_t b, std::size_t e,
+                 const std::string& name) {
+  const auto type_ish_before = [&](std::size_t i) {
+    if (i == 0) return false;
+    const Token& p = t[i - 1];
+    return p.kind == Tok::Ident || p.text == "&" || p.text == "*" ||
+           p.text == ">" || p.text == ">>";
+  };
+  for (std::size_t i = b; i < e; ++i) {
+    if (t[i].kind != Tok::Ident || t[i].text != name || i == 0) continue;
+    if (type_ish_before(i)) return true;
+    if (!is_punct(t[i - 1], ",")) continue;
+    // Walk left to the statement start; bail if we exit a bracket first.
+    std::size_t stmt_b = b;
+    int depth = 0;
+    bool in_args = false;
+    for (std::size_t j = i - 1; j > b; --j) {
+      const Token& tk = t[j - 1];
+      if (tk.kind != Tok::Punct) continue;
+      if (tk.text == ")" || tk.text == "]") {
+        ++depth;
+      } else if (tk.text == "(" || tk.text == "[") {
+        if (depth == 0) {
+          in_args = true;
+          break;
+        }
+        --depth;
+      } else if (depth == 0 &&
+                 (tk.text == ";" || tk.text == "{" || tk.text == "}")) {
+        stmt_b = j;
+        break;
+      }
+    }
+    if (in_args) continue;
+    for (std::size_t m = stmt_b; m < i; ++m)
+      if (t[m].kind == Tok::Ident && type_ish_before(m)) return true;
+  }
+  return false;
+}
+
 void rule_race_shared_accum(const Source& s, std::vector<Finding>& out) {
   if (s.in_parallel_engine()) return;
   const Tokens& t = s.lx.tokens;
-  // A name looks *declared* within a token range when some occurrence is
-  // preceded by a type-ish token (identifier, '&', '*', or closing '>').
-  const auto declared_in = [&](std::size_t b, std::size_t e,
-                               const std::string& name) {
-    for (std::size_t i = b; i < e; ++i) {
-      if (t[i].kind != Tok::Ident || t[i].text != name || i == 0) continue;
-      const Token& p = t[i - 1];
-      if (p.kind == Tok::Ident || p.text == "&" || p.text == "*" ||
-          p.text == ">" || p.text == ">>")
-        return true;
-    }
-    return false;
-  };
 
   for (std::size_t k = 0; k + 1 < t.size(); ++k) {
     if (t[k].kind != Tok::Ident) continue;
@@ -106,8 +139,8 @@ void rule_race_shared_accum(const Source& s, std::vector<Finding>& out) {
       const std::size_t id = p - 1;
       if (is_member_access(t, id)) continue;
       const std::string& var = t[id].text;
-      if (declared_in(params_b, params_e, var)) continue;
-      if (declared_in(body_open + 1, p, var)) continue;
+      if (declared_in(t, params_b, params_e, var)) continue;
+      if (declared_in(t, body_open + 1, p, var)) continue;
       const int line = t[p].line;
       if (s.suppressed("race-shared-accum", line)) continue;
       out.push_back(
@@ -116,6 +149,79 @@ void rule_race_shared_accum(const Source& s, std::vector<Finding>& out) {
                name +
                " body: a data race, and non-deterministic even if atomic; "
                "use parallel_reduce / parallel_reduce_n"});
+    }
+  }
+}
+
+void rule_fp_accum_discipline(const Source& s, std::vector<Finding>& out) {
+  // The reduce family's chunk bodies accumulate floating point.  The only
+  // discipline that keeps results bitwise reproducible is: accumulate into
+  // the per-chunk slot (or a body-local), and let the pool combine chunks
+  // in its fixed order.  A compound assignment to a CAPTURED scalar inside
+  // a reduce body bypasses that order entirely -- it is the same defect
+  // race-shared-accum catches in parallel_for bodies, hidden inside the
+  // primitive that was supposed to prevent it.
+  if (s.in_parallel_engine()) return;
+  const Tokens& t = s.lx.tokens;
+
+  for (std::size_t k = 0; k + 1 < t.size(); ++k) {
+    if (t[k].kind != Tok::Ident) continue;
+    const std::string& name = t[k].text;
+    if (name != "parallel_reduce" && name != "parallel_reduce2" &&
+        name != "parallel_reduce_n")
+      continue;
+    if (!is_punct(t[k + 1], "(")) continue;
+    const std::size_t call_open = k + 1;
+    const std::size_t call_close = match_fwd(t, call_open);
+    if (call_close >= t.size()) continue;
+    // First '[' at paren depth 1 opens the chunk-body lambda's captures.
+    std::size_t cap = t.size();
+    int pd = 0;
+    for (std::size_t i = call_open; i < call_close; ++i) {
+      if (t[i].kind != Tok::Punct) continue;
+      if (t[i].text == "(") ++pd;
+      if (t[i].text == ")") --pd;
+      if (t[i].text == "[" && pd == 1) {
+        cap = i;
+        break;
+      }
+    }
+    if (cap >= t.size()) continue;
+    const std::size_t cap_end = match_fwd(t, cap);
+    if (cap_end >= t.size()) continue;
+    std::size_t i = cap_end + 1;
+    std::size_t params_b = i, params_e = i;
+    if (i < t.size() && is_punct(t[i], "(")) {
+      params_b = i + 1;
+      params_e = match_fwd(t, i);
+      if (params_e >= t.size()) continue;
+      i = params_e + 1;
+    }
+    while (i < t.size() && t[i].kind == Tok::Ident) ++i;  // mutable etc.
+    if (i >= t.size() || !is_punct(t[i], "{")) continue;
+    const std::size_t body_open = i;
+    const std::size_t body_close = match_fwd(t, body_open);
+    if (body_close >= t.size()) continue;
+
+    for (std::size_t p = body_open + 1; p < body_close; ++p) {
+      if (t[p].kind != Tok::Punct) continue;
+      const std::string& op = t[p].text;
+      if (op != "+=" && op != "-=" && op != "*=" && op != "/=") continue;
+      if (p == 0 || t[p - 1].kind != Tok::Ident) continue;  // acc[0] += ok
+      const std::size_t id = p - 1;
+      if (is_member_access(t, id)) continue;
+      const std::string& var = t[id].text;
+      if (declared_in(t, params_b, params_e, var)) continue;
+      if (declared_in(t, body_open + 1, p, var)) continue;
+      const int line = t[p].line;
+      if (s.suppressed("fp-accumulation-discipline", line)) continue;
+      out.push_back(
+          {s.path, line, "fp-accumulation-discipline",
+           "accumulation into captured scalar '" + var + "' inside a " +
+               name +
+               " body: partials must flow through the per-chunk accumulator "
+               "slot (or simd::sum_ordered) so the fixed chunk-order "
+               "combination keeps the sum bitwise reproducible"});
     }
   }
 }
@@ -557,6 +663,7 @@ std::string module_of(const Source& s, const LayerSpec& spec) {
 
 void run_file_rules(const Source& s, std::vector<Finding>& out) {
   rule_race_shared_accum(s, out);
+  rule_fp_accum_discipline(s, out);
   rule_no_std_rand(s, out);
   rule_no_naked_new(s, out);
   rule_pragma_once(s, out);
@@ -570,6 +677,209 @@ void run_program_rules(const Program& prog, const LayerSpec& spec,
   pass_kernel_traffic(prog, out);
   pass_lock_discipline(prog, out);
   pass_layering(prog, spec, out);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program pass: effect inference + determinism rules.
+// ---------------------------------------------------------------------------
+
+void run_effect_rules(const Program& prog, std::vector<Finding>& out,
+                      EffectStats* stats) {
+  struct Node {
+    const Source* src = nullptr;
+    const FunctionInfo* fn = nullptr;
+    std::set<std::size_t> callers;
+  };
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<Node> nodes;
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  for (const Source& s : prog.sources)
+    for (const FunctionInfo& fn : s.functions) {
+      by_name[fn.name].push_back(nodes.size());
+      nodes.push_back({&s, &fn, {}});
+    }
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    for (const std::string& callee : nodes[i].fn->callees) {
+      auto it = by_name.find(callee);
+      if (it == by_name.end()) continue;
+      for (std::size_t j : it->second)
+        if (j != i) nodes[j].callers.insert(i);
+    }
+
+  // Downward fixed point with cycle truncation: memo[v] is the index of a
+  // witness function holding the effect reachable from v through callees
+  // (v itself included), or kNone.  State 1 = on the DFS stack.
+  struct Memo {
+    std::vector<std::size_t> witness;
+    std::vector<char> state;  // 0 unset, 1 computing, 2 done
+  };
+  const auto make_memo = [&] {
+    Memo m;
+    m.witness.assign(nodes.size(), kNone);
+    m.state.assign(nodes.size(), 0);
+    return m;
+  };
+  // Transitive witness of @p direct through the callee graph.
+  std::function<std::size_t(Memo&, const std::function<bool(std::size_t)>&,
+                            std::size_t)>
+      reach_down = [&](Memo& m, const std::function<bool(std::size_t)>& direct,
+                       std::size_t v) -> std::size_t {
+    if (m.state[v] == 2) return m.witness[v];
+    if (m.state[v] == 1) return kNone;  // recursion cycle: no new holder
+    m.state[v] = 1;
+    std::size_t w = direct(v) ? v : kNone;
+    if (w == kNone)
+      for (const std::string& callee : nodes[v].fn->callees) {
+        auto it = by_name.find(callee);
+        if (it == by_name.end()) continue;
+        for (std::size_t j : it->second) {
+          if (j == v) continue;
+          w = reach_down(m, direct, j);
+          if (w != kNone) break;
+        }
+        if (w != kNone) break;
+      }
+    m.state[v] = 2;
+    m.witness[v] = w;
+    return w;
+  };
+
+  Memo launch_memo = make_memo();
+  const std::function<bool(std::size_t)> launches_direct =
+      [&](std::size_t v) { return nodes[v].fn->launches; };
+  const auto launch_witness = [&](std::size_t v) {
+    return reach_down(launch_memo, launches_direct, v);
+  };
+
+  Memo emit_memo = make_memo();
+  const std::function<bool(std::size_t)> emits_direct = [&](std::size_t v) {
+    return nodes[v].fn->emits;
+  };
+  const auto emit_witness = [&](std::size_t v) {
+    return reach_down(emit_memo, emits_direct, v);
+  };
+
+  // nondet-in-kernel.  A function is "in kernel context" when it launches
+  // (transitively), or some transitive CALLER does: its work then shares a
+  // dynamic extent with kernel launches, so any unblessed nondeterminism
+  // source in it is one helper-inline away from steering numerics.
+  Memo ctx_memo = make_memo();
+  std::function<std::size_t(std::size_t)> kernel_context =
+      [&](std::size_t v) -> std::size_t {
+    if (ctx_memo.state[v] == 2) return ctx_memo.witness[v];
+    if (ctx_memo.state[v] == 1) return kNone;
+    ctx_memo.state[v] = 1;
+    std::size_t w = launch_witness(v);
+    if (w == kNone)
+      for (std::size_t c : nodes[v].callers) {
+        w = kernel_context(c);
+        if (w != kNone) break;
+      }
+    ctx_memo.state[v] = 2;
+    ctx_memo.witness[v] = w;
+    return w;
+  };
+
+  for (std::size_t v = 0; v < nodes.size(); ++v) {
+    const Node& n = nodes[v];
+    if (n.fn->nondet_sources.empty() || n.fn->nondet_ok) continue;
+    if (n.src->in_parallel_engine()) continue;  // the execution engine
+    const std::size_t w = kernel_context(v);
+    if (w == kNone) continue;
+    for (const NondetUse& u : n.fn->nondet_sources) {
+      if (n.src->suppressed("nondet-in-kernel", u.line)) continue;
+      out.push_back(
+          {n.src->path, u.line, "nondet-in-kernel",
+           "nondeterminism source " + u.what + " in '" + n.fn->name +
+               "' sits on a kernel call chain (context: '" +
+               nodes[w].fn->name + "' launches " +
+               nodes[w].fn->first_launch_name +
+               "); time through obs::Stopwatch, hoist the read out of the "
+               "kernel path, or bless the function with "
+               "FEMTO_NONDET_OK(reason) if the value can never reach "
+               "numerics"});
+    }
+  }
+
+  // unordered-iteration-emit: a range-for over an unordered container
+  // whose loop body writes output (directly, or through a transitively
+  // emitting callee) serializes hash order -- different run to run.
+  std::set<std::string> unordered;
+  for (const Source& s : prog.sources)
+    unordered.insert(s.unordered_names.begin(), s.unordered_names.end());
+  if (!unordered.empty()) {
+    for (std::size_t v = 0; v < nodes.size(); ++v) {
+      const Node& n = nodes[v];
+      for (const RangeFor& rf : n.fn->range_fors) {
+        std::string container;
+        for (const std::string& id : rf.range_idents)
+          if (unordered.count(id) != 0) {
+            container = id;
+            break;
+          }
+        if (container.empty()) continue;
+        std::string sink;
+        if (rf.body_emits) {
+          sink = "writes a stream in the loop body";
+        } else {
+          for (const std::string& c : rf.body_callees) {
+            auto it = by_name.find(c);
+            if (it == by_name.end()) continue;
+            for (std::size_t j : it->second)
+              if (emit_witness(j) != kNone) {
+                sink = "calls '" + c + "', which writes output";
+                break;
+              }
+            if (!sink.empty()) break;
+          }
+        }
+        if (sink.empty()) continue;
+        if (n.src->suppressed("unordered-iteration-emit", rf.line)) continue;
+        out.push_back(
+            {n.src->path, rf.line, "unordered-iteration-emit",
+             "range-for over unordered container '" + container +
+                 "' feeds output (" + sink +
+                 "): hash order varies run to run, so the emitted "
+                 "report/metrics/cache bytes would too; materialize a "
+                 "sorted view (std::map, or collect and sort keys) before "
+                 "writing"});
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->functions = nodes.size();
+    stats->unordered_names = unordered.size();
+    for (std::size_t v = 0; v < nodes.size(); ++v) {
+      if (launch_witness(v) != kNone) ++stats->launching;
+      if (!nodes[v].fn->nondet_sources.empty()) ++stats->nondet_sources;
+      if (emit_witness(v) != kNone) ++stats->emitting;
+      if (nodes[v].fn->fp_accumulates) ++stats->fp_accumulating;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program pass: stale-suppression audit.  Runs LAST.
+// ---------------------------------------------------------------------------
+
+void run_unused_suppression_rule(const Program& prog,
+                                 std::vector<Finding>& out) {
+  for (const Source& s : prog.sources)
+    for (const AllowDirective& d : s.allow_directives) {
+      if (d.used) continue;
+      // A directive about this rule is self-referential (it can only ever
+      // be "used" by the pass that is reading it); exempt it.
+      if (d.rule == "unused-suppression") continue;
+      if (s.suppressed("unused-suppression", d.line)) continue;
+      out.push_back(
+          {s.path, d.line, "unused-suppression",
+           std::string("suppression 'allow") + (d.file_scope ? "-file" : "") +
+               "(" + d.rule +
+               ")' no longer matches any finding; delete it (stale "
+               "suppressions are holes the next regression walks through "
+               "unreviewed)"});
+    }
 }
 
 void sort_findings(std::vector<Finding>& v) {

@@ -48,13 +48,38 @@ bool load_layers(const std::string& path, LayerSpec& spec, std::string& err);
 /// Module a source belongs to ("" if it is outside the module tree).
 std::string module_of(const Source& s, const LayerSpec& spec);
 
-/// All single-file rules: race-shared-accum, no-std-rand, no-naked-new,
-/// pragma-once, header-hygiene, cast.
+/// All single-file rules: race-shared-accum, fp-accumulation-discipline,
+/// no-std-rand, no-naked-new, pragma-once, header-hygiene, cast,
+/// raw-intrinsics.
 void run_file_rules(const Source& s, std::vector<Finding>& out);
 
 /// All whole-program passes (layering skipped when !spec.loaded).
 void run_program_rules(const Program& prog, const LayerSpec& spec,
                        std::vector<Finding>& out);
+
+/// Whole-program effect census (one entry per direct or transitive
+/// holder), reported by `femtolint --json` and BENCH_lint.json.
+struct EffectStats {
+  std::size_t functions = 0;          // functions in the call graph
+  std::size_t launching = 0;          // effect launches_parallel (transitive)
+  std::size_t nondet_sources = 0;     // effect nondet_source (direct)
+  std::size_t emitting = 0;           // effect emits_output (transitive)
+  std::size_t fp_accumulating = 0;    // effect fp_accumulates (direct)
+  std::size_t unordered_names = 0;    // distinct unordered-declared names
+};
+
+/// Effect inference over the name-based call graph plus the determinism
+/// rules built on it: nondet-in-kernel and unordered-iteration-emit
+/// (fp-accumulation-discipline is lexical and lives in run_file_rules).
+/// Run after run_program_rules; fills @p stats when non-null.
+void run_effect_rules(const Program& prog, std::vector<Finding>& out,
+                      EffectStats* stats = nullptr);
+
+/// Stale-suppression audit: every allow / allow-file directive that did
+/// not suppress a finding is reported.  MUST run last (it reads the `used`
+/// marks the other rules leave on directives).
+void run_unused_suppression_rule(const Program& prog,
+                                 std::vector<Finding>& out);
 
 /// Deterministic order: (file, line, rule, message).
 void sort_findings(std::vector<Finding>& v);

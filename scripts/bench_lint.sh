@@ -47,15 +47,42 @@ PARALLEL_MS=$(min_ms "$FEMTOLINT" --layers "$LAYERS" src)
 SPEEDUP=$(awk -v s="$SERIAL_MS" -v p="$PARALLEL_MS" \
           'BEGIN { printf "%.2f", (p > 0) ? s / p : 0 }')
 
-# One --json run reports the v3 effect-inference pass (call-graph closure
-# + determinism rules) on its own clock, so its cost is tracked separately
-# as the tree grows.  `|| true` inside the group: findings make femtolint
-# exit 1 but its JSON (and the timing) is still valid, and the bench must
-# not gate on lint cleanliness; `|| echo 0` only covers a broken pipe /
-# unparseable output.
-EFFECT_MS=$({ "$FEMTOLINT" --layers "$LAYERS" --json src 2>/dev/null || true; } \
-              | python3 -c 'import json,sys; print(json.load(sys.stdin)["effect_pass_ms"])' \
-            || echo 0)
+# --json runs report the whole-program passes on their own clocks: the v3
+# effect-inference pass and the v4 concurrency passes (lock-order and
+# comm-protocol), so each closure's cost is tracked separately as the tree
+# grows.  Field-wise minimum over REPS runs, same estimator as the
+# wall-clock timings above (a single run is far too noisy to gate on).
+# `|| true` inside the group: findings make femtolint exit 1 but its JSON
+# (and the timings) is still valid, and the bench must not gate on lint
+# cleanliness; `|| echo ...` only covers a broken pipe / unparseable
+# output.
+min_pass_ms() {
+  local best="" cur
+  for _ in $(seq "$REPS"); do
+    cur=$({ "$FEMTOLINT" --layers "$LAYERS" --json src 2>/dev/null || true; } \
+            | python3 -c 'import json,sys; j=json.load(sys.stdin); \
+print(j["effect_pass_ms"], j["lockorder_pass_ms"], j["protocol_pass_ms"])' \
+          || echo "0 0 0")
+    if [[ -z "$best" ]]; then
+      best="$cur"
+    else
+      best=$(awk -v a="$best" -v b="$cur" 'BEGIN {
+        split(a, x); split(b, y);
+        for (i = 1; i <= 3; ++i) printf "%s%s", (x[i] < y[i] ? x[i] : y[i]),
+                                               (i < 3 ? " " : "\n") }')
+    fi
+  done
+  echo "$best"
+}
+read -r EFFECT_MS LOCKORDER_MS PROTOCOL_MS <<< "$(min_pass_ms)"
+
+# Gate: the two v4 passes together must stay under half the parallel
+# whole-tree scan, i.e. total lint time stays under 2x its pre-v4 cost.
+# A failure here means a closure went superlinear (usually an unmemoized
+# walk over a dense region of the call graph) and must be fixed, not
+# absorbed into the edit loop.
+GATE_OK=$(awk -v l="$LOCKORDER_MS" -v r="$PROTOCOL_MS" -v p="$PARALLEL_MS" \
+          'BEGIN { print (l + r < p / 2.0) ? 1 : 0 }')
 
 cat > BENCH_lint.json <<EOF
 {
@@ -65,10 +92,20 @@ cat > BENCH_lint.json <<EOF
   "serial_ms": ${SERIAL_MS},
   "parallel_ms": ${PARALLEL_MS},
   "effect_pass_ms": ${EFFECT_MS},
+  "lockorder_pass_ms": ${LOCKORDER_MS},
+  "protocol_pass_ms": ${PROTOCOL_MS},
+  "concurrency_gate_ok": ${GATE_OK},
   "speedup": ${SPEEDUP},
   "threads_parallel": "$(nproc)"
 }
 EOF
 
-echo "bench_lint: serial ${SERIAL_MS} ms, parallel ${PARALLEL_MS} ms (x${SPEEDUP}), effect pass ${EFFECT_MS} ms"
+echo "bench_lint: serial ${SERIAL_MS} ms, parallel ${PARALLEL_MS} ms (x${SPEEDUP})"
+echo "bench_lint: effect ${EFFECT_MS} ms, lockorder ${LOCKORDER_MS} ms, protocol ${PROTOCOL_MS} ms"
 echo "bench_lint: wrote BENCH_lint.json"
+
+if [[ "$GATE_OK" != "1" ]]; then
+  echo "bench_lint: FAIL concurrency passes (${LOCKORDER_MS}+${PROTOCOL_MS} ms)" \
+       "exceed half the parallel scan (${PARALLEL_MS} ms): total lint > 2x pre-v4" >&2
+  exit 1
+fi

@@ -115,6 +115,9 @@ class Autotuner {
  private:
   TuneEntry search(Tunable& t) const;
 
+  // Lock order (DESIGN.md §14): mu_ may be held while obs::Registry::mu_
+  // is taken (counter updates inside tune()); never take mu_ while
+  // holding a Registry or thread-pool mutex.
   mutable std::mutex mu_;
   std::map<std::string, TuneEntry> cache_ FEMTO_GUARDED_BY(mu_);
   std::int64_t hits_ FEMTO_GUARDED_BY(mu_) = 0;

@@ -26,6 +26,18 @@
 // nondet-in-kernel pass treats the function as determinism-clean; without
 // the blessing, any such source reachable from a kernel-launching call
 // chain is a finding.
+//
+// FEMTO_BLOCKING_OK(reason) and FEMTO_PROTOCOL_OK(reason) are the
+// concurrency annotations (DESIGN.md §14).  BLOCKING_OK, placed inside a
+// function body, declares that the blocking operations in THAT function
+// (condition-variable waits, joins, future gets, pool launches, femtocomm
+// calls) are safe to reach while a lockset is non-empty — femtolint's
+// blocking-call-under-lock pass then skips the function.  PROTOCOL_OK
+// declares that the function's send/recv ordering is a deliberately
+// asymmetric protocol step (e.g. the gather side of a gather-scatter
+// allreduce) and exempts it from the comm-protocol ordering rules.  Both
+// reasons are audit trail: say WHY the hang the rule guards against cannot
+// happen here.
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +53,15 @@
 // any number a run produces.  First statement of the function it blesses:
 //   FEMTO_NONDET_OK("telemetry-only wall clock; feeds timers, never data");
 #define FEMTO_NONDET_OK(reason)
+
+// Concurrency blessings, enforced statically by femtolint (both expand to
+// nothing).  First statement of the function they bless:
+//   FEMTO_BLOCKING_OK("lockset is a leaf mutex no other thread's wait
+//                      chain can hold");
+//   FEMTO_PROTOCOL_OK("root gathers before scattering; non-roots send
+//                      unconditionally first, so the recv always completes");
+#define FEMTO_BLOCKING_OK(reason)
+#define FEMTO_PROTOCOL_OK(reason)
 
 namespace femto::check {
 

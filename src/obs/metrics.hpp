@@ -164,6 +164,10 @@ class Registry {
  private:
   Registry() = default;
 
+  // Lock order (DESIGN.md §14): mu_ is a LEAF — Autotuner::mu_ and
+  // SolveService::mu_ are both legitimately held while counters update
+  // under it, so no code path may acquire another tracked mutex (or
+  // block) while holding mu_.
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_
       FEMTO_GUARDED_BY(mu_);

@@ -125,7 +125,8 @@ class ThreadPool {
 
   // Serialises concurrent launches from different caller threads; a launch
   // from inside one of this pool's own workers runs inline instead (see
-  // .cpp), so re-entrant use cannot deadlock.
+  // .cpp), so re-entrant use cannot deadlock.  Lock order (DESIGN.md
+  // §14): launch_mu_ -> mu_, always in that direction.
   std::mutex launch_mu_;
 
   // Kernel hand-off state, shared between the launcher and every worker.

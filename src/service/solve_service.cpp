@@ -19,12 +19,16 @@ SolveService::SolveService(SolveServiceConfig cfg) : cfg_(std::move(cfg)) {
 }
 
 SolveService::~SolveService() {
+  // Drain FIRST, stop second.  The wait releases mu_ while blocked, so
+  // workers can take mu_ at end-of-batch to fulfil promises and decrement
+  // in_flight_ while the destructor sleeps.  Only once every submitted
+  // future has resolved is stopping_ raised, so no worker can ever observe
+  // a stop flag with work it silently abandons.
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_idle_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
     stopping_ = true;
   }
-  // Workers drain whatever is still queued before exiting, so every
-  // submitted future resolves.
   cv_work_.notify_all();
   for (std::thread& w : workers_) w.join();
 }
@@ -104,35 +108,43 @@ std::vector<SolveService::Item> SolveService::take_batch_locked() {
 }
 
 DwfSolver& SolveService::solver_for(const SolveRequest& req) {
-  std::unique_lock<std::mutex> lk(mu_);
-  for (SolverEntry& e : solvers_) {
-    if (!e.busy && e.key_u == req.u.get() && e.key_params == req.params) {
-      e.busy = true;
-      return *e.solver;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (SolverEntry& e : solvers_) {
+      if (!e.busy && e.key_u == req.u.get() && e.key_params == req.params) {
+        e.busy = true;
+        return *e.solver;
+      }
     }
   }
   // First batch against this configuration (or the matching entry is mid
-  // solve on another worker): build a fresh operator pair.  The float
-  // gauge conversion and optional autotune happen once per entry and are
-  // amortised over every later batch.
-  solvers_.push_back(SolverEntry{req.u.get(), req.params,
-                                 std::make_unique<DwfSolver>(
-                                     req.u, req.params, cfg_.solver),
-                                 /*busy=*/true});
-  DwfSolver& solver = *solvers_.back().solver;
-  lk.unlock();
+  // solve on another worker): build a fresh operator pair.  The build is
+  // heavy — the float gauge conversion walks the whole field — so it runs
+  // OUTSIDE mu_: submit(), pending() and every worker's end-of-batch
+  // bookkeeping keep flowing while this worker constructs.  Two workers
+  // racing here build two entries, exactly as the old in-lock path did
+  // when the only matching entry was busy; both are reused later.
+  auto fresh =
+      std::make_unique<DwfSolver>(req.u, req.params, cfg_.solver);
+  DwfSolver* solver = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    solvers_.push_back(SolverEntry{req.u.get(), req.params,
+                                   std::move(fresh), /*busy=*/true});
+    solver = solvers_.back().solver.get();
+  }
   // Batched solves want the multi-RHS sweep: batch size is an autotune
   // dimension alongside grain and variant (see DslashMultiTunable), and
   // the sweet spot it measures becomes the live batching bound.
   if (cfg_.autotune) {
-    const std::size_t best = solver.autotune_multi(cfg_.max_batch);
+    const std::size_t best = solver->autotune_multi(cfg_.max_batch);
     std::lock_guard<std::mutex> tuned_lk(mu_);
     effective_max_batch_ =
         std::min(cfg_.max_batch, std::max<std::size_t>(best, 1));
     obs::gauge("solve_service.effective_max_batch")
         .set(static_cast<double>(effective_max_batch_));
   }
-  return solver;
+  return *solver;
 }
 
 void SolveService::release_solver(const DwfSolver& s) {

@@ -79,7 +79,10 @@ class SolveService {
  public:
   explicit SolveService(SolveServiceConfig cfg = {});
   /// Drains outstanding work, then joins the workers (every submitted
-  /// future is resolved before the destructor returns).
+  /// future is resolved before the destructor returns).  The drain waits
+  /// on cv_idle_ with mu_ released for the duration of the block, so
+  /// workers fulfilling promises can always reach the lock; only after the
+  /// queue and in-flight count hit zero is the stop flag raised.
   ~SolveService();
 
   SolveService(const SolveService&) = delete;

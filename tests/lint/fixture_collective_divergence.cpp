@@ -1,0 +1,55 @@
+// femtolint-expect: collective-divergence
+//
+// Collectives reached by a subset of ranks, two ways:
+//
+//   * checkpoint() guards a direct h_->barrier() with `rank_ == 0`: every
+//     other rank skips the barrier and rank 0 waits in it forever;
+//   * reseed() reads h_->rank() into a local (one taint hop) and branches
+//     on it into sync_all(), which reaches the barrier transitively — the
+//     pass follows the call chain, not just the lexical branch body.
+//
+// step() shows the compliant shape: rank-dependent work inside the
+// branch, the collective hoisted out where every rank reaches it.
+// Fixtures are lint inputs, not build inputs.
+
+namespace femto {
+
+class RankHandleStub {
+ public:
+  int rank() const { return 0; }
+  void barrier() {}
+  void send(int dest, int tag, double v);
+  double recv(int src, int tag);
+};
+
+class Checkpointer {
+ public:
+  void checkpoint() {
+    if (rank_ == 0) {
+      h_->barrier();  // collective-divergence: only rank 0 gets here
+    }
+  }
+
+  void reseed() {
+    const int r = h_->rank();
+    if (r != 0) {
+      sync_all();  // collective-divergence: barrier via the call chain
+    }
+  }
+
+  void step() {
+    if (rank_ == 0) {
+      seed_ += 1;  // rank-dependent work is fine
+    }
+    h_->barrier();  // every rank reaches the collective
+  }
+
+ private:
+  void sync_all() { h_->barrier(); }
+
+  RankHandleStub* h_ = nullptr;
+  int rank_ = 0;
+  long seed_ = 0;
+};
+
+}  // namespace femto

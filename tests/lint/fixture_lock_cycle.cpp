@@ -1,0 +1,36 @@
+// femtolint-expect: lock-order-cycle
+//
+// Interprocedural deadlock: neither function nests the two locks in one
+// body.  journal() takes a_ and calls flush(), which takes b_; compact()
+// takes b_ and calls reindex(), which takes a_.  The lockset pass
+// propagates each callee's acquisitions up the call chain, so the global
+// lock-order graph gets both Ledger::a_ -> Ledger::b_ and
+// Ledger::b_ -> Ledger::a_ — a cycle, and two threads interleaving the
+// chains deadlock.  The finding names both mutexes and both witness
+// chains.  Fixtures are lint inputs, not build inputs.
+
+#include <mutex>
+
+namespace femto {
+
+class Ledger {
+ public:
+  void journal() {
+    std::lock_guard<std::mutex> lk(a_);
+    flush();  // acquires b_ while a_ is held
+  }
+
+  void compact() {
+    std::lock_guard<std::mutex> lk(b_);
+    reindex();  // acquires a_ while b_ is held: the inverted order
+  }
+
+ private:
+  void flush() { std::lock_guard<std::mutex> lk(b_); }
+  void reindex() { std::lock_guard<std::mutex> lk(a_); }
+
+  std::mutex a_;
+  std::mutex b_;
+};
+
+}  // namespace femto

@@ -1,0 +1,38 @@
+// femtolint-expect: unpaired-send
+//
+// Pairing symmetry: publish_halo() is a call-graph root whose whole
+// extent sends (directly and via push_edge()) but never receives.  The
+// matching recv must live OUTSIDE the scanned program, so once transports
+// block for real this root hangs on the first unconsumed message — or the
+// partner hangs forever waiting for a message nobody sends.
+//
+// exchange_halo() shows the compliant shape: the same root both sends and
+// receives, so the protocol closes over the scanned tree.  Fixtures are
+// lint inputs, not build inputs.
+
+namespace femto {
+
+class RankHandleStub {
+ public:
+  void send(int dest, int tag, double v);
+  double recv(int src, int tag);
+};
+
+constexpr int kTagHalo = 7;
+
+void push_edge(RankHandleStub& h, double v) {
+  h.send(1, kTagHalo, v);
+}
+
+void publish_halo(RankHandleStub& h) {  // unpaired-send: root sends only
+  h.send(0, kTagHalo, 1.0);
+  push_edge(h, 2.0);
+}
+
+void exchange_halo(RankHandleStub& h) {
+  h.send(1, kTagHalo, 3.0);
+  const double got = h.recv(1, kTagHalo);
+  (void)got;
+}
+
+}  // namespace femto

@@ -191,6 +191,44 @@ TEST(SolveService, MetricsAndDestructorDrain) {
       0);
 }
 
+TEST(SolveService, DestructUnderLoadResolvesEveryFuture) {
+  // Shutdown-ordering regression: tear the service down the instant the
+  // last submit returns, with multiple workers mid-flight and a queue deep
+  // enough that batches (including a second solver build for the second
+  // gauge) are still pending.  The destructor must drain — waiting with
+  // mu_ released so workers can fulfil promises — before raising the stop
+  // flag, so every future resolves with a converged solution.
+  auto u1 = make_gauge(407);
+  auto u2 = make_gauge(408);
+  SolveServiceConfig cfg;
+  cfg.max_batch = 2;
+  cfg.workers = 3;
+  cfg.solver.tol = 1e-8;
+
+  std::vector<std::future<SolveOutcome>> futs;
+  std::vector<std::shared_ptr<const SpinorField<double>>> b;
+  std::vector<const GaugeField<double>*> us;
+  {
+    SolveService svc(cfg);
+    for (std::uint64_t r = 0; r < 10; ++r) {
+      auto& u = (r % 2 == 0) ? u1 : u2;
+      b.push_back(make_source(u, 470 + r));
+      us.push_back(u.get());
+      futs.push_back(svc.submit(SolveRequest{u, kParams, b.back()}));
+    }
+    // No drain(), no sleep: destruct under load.
+  }
+  for (std::size_t r = 0; r < futs.size(); ++r) {
+    ASSERT_TRUE(futs[r].valid()) << "r=" << r;
+    SolveOutcome out = futs[r].get();
+    ASSERT_TRUE(out.stats.converged) << "r=" << r;
+    std::shared_ptr<const GaugeField<double>> u =
+        us[r] == u1.get() ? u1 : u2;
+    MobiusOperator<double> op(u, kParams);
+    EXPECT_LT(full_residual(op, *out.x, *b[r]), 1e-6) << "r=" << r;
+  }
+}
+
 TEST(SolveService, AutotunedBatchBoundFeedsBack) {
   auto u = make_gauge(406);
   SolveServiceConfig cfg;

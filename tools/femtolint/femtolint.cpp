@@ -55,6 +55,24 @@
 //   unused-suppression a stale allow / allow-file directive (one that no
 //                      longer suppresses anything) is itself a finding
 //
+// Concurrency passes (v4, DESIGN.md §14): lockset propagation over the same
+// call graph, plus comm-protocol checking:
+//   lock-order-cycle   a cycle in the global mutex acquisition-order graph
+//                      (each edge witnessed by a call chain) is an
+//                      interleaving away from deadlock
+//   blocking-call-under-lock
+//                      cv waits, joins, future gets, pool launches and
+//                      femtocomm calls reached while a lockset is held;
+//                      FEMTO_BLOCKING_OK(reason) blesses a function
+//   unpaired-send      a call-graph root whose extent sends but never
+//                      receives (or vice versa)
+//   collective-divergence
+//                      a barrier/allreduce/broadcast reachable only under a
+//                      rank-dependent branch
+//   recv-before-send   a blocking receive lexically before the matching
+//                      same-tag send in one body (rendezvous deadlock);
+//                      FEMTO_PROTOCOL_OK(reason) blesses asymmetric steps
+//
 // Suppression: `// femtolint: allow(<rule>): reason` on the offending line
 // or within the three lines above it, or
 // `// femtolint: allow-file(<rule>): reason` anywhere in the file.
@@ -62,8 +80,16 @@
 // stream), so commented-out code can never trip a rule.
 //
 // Usage:
-//   femtolint [--layers FILE] [--json] [--threads N] <dir-or-file>...
+//   femtolint [--layers FILE] [--json] [--threads N]
+//             [--baseline FILE | --write-baseline FILE] <dir-or-file>...
 //   femtolint [--layers FILE] --self-test <dir>
+//   femtolint [--layers FILE] --lock-graph <dir-or-file>...
+//
+// --write-baseline snapshots the current findings (rule\tfile\tmessage, no
+// line numbers, so unrelated edits do not churn it); --baseline filters the
+// snapshot out of a later run and fails only on NEW findings.  --lock-graph
+// prints the global mutex order as Graphviz DOT (CI uploads it as an
+// artifact).
 //
 // The scan is parallelized over files with the femtopar thread pool;
 // findings are sorted (file, line, rule, message), so output is
@@ -72,10 +98,13 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
+#include "concurrency.hpp"
 #include "model.hpp"
 #include "rules.hpp"
 
@@ -149,7 +178,9 @@ std::string json_escape(const std::string& s) {
 }
 
 void print_json(const std::vector<Finding>& all, std::size_t n_files,
-                const femtolint::EffectStats& es, double effect_pass_ms) {
+                const femtolint::EffectStats& es, double effect_pass_ms,
+                const femtolint::ConcurrencyStats& cs, double lockorder_ms,
+                double protocol_ms) {
   std::printf("{\n  \"files\": %zu,\n  \"findings\": [", n_files);
   for (std::size_t i = 0; i < all.size(); ++i) {
     const Finding& f = all[i];
@@ -162,11 +193,54 @@ void print_json(const std::vector<Finding>& all, std::size_t n_files,
   std::printf("%s],\n", all.empty() ? "" : "\n  ");
   std::printf(
       "  \"effect_pass_ms\": %.3f,\n"
+      "  \"lockorder_pass_ms\": %.3f,\n"
+      "  \"protocol_pass_ms\": %.3f,\n"
       "  \"effects\": {\"functions\": %zu, \"launching\": %zu, "
       "\"nondet_sources\": %zu, \"emitting\": %zu, \"fp_accumulating\": "
-      "%zu, \"unordered_names\": %zu}\n}\n",
-      effect_pass_ms, es.functions, es.launching, es.nondet_sources,
-      es.emitting, es.fp_accumulating, es.unordered_names);
+      "%zu, \"unordered_names\": %zu},\n",
+      effect_pass_ms, lockorder_ms, protocol_ms, es.functions, es.launching,
+      es.nondet_sources, es.emitting, es.fp_accumulating,
+      es.unordered_names);
+  std::printf(
+      "  \"concurrency\": {\"mutexes\": %zu, \"lock_edges\": %zu, "
+      "\"blocking_fns\": %zu, \"comm_fns\": %zu, \"comm_roots\": %zu}\n}\n",
+      cs.mutexes, cs.lock_edges, cs.blocking_fns, cs.comm_fns,
+      cs.comm_roots);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline mode: a snapshot of accepted findings, keyed by
+// rule\tfile\tmessage (line numbers excluded so unrelated edits above a
+// finding do not churn the file).  --baseline filters the snapshot out of
+// the current run; only NEW findings fail the build.
+// ---------------------------------------------------------------------------
+
+std::string baseline_key(const Finding& f) {
+  return f.rule + "\t" + f.file + "\t" + f.message;
+}
+
+bool load_baseline(const std::string& path, std::set<std::string>& keys) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    keys.insert(line);
+  }
+  return true;
+}
+
+bool write_baseline(const std::string& path,
+                    const std::vector<Finding>& all) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# femtolint baseline: rule\\tfile\\tmessage, one accepted finding "
+         "per line.\n"
+      << "# Regenerate with `femtolint --write-baseline " << path << " ...`;"
+      << " runs with --baseline fail only on findings not listed here.\n";
+  for (const Finding& f : all) out << baseline_key(f) << "\n";
+  return static_cast<bool>(out);
 }
 
 // ---------------------------------------------------------------------------
@@ -200,6 +274,8 @@ int self_test(const std::string& dir, const LayerSpec& spec) {
     femtolint::run_file_rules(prog.sources.front(), findings);
     femtolint::run_program_rules(prog, spec, findings);
     femtolint::run_effect_rules(prog, findings);
+    femtolint::run_lockset_pass(prog, findings);
+    femtolint::run_protocol_pass(prog, findings);
     femtolint::run_unused_suppression_rule(prog, findings);
     std::set<std::string> got;
     for (const Finding& f : findings) got.insert(f.rule);
@@ -228,9 +304,12 @@ int self_test(const std::string& dir, const LayerSpec& spec) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: femtolint [--layers FILE] [--json] [--threads N] "
+               "usage: femtolint [--layers FILE] [--json] [--threads N]\n"
+               "                 [--baseline FILE | --write-baseline FILE] "
                "<dir-or-file>...\n"
-               "       femtolint [--layers FILE] --self-test <fixtures-dir>\n");
+               "       femtolint [--layers FILE] --self-test <fixtures-dir>\n"
+               "       femtolint [--layers FILE] --lock-graph "
+               "<dir-or-file>...\n");
   return 2;
 }
 
@@ -240,8 +319,11 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   LayerSpec spec;
   bool json = false;
+  bool lock_graph = false;
   std::size_t threads = 0;  // 0 = femtopar default (hardware concurrency)
   std::string self_test_dir;
+  std::string baseline_path;
+  std::string write_baseline_path;
   bool want_self_test = false;
   std::vector<std::string> roots;
 
@@ -256,9 +338,17 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--json") {
       json = true;
+    } else if (a == "--lock-graph") {
+      lock_graph = true;
     } else if (a == "--threads") {
       if (i + 1 >= args.size()) return usage();
       threads = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else if (a == "--baseline") {
+      if (i + 1 >= args.size()) return usage();
+      baseline_path = args[++i];
+    } else if (a == "--write-baseline") {
+      if (i + 1 >= args.size()) return usage();
+      write_baseline_path = args[++i];
     } else if (a == "--self-test") {
       if (i + 1 >= args.size()) return usage();
       want_self_test = true;
@@ -269,6 +359,7 @@ int main(int argc, char** argv) {
       roots.push_back(a);
     }
   }
+  if (!baseline_path.empty() && !write_baseline_path.empty()) return usage();
 
   if (want_self_test) {
     if (!roots.empty()) return usage();
@@ -279,25 +370,76 @@ int main(int argc, char** argv) {
   const std::vector<fs::path> files = collect(roots);
   std::vector<Finding> all;
   const Program prog = scan(files, threads, all);
+
+  if (lock_graph) {
+    // Graph emission only: print the mutex acquisition-order DOT and exit
+    // clean (CI uploads the output as an artifact; findings come from the
+    // normal run).
+    std::fputs(femtolint::lock_graph_dot(prog).c_str(), stdout);
+    return 0;
+  }
+
   femtolint::run_program_rules(prog, spec, all);
   femtolint::EffectStats es;
   const auto e0 = std::chrono::steady_clock::now();
   femtolint::run_effect_rules(prog, all, &es);
-  const double effect_pass_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - e0)
-          .count();
+  const auto e1 = std::chrono::steady_clock::now();
+  femtolint::ConcurrencyStats cs;
+  femtolint::run_lockset_pass(prog, all, &cs);
+  const auto e2 = std::chrono::steady_clock::now();
+  femtolint::run_protocol_pass(prog, all, &cs);
+  const auto e3 = std::chrono::steady_clock::now();
+  const auto ms = [](auto a, auto b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
+  const double effect_pass_ms = ms(e0, e1);
+  const double lockorder_pass_ms = ms(e1, e2);
+  const double protocol_pass_ms = ms(e2, e3);
   femtolint::run_unused_suppression_rule(prog, all);
   femtolint::sort_findings(all);
 
+  if (!write_baseline_path.empty()) {
+    if (!write_baseline(write_baseline_path, all)) {
+      std::fprintf(stderr, "femtolint: cannot write baseline %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    std::printf("femtolint: wrote %zu finding(s) to baseline %s\n",
+                all.size(), write_baseline_path.c_str());
+    return 0;
+  }
+  std::size_t suppressed_by_baseline = 0;
+  if (!baseline_path.empty()) {
+    std::set<std::string> keys;
+    if (!load_baseline(baseline_path, keys)) {
+      std::fprintf(stderr, "femtolint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::vector<Finding> fresh;
+    for (Finding& f : all) {
+      if (keys.count(baseline_key(f)) != 0)
+        ++suppressed_by_baseline;
+      else
+        fresh.push_back(std::move(f));
+    }
+    all = std::move(fresh);
+  }
+
   if (json) {
-    print_json(all, files.size(), es, effect_pass_ms);
+    print_json(all, files.size(), es, effect_pass_ms, cs, lockorder_pass_ms,
+               protocol_pass_ms);
   } else {
     for (const Finding& f : all)
       std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                   f.message.c_str());
-    std::printf("femtolint: %zu finding(s) in %zu file(s)\n", all.size(),
-                files.size());
+    if (suppressed_by_baseline > 0)
+      std::printf("femtolint: %zu new finding(s) in %zu file(s) "
+                  "(%zu baselined)\n",
+                  all.size(), files.size(), suppressed_by_baseline);
+    else
+      std::printf("femtolint: %zu finding(s) in %zu file(s)\n", all.size(),
+                  files.size());
   }
   return all.empty() ? 0 : 1;
 }

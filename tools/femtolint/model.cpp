@@ -74,12 +74,18 @@ std::size_t skip_angle_list(const std::vector<Token>& t, std::size_t open,
   return n;
 }
 
-// Names declared with an unordered container type, one alias hop deep.
+bool is_future_name(const std::string& s) {
+  return s == "future" || s == "shared_future";
+}
+
+// Names declared with a type matching @p is_type, one alias hop deep.
 // `std::unordered_map<K, V> counts;` records `counts`;
 // `using Cache = std::unordered_map<K, V>;` + `Cache cache_;` records
 // `cache_`; an accessor `const std::unordered_map<K, V>& cache() const`
-// records `cache` (iterating its result is iterating the container).
-std::set<std::string> find_unordered_names(const std::vector<Token>& t) {
+// records `cache` (iterating its result is iterating the container).  The
+// same mechanism serves std::future (blocking `.get()` detection).
+std::set<std::string> find_typed_names(const std::vector<Token>& t,
+                                       bool (*is_type)(const std::string&)) {
   const std::size_t n = t.size();
   std::set<std::string> aliases;
   for (std::size_t k = 0; k + 2 < n; ++k) {
@@ -87,7 +93,7 @@ std::set<std::string> find_unordered_names(const std::vector<Token>& t) {
         !is_punct(t[k + 2], "="))
       continue;
     for (std::size_t j = k + 3; j < n && !is_punct(t[j], ";"); ++j)
-      if (t[j].kind == Tok::Ident && is_unordered_name(t[j].text)) {
+      if (t[j].kind == Tok::Ident && is_type(t[j].text)) {
         aliases.insert(t[k + 1].text);
         break;
       }
@@ -95,7 +101,7 @@ std::set<std::string> find_unordered_names(const std::vector<Token>& t) {
   std::set<std::string> names;
   for (std::size_t k = 0; k < n; ++k) {
     if (t[k].kind != Tok::Ident) continue;
-    if (!is_unordered_name(t[k].text) && aliases.count(t[k].text) == 0)
+    if (!is_type(t[k].text) && aliases.count(t[k].text) == 0)
       continue;
     std::size_t j = k + 1;
     if (j < n && is_punct(t[j], "<")) j = skip_angle_list(t, j, n);
@@ -424,6 +430,20 @@ class Extractor {
         fn.nondet_ok = true;
         continue;
       }
+      if (w == "FEMTO_BLOCKING_OK") {
+        fn.blocking_ok = true;
+        continue;
+      }
+      if (w == "FEMTO_PROTOCOL_OK") {
+        fn.protocol_ok = true;
+        continue;
+      }
+      if ((w == "make_unique" || w == "make_shared") && is(k + 1, "<") &&
+          ident_at(k + 2)) {
+        // The ctor call hidden behind the factory: make_unique<T>(...)
+        // enters T::T, which the name-based graph would otherwise miss.
+        fn.ctor_callees.insert(t_[k + 2].text);
+      }
       scan_nondet(fn, k);
       if (is_emit_name(w) && !fn.emits) {
         fn.emits = true;
@@ -441,6 +461,7 @@ class Extractor {
           if (is_reduce_name(w)) fn.fp_accumulates = true;
         } else if (!is_control_kw(w)) {
           fn.callees.insert(w);
+          fn.call_sites.push_back({w, t_[k].line, k});
           if (w == "sum_ordered") fn.fp_accumulates = true;
         }
       }
@@ -806,7 +827,8 @@ Source parse_source(std::string path, const std::string& text) {
         {t.text.substr(p + 1, e - p - 1), t.line, open == '<'});
   }
 
-  s.unordered_names = find_unordered_names(s.lx.tokens);
+  s.unordered_names = find_typed_names(s.lx.tokens, is_unordered_name);
+  s.future_names = find_typed_names(s.lx.tokens, is_future_name);
   Extractor(s.lx.tokens, s).run();
   return s;
 }

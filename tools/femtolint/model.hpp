@@ -55,6 +55,16 @@ struct RangeFor {
   std::set<std::string> body_callees;
 };
 
+/// One call expression inside a function body, in lexical order.  The
+/// token index lets the interprocedural concurrency passes (DESIGN.md §14)
+/// interleave call sites with the lock acquisitions/releases the lockset
+/// walk derives from the same token stream.
+struct CallSite {
+  std::string name;
+  int line = 0;
+  std::size_t tok = 0;  // token index of the callee identifier
+};
+
 /// One named function (or method) definition.
 struct FunctionInfo {
   std::string name;        // last identifier before the parameter list
@@ -64,6 +74,12 @@ struct FunctionInfo {
   std::size_t body_end = 0;    // token index of matching '}'
   bool is_ctor_or_dtor = false;
   std::set<std::string> callees;  // identifiers called as `name(...)`
+  std::vector<CallSite> call_sites;  // the same, with position + order
+  // Types constructed via make_unique<T>( / make_shared<T>( — the ctor
+  // call the name-based graph would otherwise miss.  Kept separate from
+  // `callees` so the v2/v3 passes keep their historical graph; the
+  // concurrency passes union both.
+  std::set<std::string> ctor_callees;
   bool launches = false;          // calls parallel_for / parallel_reduce*
   int first_launch_line = 0;
   std::string first_launch_name;
@@ -73,6 +89,8 @@ struct FunctionInfo {
   // transitive closures are computed per Program by run_effect_rules.
   std::vector<NondetUse> nondet_sources;  // effect nondet_source
   bool nondet_ok = false;   // body carries FEMTO_NONDET_OK(reason)
+  bool blocking_ok = false;  // body carries FEMTO_BLOCKING_OK(reason)
+  bool protocol_ok = false;  // body carries FEMTO_PROTOCOL_OK(reason)
   bool emits = false;       // effect emits_output: writes a stream/FILE
   int first_emit_line = 0;
   std::string first_emit_what;
@@ -121,6 +139,11 @@ struct Source {
   // type, including one alias hop (`using Cache = std::unordered_map<...>`
   // makes both `Cache` and variables declared as `Cache` unordered).
   std::set<std::string> unordered_names;
+  // Names declared with std::future / std::shared_future (same one-hop
+  // alias mechanism): `f.get()` on one of these blocks the caller, which
+  // the blocking-call-under-lock pass needs to tell apart from the
+  // ubiquitous smart-pointer `.get()`.
+  std::set<std::string> future_names;
 
   bool is_header() const;
   bool in_parallel_engine() const;

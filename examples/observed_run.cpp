@@ -1,30 +1,46 @@
 // femtoscope end-to-end: run a tiny but REAL slice of the paper's
 // campaign -- the Fig. 2 workflow (gauge -> propagators -> contractions),
-// an autotune warm-up, and the mpi_jm wire protocol -- with tracing on,
-// then export and self-validate the two femtoscope artifacts:
+// an autotune warm-up, the mpi_jm wire protocol, a multi-rank halo-style
+// exchange, and batched SolveService solves -- with tracing, the sampling
+// profiler, and the crash flight recorder all armed, then export and
+// self-validate the femtoscope artifacts:
 //
-//   observed_trace.json   Chrome trace_event JSON (open in Perfetto or
-//                         chrome://tracing)
-//   observed_report.json  schema-versioned run report with the measured
-//                         sustained-performance block (S VI-VII)
+//   observed_trace.json     merged multi-rank Chrome trace_event JSON
+//                           (one process row per rank, s/f flow arrows;
+//                           open in Perfetto or chrome://tracing)
+//   observed_report.json    schema-versioned run report with the measured
+//                           sustained-performance block (S VI-VII)
+//   observed_flame.txt      collapsed span stacks (flamegraph.pl /
+//                           speedscope input) from the sampling profiler
+//   observed_blackbox.json  flight-recorder state dump (the same document
+//                           a FEMTO_CHECK failure or fatal signal writes)
 //
-// Exit status is the smoke test: non-zero if either artifact fails to
-// parse or the derived block is missing its measured inputs.
+// Exit status is the smoke test: non-zero if any artifact fails to parse,
+// the flow arrows are missing, the critical path is empty, or the derived
+// block is missing its measured inputs.
 //
 //   ./observed_run [output_dir]       (default: current directory)
 
 #include <cstdio>
+#include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "autotune/blas_tunable.hpp"
+#include "comm/communicator.hpp"
 #include "core/workflow.hpp"
 #include "jobmgr/mpi_jm_protocol.hpp"
+#include "lattice/gauge.hpp"
+#include "obs/blackbox.hpp"
+#include "obs/flow.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "service/solve_service.hpp"
 
 namespace {
 
@@ -55,6 +71,14 @@ int main(int argc, char** argv) {
   femto::obs::set_trace_enabled(true);
   if (std::getenv("FEMTO_LOG") == nullptr)
     femto::obs::set_log_level(femto::obs::LogLevel::Info);
+
+  // Arm the flight recorder and the sampling profiler for the whole run:
+  // a FEMTO_CHECK failure or fatal signal anywhere below dumps the
+  // blackbox, and every sweep of the sampler attributes a sample to the
+  // live span stack.
+  const std::string blackbox_path = out_dir + "/observed_blackbox.json";
+  femto::obs::blackbox_install(blackbox_path);
+  femto::obs::sampler_start();
 
   // --- 1. the Fig. 2 workflow on a tiny lattice: real solves feed the
   // solver.* metrics, per-solve residual histories, and workflow spans.
@@ -91,6 +115,48 @@ int main(int argc, char** argv) {
   popts.us_per_sim_second = 5.0;
   const auto prep = femto::jm::run_mpi_jm_protocol(tasks, popts);
 
+  // --- 4. a multi-rank halo-style ring exchange: every femtocomm
+  // send/recv carries a flow id, so the merged trace draws a causal arrow
+  // from each rank's send to the neighbour's recv and the critical-path
+  // reducer can chain the waits.
+  femto::comm::run_ranks(3, [](femto::comm::RankHandle& h) {
+    FEMTO_TRACE_SCOPE("comm", "halo_ring");
+    const int n = h.size();
+    const int right = (h.rank() + 1) % n;
+    const int left = (h.rank() + n - 1) % n;
+    std::vector<double> face(64, static_cast<double>(h.rank()));
+    for (int round = 0; round < 4; ++round) {
+      h.send_vec<double>(right, 100 + round, face);
+      const auto got = h.recv_vec<double>(left, 100 + round);
+      face[0] += got[0];  // consume so the exchange is load-bearing
+    }
+  });
+
+  // --- 5. batched solves through the async SolveService: submit/claim
+  // pairs trace as service flows, and the service's queue state is a
+  // registered blackbox provider while it is alive.
+  {
+    const auto sgeom = std::make_shared<femto::Geometry>(4, 4, 4, 4);
+    const femto::MobiusParams sparams{4, -1.8, 1.5, 0.5, 0.1};
+    auto su = std::make_shared<femto::GaugeField<double>>(sgeom);
+    femto::weak_gauge(*su, 2026, 0.25);
+    femto::SolveServiceConfig scfg;
+    scfg.max_batch = 2;
+    scfg.solver.tol = 1e-7;
+    femto::SolveService svc(scfg);
+    std::vector<std::future<femto::SolveOutcome>> futs;
+    for (std::uint64_t r = 0; r < 3; ++r) {
+      auto b = std::make_shared<femto::SpinorField<double>>(
+          sgeom, sparams.l5, femto::Subset::Full);
+      b->gaussian(7000 + r);
+      futs.push_back(svc.submit(femto::SolveRequest{su, sparams, b}));
+    }
+    svc.drain();
+    for (auto& f : futs)
+      if (!f.get().stats.converged)
+        std::fprintf(stderr, "observed_run: service solve not converged\n");
+  }
+
   // --- export + self-validate.
   const std::string trace_path = out_dir + "/observed_trace.json";
   const std::string report_path = out_dir + "/observed_report.json";
@@ -108,6 +174,38 @@ int main(int argc, char** argv) {
   ok &= check(has(trace, "dslash") || has(trace, "fifth_dim_op"),
               "trace contains dirac spans");
   ok &= check(has(trace, "lump_job"), "trace contains jobmgr spans");
+  // Merged multi-rank layout: the ring exchange ran 3 ranks, so the
+  // export must name per-rank process rows and draw s/f flow arrows for
+  // the matched send/recv (and submit/claim) pairs.
+  ok &= check(has(trace, "\"name\":\"rank 1\""),
+              "trace has per-rank process rows");
+  ok &= check(has(trace, "\"ph\":\"s\""), "trace has flow start events");
+  ok &= check(has(trace, "\"ph\":\"f\""), "trace has flow finish events");
+
+  // Critical path: the longest chain of waits across the whole run.
+  const auto cp = femto::obs::critical_path(femto::obs::trace_snapshot());
+  std::printf("%s", femto::obs::critical_path_summary(cp).c_str());
+  ok &= check(cp.edges_matched > 0, "flow edges matched");
+  ok &= check(!cp.chain.empty(), "critical path non-empty");
+
+  // Sampling profiler: stop, then export the collapsed stacks.
+  femto::obs::sampler_stop();
+  const auto samp = femto::obs::sampler_snapshot();
+  const std::string flame_path = out_dir + "/observed_flame.txt";
+  ok &= check(femto::obs::write_collapsed_stacks(flame_path),
+              "writing collapsed stacks");
+  ok &= check(samp.samples > 0, "sampler attributed samples");
+  ok &= check(!slurp(flame_path).empty(), "collapsed stacks non-empty");
+
+  // Flight recorder: an operator-style mid-run dump must be the same
+  // valid document a crash would produce.
+  ok &= check(femto::obs::blackbox_write_now("operator_dump"),
+              "writing blackbox dump");
+  const std::string box = slurp(blackbox_path);
+  ok &= check(femto::obs::json_validate(box, &err),
+              ("blackbox JSON invalid: " + err).c_str());
+  ok &= check(has(box, femto::obs::kBlackboxSchema), "blackbox schema tag");
+  femto::obs::blackbox_uninstall();
 
   const std::string report = slurp(report_path);
   ok &= check(femto::obs::json_validate(report, &err),
@@ -125,8 +223,10 @@ int main(int argc, char** argv) {
   ok &= check(wrep.all_converged, "workflow solves converged");
 
   std::printf("%s", femto::obs::report_summary().c_str());
-  std::printf("trace  -> %s\nreport -> %s\n", trace_path.c_str(),
-              report_path.c_str());
+  std::printf("trace    -> %s\nreport   -> %s\nflame    -> %s\n"
+              "blackbox -> %s\n",
+              trace_path.c_str(), report_path.c_str(), flame_path.c_str(),
+              blackbox_path.c_str());
   std::printf("observed_run: %s\n", ok ? "OK" : "FAILED");
   return ok ? 0 : 1;
 }

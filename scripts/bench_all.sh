@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Run the BENCH-emitting harness end to end and gate the results against
+# the committed baseline (the BENCH regression sentinel).
+#
+#   1. scripts/bench_obs.sh    -> BENCH_obs.json   (tracer overhead)
+#   2. scripts/bench_lint.sh   -> BENCH_lint.json  (lint scan cost)
+#   3. with FEMTO_BENCH_FULL=1, the slow kernels too:
+#      scripts/bench_simd.sh     -> BENCH_simd.json
+#      scripts/bench_multirhs.sh -> BENCH_multirhs.json
+#   4. tools/benchdiff --baseline bench/baseline.json <produced files>
+#
+# benchdiff only judges metrics belonging to files actually produced, so
+# the quick run never fails on the skipped kernel benches.  Absolute
+# wall-clock metrics are annotated direction "info" in the baseline
+# (machine-bound, tracked but never gated); the gates sit on portable
+# ratios: tracer overhead percentages, scan speedup, pass booleans.
+#
+# After an accepted performance change, refresh the accepted values with
+#   build/tools/benchdiff/benchdiff --baseline bench/baseline.json \
+#     --write-baseline BENCH_obs.json BENCH_lint.json
+# (annotations survive the refresh) and commit the baseline.
+#
+# Usage: scripts/bench_all.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BENCHDIFF="${BUILD_DIR}/tools/benchdiff/benchdiff"
+BASELINE="bench/baseline.json"
+
+if [[ ! -x "$BENCHDIFF" ]]; then
+  echo "bench_all: $BENCHDIFF not built (cmake --build $BUILD_DIR --target benchdiff)" >&2
+  exit 1
+fi
+
+produced=()
+
+echo "=== bench_obs ==="
+scripts/bench_obs.sh
+produced+=(BENCH_obs.json)
+
+echo "=== bench_lint ==="
+scripts/bench_lint.sh
+produced+=(BENCH_lint.json)
+
+if [[ "${FEMTO_BENCH_FULL:-0}" == "1" ]]; then
+  echo "=== bench_simd ==="
+  scripts/bench_simd.sh
+  produced+=(BENCH_simd.json)
+  echo "=== bench_multirhs ==="
+  scripts/bench_multirhs.sh
+  produced+=(BENCH_multirhs.json)
+else
+  echo "bench_all: FEMTO_BENCH_FULL!=1, skipping simd/multirhs kernels"
+fi
+
+echo "=== benchdiff sentinel ==="
+"$BENCHDIFF" --baseline "$BASELINE" "${produced[@]}"
+echo "bench_all: OK"

@@ -4,6 +4,8 @@
 #include <exception>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace femto::comm {
 
 void Mailbox::push(Message m) {
@@ -61,15 +63,40 @@ void RankHandle::send(int dest, int tag, std::vector<std::byte> payload) {
   m.src = rank_;
   m.tag = tag;
   m.payload = std::move(payload);
+  // Causal link: stamp a flow id and record the producer span so the
+  // matching recv's wait renders as one arrow in the merged trace.  One
+  // relaxed load when tracing is off.
+  if (obs::trace_enabled()) {
+    const std::int64_t t0 = obs::uptime_ns();
+    const std::uint64_t flow = obs::next_flow_id();
+    m.flow_id = flow;
+    world_->mailbox(dest).push(std::move(m));
+    obs::trace_flow_out("comm", "send", t0, flow);
+    return;
+  }
   world_->mailbox(dest).push(std::move(m));
 }
 
 Message RankHandle::recv(int src, int tag) {
+  if (obs::trace_enabled()) {
+    const std::int64_t t0 = obs::uptime_ns();
+    Message m = world_->mailbox(rank_).pop(src, tag);
+    if (m.flow_id != 0) obs::trace_flow_in("comm", "recv", t0, m.flow_id);
+    return m;
+  }
   return world_->mailbox(rank_).pop(src, tag);
 }
 
 std::optional<Message> RankHandle::recv_for(
     int src, int tag, std::chrono::milliseconds timeout) {
+  if (obs::trace_enabled()) {
+    const std::int64_t t0 = obs::uptime_ns();
+    std::optional<Message> m =
+        world_->mailbox(rank_).pop_for(src, tag, timeout);
+    if (m && m->flow_id != 0)
+      obs::trace_flow_in("comm", "recv", t0, m->flow_id);
+    return m;
+  }
   return world_->mailbox(rank_).pop_for(src, tag, timeout);
 }
 
@@ -141,6 +168,10 @@ void World::run(const std::function<void(RankHandle&)>& fn) {
   threads.reserve(static_cast<size_t>(n_ranks_));
   for (int r = 0; r < n_ranks_; ++r) {
     threads.emplace_back([this, r, &fn, &errors] {
+      // Every span this rank thread records (and every sampler stack
+      // sweep of it) is tagged with the rank, so multi-rank traces merge
+      // into per-rank Chrome process rows.
+      obs::set_trace_rank(r);
       RankHandle h(this, r);
       try {
         fn(h);

@@ -37,10 +37,14 @@
 
 namespace femto::comm {
 
-/// A message: tag + opaque payload.
+/// A message: tag + opaque payload.  flow_id is the femtoscope causal
+/// link (DESIGN.md §15): send() stamps a fresh id and records the
+/// producer span; recv() consumes it and records the matching wait span,
+/// so the merged Chrome trace draws the pair as one arrow.  0 = untraced.
 struct Message {
   int src = -1;
   int tag = 0;
+  std::uint64_t flow_id = 0;
   std::vector<std::byte> payload;
 };
 

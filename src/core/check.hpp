@@ -39,6 +39,7 @@
 // reasons are audit trail: say WHY the hang the rule guards against cannot
 // happen here.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -65,12 +66,37 @@
 
 namespace femto::check {
 
+// Last-gasp observer for failed checks: runs after the diagnostic prints
+// and before abort().  The femtoscope flight recorder (obs/blackbox.hpp)
+// registers here to dump spans/metrics/queue state -- check sits at the
+// bottom of the layer DAG, so the hook is how upper layers observe a
+// failure without check depending on them.  The hook must not return
+// control flow to the caller's invariants: fail() still aborts whatever
+// it does.
+using FailHook = void (*)(const char* file, int line, const char* expr,
+                          const char* msg);
+
+namespace detail {
+inline std::atomic<FailHook>& fail_hook() {
+  static std::atomic<FailHook> hook{nullptr};
+  return hook;
+}
+}  // namespace detail
+
+inline void set_fail_hook(FailHook hook) {
+  detail::fail_hook().store(hook, std::memory_order_release);
+}
+
 [[noreturn]] inline void fail(const char* file, int line, const char* expr,
                               const char* msg) {
   std::fprintf(stderr, "FEMTO_CHECK failed: %s:%d: (%s)%s%s\n", file, line,
                expr, (msg != nullptr && msg[0] != '\0') ? " — " : "",
                msg != nullptr ? msg : "");
   std::fflush(stderr);
+  // The diagnostic is already out: a hook that itself crashes can only
+  // lose the dump, never the message.
+  if (FailHook hook = detail::fail_hook().load(std::memory_order_acquire))
+    hook(file, line, expr, msg);
   std::abort();
 }
 

@@ -8,6 +8,7 @@
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fs = std::filesystem;
 
@@ -65,13 +66,20 @@ Task MetaqQueue::parse_task(const std::string& text) {
 
 std::string MetaqQueue::submit(const Task& t, int priority) {
   priority = std::clamp(priority, 0, kMaxPriority);
+  std::uint64_t flow = 0;
+  std::int64_t t0 = -1;
+  if (obs::trace_enabled()) {
+    t0 = obs::uptime_ns();
+    flow = obs::next_flow_id();
+  }
   int serial = 0;
+  std::ostringstream name;
   {
     std::lock_guard<std::mutex> lk(mu_);
     serial = next_id_++;
+    name << "task_" << t.id << "_" << serial;
+    if (flow != 0) flows_[name.str()] = {flow, t0};
   }
-  std::ostringstream name;
-  name << "task_" << t.id << "_" << serial;
   const std::string path =
       priority_dir(root_, priority) + "/" + name.str() + ".task";
   const std::string tmp = path + ".tmp";
@@ -81,6 +89,7 @@ std::string MetaqQueue::submit(const Task& t, int priority) {
   }
   fs::rename(tmp, path);  // publish atomically, never a half-written task
   obs::counter("metaq.submitted").add();
+  if (flow != 0) obs::trace_flow_out("jobmgr", "metaq_submit", t0, flow);
   FEMTO_LOG_DEBUG("metaq", "submitted " << name.str() << " at priority "
                                         << priority);
   return name.str();
@@ -113,6 +122,22 @@ std::optional<QueuedTask> MetaqQueue::claim(int free_nodes) {
       q.name = path.stem().string();
       q.task = t;
       obs::counter("metaq.claimed").add();
+      if (obs::trace_enabled()) {
+        // Close the causal link when this instance saw the submission:
+        // the flow-in span runs [submit, claim], i.e. time-in-queue.
+        std::uint64_t flow = 0;
+        std::int64_t t0 = -1;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          const auto it = flows_.find(q.name);
+          if (it != flows_.end()) {
+            flow = it->second.first;
+            t0 = it->second.second;
+            flows_.erase(it);
+          }
+        }
+        if (flow != 0) obs::trace_flow_in("jobmgr", "metaq_claim", t0, flow);
+      }
       FEMTO_LOG_DEBUG("metaq", "claimed " << q.name << " (" << t.nodes
                                           << " nodes) from priority " << p);
       return q;

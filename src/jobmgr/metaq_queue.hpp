@@ -15,9 +15,12 @@
 //
 // Task files are the key=value format of the node-description parser.
 
+#include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/check.hpp"
@@ -69,6 +72,14 @@ class MetaqQueue {
   // cross-process races, but the per-instance name counter needs a lock.
   std::mutex mu_;
   int next_id_ FEMTO_GUARDED_BY(mu_) = 0;
+  // Femtoscope causal links (DESIGN.md §15): submit() records a flow-out
+  // span and parks (flow id, submit time) here under the task name; the
+  // claim() winner consumes the entry and records the matching flow-in
+  // whose duration is the task's time-in-queue.  Only same-instance
+  // submit->claim pairs link (cross-process claims see no entry and
+  // trace flowless, matching the filesystem protocol's ignorance).
+  std::map<std::string, std::pair<std::uint64_t, std::int64_t>> flows_
+      FEMTO_GUARDED_BY(mu_);
 };
 
 }  // namespace femto::jm

@@ -1,0 +1,143 @@
+#include "obs/flow.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace femto::obs {
+
+namespace {
+
+// Timeline key for chaining: spans recorded under a rank chain by rank
+// (the Chrome merge mode's process row); unranked spans chain by thread.
+// Ranks and tids never collide because ranks are non-negative and tids
+// are offset into the negative range.
+std::int64_t track_of(const TraceEvent& e) {
+  if (e.rank >= 0) return e.rank;
+  return -1 - static_cast<std::int64_t>(e.tid);
+}
+
+std::int64_t end_of(const TraceEvent& e) { return e.t0_ns + e.dur_ns; }
+
+std::string describe(const FlowEdge& e) {
+  char buf[192];
+  char src[24], dst[24];
+  if (e.out.rank >= 0)
+    std::snprintf(src, sizeof(src), "rank%d", e.out.rank);
+  else
+    std::snprintf(src, sizeof(src), "tid%u", e.out.tid);
+  if (e.in.rank >= 0)
+    std::snprintf(dst, sizeof(dst), "rank%d", e.in.rank);
+  else
+    std::snprintf(dst, sizeof(dst), "tid%u", e.in.tid);
+  std::snprintf(buf, sizeof(buf), "%s/%s %s<-%s %.3f ms (flow %llu)",
+                e.in.category != nullptr ? e.in.category : "?",
+                e.in.name != nullptr ? e.in.name : "?", dst, src,
+                static_cast<double>(e.wait_ns) * 1e-6,
+                static_cast<unsigned long long>(e.in.flow_id));
+  return buf;
+}
+
+}  // namespace
+
+std::vector<FlowEdge> flow_edges(const TraceSnapshot& snap) {
+  std::map<std::uint64_t, const TraceEvent*> outs;
+  std::map<std::uint64_t, const TraceEvent*> ins;
+  for (const TraceEvent& e : snap.events) {
+    if (e.flow_id == 0 || e.flow == FlowDir::None) continue;
+    if (e.flow == FlowDir::Out)
+      outs.emplace(e.flow_id, &e);
+    else
+      ins.emplace(e.flow_id, &e);
+  }
+  std::vector<FlowEdge> edges;
+  edges.reserve(outs.size());
+  for (const auto& [id, out] : outs) {
+    auto it = ins.find(id);
+    if (it == ins.end()) continue;
+    FlowEdge edge;
+    edge.out = *out;
+    edge.in = *it->second;
+    edge.wait_ns = edge.in.dur_ns;
+    edges.push_back(edge);
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const FlowEdge& a, const FlowEdge& b) {
+                     if (a.out.t0_ns != b.out.t0_ns)
+                       return a.out.t0_ns < b.out.t0_ns;
+                     return a.out.flow_id < b.out.flow_id;
+                   });
+  return edges;
+}
+
+CriticalPathReport critical_path(const TraceSnapshot& snap) {
+  CriticalPathReport report;
+  const std::vector<FlowEdge> edges = flow_edges(snap);
+  report.edges_matched = static_cast<int>(edges.size());
+  int flow_spans = 0;
+  for (const TraceEvent& e : snap.events)
+    if (e.flow_id != 0 && e.flow != FlowDir::None) ++flow_spans;
+  report.edges_unmatched =
+      flow_spans - 2 * report.edges_matched;
+
+  const std::size_t n = edges.size();
+  if (n == 0) return report;
+
+  // chain[i]: largest total wait of any chain ending at edge i; pred[i]
+  // reconstructs it.  Edge j can precede edge i when j's consumer lives on
+  // the timeline that produced i and j's wait resolved before i's handoff
+  // completed.  O(n^2) over matched pairs -- flow spans are per-message,
+  // not per-site, so n stays small.
+  std::vector<std::int64_t> chain(n);
+  std::vector<std::ptrdiff_t> pred(n, -1);
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    chain[i] = edges[i].wait_ns;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (track_of(edges[j].in) != track_of(edges[i].out)) continue;
+      if (end_of(edges[j].in) > end_of(edges[i].out)) continue;
+      if (chain[j] + edges[i].wait_ns > chain[i]) {
+        chain[i] = chain[j] + edges[i].wait_ns;
+        pred[i] = static_cast<std::ptrdiff_t>(j);
+      }
+    }
+    if (chain[i] > chain[best]) best = i;
+  }
+
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(best); i >= 0;
+       i = pred[static_cast<std::size_t>(i)])
+    report.chain.push_back(edges[static_cast<std::size_t>(i)]);
+  std::reverse(report.chain.begin(), report.chain.end());
+  report.total_wait_ns = chain[best];
+  return report;
+}
+
+std::string critical_path_summary(const CriticalPathReport& report) {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "critical path: %.3f ms total wait over %zu of %d matched "
+                "flow edges (%d unmatched)\n",
+                static_cast<double>(report.total_wait_ns) * 1e-6,
+                report.chain.size(), report.edges_matched,
+                report.edges_unmatched);
+  out += buf;
+  const FlowEdge* longest = nullptr;
+  int idx = 0;
+  for (const FlowEdge& e : report.chain) {
+    ++idx;
+    std::snprintf(buf, sizeof(buf), "  %2d. ", idx);
+    out += buf;
+    out += describe(e);
+    out += '\n';
+    if (longest == nullptr || e.wait_ns > longest->wait_ns) longest = &e;
+  }
+  if (longest != nullptr) {
+    out += "longest wait: ";
+    out += describe(*longest);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace femto::obs

@@ -1,0 +1,50 @@
+#pragma once
+// Flow-edge analysis over a trace snapshot: pair every producer span
+// (FlowDir::Out -- send, submit, METAQ drop-off) with the consumer span
+// that waited on it (FlowDir::In -- recv, claim), then reduce the pairs
+// to the CRITICAL PATH: the chain of waits with the largest total blocked
+// time, where each link's consumer sits on the timeline that produced the
+// next link.  This answers the paper's §VI-VII question -- who waited on
+// whom -- from the same spans the Chrome export draws as flow arrows.
+//
+// The edge weight is the consumer span's duration: trace_flow_in records
+// the span [asked, handed-off], so dur_ns IS the blocked time (femtocomm
+// recv) or the queue latency (SolveService submit->claim, METAQ
+// submit->claim), with no clock math here.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace femto::obs {
+
+// One matched producer->consumer pair.
+struct FlowEdge {
+  TraceEvent out;  ///< FlowDir::Out span
+  TraceEvent in;   ///< FlowDir::In span; in.dur_ns is the wait
+  std::int64_t wait_ns = 0;
+};
+
+struct CriticalPathReport {
+  std::vector<FlowEdge> chain;  ///< the longest wait chain, in time order
+  std::int64_t total_wait_ns = 0;  ///< sum of chain waits
+  int edges_matched = 0;    ///< flow pairs found in the snapshot
+  int edges_unmatched = 0;  ///< flow spans whose partner never recorded
+};
+
+// All matched flow edges, ordered by producer start time.
+std::vector<FlowEdge> flow_edges(const TraceSnapshot& snap);
+
+// The longest wait chain: dynamic programming over flow_edges(), chaining
+// edge B after edge A when A's consumer and B's producer share a timeline
+// (rank when tagged, else tid) and A's wait resolved before B's handoff
+// completed.
+CriticalPathReport critical_path(const TraceSnapshot& snap);
+
+// Human-readable rendering: the chain plus the single longest wait edge
+// ("longest wait: comm/halo_recv rank1<-rank0 1.234 ms").
+std::string critical_path_summary(const CriticalPathReport& report);
+
+}  // namespace femto::obs

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <set>
 
 namespace femto::obs {
 
@@ -91,12 +92,17 @@ class Validator {
     return true;
   }
 
-  bool string() {
+  // When @p out is non-null the raw (still-escaped) bytes between the
+  // quotes are captured -- enough for object() to compare keys, since two
+  // byte-identical keys are duplicates whatever they decode to.
+  bool string(std::string* out = nullptr) {
     if (pos_ >= n_ || s_[pos_] != '"') return fail("expected '\"'");
     ++pos_;
+    const std::size_t body = pos_;
     while (pos_ < n_) {
       const unsigned char c = static_cast<unsigned char>(s_[pos_]);
       if (c == '"') {
+        if (out != nullptr) out->assign(s_ + body, pos_ - body);
         ++pos_;
         return true;
       }
@@ -175,9 +181,14 @@ class Validator {
       ++pos_;
       return true;
     }
+    std::set<std::string> keys;
+    std::string key;
     for (;;) {
       skip_ws();
-      if (!string()) return false;
+      if (!string(&key)) return false;
+      // A report/baseline writer emitting one key twice is a bug upstream
+      // (last-wins parsing would silently mask half the data) -- reject.
+      if (!keys.insert(key).second) return fail("duplicate object key");
       skip_ws();
       if (pos_ >= n_ || s_[pos_] != ':') return fail("expected ':'");
       ++pos_;

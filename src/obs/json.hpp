@@ -24,8 +24,10 @@ std::string json_number(double v);
 std::string json_number(std::int64_t v);
 
 // Strict well-formedness check over the complete input (trailing garbage
-// rejected).  On failure, *err (if non-null) gets a one-line diagnostic
-// with the byte offset.
+// rejected; duplicate keys within one object rejected -- a femtoscope
+// writer emitting a key twice is an upstream bug, not a parse choice).
+// On failure, *err (if non-null) gets a one-line diagnostic with the
+// byte offset.
 bool json_validate(const std::string& text, std::string* err = nullptr);
 
 }  // namespace femto::obs

@@ -82,6 +82,19 @@ std::int64_t Registry::total_solves() const {
   return total_solves_;
 }
 
+bool Registry::try_crash_snapshot(
+    std::vector<std::pair<std::string, std::int64_t>>* counters,
+    std::vector<std::pair<std::string, double>>* gauges) const {
+  std::unique_lock<std::mutex> lk(mu_, std::try_to_lock);
+  if (!lk.owns_lock()) return false;
+  counters->reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    counters->emplace_back(name, c->get());
+  gauges->reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) gauges->emplace_back(name, g->get());
+  return true;
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lk(mu_);
   for (const auto& [name, c] : counters_) c->reset();

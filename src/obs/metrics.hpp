@@ -153,6 +153,14 @@ class Registry {
   std::vector<SolveRecord> solves() const;
   std::int64_t total_solves() const;
 
+  // Crash-tolerant snapshot for the flight recorder (obs/blackbox.hpp):
+  // try_lock, so a dump taken while some thread died holding mu_ degrades
+  // to an empty snapshot instead of deadlocking the abort path.  Returns
+  // false (outputs untouched) when the lock is unavailable.
+  bool try_crash_snapshot(
+      std::vector<std::pair<std::string, std::int64_t>>* counters,
+      std::vector<std::pair<std::string, double>>* gauges) const;
+
   // Does NOT erase metric objects (cached references stay valid); zeroes
   // every value and clears the solve log.
   void reset();

@@ -1,7 +1,9 @@
 #include "obs/report.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -22,20 +24,27 @@ const char* dslash_variant_name(double v) {
   return "scalar";
 }
 
+// Ratios whose denominator never accumulated are UNDEFINED, not zero: an
+// empty run did not sustain 0 GFLOP/s, it sustained nothing.  They start
+// as quiet NaN, which json_number renders as an explicit null and the
+// text summary as "n/a" -- downstream consumers (benchdiff, dashboards)
+// can tell "measured zero" from "no data" (DESIGN.md §15).
+constexpr double kUndefined = std::numeric_limits<double>::quiet_NaN();
+
 struct Derived {
   double solver_seconds = 0.0;
   std::int64_t solver_flops = 0;
   std::int64_t solver_bytes = 0;
-  double sustained_gflops = 0.0;
-  double arithmetic_intensity = 0.0;
+  double sustained_gflops = kUndefined;
+  double arithmetic_intensity = kUndefined;
   std::int64_t autotune_hits = 0;
   std::int64_t autotune_misses = 0;
-  double autotune_hit_rate = 0.0;
+  double autotune_hit_rate = kUndefined;
   double jm_busy_s = 0.0;
   double jm_idle_s = 0.0;
-  double jm_efficiency = 0.0;
+  double jm_efficiency = kUndefined;
   const char* jm_source = "none";
-  double application_gflops = 0.0;
+  double application_gflops = kUndefined;
   double dslash_variant_f = 0.0;
   double dslash_variant_d = 0.0;
   double dslash_gbytes_f = 0.0;
@@ -43,8 +52,8 @@ struct Derived {
   std::int64_t svc_completed = 0;
   std::int64_t svc_batches = 0;
   double svc_queue_depth = 0.0;
-  double svc_batch_mean = 0.0;
-  double svc_throughput = 0.0;
+  double svc_batch_mean = kUndefined;
+  double svc_throughput = kUndefined;
 };
 
 Derived derive() {
@@ -84,6 +93,9 @@ Derived derive() {
     d.jm_efficiency = busy_node_s / alloc_node_s;
     d.jm_source = "schedule_report";
   }
+  // NaN-aware propagation: an undefined efficiency leaves the sustained
+  // figure as-is (NaN > 0.0 is false); an undefined sustained figure makes
+  // the application figure undefined too.
   d.application_gflops =
       d.jm_efficiency > 0.0 ? d.sustained_gflops * d.jm_efficiency
                             : d.sustained_gflops;
@@ -100,7 +112,8 @@ Derived derive() {
   if (bh.count() > 0)
     d.svc_batch_mean =
         static_cast<double>(bh.sum()) / static_cast<double>(bh.count());
-  d.svc_throughput = reg.gauge("solve_service.throughput").get();
+  if (d.svc_completed > 0)
+    d.svc_throughput = reg.gauge("solve_service.throughput").get();
   return d;
 }
 
@@ -116,6 +129,15 @@ void append_kv(std::string* out, const char* key, const std::string& val,
 
 std::string quoted(const std::string& s) {
   return "\"" + json_escape(s) + "\"";
+}
+
+// Summary-table rendering of a possibly-undefined ratio: printf format
+// @p fmt when defined, "n/a" when the run never fed the denominator.
+std::string ratio_str(double v, const char* fmt) {
+  if (std::isnan(v)) return "n/a";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
 }
 
 }  // namespace
@@ -311,16 +333,17 @@ std::string report_summary() {
                 "    solver time           %12.3f s\n"
                 "    solver flops          %14" PRId64 "\n"
                 "    solver bytes          %14" PRId64 "\n"
-                "    sustained             %12.3f GFLOP/s\n"
-                "    arithmetic intensity  %12.3f flop/byte\n",
+                "    sustained             %12s GFLOP/s\n"
+                "    arithmetic intensity  %12s flop/byte\n",
                 d.solver_seconds, d.solver_flops, d.solver_bytes,
-                d.sustained_gflops, d.arithmetic_intensity);
+                ratio_str(d.sustained_gflops, "%.3f").c_str(),
+                ratio_str(d.arithmetic_intensity, "%.3f").c_str());
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "  autotune: %" PRId64 " hits / %" PRId64
-                " misses (hit rate %.1f%%)\n",
+                " misses (hit rate %s)\n",
                 d.autotune_hits, d.autotune_misses,
-                d.autotune_hit_rate * 100.0);
+                ratio_str(d.autotune_hit_rate * 100.0, "%.1f%%").c_str());
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "  simd [%s]: float x%d, double x%d; dslash "
@@ -331,21 +354,23 @@ std::string report_summary() {
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "  job manager [%s]: busy %.3f s, idle %.3f s, "
-                "efficiency %.1f%%\n",
+                "efficiency %s\n",
                 d.jm_source, d.jm_busy_s, d.jm_idle_s,
-                d.jm_efficiency * 100.0);
+                ratio_str(d.jm_efficiency * 100.0, "%.1f%%").c_str());
   out += buf;
   std::snprintf(buf, sizeof(buf),
-                "  application-level sustained: %.3f GFLOP/s\n",
-                d.application_gflops);
+                "  application-level sustained: %s GFLOP/s\n",
+                ratio_str(d.application_gflops, "%.3f").c_str());
   out += buf;
   if (d.svc_completed > 0) {
     std::snprintf(buf, sizeof(buf),
                   "  solve service: %" PRId64 " solves in %" PRId64
-                  " batches (mean batch %.2f), queue depth %.0f, "
-                  "%.3f solves/s\n",
-                  d.svc_completed, d.svc_batches, d.svc_batch_mean,
-                  d.svc_queue_depth, d.svc_throughput);
+                  " batches (mean batch %s), queue depth %.0f, "
+                  "%s solves/s\n",
+                  d.svc_completed, d.svc_batches,
+                  ratio_str(d.svc_batch_mean, "%.2f").c_str(),
+                  d.svc_queue_depth,
+                  ratio_str(d.svc_throughput, "%.3f").c_str());
     out += buf;
   }
   std::snprintf(buf, sizeof(buf),
@@ -360,6 +385,19 @@ std::string report_summary() {
       trace.threads, static_cast<unsigned long long>(trace.dropped));
   out += buf;
   return out;
+}
+
+bool report_validate(const std::string& text, std::string* err) {
+  if (!json_validate(text, err)) return false;
+  const std::string marker =
+      std::string("\"schema\":\"") + kReportSchema + "\"";
+  if (text.find(marker) == std::string::npos) {
+    if (err != nullptr)
+      *err = std::string("report schema marker ") + kReportSchema +
+             " missing (wrong schema version or not a femtoscope report)";
+    return false;
+  }
+  return true;
 }
 
 bool write_report(const std::string& path, const std::string& title) {

@@ -45,4 +45,10 @@ std::string report_summary();
 bool write_report(const std::string& path,
                   const std::string& title = "femtoscope");
 
+// Consumer-side check for a report document: strict JSON well-formedness
+// (truncation, raw NaN/Inf tokens, and duplicate keys all reject) plus
+// the kReportSchema marker -- a file from a different schema generation
+// fails loudly instead of half-parsing.
+bool report_validate(const std::string& text, std::string* err = nullptr);
+
 }  // namespace femto::obs

@@ -1,0 +1,262 @@
+#include "obs/sampler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/check.hpp"
+#include "obs/trace.hpp"
+
+namespace femto::obs {
+
+namespace {
+
+// One thread's live TraceScope stack.  The owner writes the frame BEFORE
+// publishing the new depth (release); the sampler acquires depth and then
+// reads frames.  A frame being rewritten concurrently can only yield a
+// stale category/name pointer -- both are string literals, so every
+// readable value is a valid NUL-terminated string, never garbage memory.
+struct SpanStack {
+  static constexpr int kMaxDepth = 64;
+  detail::SpanFrame frames[kMaxDepth];
+  std::atomic<int> depth{0};
+  std::atomic<int> rank{-1};
+  std::uint32_t tid = 0;
+};
+
+// Registry of every thread's span stack, mirroring trace.cpp's ring
+// registry: shared_ptrs keep stacks alive after their threads exit so a
+// late sweep never reads freed memory.
+class StackRegistry {
+ public:
+  static StackRegistry& instance() {
+    static StackRegistry reg;
+    return reg;
+  }
+
+  std::shared_ptr<SpanStack> register_thread(int rank) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto stack = std::make_shared<SpanStack>();
+    stack->tid = next_tid_++;
+    stack->rank.store(rank, std::memory_order_relaxed);
+    stacks_.push_back(stack);
+    return stack;
+  }
+
+  std::vector<std::shared_ptr<SpanStack>> stacks() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stacks_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<SpanStack>> stacks_ FEMTO_GUARDED_BY(mu_);
+  std::uint32_t next_tid_ FEMTO_GUARDED_BY(mu_) = 0;
+};
+
+SpanStack* thread_stack() {
+  thread_local std::shared_ptr<SpanStack> stack =
+      StackRegistry::instance().register_thread(trace_rank());
+  return stack.get();
+}
+
+// The sampler proper: a timer thread sweeping every registered stack at a
+// fixed period, folding each observation into the collapsed-stack map.
+class Sampler {
+ public:
+  static Sampler& instance() {
+    static Sampler s;
+    return s;
+  }
+
+  void start(const SamplerOptions& opt) {
+    // Claim under the lock, spawn outside it: the timer thread's first
+    // timed wait takes mu_, so constructing it lock-free keeps the lock
+    // graph acyclic (and femtolint's blocking-call-under-lock happy).
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (running_) return;
+      period_us_ = opt.period_us > 0 ? opt.period_us : 1009;
+      stop_ = false;
+      running_ = true;
+    }
+    detail::span_stack_retain();
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!running_) return;
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      running_ = false;
+    }
+    detail::span_stack_release();
+  }
+
+  bool running() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return running_;
+  }
+
+  SamplerSnapshot snapshot() const {
+    std::lock_guard<std::mutex> lk(data_mu_);
+    SamplerSnapshot snap;
+    snap.stacks = stacks_;
+    snap.samples = samples_;
+    snap.idle = idle_;
+    snap.truncated = truncated_;
+    snap.threads =
+        static_cast<int>(StackRegistry::instance().stacks().size());
+    return snap;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lk(data_mu_);
+    stacks_.clear();
+    samples_ = idle_ = truncated_ = 0;
+  }
+
+ private:
+  void loop() {
+    FEMTO_BLOCKING_OK(
+        "sampler timer thread: the timed wait holds only the sampler's own "
+        "control mutex, which the wait releases; no caller's wait chain can "
+        "hold it while blocking on this thread");
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        if (cv_.wait_for(lk, std::chrono::microseconds(period_us_),
+                         [this] { return stop_; }))
+          return;
+      }
+      sweep();
+    }
+  }
+
+  void sweep() {
+    const auto stacks = StackRegistry::instance().stacks();
+    std::lock_guard<std::mutex> lk(data_mu_);
+    for (const auto& s : stacks) {
+      const int raw_depth = s->depth.load(std::memory_order_acquire);
+      if (raw_depth <= 0) {
+        ++idle_;
+        continue;
+      }
+      const int d = std::min(raw_depth, SpanStack::kMaxDepth);
+      if (raw_depth > SpanStack::kMaxDepth) ++truncated_;
+      std::string key;
+      key.reserve(static_cast<std::size_t>(d) * 24 + 12);
+      const int rank = s->rank.load(std::memory_order_relaxed);
+      char root[32];
+      if (rank >= 0)
+        std::snprintf(root, sizeof(root), "rank%d", rank);
+      else
+        std::snprintf(root, sizeof(root), "thread%u", s->tid);
+      key += root;
+      for (int i = 0; i < d; ++i) {
+        const detail::SpanFrame f = s->frames[i];
+        key += ';';
+        key += f.category != nullptr ? f.category : "?";
+        key += ':';
+        key += f.name != nullptr ? f.name : "?";
+      }
+      ++stacks_[key];
+      ++samples_;
+    }
+  }
+
+  mutable std::mutex mu_;  ///< control plane: start/stop + timed wait
+  std::condition_variable cv_;
+  bool stop_ FEMTO_GUARDED_BY(mu_) = false;
+  bool running_ FEMTO_GUARDED_BY(mu_) = false;
+  std::int64_t period_us_ FEMTO_GUARDED_BY(mu_) = 1009;
+  std::thread thread_;
+
+  mutable std::mutex data_mu_;  ///< sample accumulation + snapshots
+  std::map<std::string, std::int64_t> stacks_ FEMTO_GUARDED_BY(data_mu_);
+  std::int64_t samples_ FEMTO_GUARDED_BY(data_mu_) = 0;
+  std::int64_t idle_ FEMTO_GUARDED_BY(data_mu_) = 0;
+  std::int64_t truncated_ FEMTO_GUARDED_BY(data_mu_) = 0;
+};
+
+}  // namespace
+
+namespace detail {
+
+int span_stack_push(const char* category, const char* name) {
+  SpanStack* s = thread_stack();
+  const int d = s->depth.load(std::memory_order_relaxed);
+  if (d < SpanStack::kMaxDepth) {
+    s->frames[d].category = category;
+    s->frames[d].name = name;
+  }
+  s->depth.store(d + 1, std::memory_order_release);
+  return d;
+}
+
+void span_stack_pop(int prev_depth) {
+  thread_stack()->depth.store(prev_depth, std::memory_order_release);
+}
+
+void span_stack_set_rank(int rank) {
+  thread_stack()->rank.store(rank, std::memory_order_relaxed);
+}
+
+int current_span_stack(SpanFrame* out, int max_frames) {
+  SpanStack* s = thread_stack();
+  const int d = std::min({s->depth.load(std::memory_order_relaxed),
+                          SpanStack::kMaxDepth, max_frames});
+  for (int i = 0; i < d; ++i) out[i] = s->frames[i];
+  return d > 0 ? d : 0;
+}
+
+}  // namespace detail
+
+void sampler_start(const SamplerOptions& opt) {
+  Sampler::instance().start(opt);
+}
+
+void sampler_stop() { Sampler::instance().stop(); }
+
+bool sampler_running() { return Sampler::instance().running(); }
+
+SamplerSnapshot sampler_snapshot() { return Sampler::instance().snapshot(); }
+
+void sampler_clear() { Sampler::instance().clear(); }
+
+std::string collapsed_stacks() {
+  const SamplerSnapshot snap = sampler_snapshot();
+  std::string out;
+  char buf[32];
+  for (const auto& [stack, count] : snap.stacks) {
+    out += stack;
+    std::snprintf(buf, sizeof(buf), " %lld\n",
+                  static_cast<long long>(count));
+    out += buf;
+  }
+  return out;
+}
+
+bool write_collapsed_stacks(const std::string& path) {
+  const std::string body = collapsed_stacks();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = (n == body.size()) && (std::fclose(f) == 0);
+  if (n != body.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace femto::obs

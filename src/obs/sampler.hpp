@@ -1,0 +1,73 @@
+#pragma once
+// Femtoscope span-attributed sampling profiler (DESIGN.md §15).
+//
+// A timer thread periodically reads every registered thread's live
+// TraceScope stack and attributes the sample to that stack -- the span
+// stack IS the attribution, so no frame pointers, unwinders, or debug
+// info are involved, and a "frame" is the same category:name pair the
+// tracer records.  The output is the collapsed-stack format flamegraph
+// tooling consumes directly: one `frame;frame;frame count` line per
+// distinct stack.
+//
+// Cost contract: the stack is maintained by TraceScope only while the
+// kStackBit of the fused enable word is set (sampler running or flight
+// recorder armed), so a disabled build path still pays exactly one
+// relaxed load per scope.  While armed, upkeep is two plain stores per
+// scope; sampling itself never blocks the sampled threads (the reader
+// tolerates torn frames: category/name are string literals, so a stale
+// pointer is still a valid string).
+//
+// The sampler does not read any clock: it sleeps a fixed period between
+// sweeps and counts samples, which is all a flamegraph needs.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace femto::obs {
+
+struct SamplerOptions {
+  // Sweep period in microseconds (default ~1 kHz; prime-ish to avoid
+  // phase-locking with periodic workloads).
+  std::int64_t period_us = 1009;
+};
+
+// Start the timer thread (idempotent: a second start is a no-op while
+// running).  Arms span-stack upkeep for every TraceScope.
+void sampler_start(const SamplerOptions& opt = {});
+
+// Stop and join the timer thread; accumulated samples are kept until
+// sampler_clear().
+void sampler_stop();
+
+bool sampler_running();
+
+struct SamplerSnapshot {
+  // Collapsed stack -> sample count, e.g. "rank0;solver:cg;blas:axpy" -> 42.
+  std::map<std::string, std::int64_t> stacks;
+  std::int64_t samples = 0;    ///< attributed samples (sum of stacks)
+  std::int64_t idle = 0;       ///< sweeps of a thread with no live span
+  std::int64_t truncated = 0;  ///< samples whose stack overflowed kMaxDepth
+  int threads = 0;             ///< span stacks registered
+};
+
+SamplerSnapshot sampler_snapshot();
+void sampler_clear();
+
+// One `stack count\n` line per distinct stack, sorted (deterministic for
+// a fixed sample set) -- feed straight to flamegraph.pl / speedscope.
+std::string collapsed_stacks();
+bool write_collapsed_stacks(const std::string& path);
+
+namespace detail {
+struct SpanFrame {
+  const char* category = nullptr;
+  const char* name = nullptr;
+};
+// Best-effort copy of the CALLING thread's live span stack (newest last);
+// used by the crash flight recorder to dump the failing thread's stack.
+// Returns the number of frames written (<= max_frames).
+int current_span_stack(SpanFrame* out, int max_frames);
+}  // namespace detail
+
+}  // namespace femto::obs

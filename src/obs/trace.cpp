@@ -6,6 +6,7 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <set>
 
 #include "core/check.hpp"
 #include "obs/json.hpp"
@@ -16,7 +17,9 @@ TraceRing::TraceRing(std::size_t capacity, std::uint32_t tid)
     : slots_(capacity == 0 ? 1 : capacity), tid_(tid) {}
 
 void TraceRing::push(const char* category, const char* name,
-                     std::int64_t t0_ns, std::int64_t dur_ns) {
+                     std::int64_t t0_ns, std::int64_t dur_ns,
+                     std::int32_t rank, std::uint64_t flow_id,
+                     FlowDir flow) {
   const std::uint64_t h = head_.load(std::memory_order_relaxed);
   TraceEvent& slot = slots_[static_cast<std::size_t>(h % slots_.size())];
   slot.category = category;
@@ -24,6 +27,9 @@ void TraceRing::push(const char* category, const char* name,
   slot.t0_ns = t0_ns;
   slot.dur_ns = dur_ns;
   slot.tid = tid_;
+  slot.rank = rank;
+  slot.flow_id = flow_id;
+  slot.flow = flow;
   // Release so a reader that acquires head_ sees the slot contents.
   head_.store(h + 1, std::memory_order_release);
 }
@@ -40,20 +46,56 @@ std::vector<TraceEvent> TraceRing::events() const {
 }
 
 namespace detail {
-std::atomic<int> g_trace_state{-1};
+std::atomic<int> g_span_mode{-1};
 
-bool trace_enabled_slow() {
+namespace {
+// kStackBit users (sampler running, flight recorder armed), counted so
+// either can retain the span stack independently.  Guarded by the
+// compare-exchange discipline below rather than a mutex: retain/release
+// are rare control-plane calls.
+std::atomic<int> g_stack_users{0};
+
+void apply_bit(int bit, bool on) {
+  int cur = g_span_mode.load(std::memory_order_relaxed);
+  for (;;) {
+    // Resolve the env first so the -1 sentinel never survives a toggle.
+    if (cur < 0) {
+      span_mode_slow();
+      cur = g_span_mode.load(std::memory_order_relaxed);
+      continue;
+    }
+    const int next = on ? (cur | bit) : (cur & ~bit);
+    if (g_span_mode.compare_exchange_weak(cur, next,
+                                          std::memory_order_relaxed))
+      return;
+  }
+}
+}  // namespace
+
+int span_mode_slow() {
   FEMTO_NONDET_OK(
       "one-shot FEMTO_TRACE toggle: decides only whether trace spans are "
       "recorded; kernels compute identical results either way");
   int expected = -1;
   const char* e = std::getenv("FEMTO_TRACE");
   const int from_env =
-      (e != nullptr && e[0] != '\0' && std::strcmp(e, "0") != 0) ? 1 : 0;
+      (e != nullptr && e[0] != '\0' && std::strcmp(e, "0") != 0)
+          ? kTraceBit
+          : 0;
   // First thread to get here settles the state; losers read the winner's.
-  g_trace_state.compare_exchange_strong(expected, from_env,
-                                        std::memory_order_relaxed);
-  return g_trace_state.load(std::memory_order_relaxed) != 0;
+  g_span_mode.compare_exchange_strong(expected, from_env,
+                                      std::memory_order_relaxed);
+  return g_span_mode.load(std::memory_order_relaxed);
+}
+
+void span_stack_retain() {
+  if (g_stack_users.fetch_add(1, std::memory_order_relaxed) == 0)
+    apply_bit(kStackBit, true);
+}
+
+void span_stack_release() {
+  if (g_stack_users.fetch_sub(1, std::memory_order_relaxed) == 1)
+    apply_bit(kStackBit, false);
 }
 }  // namespace detail
 
@@ -107,10 +149,35 @@ TraceRing* thread_ring() {
   return ring.get();
 }
 
+// Per-thread causal-tracing context: the rank stamped on every span this
+// thread records, and the sequence half of its flow ids.
+struct TraceContext {
+  int rank = -1;
+  std::uint64_t next_seq = 0;
+};
+
+TraceContext& thread_context() {
+  thread_local TraceContext ctx;
+  return ctx;
+}
+
 }  // namespace
 
 void set_trace_enabled(bool on) {
-  detail::g_trace_state.store(on ? 1 : 0, std::memory_order_relaxed);
+  detail::apply_bit(detail::kTraceBit, on);
+}
+
+void set_trace_rank(int rank) {
+  thread_context().rank = rank;
+  detail::span_stack_set_rank(rank);
+}
+
+int trace_rank() { return thread_context().rank; }
+
+std::uint64_t next_flow_id() {
+  TraceContext& ctx = thread_context();
+  const std::uint64_t tid = thread_ring()->tid();
+  return ((tid + 1) << 32) | (++ctx.next_seq & 0xffffffffu);
 }
 
 void set_trace_capacity(std::size_t spans) {
@@ -123,7 +190,20 @@ std::size_t trace_capacity() {
 
 void trace_push(const char* category, const char* name, std::int64_t t0_ns,
                 std::int64_t dur_ns) {
-  thread_ring()->push(category, name, t0_ns, dur_ns);
+  thread_ring()->push(category, name, t0_ns, dur_ns,
+                      thread_context().rank);
+}
+
+void trace_flow_out(const char* category, const char* name,
+                    std::int64_t t0_ns, std::uint64_t flow_id) {
+  thread_ring()->push(category, name, t0_ns, uptime_ns() - t0_ns,
+                      thread_context().rank, flow_id, FlowDir::Out);
+}
+
+void trace_flow_in(const char* category, const char* name,
+                   std::int64_t t0_ns, std::uint64_t flow_id) {
+  thread_ring()->push(category, name, t0_ns, uptime_ns() - t0_ns,
+                      thread_context().rank, flow_id, FlowDir::In);
 }
 
 TraceSnapshot trace_snapshot() {
@@ -147,14 +227,33 @@ void trace_clear() {
   for (const auto& ring : TraceRegistry::instance().rings()) ring->clear();
 }
 
-std::string chrome_trace_json() {
+std::string chrome_trace_json(const ChromeTraceOptions& opt) {
   const TraceSnapshot snap = trace_snapshot();
   std::string out;
-  out.reserve(snap.events.size() * 96 + 256);
+  out.reserve(snap.events.size() * 128 + 256);
   out += "{\"traceEvents\":[";
-  char buf[160];
+  char buf[192];
   bool first = true;
+
+  // Name the per-rank process rows so the merged view reads as a rank
+  // timeline, not anonymous pids.
+  if (opt.merge_ranks) {
+    std::set<int> ranks;
+    for (const TraceEvent& e : snap.events)
+      if (e.rank >= 0) ranks.insert(e.rank);
+    for (int r : ranks) {
+      if (!first) out += ',';
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                    "\"args\":{\"name\":\"rank %d\"}}",
+                    r, r);
+      out += buf;
+    }
+  }
+
   for (const TraceEvent& e : snap.events) {
+    const int pid = (opt.merge_ranks && e.rank >= 0) ? e.rank : 0;
     if (!first) out += ',';
     first = false;
     out += "{\"name\":\"";
@@ -163,11 +262,32 @@ std::string chrome_trace_json() {
     out += json_escape(e.category != nullptr ? e.category : "?");
     // ts/dur are microseconds; %.3f keeps exact nanosecond resolution.
     std::snprintf(buf, sizeof(buf),
-                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,"
-                  "\"tid\":%u}",
+                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,"
+                  "\"tid\":%u",
                   static_cast<double>(e.t0_ns) * 1e-3,
-                  static_cast<double>(e.dur_ns) * 1e-3, e.tid);
+                  static_cast<double>(e.dur_ns) * 1e-3, pid, e.tid);
     out += buf;
+    if (e.flow_id != 0) {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"flow\":%llu}",
+                    static_cast<unsigned long long>(e.flow_id));
+      out += buf;
+    }
+    out += '}';
+    if (opt.flow_events && e.flow_id != 0 && e.flow != FlowDir::None) {
+      // The arrow leaves the producer span (s) at its end and lands on the
+      // consumer's wait span (f) at the moment the wait resolved; both
+      // timestamps sit inside their X span so viewers bind the arc to it.
+      const char* ph = e.flow == FlowDir::Out ? "s" : "f";
+      const char* bind = e.flow == FlowDir::Out ? "" : ",\"bp\":\"e\"";
+      std::snprintf(buf, sizeof(buf),
+                    ",{\"name\":\"flow\",\"cat\":\"%s\",\"ph\":\"%s\","
+                    "\"id\":%llu,\"ts\":%.3f,\"pid\":%d,\"tid\":%u%s}",
+                    e.category != nullptr ? e.category : "?", ph,
+                    static_cast<unsigned long long>(e.flow_id),
+                    static_cast<double>(e.t0_ns + e.dur_ns) * 1e-3, pid,
+                    e.tid, bind);
+      out += buf;
+    }
   }
   std::snprintf(buf, sizeof(buf),
                 "],\"displayTimeUnit\":\"ns\",\"otherData\":{"
@@ -178,8 +298,9 @@ std::string chrome_trace_json() {
   return out;
 }
 
-bool write_chrome_trace(const std::string& path) {
-  const std::string body = chrome_trace_json();
+bool write_chrome_trace(const std::string& path,
+                        const ChromeTraceOptions& opt) {
+  const std::string body = chrome_trace_json(opt);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return false;
   const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);

@@ -4,11 +4,25 @@
 // export emits Chrome trace_event JSON loadable in Perfetto or
 // chrome://tracing.
 //
+// v2 adds the cross-rank causal layer (DESIGN.md §15): every span carries
+// the recording thread's RANK (set_trace_rank, stamped by femtocomm's
+// World::run) and an optional FLOW ID linking a producer span (send,
+// submit, METAQ drop-off) to the consumer span that waited on it (recv,
+// batch claim).  The Chrome export's merge mode lays every rank out as its
+// own process row and draws the links as `s`/`f` flow arrows, so a halo
+// exchange or a batched solve renders as one causal arc across rank
+// timelines.  src/obs/flow.hpp reduces the same pairs to a critical path.
+//
 // Cost model (the reason hot kernels can afford a scope):
 //   disabled  -- one relaxed atomic load + branch in the constructor; the
 //                destructor sees t0 < 0 and does nothing.  No clock reads.
+//                The load covers tracing AND the sampler's span stack: both
+//                enable bits live in one fused state word, so femtoscope v2
+//                keeps the v1 disabled contract.
 //   enabled   -- two steady_clock reads plus one single-writer ring store;
-//                no locks, no allocation after a thread's first span.
+//                no locks, no allocation after a thread's first span.  With
+//                the sampler (or the crash flight recorder) armed, also two
+//                plain stores maintaining the per-thread span stack.
 // Compiling with -DFEMTO_OBS_NO_TRACE removes the scopes entirely.
 //
 // Buffers are bounded: when a thread outruns its ring the OLDEST spans are
@@ -27,6 +41,13 @@
 
 namespace femto::obs {
 
+// Which side of a causal link a span is, if any.
+enum class FlowDir : std::uint8_t {
+  None = 0,
+  Out = 1,  ///< producer: send / submit / drop-off
+  In = 2,   ///< consumer: recv / claim; dur_ns is the time spent waiting
+};
+
 // One completed span.  Category/name must be string literals (or otherwise
 // outlive the export) -- the ring stores pointers, not copies, which is
 // what keeps the record path allocation-free.
@@ -36,6 +57,9 @@ struct TraceEvent {
   std::int64_t t0_ns = 0;
   std::int64_t dur_ns = 0;
   std::uint32_t tid = 0;
+  std::int32_t rank = -1;      ///< -1 = thread never ran under a rank
+  std::uint64_t flow_id = 0;   ///< 0 = not part of a flow
+  FlowDir flow = FlowDir::None;
 };
 
 // Fixed-capacity single-writer ring.  The owning thread pushes; any thread
@@ -50,7 +74,8 @@ class TraceRing {
 
   // Owner thread only.
   void push(const char* category, const char* name, std::int64_t t0_ns,
-            std::int64_t dur_ns);
+            std::int64_t dur_ns, std::int32_t rank,
+            std::uint64_t flow_id = 0, FlowDir flow = FlowDir::None);
 
   std::size_t capacity() const { return slots_.size(); }
   std::uint32_t tid() const { return tid_; }
@@ -80,20 +105,53 @@ class TraceRing {
 };
 
 namespace detail {
-// -1 = not yet initialised (consult FEMTO_TRACE env), 0 = off, 1 = on.
-extern std::atomic<int> g_trace_state;
-// Slow path: resolves the env var once, then returns the settled state.
-bool trace_enabled_slow();
+// Fused enable word: -1 = not yet initialised (consult FEMTO_TRACE env);
+// otherwise a bitmask.  One relaxed load of this word is the whole cost of
+// a disabled TraceScope, whatever combination of subsystems is off.
+inline constexpr int kTraceBit = 1;  ///< span recording into the rings
+inline constexpr int kStackBit = 2;  ///< span-stack upkeep (sampler/blackbox)
+extern std::atomic<int> g_span_mode;
+// Slow path: resolves the FEMTO_TRACE env var once, then returns the
+// settled mode word.
+int span_mode_slow();
+
+// Per-thread live TraceScope stack upkeep, defined in sampler.cpp.  push
+// returns the prior depth, which pop restores (overflow-tolerant).
+int span_stack_push(const char* category, const char* name);
+void span_stack_pop(int prev_depth);
+// Rank tag on the calling thread's span stack (registering the thread on
+// first use); defined in sampler.cpp.
+void span_stack_set_rank(int rank);
+
+// Refcounted kStackBit ownership: the sampler and the flight recorder each
+// retain the span stack independently; defined in trace.cpp.
+void span_stack_retain();
+void span_stack_release();
 }  // namespace detail
+
+// Settled enable mask (kTraceBit | kStackBit).
+inline int span_mode() {
+  const int m = detail::g_span_mode.load(std::memory_order_relaxed);
+  if (m >= 0) return m;
+  return detail::span_mode_slow();
+}
 
 // Fast global switch read by every scope constructor.
 inline bool trace_enabled() {
-  const int s = detail::g_trace_state.load(std::memory_order_relaxed);
-  if (s >= 0) return s != 0;
-  return detail::trace_enabled_slow();
+  return (span_mode() & detail::kTraceBit) != 0;
 }
 
 void set_trace_enabled(bool on);
+
+// Rank tag for every span the CALLING thread records from now on; -1
+// clears it.  femtocomm's World::run brackets each rank function with
+// this, so multi-rank traces merge into per-rank Chrome process rows.
+void set_trace_rank(int rank);
+int trace_rank();
+
+// A fresh process-unique flow id for the calling thread (never 0; encodes
+// the thread's trace tid, so no cross-thread coordination is needed).
+std::uint64_t next_flow_id();
 
 // Ring capacity (spans) for threads that register AFTER the call; existing
 // rings keep their size.  Default 1<<16 spans/thread (~2.5 MiB).
@@ -104,6 +162,18 @@ std::size_t trace_capacity();
 // thread on first use).  Normally reached via FEMTO_TRACE_SCOPE.
 void trace_push(const char* category, const char* name, std::int64_t t0_ns,
                 std::int64_t dur_ns);
+
+// Producer side of a causal link: record the completed span [t0_ns, now]
+// that handed work off (send / submit).  Callers take t0_ns = uptime_ns()
+// before the handoff and pass the id they stamped on the message.
+void trace_flow_out(const char* category, const char* name,
+                    std::int64_t t0_ns, std::uint64_t flow_id);
+
+// Consumer side: record the completed span [t0_ns, now] spent WAITING for
+// the handoff (recv / claim).  dur_ns of the recorded span is the wait the
+// critical-path reducer charges to this edge.
+void trace_flow_in(const char* category, const char* name,
+                   std::int64_t t0_ns, std::uint64_t flow_id);
 
 struct TraceSnapshot {
   std::vector<TraceEvent> events;  // merged, sorted by (t0_ns, tid)
@@ -120,23 +190,39 @@ TraceSnapshot trace_snapshot();
 // may be live while clearing).
 void trace_clear();
 
-// Chrome trace_event JSON ("X" complete events, ts/dur in microseconds).
-std::string chrome_trace_json();
-bool write_chrome_trace(const std::string& path);
+struct ChromeTraceOptions {
+  // Lay rank-tagged spans out as pid = rank (one Chrome process row per
+  // rank, named "rank N"); unranked spans stay on pid 0.
+  bool merge_ranks = true;
+  // Emit "s"/"f" flow events for matched trace_flow_out/in pairs.
+  bool flow_events = true;
+};
+
+// Chrome trace_event JSON ("X" complete events, ts/dur in microseconds,
+// plus flow arrows per the options).
+std::string chrome_trace_json(const ChromeTraceOptions& opt = {});
+bool write_chrome_trace(const std::string& path,
+                        const ChromeTraceOptions& opt = {});
 
 // RAII span: start time is taken at construction iff tracing is enabled;
-// the destructor records the span.
+// the destructor records the span.  When the sampler (or flight recorder)
+// is armed, construction/destruction also maintain the thread's span stack.
 class TraceScope {
  public:
   TraceScope(const char* category, const char* name)
-      : category_(category),
-        name_(name),
-        t0_ns_(trace_enabled() ? uptime_ns() : -1) {}
+      : category_(category), name_(name) {
+    const int m = span_mode();
+    t0_ns_ = (m & detail::kTraceBit) != 0 ? uptime_ns() : -1;
+    depth_ = (m & detail::kStackBit) != 0
+                 ? detail::span_stack_push(category, name)
+                 : -1;
+  }
 
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
 
   ~TraceScope() {
+    if (depth_ >= 0) detail::span_stack_pop(depth_);
     if (t0_ns_ >= 0)
       trace_push(category_, name_, t0_ns_, uptime_ns() - t0_ns_);
   }
@@ -145,6 +231,7 @@ class TraceScope {
   const char* category_;
   const char* name_;
   std::int64_t t0_ns_;
+  int depth_;
 };
 
 }  // namespace femto::obs

@@ -1,8 +1,10 @@
 #include "service/solve_service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
+#include "obs/blackbox.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/wallclock.hpp"
@@ -16,9 +18,16 @@ SolveService::SolveService(SolveServiceConfig cfg) : cfg_(std::move(cfg)) {
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
     workers_.emplace_back([this] { worker_loop(); });
+  // Flight-recorder hookup: if the process dies mid-campaign, the dump
+  // shows what this queue held.  Registration is unconditional (cheap);
+  // the callback only runs when a dump is actually written.
+  blackbox_handle_ = obs::blackbox_register_provider(
+      "solve_service", [this] { return queue_state_json(); });
 }
 
 SolveService::~SolveService() {
+  // The provider captures `this`: deregister before any member dies.
+  obs::blackbox_unregister_provider(blackbox_handle_.load());
   // Drain FIRST, stop second.  The wait releases mu_ while blocked, so
   // workers can take mu_ at end-of-batch to fulfil promises and decrement
   // in_flight_ while the destructor sleeps.  Only once every submitted
@@ -42,16 +51,23 @@ std::future<SolveOutcome> SolveService::submit(SolveRequest req) {
               "params");
   std::promise<SolveOutcome> promise;
   std::future<SolveOutcome> fut = promise.get_future();
+  std::uint64_t flow = 0;
+  std::int64_t t0 = -1;
+  if (obs::trace_enabled()) {
+    t0 = obs::uptime_ns();
+    flow = obs::next_flow_id();
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
     FEMTO_CHECK(!stopping_, "SolveService::submit: service is shutting down");
-    queue_.push_back(Item{std::move(req), std::move(promise)});
+    queue_.push_back(Item{std::move(req), std::move(promise), flow, t0});
     ++submitted_;
     obs::counter("solve_service.submitted").add(1);
     obs::gauge("solve_service.queue_depth")
         .set(static_cast<double>(queue_.size()));
   }
   cv_work_.notify_one();
+  if (flow != 0) obs::trace_flow_out("service", "submit", t0, flow);
   return fut;
 }
 
@@ -68,6 +84,35 @@ std::size_t SolveService::effective_max_batch() const {
 std::size_t SolveService::pending() const {
   std::lock_guard<std::mutex> lk(mu_);
   return queue_.size();
+}
+
+std::string SolveService::queue_state_json() const {
+  // Crash path: the dump may run on a thread that died while holding mu_
+  // (or while another worker holds it mid-batch); degrade instead of
+  // deadlocking the abort.
+  std::unique_lock<std::mutex> lk(mu_, std::try_to_lock);
+  if (!lk.owns_lock()) return "{\"locked\":true}";
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"pending\":%zu,\"in_flight\":%zu,\"submitted\":%llu,"
+      "\"completed\":%llu,\"stopping\":%s,\"effective_max_batch\":%zu,"
+      "\"solvers\":%zu,\"pending_flows\":[",
+      queue_.size(), in_flight_,
+      static_cast<unsigned long long>(submitted_),
+      static_cast<unsigned long long>(completed_),
+      stopping_ ? "true" : "false", effective_max_batch_, solvers_.size());
+  std::string out = buf;
+  bool first = true;
+  for (const Item& item : queue_) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(item.flow_id));
+    out += buf;
+  }
+  out += "]}";
+  return out;
 }
 
 void SolveService::worker_loop() {
@@ -159,6 +204,13 @@ void SolveService::release_solver(const DwfSolver& s) {
 
 void SolveService::run_batch(std::vector<Item> batch) {
   FEMTO_TRACE_SCOPE("service", "solve_batch");
+  // Close each request's causal link: the flow-in span [submitted, claimed]
+  // on this worker's timeline is the queue latency the critical-path
+  // reducer charges to the submit->claim edge.
+  for (const Item& item : batch)
+    if (item.flow_id != 0)
+      obs::trace_flow_in("service", "queue_wait", item.submit_ns,
+                         item.flow_id);
   const std::size_t nb = batch.size();
   DwfSolver& solver = solver_for(batch.front().req);
   const obs::Stopwatch sw;

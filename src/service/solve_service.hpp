@@ -36,6 +36,7 @@
 //   solve_service.submitted / .completed / .batches   counters
 //   solve_service.effective_max_batch   gauge, the live batching bound
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -109,6 +110,12 @@ class SolveService {
   struct Item {
     SolveRequest req;
     std::promise<SolveOutcome> promise;
+    // Femtoscope causal link (DESIGN.md §15): submit() records a flow-out
+    // span under this id; the claiming worker records the matching
+    // flow-in whose duration is the request's queue latency.  0 when
+    // tracing was off at submission.
+    std::uint64_t flow_id = 0;
+    std::int64_t submit_ns = -1;
   };
 
   /// One operator pair per (gauge field, operator params) seen; workers
@@ -125,6 +132,9 @@ class SolveService {
   };
 
   void worker_loop();
+  /// Crash-tolerant in-flight state for the flight recorder: one JSON
+  /// object, degrading to {"locked":true} when mu_ is unavailable.
+  std::string queue_state_json() const;
   /// Pop the head plus every queue-order-compatible follower, up to
   /// max_batch.  Caller holds mu_.
   std::vector<Item> take_batch_locked();
@@ -149,6 +159,10 @@ class SolveService {
   std::size_t effective_max_batch_ FEMTO_GUARDED_BY(mu_) = cfg_.max_batch;
 
   std::vector<std::thread> workers_;
+  /// Flight-recorder provider registration (obs/blackbox.hpp); atomic so
+  /// the write in the constructor body and the read in the destructor
+  /// need no lock.
+  std::atomic<int> blackbox_handle_{0};
 };
 
 }  // namespace femto

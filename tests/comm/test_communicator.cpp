@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "comm/process_grid.hpp"
+#include "obs/flow.hpp"
+#include "obs/trace.hpp"
 
 namespace femto::comm {
 namespace {
@@ -130,6 +132,51 @@ TEST(ProcessGrid, NeighborsWrap) {
 TEST(ProcessGrid, LocalExtentDivides) {
   EXPECT_EQ(ProcessGrid::local_extent(48, 4), 12);
   EXPECT_THROW(ProcessGrid::local_extent(48, 5), std::invalid_argument);
+}
+
+// Femtoscope causal layer (DESIGN.md §15): every traced send must pair
+// with its recv in the snapshot, rank-tagged on both ends, and the claim
+// edge's wait is the recv-side blocked time.
+TEST(Communicator, TracedSendRecvPairsAsFlowEdges) {
+  obs::set_trace_enabled(true);
+  obs::trace_clear();
+  constexpr int kMsgs = 4;
+  run_ranks(2, [](RankHandle& h) {
+    if (h.rank() == 0) {
+      for (int i = 0; i < kMsgs; ++i) h.send_vec<int>(1, 3, {i});
+    } else {
+      for (int i = 0; i < kMsgs; ++i) h.recv_vec<int>(0, 3);
+    }
+  });
+  const auto snap = obs::trace_snapshot();
+  const auto edges = obs::flow_edges(snap);
+  ASSERT_EQ(edges.size(), static_cast<std::size_t>(kMsgs));
+  for (const auto& e : edges) {
+    EXPECT_EQ(e.out.rank, 0);
+    EXPECT_EQ(e.in.rank, 1);
+    EXPECT_STREQ(e.out.name, "send");
+    EXPECT_STREQ(e.in.name, "recv");
+    EXPECT_GE(e.wait_ns, 0);
+  }
+  const auto report = obs::critical_path(snap);
+  EXPECT_EQ(report.edges_matched, kMsgs);
+  EXPECT_FALSE(report.chain.empty());
+  obs::trace_clear();
+}
+
+TEST(Communicator, UntracedMessagesCarryNoFlow) {
+  obs::set_trace_enabled(false);
+  obs::trace_clear();
+  run_ranks(2, [](RankHandle& h) {
+    if (h.rank() == 0) {
+      h.send_vec<int>(1, 8, {1});
+    } else {
+      Message m = h.recv(0, 8);
+      EXPECT_EQ(m.flow_id, 0u);
+    }
+  });
+  EXPECT_TRUE(obs::trace_snapshot().events.empty());
+  obs::set_trace_enabled(true);
 }
 
 }  // namespace

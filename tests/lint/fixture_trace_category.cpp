@@ -1,0 +1,31 @@
+// femtolint-expect: trace-category
+//
+// Span categories outside the trace_categories.def taxonomy.  The category
+// string is the top-level key of every downstream view -- Chrome trace
+// groups, collapsed flamegraph stacks, the critical-path report -- so a
+// typo'd or ad-hoc category silently forks the namespace and the spans
+// stop aggregating.  femtolint checks every FEMTO_TRACE_SCOPE /
+// trace_flow_out / trace_flow_in call site against the declared taxonomy
+// and also rejects non-literal category arguments: a category computed at
+// runtime can never be audited against the file.
+
+#include "obs/trace.hpp"
+
+namespace femto {
+
+inline void timed_gather(const char* which) {
+  // "solvr" is a typo of the declared "solver" category: these spans would
+  // land in their own flamegraph root and vanish from solver totals.
+  FEMTO_TRACE_SCOPE("solvr", "gather");
+
+  // A runtime-computed category cannot be checked against the taxonomy.
+  obs::trace_flow_out(which, "gather_ready");
+
+  // Declared category via the suppression escape hatch: a deliberate
+  // one-off that a human signed off on.
+  // femtolint: allow(trace-category): prototype category pending taxonomy
+  // review in the follow-up observability PR.
+  obs::trace_flow_in("protospan", "gather_wait", 0, 1);
+}
+
+}  // namespace femto

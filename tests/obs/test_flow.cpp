@@ -1,0 +1,142 @@
+// Flow-edge matching and the critical-path reducer (DESIGN.md §15).  The
+// DP tests run on hand-built snapshots with exact timestamps, so the
+// expected chain is fully deterministic; one end-to-end test drives the
+// real recording API from rank-tagged threads.
+
+#include "obs/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace femto::obs {
+namespace {
+
+TraceEvent ev(const char* cat, const char* name, std::int64_t t0,
+              std::int64_t dur, std::uint32_t tid, std::int32_t rank,
+              std::uint64_t flow, FlowDir dir) {
+  TraceEvent e;
+  e.category = cat;
+  e.name = name;
+  e.t0_ns = t0;
+  e.dur_ns = dur;
+  e.tid = tid;
+  e.rank = rank;
+  e.flow_id = flow;
+  e.flow = dir;
+  return e;
+}
+
+TEST(FlowEdges, MatchesPairsAndCountsOrphans) {
+  TraceSnapshot snap;
+  // flow 1: rank0 sends at [0,10], rank1 waits [5,105].
+  snap.events.push_back(
+      ev("comm", "send", 0, 10, 0, 0, 1, FlowDir::Out));
+  snap.events.push_back(
+      ev("comm", "recv", 5, 100, 1, 1, 1, FlowDir::In));
+  // flow 7: producer only -- consumer never recorded.
+  snap.events.push_back(
+      ev("service", "submit", 20, 5, 0, 0, 7, FlowDir::Out));
+
+  const auto edges = flow_edges(snap);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].out.rank, 0);
+  EXPECT_EQ(edges[0].in.rank, 1);
+  EXPECT_EQ(edges[0].wait_ns, 100);
+
+  const auto report = critical_path(snap);
+  EXPECT_EQ(report.edges_matched, 1);
+  EXPECT_EQ(report.edges_unmatched, 1);
+}
+
+TEST(CriticalPath, ChainsEdgesAcrossSharedTimelines) {
+  // rank0 --flow1--> rank1 --flow2--> rank2, plus a fat unrelated edge on
+  // a disjoint pair of ranks that a naive "largest single wait" would
+  // pick but that cannot chain.
+  TraceSnapshot snap;
+  snap.events.push_back(ev("comm", "send", 0, 10, 0, 0, 1, FlowDir::Out));
+  snap.events.push_back(ev("comm", "recv", 50, 150, 1, 1, 1, FlowDir::In));
+  // rank1's forward hand-off completes AFTER its inbound wait resolved.
+  snap.events.push_back(
+      ev("comm", "send", 210, 10, 1, 1, 2, FlowDir::Out));
+  snap.events.push_back(
+      ev("comm", "recv", 100, 400, 2, 2, 2, FlowDir::In));
+  // Disjoint big edge rank3 -> rank4: weight 520 alone, but 150+400=550
+  // beats it as a chain.
+  snap.events.push_back(ev("comm", "send", 0, 5, 3, 3, 9, FlowDir::Out));
+  snap.events.push_back(ev("comm", "recv", 0, 520, 4, 4, 9, FlowDir::In));
+
+  const auto report = critical_path(snap);
+  EXPECT_EQ(report.edges_matched, 3);
+  ASSERT_EQ(report.chain.size(), 2u);
+  EXPECT_EQ(report.chain[0].in.rank, 1);
+  EXPECT_EQ(report.chain[1].in.rank, 2);
+  EXPECT_EQ(report.total_wait_ns, 550);
+
+  const std::string summary = critical_path_summary(report);
+  EXPECT_NE(summary.find("longest wait:"), std::string::npos);
+  EXPECT_NE(summary.find("comm/recv"), std::string::npos);
+}
+
+TEST(CriticalPath, UnrankedThreadsChainByTid) {
+  // rank == -1 everywhere: the reducer falls back to tids as timelines.
+  TraceSnapshot snap;
+  snap.events.push_back(ev("q", "put", 0, 1, 10, -1, 1, FlowDir::Out));
+  snap.events.push_back(ev("q", "take", 0, 30, 11, -1, 1, FlowDir::In));
+  snap.events.push_back(ev("q", "put", 40, 1, 11, -1, 2, FlowDir::Out));
+  snap.events.push_back(ev("q", "take", 0, 60, 12, -1, 2, FlowDir::In));
+
+  const auto report = critical_path(snap);
+  ASSERT_EQ(report.chain.size(), 2u);
+  EXPECT_EQ(report.total_wait_ns, 90);
+}
+
+TEST(CriticalPath, EmptySnapshotIsClean) {
+  const auto report = critical_path(TraceSnapshot{});
+  EXPECT_TRUE(report.chain.empty());
+  EXPECT_EQ(report.total_wait_ns, 0);
+  EXPECT_EQ(report.edges_matched, 0);
+  // The summary must not choke on nothing.
+  EXPECT_FALSE(critical_path_summary(report).empty());
+}
+
+// End-to-end through the real recording API: two rank-tagged threads hand
+// off one flow id; the snapshot must carry the rank tags and the Chrome
+// export must draw the arrow.
+TEST(FlowRecording, RankTaggedHandOffProducesArrow) {
+  set_trace_enabled(true);
+  trace_clear();
+  const std::uint64_t flow = 424242;
+  std::thread producer([&] {
+    set_trace_rank(0);
+    trace_flow_out("comm", "send", uptime_ns(), flow);
+  });
+  producer.join();
+  std::thread consumer([&] {
+    set_trace_rank(1);
+    trace_flow_in("comm", "recv", uptime_ns(), flow);
+  });
+  consumer.join();
+
+  const auto snap = trace_snapshot();
+  const auto edges = flow_edges(snap);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].out.rank, 0);
+  EXPECT_EQ(edges[0].in.rank, 1);
+  EXPECT_EQ(edges[0].out.flow, FlowDir::Out);
+
+  const std::string json = chrome_trace_json();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // Merge mode: the two ranks land on distinct Chrome process rows.
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  trace_clear();
+}
+
+}  // namespace
+}  // namespace femto::obs

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -111,6 +112,58 @@ TEST(Report, SummaryMentionsEveryRollup) {
   EXPECT_NE(s.find("trace"), std::string::npos);
 }
 
+// An empty run (nothing ever fed a denominator) reports its ratios as
+// explicit JSON nulls, never as a fake measured zero.
+TEST(Report, EmptyRunReportsUndefinedRatiosAsNull) {
+  Registry::global().reset();
+  const std::string json = report_json("empty-run");
+  std::string err;
+  ASSERT_TRUE(json_validate(json, &err)) << err;
+  for (const char* key :
+       {"sustained_gflops", "arithmetic_intensity", "autotune_hit_rate",
+        "jm_efficiency", "application_gflops", "solve_service_batch_mean",
+        "solve_service_throughput"}) {
+    EXPECT_NE(json.find("\"" + std::string(key) + "\":null"),
+              std::string::npos)
+        << key;
+  }
+  // Plain accumulators legitimately ARE zero on an empty run.
+  EXPECT_NE(json.find("\"solver_flops\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"jm_source\":\"none\""), std::string::npos);
+}
+
+TEST(Report, ZeroDenominatorIsNullEvenWithANumerator) {
+  Registry::global().reset();
+  // Flops accumulated but the clock never ran: the rate is undefined,
+  // not infinite and not zero.
+  Registry::global().counter("solver.flops").add(12345);
+  const std::string json = report_json("clockless");
+  EXPECT_NE(json.find("\"sustained_gflops\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"arithmetic_intensity\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"solver_flops\":12345"), std::string::npos);
+}
+
+TEST(Report, EmptyRunSummarySaysNotAvailable) {
+  Registry::global().reset();
+  const std::string s = report_summary();
+  EXPECT_NE(s.find("n/a"), std::string::npos);
+  // No raw NaN may ever leak into the table.
+  EXPECT_EQ(s.find("nan"), std::string::npos) << s;
+  EXPECT_EQ(s.find("-nan"), std::string::npos) << s;
+}
+
+TEST(Report, SeededRunHasNoNullRatios) {
+  seed_registry();
+  const std::string json = report_json("seeded");
+  for (const char* key :
+       {"sustained_gflops", "arithmetic_intensity", "autotune_hit_rate",
+        "jm_efficiency", "application_gflops"}) {
+    EXPECT_EQ(json.find("\"" + std::string(key) + "\":null"),
+              std::string::npos)
+        << key;
+  }
+}
+
 TEST(Report, WriteReportProducesValidFile) {
   seed_registry();
   const std::string path =
@@ -141,7 +194,55 @@ TEST(Json, EscapeAndNumbers) {
   EXPECT_EQ(json_number(std::int64_t{42}), "42");
   // Non-finite doubles must not corrupt the document.
   EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
   EXPECT_TRUE(json_validate(json_number(0.1)));
+}
+
+TEST(Json, DuplicateObjectKeysReject) {
+  std::string err;
+  EXPECT_FALSE(json_validate("{\"a\":1,\"a\":2}", &err));
+  EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+  // Same key in SIBLING or NESTED objects is fine -- only one scope.
+  EXPECT_TRUE(json_validate("{\"a\":{\"a\":1},\"b\":{\"a\":2}}"));
+  EXPECT_TRUE(json_validate("[{\"a\":1},{\"a\":2}]"));
+  // Byte-identical escaped keys are still duplicates.
+  EXPECT_FALSE(json_validate("{\"x\\n\":1,\"x\\n\":2}"));
+}
+
+// Malformed report inputs a consumer may meet in the wild: the validator
+// must reject each with a diagnostic, never half-accept.
+TEST(ReportValidate, RejectsMalformedInput) {
+  seed_registry();
+  const std::string good = report_json("valid-run");
+  ASSERT_TRUE(report_validate(good));
+
+  std::string err;
+  // Truncated file (interrupted write): chop mid-document.
+  EXPECT_FALSE(report_validate(good.substr(0, good.size() / 2), &err));
+  EXPECT_FALSE(err.empty());
+  // Empty file.
+  EXPECT_FALSE(report_validate("", &err));
+  // Wrong schema version.
+  std::string wrong = good;
+  const auto at = wrong.find("femtoscope-report-v1");
+  ASSERT_NE(at, std::string::npos);
+  wrong.replace(at, std::strlen("femtoscope-report-v1"),
+                "femtoscope-report-v9");
+  EXPECT_FALSE(report_validate(wrong, &err));
+  EXPECT_NE(err.find("schema"), std::string::npos) << err;
+  // Raw NaN / Infinity tokens (a writer that skipped json_number).
+  EXPECT_FALSE(report_validate("{\"schema\":\"femtoscope-report-v1\","
+                               "\"x\":NaN}",
+                               &err));
+  EXPECT_FALSE(report_validate("{\"schema\":\"femtoscope-report-v1\","
+                               "\"x\":-Infinity}",
+                               &err));
+  // Duplicate keys.
+  EXPECT_FALSE(report_validate("{\"schema\":\"femtoscope-report-v1\","
+                               "\"x\":1,\"x\":2}",
+                               &err));
+  // Well-formed JSON that is not a report at all.
+  EXPECT_FALSE(report_validate("{\"schema\":\"other-thing-v3\"}", &err));
 }
 
 }  // namespace

@@ -1,0 +1,132 @@
+// Span-attributed sampling profiler: stack upkeep through TraceScope,
+// timer-thread accumulation, and the collapsed-stack export.  Timing is
+// kept honest with deadline loops (the sampler fires on its own cadence),
+// never exact sample counts.
+
+#include "obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/trace.hpp"
+#include "obs/wallclock.hpp"
+
+namespace femto::obs {
+namespace {
+
+TEST(SpanStack, TracksNestedScopesWhenArmed) {
+  detail::span_stack_retain();
+  {
+    FEMTO_TRACE_SCOPE("test", "outer");
+    {
+      FEMTO_TRACE_SCOPE("test", "inner");
+      detail::SpanFrame frames[8];
+      const int depth = detail::current_span_stack(frames, 8);
+      ASSERT_GE(depth, 2);
+      EXPECT_STREQ(frames[depth - 2].name, "outer");
+      EXPECT_STREQ(frames[depth - 1].name, "inner");
+    }
+    detail::SpanFrame frames[8];
+    const int depth = detail::current_span_stack(frames, 8);
+    ASSERT_GE(depth, 1);
+    EXPECT_STREQ(frames[depth - 1].name, "outer");
+  }
+  detail::SpanFrame frames[8];
+  EXPECT_EQ(detail::current_span_stack(frames, 8), 0);
+  detail::span_stack_release();
+}
+
+TEST(SpanStack, DisarmedScopesCostNoStack) {
+  // No retain in force: scopes must leave the stack untouched.
+  FEMTO_TRACE_SCOPE("test", "unarmed");
+  detail::SpanFrame frames[8];
+  EXPECT_EQ(detail::current_span_stack(frames, 8), 0);
+}
+
+TEST(Sampler, AttributesSamplesToLiveSpans) {
+  sampler_clear();
+  SamplerOptions opt;
+  opt.period_us = 200;
+  sampler_start(opt);
+  EXPECT_TRUE(sampler_running());
+  {
+    FEMTO_TRACE_SCOPE("test", "sampled_outer");
+    FEMTO_TRACE_SCOPE("test", "sampled_inner");
+    const Stopwatch sw;
+    while (sampler_snapshot().samples < 3 && sw.seconds() < 10.0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sampler_stop();
+  EXPECT_FALSE(sampler_running());
+
+  const SamplerSnapshot snap = sampler_snapshot();
+  ASSERT_GE(snap.samples, 3);
+  EXPECT_GE(snap.threads, 1);
+  bool found = false;
+  for (const auto& [stack, count] : snap.stacks) {
+    if (stack.find("test:sampled_outer;test:sampled_inner") !=
+        std::string::npos) {
+      found = true;
+      EXPECT_GT(count, 0);
+    }
+  }
+  EXPECT_TRUE(found) << collapsed_stacks();
+  sampler_clear();
+  EXPECT_EQ(sampler_snapshot().samples, 0);
+}
+
+TEST(Sampler, CollapsedExportIsFlamegraphFood) {
+  sampler_clear();
+  SamplerOptions opt;
+  opt.period_us = 200;
+  sampler_start(opt);
+  {
+    FEMTO_TRACE_SCOPE("test", "collapse_me");
+    const Stopwatch sw;
+    while (sampler_snapshot().samples < 1 && sw.seconds() < 10.0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sampler_stop();
+
+  const std::string body = collapsed_stacks();
+  ASSERT_FALSE(body.empty());
+  // Every line: "root;cat:name[;...] <count>\n".
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(std::stoll(line.substr(space + 1)), 0) << line;
+    EXPECT_NE(line.substr(0, space).find(';'), std::string::npos) << line;
+  }
+
+  const std::string path =
+      ::testing::TempDir() + "femto_test_collapsed.txt";
+  ASSERT_TRUE(write_collapsed_stacks(path));
+  std::ifstream f(path);
+  std::stringstream read_back;
+  read_back << f.rdbuf();
+  EXPECT_EQ(read_back.str(), body);
+  std::remove(path.c_str());
+  sampler_clear();
+}
+
+TEST(Sampler, StartIsIdempotentAndStopIsSafeTwice) {
+  SamplerOptions opt;
+  opt.period_us = 500;
+  sampler_start(opt);
+  sampler_start(opt);  // second start: no-op, no second thread
+  EXPECT_TRUE(sampler_running());
+  sampler_stop();
+  sampler_stop();  // second stop: no-op
+  EXPECT_FALSE(sampler_running());
+}
+
+}  // namespace
+}  // namespace femto::obs

@@ -20,7 +20,7 @@ namespace {
 TEST(TraceRing, WrapAroundKeepsNewestAndCountsDrops) {
   TraceRing ring(4, /*tid=*/7);
   for (std::int64_t i = 0; i < 6; ++i)
-    ring.push("cat", "name", /*t0_ns=*/i * 100, /*dur_ns=*/i);
+    ring.push("cat", "name", /*t0_ns=*/i * 100, /*dur_ns=*/i, /*rank=*/-1);
 
   EXPECT_EQ(ring.pushed(), 6u);
   EXPECT_EQ(ring.dropped(), 2u);  // spans 0 and 1 overwritten
@@ -41,7 +41,7 @@ TEST(TraceRing, WrapAroundKeepsNewestAndCountsDrops) {
 
 TEST(TraceRing, NoDropsBeforeCapacity) {
   TraceRing ring(8, 0);
-  for (std::int64_t i = 0; i < 8; ++i) ring.push("c", "n", i, 1);
+  for (std::int64_t i = 0; i < 8; ++i) ring.push("c", "n", i, 1, -1);
   EXPECT_EQ(ring.dropped(), 0u);
   EXPECT_EQ(ring.events().size(), 8u);
 }

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "lattice/gauge.hpp"
+#include "obs/flow.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace femto {
 namespace {
@@ -257,6 +259,42 @@ TEST(SolveService, AutotunedBatchBoundFeedsBack) {
                 .gauge("solve_service.effective_max_batch")
                 .get(),
             static_cast<double>(svc.effective_max_batch()));
+}
+
+// Femtoscope causal layer (DESIGN.md §15): every traced submit records a
+// flow-out span that the claiming worker's queue_wait flow-in matches;
+// the edge's weight is the request's time-in-queue.
+TEST(SolveService, SubmitClaimPairsAsFlowEdges) {
+  obs::set_trace_enabled(true);
+  obs::trace_clear();
+  auto u = make_gauge(409);
+  SolveServiceConfig cfg;
+  cfg.max_batch = 2;
+  cfg.solver.tol = 1e-8;
+
+  constexpr std::uint64_t kReqs = 3;
+  std::vector<std::future<SolveOutcome>> futs;
+  std::vector<std::shared_ptr<const SpinorField<double>>> b;
+  {
+    SolveService svc(cfg);
+    for (std::uint64_t r = 0; r < kReqs; ++r) {
+      b.push_back(make_source(u, 480 + r));
+      futs.push_back(svc.submit(SolveRequest{u, kParams, b.back()}));
+    }
+    svc.drain();
+  }
+  for (auto& f : futs) EXPECT_TRUE(f.get().stats.converged);
+
+  const auto snap = obs::trace_snapshot();
+  std::size_t service_edges = 0;
+  for (const auto& e : obs::flow_edges(snap)) {
+    if (std::string(e.out.name) != "submit") continue;
+    ++service_edges;
+    EXPECT_STREQ(e.in.name, "queue_wait");
+    EXPECT_GE(e.wait_ns, 0);
+  }
+  EXPECT_EQ(service_edges, kReqs);
+  obs::trace_clear();
 }
 
 }  // namespace

@@ -35,6 +35,11 @@
 //                      (src/parallel, the execution engine, is exempt)
 //   layering           the #include graph of src/ must conform to the
 //                      module DAG declared in layers.def (--layers)
+//   trace-category     every FEMTO_TRACE_SCOPE / trace_flow_out /
+//                      trace_flow_in category argument is a string literal
+//                      declared in trace_categories.def
+//                      (--trace-categories); the taxonomy file IS the span
+//                      namespace, so new categories get design-reviewed
 //   guarded-by         FEMTO_GUARDED_BY(mu) members are only touched in
 //                      methods that visibly take `mu`
 //   mutex-annotate     mutex-owning classes annotate all shared mutable
@@ -80,9 +85,10 @@
 // stream), so commented-out code can never trip a rule.
 //
 // Usage:
-//   femtolint [--layers FILE] [--json] [--threads N]
-//             [--baseline FILE | --write-baseline FILE] <dir-or-file>...
-//   femtolint [--layers FILE] --self-test <dir>
+//   femtolint [--layers FILE] [--trace-categories FILE] [--json]
+//             [--threads N] [--baseline FILE | --write-baseline FILE]
+//             <dir-or-file>...
+//   femtolint [--layers FILE] [--trace-categories FILE] --self-test <dir>
 //   femtolint [--layers FILE] --lock-graph <dir-or-file>...
 //
 // --write-baseline snapshots the current findings (rule\tfile\tmessage, no
@@ -115,6 +121,7 @@ using femtolint::Finding;
 using femtolint::LayerSpec;
 using femtolint::Program;
 using femtolint::Source;
+using femtolint::TraceCategorySpec;
 
 bool lintable(const fs::path& p) {
   const std::string e = p.extension().string();
@@ -250,16 +257,22 @@ bool write_baseline(const std::string& path,
 // program, so the cross-file rules are exercised too.
 // ---------------------------------------------------------------------------
 
-int self_test(const std::string& dir, const LayerSpec& spec) {
+int self_test(const std::string& dir, const LayerSpec& spec,
+              const TraceCategorySpec& tc) {
   int failures = 0;
   int n_fixtures = 0;
   if (!spec.loaded)
     std::printf(
         "note: no --layers file given; layering fixtures are skipped\n");
+  if (!tc.loaded)
+    std::printf(
+        "note: no --trace-categories file given; trace-category fixtures "
+        "are skipped\n");
   for (const fs::path& p : collect({dir})) {
     const Source s = femtolint::load_source(p.string());
     std::set<std::string> want = s.expected_rules();
     if (!spec.loaded && want.count("layering") != 0) continue;
+    if (!tc.loaded && want.count("trace-category") != 0) continue;
     bool has_directive = false;
     for (const auto& c : s.lx.comments)
       if (c.text.find("femtolint-expect:") != std::string::npos)
@@ -273,6 +286,7 @@ int self_test(const std::string& dir, const LayerSpec& spec) {
     // it so the unused-suppression audit sees the same marks.
     femtolint::run_file_rules(prog.sources.front(), findings);
     femtolint::run_program_rules(prog, spec, findings);
+    femtolint::run_trace_category_rule(prog, tc, findings);
     femtolint::run_effect_rules(prog, findings);
     femtolint::run_lockset_pass(prog, findings);
     femtolint::run_protocol_pass(prog, findings);
@@ -304,10 +318,12 @@ int self_test(const std::string& dir, const LayerSpec& spec) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: femtolint [--layers FILE] [--json] [--threads N]\n"
+               "usage: femtolint [--layers FILE] [--trace-categories FILE]\n"
+               "                 [--json] [--threads N]\n"
                "                 [--baseline FILE | --write-baseline FILE] "
                "<dir-or-file>...\n"
-               "       femtolint [--layers FILE] --self-test <fixtures-dir>\n"
+               "       femtolint [--layers FILE] [--trace-categories FILE] "
+               "--self-test <fixtures-dir>\n"
                "       femtolint [--layers FILE] --lock-graph "
                "<dir-or-file>...\n");
   return 2;
@@ -318,6 +334,7 @@ int usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   LayerSpec spec;
+  TraceCategorySpec tc;
   bool json = false;
   bool lock_graph = false;
   std::size_t threads = 0;  // 0 = femtopar default (hardware concurrency)
@@ -333,6 +350,13 @@ int main(int argc, char** argv) {
       if (i + 1 >= args.size()) return usage();
       std::string err;
       if (!femtolint::load_layers(args[++i], spec, err)) {
+        std::fprintf(stderr, "femtolint: %s\n", err.c_str());
+        return 2;
+      }
+    } else if (a == "--trace-categories") {
+      if (i + 1 >= args.size()) return usage();
+      std::string err;
+      if (!femtolint::load_trace_categories(args[++i], tc, err)) {
         std::fprintf(stderr, "femtolint: %s\n", err.c_str());
         return 2;
       }
@@ -363,7 +387,7 @@ int main(int argc, char** argv) {
 
   if (want_self_test) {
     if (!roots.empty()) return usage();
-    return self_test(self_test_dir, spec);
+    return self_test(self_test_dir, spec, tc);
   }
   if (roots.empty()) return usage();
 
@@ -380,6 +404,7 @@ int main(int argc, char** argv) {
   }
 
   femtolint::run_program_rules(prog, spec, all);
+  femtolint::run_trace_category_rule(prog, tc, all);
   femtolint::EffectStats es;
   const auto e0 = std::chrono::steady_clock::now();
   femtolint::run_effect_rules(prog, all, &es);

@@ -138,9 +138,11 @@ class Lexer {
   }
 
   // @p begin points at the opening quote.  Handles an already-consumed
-  // raw-string prefix via raw_delim (see ident()).
+  // raw-string prefix via raw_delim (see ident()).  The token keeps the
+  // literal's raw text (quotes included): rules never pattern-match inside
+  // a Str token by accident -- they must opt in by inspecting t.kind --
+  // but value-checking rules (trace-category) need the actual bytes.
   void string_lit(std::size_t begin) {
-    (void)begin;
     const int start = line_;
     advance();  // '"'
     while (i_ < s_.size()) {
@@ -153,11 +155,12 @@ class Lexer {
       advance();
       if (c == '"') break;
     }
-    emit(Tok::Str, "\"\"", start);
+    emit(Tok::Str, s_.substr(begin, i_ - begin), start);
   }
 
   void raw_string_lit() {
     const int start = line_;
+    const std::size_t begin = i_;
     advance();  // '"'
     std::string delim;
     while (i_ < s_.size() && cur() != '(' && cur() != '\n') {
@@ -171,7 +174,7 @@ class Lexer {
                                        ? s_.size()
                                        : end + closer.size()))
       advance();
-    emit(Tok::Str, "\"\"", start);
+    emit(Tok::Str, s_.substr(begin, i_ - begin), start);
   }
 
   void char_lit() {

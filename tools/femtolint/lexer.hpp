@@ -29,7 +29,8 @@ namespace femtolint {
 enum class Tok {
   Ident,    // identifiers AND keywords (rules match on text)
   Number,   // pp-number: 0x1f, 1e-5, 3.14f, ...
-  Str,      // "..." or R"delim(...)delim"; text is a placeholder
+  Str,      // "..." or R"delim(...)delim"; text is the raw literal
+            // (quotes included) -- rules must check kind before matching
   Chr,      // '...'
   Punct,    // maximal-munch operator / punctuator
   Pp,       // one whole preprocessor directive, continuations joined

@@ -652,6 +652,98 @@ bool load_layers(const std::string& path, LayerSpec& spec, std::string& err) {
   return true;
 }
 
+bool load_trace_categories(const std::string& path, TraceCategorySpec& spec,
+                           std::string& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err = "cannot open " + path;
+    return false;
+  }
+  spec = TraceCategorySpec{};
+  spec.path = path;
+  std::string line;
+  int ln = 0;
+  while (std::getline(in, line)) {
+    ++ln;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream is(line);
+    std::string kw;
+    if (!(is >> kw)) continue;
+    if (kw != "category") {
+      err = path + ":" + std::to_string(ln) + ": unknown directive '" + kw +
+            "' (expected category)";
+      return false;
+    }
+    std::string name;
+    if (!(is >> name)) {
+      err = path + ":" + std::to_string(ln) + ": category needs a name";
+      return false;
+    }
+    spec.categories.insert(name);
+  }
+  if (spec.categories.empty()) {
+    err = path + ": declares no categories";
+    return false;
+  }
+  spec.loaded = true;
+  return true;
+}
+
+namespace {
+
+// Callables whose FIRST string argument is a femtoscope category.
+const char* const kCategoryCallees[] = {"FEMTO_TRACE_SCOPE",
+                                        "trace_flow_out", "trace_flow_in"};
+
+}  // namespace
+
+void run_trace_category_rule(const Program& prog,
+                             const TraceCategorySpec& spec,
+                             std::vector<Finding>& out) {
+  if (!spec.loaded) return;
+  for (const Source& s : prog.sources) {
+    const auto& toks = s.lx.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Tok::Ident) continue;
+      bool callee = false;
+      for (const char* name : kCategoryCallees)
+        if (t.text == name) callee = true;
+      if (!callee || !is_punct(toks[i + 1], "(")) continue;
+      // The macro/function *definition* sites live behind Pp tokens or in
+      // obs itself; a parameter forward like trace_flow_out(category, ...)
+      // is skipped -- the rule wants literal call sites.
+      const Token& arg = toks[i + 2];
+      const int line = arg.line;
+      if (arg.kind != Tok::Str) {
+        if (arg.kind == Tok::Ident && i + 3 < toks.size() &&
+            !is_punct(toks[i + 3], ")") && !is_punct(toks[i + 3], ","))
+          continue;  // declaration or expression, not a forwarded identifier
+        if (s.suppressed("trace-category", line)) continue;
+        out.push_back(
+            {s.path, line, "trace-category",
+             "the category argument of '" + t.text +
+                 "' must be a string literal from " + spec.path +
+                 " (got a non-literal; literals are what the taxonomy, "
+                 "the Chrome export and the flamegraphs key on)"});
+        continue;
+      }
+      // Strip the surrounding quotes the lexer keeps.
+      std::string cat = arg.text;
+      if (cat.size() >= 2 && cat.front() == '"' && cat.back() == '"')
+        cat = cat.substr(1, cat.size() - 2);
+      if (spec.categories.count(cat) != 0) continue;
+      if (s.suppressed("trace-category", line)) continue;
+      out.push_back(
+          {s.path, line, "trace-category",
+           "span category \"" + cat + "\" is not declared in " + spec.path +
+               " -- add it there (design review for the span namespace) or "
+               "use an existing category"});
+    }
+  }
+}
+
 std::string module_of(const Source& s, const LayerSpec& spec) {
   if (!s.module_override.empty()) return s.module_override;
   if (!s.rel.empty()) {

@@ -45,6 +45,28 @@ struct LayerSpec {
 /// Parse @p path into @p spec; false + @p err on I/O or syntax error.
 bool load_layers(const std::string& path, LayerSpec& spec, std::string& err);
 
+/// Trace-category taxonomy declared in trace_categories.def.  Line syntax:
+///   # comment
+///   category <name>
+/// Every FEMTO_TRACE_SCOPE / trace_flow_out / trace_flow_in category
+/// argument must be a string literal naming one of these -- the taxonomy
+/// file IS the span namespace, so a new category gets design-reviewed the
+/// same way a new layer edge does.
+struct TraceCategorySpec {
+  bool loaded = false;
+  std::string path;  // for error reporting
+  std::set<std::string> categories;
+};
+
+/// Parse @p path into @p spec; false + @p err on I/O or syntax error.
+bool load_trace_categories(const std::string& path, TraceCategorySpec& spec,
+                           std::string& err);
+
+/// The trace-category rule (skipped when !spec.loaded).
+void run_trace_category_rule(const Program& prog,
+                             const TraceCategorySpec& spec,
+                             std::vector<Finding>& out);
+
 /// Module a source belongs to ("" if it is outside the module tree).
 std::string module_of(const Source& s, const LayerSpec& spec);
 

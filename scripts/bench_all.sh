@@ -7,6 +7,7 @@
 #   3. with FEMTO_BENCH_FULL=1, the slow kernels too:
 #      scripts/bench_simd.sh     -> BENCH_simd.json
 #      scripts/bench_multirhs.sh -> BENCH_multirhs.json
+#      scripts/bench_compress.sh -> BENCH_compress.json
 #   4. tools/benchdiff --baseline bench/baseline.json <produced files>
 #
 # benchdiff only judges metrics belonging to files actually produced, so
@@ -51,8 +52,11 @@ if [[ "${FEMTO_BENCH_FULL:-0}" == "1" ]]; then
   echo "=== bench_multirhs ==="
   scripts/bench_multirhs.sh
   produced+=(BENCH_multirhs.json)
+  echo "=== bench_compress ==="
+  scripts/bench_compress.sh
+  produced+=(BENCH_compress.json)
 else
-  echo "bench_all: FEMTO_BENCH_FULL!=1, skipping simd/multirhs kernels"
+  echo "bench_all: FEMTO_BENCH_FULL!=1, skipping simd/multirhs/compress kernels"
 fi
 
 echo "=== benchdiff sentinel ==="

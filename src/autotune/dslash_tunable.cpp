@@ -8,6 +8,77 @@
 
 namespace femto::tune {
 
+std::vector<GaugeFormat> format_set_members(FormatSet s) {
+  std::vector<GaugeFormat> f = {GaugeFormat::kFull18};
+  if (s == FormatSet::kExact || s == FormatSet::kAll)
+    f.push_back(GaugeFormat::kRecon12);
+  if (s == FormatSet::kAll) {
+    f.push_back(GaugeFormat::kRecon8);
+    f.push_back(GaugeFormat::kFixed12);
+  }
+  return f;
+}
+
+namespace {
+
+/// Dispatch one dslash on the container matching @p fmt, building the
+/// compressed copy on first use (reused across reps and candidates; the
+/// one-time compression cost is amortised away by the min-of-reps timer).
+template <typename T>
+void apply_dslash_fmt(GaugeFormat fmt, const GaugeField<T>& u,
+                      std::unique_ptr<CompressedGaugeField<T>>& r12,
+                      std::unique_ptr<Recon8GaugeField<T>>& r8,
+                      std::unique_ptr<Fixed12GaugeField<T>>& x12,
+                      const SpinorView<T>& out, const SpinorView<const T>& in,
+                      int out_parity, const DslashTuning& tune) {
+  switch (fmt) {
+    case GaugeFormat::kRecon12:
+      if (!r12) r12 = std::make_unique<CompressedGaugeField<T>>(u);
+      dslash<T>(out, *r12, in, out_parity, false, tune);
+      break;
+    case GaugeFormat::kRecon8:
+      if (!r8) r8 = std::make_unique<Recon8GaugeField<T>>(u);
+      dslash<T>(out, *r8, in, out_parity, false, tune);
+      break;
+    case GaugeFormat::kFixed12:
+      if (!x12) x12 = std::make_unique<Fixed12GaugeField<T>>(u);
+      dslash<T>(out, *x12, in, out_parity, false, tune);
+      break;
+    case GaugeFormat::kFull18:
+      dslash<T>(out, u, in, out_parity, false, tune);
+      break;
+  }
+}
+
+template <typename T>
+void apply_dslash_fmt_multi(GaugeFormat fmt, const GaugeField<T>& u,
+                            std::unique_ptr<CompressedGaugeField<T>>& r12,
+                            std::unique_ptr<Recon8GaugeField<T>>& r8,
+                            std::unique_ptr<Fixed12GaugeField<T>>& x12,
+                            std::span<const SpinorView<T>> out,
+                            std::span<const SpinorView<const T>> in,
+                            int out_parity, const DslashTuning& tune) {
+  switch (fmt) {
+    case GaugeFormat::kRecon12:
+      if (!r12) r12 = std::make_unique<CompressedGaugeField<T>>(u);
+      dslash_multi<T>(out, *r12, in, out_parity, false, tune);
+      break;
+    case GaugeFormat::kRecon8:
+      if (!r8) r8 = std::make_unique<Recon8GaugeField<T>>(u);
+      dslash_multi<T>(out, *r8, in, out_parity, false, tune);
+      break;
+    case GaugeFormat::kFixed12:
+      if (!x12) x12 = std::make_unique<Fixed12GaugeField<T>>(u);
+      dslash_multi<T>(out, *x12, in, out_parity, false, tune);
+      break;
+    case GaugeFormat::kFull18:
+      dslash_multi<T>(out, u, in, out_parity, false, tune);
+      break;
+  }
+}
+
+}  // namespace
+
 template <typename T>
 std::string DslashTunable<T>::key() const {
   std::ostringstream os;
@@ -18,7 +89,8 @@ std::string DslashTunable<T>::key() const {
   os << "dslash,vol=" << d.extent(0) << "x" << d.extent(1) << "x"
      << d.extent(2) << "x" << d.extent(3) << ",l5=" << l5_
      << ",parity=" << out_parity_ << ",prec=" << sizeof(T)
-     << ",simd=" << simd::kIsaName << "/" << simd::kWidth<T>;
+     << ",simd=" << simd::kIsaName << "/" << simd::kWidth<T>
+     << ",fmt=" << static_cast<int>(formats_);
   return os.str();
 }
 
@@ -36,19 +108,26 @@ std::vector<TuneParam> DslashTunable<T>::candidates() const {
   }
   std::vector<TuneParam> cands;
   const std::int64_t volh = u_->geom().half_volume();
-  for (const DslashVariant v : variants) {
-    std::size_t base = cands.size();
-    for (std::int64_t grain = 16; grain <= volh; grain *= 4) {
-      TuneParam p;
-      p.knobs["variant"] = static_cast<std::int64_t>(v);
-      p.knobs["grain"] = grain;
-      cands.push_back(p);
+  // Format is the outermost axis (full18 first, so the reference kernel on
+  // reference storage leads the search); every (format, variant) pair gets
+  // the identical grain sweep.
+  for (const GaugeFormat f : format_set_members(formats_)) {
+    for (const DslashVariant v : variants) {
+      std::size_t base = cands.size();
+      for (std::int64_t grain = 16; grain <= volh; grain *= 4) {
+        TuneParam p;
+        p.knobs["format"] = static_cast<std::int64_t>(f);
+        p.knobs["variant"] = static_cast<std::int64_t>(v);
+        p.knobs["grain"] = grain;
+        cands.push_back(p);
+      }
+      TuneParam whole;
+      whole.knobs["format"] = static_cast<std::int64_t>(f);
+      whole.knobs["variant"] = static_cast<std::int64_t>(v);
+      whole.knobs["grain"] = volh;
+      if (cands.size() == base || !(cands.back() == whole))
+        cands.push_back(whole);
     }
-    TuneParam whole;
-    whole.knobs["variant"] = static_cast<std::int64_t>(v);
-    whole.knobs["grain"] = volh;
-    if (cands.size() == base || !(cands.back() == whole))
-      cands.push_back(whole);
   }
   return cands;
 }
@@ -58,7 +137,9 @@ void DslashTunable<T>::apply(const TuneParam& p) {
   DslashTuning tune;
   tune.grain = static_cast<std::size_t>(p.get("grain", 512));
   tune.variant = static_cast<DslashVariant>(p.get("variant", 0));
-  dslash<T>(view(out_), *u_, cview(in_), out_parity_, false, tune);
+  tune.format = static_cast<GaugeFormat>(p.get("format", 0));
+  apply_dslash_fmt<T>(tune.format, *u_, u_r12_, u_r8_, u_x12_, view(out_),
+                      cview(in_), out_parity_, tune);
 }
 
 template <typename T>
@@ -78,17 +159,20 @@ std::int64_t DslashTunable<T>::bytes_per_call() const {
 
 template <typename T>
 DslashTuning tuned_dslash_grain(std::shared_ptr<const GaugeField<T>> u,
-                                int l5, int out_parity) {
-  DslashTunable<T> tunable(std::move(u), l5, out_parity);
+                                int l5, int out_parity, FormatSet formats) {
+  DslashTunable<T> tunable(std::move(u), l5, out_parity, formats);
   const TuneEntry& e = Autotuner::global().tune(tunable);
   DslashTuning t;
   t.grain = static_cast<std::size_t>(e.param.get("grain", 512));
   t.variant = static_cast<DslashVariant>(e.param.get("variant", 0));
-  // Surface the winner in the femtoscope registry; the run report's simd
-  // block decodes the variant ordinal (see obs/report.cpp).
+  t.format = static_cast<GaugeFormat>(e.param.get("format", 0));
+  // Surface the winners in the femtoscope registry; the run report's simd
+  // block decodes the variant and format ordinals (see obs/report.cpp).
   const char* prec = sizeof(T) == 4 ? "f" : "d";
   obs::gauge(std::string("dslash.variant_") + prec)
       .set(static_cast<double>(e.param.get("variant", 0)));
+  obs::gauge(std::string("dslash.format_") + prec)
+      .set(static_cast<double>(e.param.get("format", 0)));
   obs::gauge(std::string("dslash.gbytes_") + prec).set(e.gbytes);
   return t;
 }
@@ -96,8 +180,12 @@ DslashTuning tuned_dslash_grain(std::shared_ptr<const GaugeField<T>> u,
 template <typename T>
 DslashMultiTunable<T>::DslashMultiTunable(
     std::shared_ptr<const GaugeField<T>> u, int l5, int out_parity,
-    std::size_t bmax)
-    : u_(std::move(u)), l5_(l5), out_parity_(out_parity), bmax_(bmax) {
+    std::size_t bmax, FormatSet formats)
+    : u_(std::move(u)),
+      l5_(l5),
+      out_parity_(out_parity),
+      bmax_(bmax),
+      formats_(formats) {
   FEMTO_CHECK(bmax_ >= 1, "DslashMultiTunable: bmax must be at least 1");
   const Subset in_sub = out_parity == 0 ? Subset::Odd : Subset::Even;
   const Subset out_sub = out_parity == 0 ? Subset::Even : Subset::Odd;
@@ -118,7 +206,7 @@ std::string DslashMultiTunable<T>::key() const {
      << d.extent(2) << "x" << d.extent(3) << ",l5=" << l5_
      << ",parity=" << out_parity_ << ",prec=" << sizeof(T)
      << ",bmax=" << bmax_ << ",simd=" << simd::kIsaName << "/"
-     << simd::kWidth<T>;
+     << simd::kWidth<T> << ",fmt=" << static_cast<int>(formats_);
   return os.str();
 }
 
@@ -131,22 +219,26 @@ std::vector<TuneParam> DslashMultiTunable<T>::candidates() const {
   }
   std::vector<TuneParam> cands;
   const std::int64_t volh = u_->geom().half_volume();
-  for (const DslashVariant v : variants) {
-    for (std::size_t nrhs = 1; nrhs <= bmax_; nrhs *= 2) {
-      std::size_t base = cands.size();
-      for (std::int64_t grain = 16; grain <= volh; grain *= 4) {
-        TuneParam p;
-        p.knobs["variant"] = static_cast<std::int64_t>(v);
-        p.knobs["grain"] = grain;
-        p.knobs["nrhs"] = static_cast<std::int64_t>(nrhs);
-        cands.push_back(p);
+  for (const GaugeFormat f : format_set_members(formats_)) {
+    for (const DslashVariant v : variants) {
+      for (std::size_t nrhs = 1; nrhs <= bmax_; nrhs *= 2) {
+        std::size_t base = cands.size();
+        for (std::int64_t grain = 16; grain <= volh; grain *= 4) {
+          TuneParam p;
+          p.knobs["format"] = static_cast<std::int64_t>(f);
+          p.knobs["variant"] = static_cast<std::int64_t>(v);
+          p.knobs["grain"] = grain;
+          p.knobs["nrhs"] = static_cast<std::int64_t>(nrhs);
+          cands.push_back(p);
+        }
+        TuneParam whole;
+        whole.knobs["format"] = static_cast<std::int64_t>(f);
+        whole.knobs["variant"] = static_cast<std::int64_t>(v);
+        whole.knobs["grain"] = volh;
+        whole.knobs["nrhs"] = static_cast<std::int64_t>(nrhs);
+        if (cands.size() == base || !(cands.back() == whole))
+          cands.push_back(whole);
       }
-      TuneParam whole;
-      whole.knobs["variant"] = static_cast<std::int64_t>(v);
-      whole.knobs["grain"] = volh;
-      whole.knobs["nrhs"] = static_cast<std::int64_t>(nrhs);
-      if (cands.size() == base || !(cands.back() == whole))
-        cands.push_back(whole);
     }
   }
   return cands;
@@ -157,6 +249,7 @@ void DslashMultiTunable<T>::apply(const TuneParam& p) {
   DslashTuning tune;
   tune.grain = static_cast<std::size_t>(p.get("grain", 512));
   tune.variant = static_cast<DslashVariant>(p.get("variant", 0));
+  tune.format = static_cast<GaugeFormat>(p.get("format", 0));
   const std::size_t nrhs = static_cast<std::size_t>(p.get("nrhs", 1));
   for (std::size_t r0 = 0; r0 < bmax_; r0 += nrhs) {
     const std::size_t nb = std::min(nrhs, bmax_ - r0);
@@ -168,7 +261,8 @@ void DslashMultiTunable<T>::apply(const TuneParam& p) {
       outs.push_back(view(out_[r0 + i]));
       ins.push_back(cview(in_[r0 + i]));
     }
-    dslash_multi<T>(outs, *u_, ins, out_parity_, false, tune);
+    apply_dslash_fmt_multi<T>(tune.format, *u_, u_r12_, u_r8_, u_x12_, outs,
+                              ins, out_parity_, tune);
   }
 }
 
@@ -192,18 +286,22 @@ std::int64_t DslashMultiTunable<T>::bytes_per_call() const {
 
 template <typename T>
 MultiRhsTuning tuned_multi_rhs(std::shared_ptr<const GaugeField<T>> u,
-                               int l5, std::size_t bmax, int out_parity) {
-  DslashMultiTunable<T> tunable(std::move(u), l5, out_parity, bmax);
+                               int l5, std::size_t bmax, int out_parity,
+                               FormatSet formats) {
+  DslashMultiTunable<T> tunable(std::move(u), l5, out_parity, bmax, formats);
   const TuneEntry& e = Autotuner::global().tune(tunable);
   MultiRhsTuning t;
   t.dslash.grain = static_cast<std::size_t>(e.param.get("grain", 512));
   t.dslash.variant = static_cast<DslashVariant>(e.param.get("variant", 0));
+  t.dslash.format = static_cast<GaugeFormat>(e.param.get("format", 0));
   t.nrhs = static_cast<std::size_t>(e.param.get("nrhs", 1));
   const char* prec = sizeof(T) == 4 ? "f" : "d";
   obs::gauge(std::string("dslash_multi.nrhs_") + prec)
       .set(static_cast<double>(t.nrhs));
   obs::gauge(std::string("dslash_multi.variant_") + prec)
       .set(static_cast<double>(e.param.get("variant", 0)));
+  obs::gauge(std::string("dslash_multi.format_") + prec)
+      .set(static_cast<double>(e.param.get("format", 0)));
   obs::gauge(std::string("dslash_multi.gbytes_") + prec).set(e.gbytes);
   return t;
 }
@@ -211,14 +309,16 @@ MultiRhsTuning tuned_multi_rhs(std::shared_ptr<const GaugeField<T>> u,
 template class DslashTunable<double>;
 template class DslashTunable<float>;
 template DslashTuning tuned_dslash_grain<double>(
-    std::shared_ptr<const GaugeField<double>>, int, int);
+    std::shared_ptr<const GaugeField<double>>, int, int, FormatSet);
 template DslashTuning tuned_dslash_grain<float>(
-    std::shared_ptr<const GaugeField<float>>, int, int);
+    std::shared_ptr<const GaugeField<float>>, int, int, FormatSet);
 template class DslashMultiTunable<double>;
 template class DslashMultiTunable<float>;
 template MultiRhsTuning tuned_multi_rhs<double>(
-    std::shared_ptr<const GaugeField<double>>, int, std::size_t, int);
+    std::shared_ptr<const GaugeField<double>>, int, std::size_t, int,
+    FormatSet);
 template MultiRhsTuning tuned_multi_rhs<float>(
-    std::shared_ptr<const GaugeField<float>>, int, std::size_t, int);
+    std::shared_ptr<const GaugeField<float>>, int, std::size_t, int,
+    FormatSet);
 
 }  // namespace femto::tune

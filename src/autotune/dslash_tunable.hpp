@@ -16,15 +16,27 @@
 
 namespace femto::tune {
 
+/// Which gauge storage tiers a tuning sweep may race (DESIGN.md §16).
+/// kFullOnly keeps the sweep on full-18 links (the double operator: its
+/// reliable updates must not see reconstruction error), kExact adds
+/// recon12 (exact up to rounding), kAll adds the approximate tiers
+/// recon8/fixed12 (the float inner-iteration operator, where
+/// half-precision spinors are already allowed).
+enum class FormatSet : int { kFullOnly = 0, kExact = 1, kAll = 2 };
+
+/// The formats a FormatSet admits, reference tier first.
+std::vector<GaugeFormat> format_set_members(FormatSet s);
+
 /// A Tunable wrapping one dslash application on scratch fields.
 template <typename T>
 class DslashTunable : public Tunable {
  public:
   DslashTunable(std::shared_ptr<const GaugeField<T>> u, int l5,
-                int out_parity)
+                int out_parity, FormatSet formats = FormatSet::kFullOnly)
       : u_(std::move(u)),
         l5_(l5),
         out_parity_(out_parity),
+        formats_(formats),
         in_(u_->geom_ptr(), l5,
             out_parity == 0 ? Subset::Odd : Subset::Even),
         out_(u_->geom_ptr(), l5,
@@ -42,7 +54,13 @@ class DslashTunable : public Tunable {
   std::shared_ptr<const GaugeField<T>> u_;
   int l5_;
   int out_parity_;
+  FormatSet formats_;
   SpinorField<T> in_, out_;
+  // Per-tier compressed copies of u_, built lazily by apply() when the
+  // sweep first races that tier (then reused by every rep/candidate).
+  std::unique_ptr<CompressedGaugeField<T>> u_r12_;
+  std::unique_ptr<Recon8GaugeField<T>> u_r8_;
+  std::unique_ptr<Fixed12GaugeField<T>> u_x12_;
 };
 
 /// Convenience: returns the tuned grain and kernel variant for this
@@ -52,7 +70,8 @@ class DslashTunable : public Tunable {
 /// what the tuner picked.
 template <typename T>
 DslashTuning tuned_dslash_grain(std::shared_ptr<const GaugeField<T>> u,
-                                int l5, int out_parity = 0);
+                                int l5, int out_parity = 0,
+                                FormatSet formats = FormatSet::kFullOnly);
 
 /// Multi-RHS dslash tuning: the launch parameters PLUS the batch size the
 /// sweep found fastest.  nrhs is the new autotune dimension the batched
@@ -72,7 +91,8 @@ template <typename T>
 class DslashMultiTunable : public Tunable {
  public:
   DslashMultiTunable(std::shared_ptr<const GaugeField<T>> u, int l5,
-                     int out_parity, std::size_t bmax);
+                     int out_parity, std::size_t bmax,
+                     FormatSet formats = FormatSet::kFullOnly);
 
   std::string key() const override;
   std::vector<TuneParam> candidates() const override;
@@ -85,7 +105,11 @@ class DslashMultiTunable : public Tunable {
   int l5_;
   int out_parity_;
   std::size_t bmax_;
+  FormatSet formats_;
   std::vector<SpinorField<T>> in_, out_;
+  std::unique_ptr<CompressedGaugeField<T>> u_r12_;
+  std::unique_ptr<Recon8GaugeField<T>> u_r8_;
+  std::unique_ptr<Fixed12GaugeField<T>> u_x12_;
 };
 
 /// Tuned batch size + launch parameters for dslash_multi against this
@@ -95,19 +119,22 @@ class DslashMultiTunable : public Tunable {
 /// dslash_multi.variant_{f,d}, dslash_multi.gbytes_{f,d}).
 template <typename T>
 MultiRhsTuning tuned_multi_rhs(std::shared_ptr<const GaugeField<T>> u,
-                               int l5, std::size_t bmax, int out_parity = 0);
+                               int l5, std::size_t bmax, int out_parity = 0,
+                               FormatSet formats = FormatSet::kFullOnly);
 
 extern template class DslashTunable<double>;
 extern template class DslashTunable<float>;
 extern template DslashTuning tuned_dslash_grain<double>(
-    std::shared_ptr<const GaugeField<double>>, int, int);
+    std::shared_ptr<const GaugeField<double>>, int, int, FormatSet);
 extern template DslashTuning tuned_dslash_grain<float>(
-    std::shared_ptr<const GaugeField<float>>, int, int);
+    std::shared_ptr<const GaugeField<float>>, int, int, FormatSet);
 extern template class DslashMultiTunable<double>;
 extern template class DslashMultiTunable<float>;
 extern template MultiRhsTuning tuned_multi_rhs<double>(
-    std::shared_ptr<const GaugeField<double>>, int, std::size_t, int);
+    std::shared_ptr<const GaugeField<double>>, int, std::size_t, int,
+    FormatSet);
 extern template MultiRhsTuning tuned_multi_rhs<float>(
-    std::shared_ptr<const GaugeField<float>>, int, std::size_t, int);
+    std::shared_ptr<const GaugeField<float>>, int, std::size_t, int,
+    FormatSet);
 
 }  // namespace femto::tune

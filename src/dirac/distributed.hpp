@@ -19,6 +19,7 @@
 #include <array>
 
 #include "comm/halo.hpp"
+#include "lattice/compressed_gauge.hpp"
 #include "lattice/field.hpp"
 #include "lattice/spinor.hpp"
 
@@ -61,6 +62,24 @@ comm::HaloField scatter_gauge(const DistributedLattice& dl, int rank,
 /// Write a rank's local block of @p local back into the full field.
 void gather_spinor(const DistributedLattice& dl, int rank,
                    const comm::HaloField& local, SpinorField<double>& full);
+
+/// Doubles per site on the wire for the gauge-halo exchange in format
+/// @p f: full18 72, recon12 48, recon8 32, fixed12 16 (per link, 12 int16
+/// + a float scale packed into 4 doubles via memcpy).
+std::int64_t gauge_wire_reals(GaugeFormat f);
+
+/// Exchange the one-time gauge halo in storage tier @p fmt.  full18
+/// delegates to the plain exchange (bitwise-identical to the pre-tier
+/// path); the compressed tiers encode each site's four links with the
+/// per-link codecs from lattice/compressed_gauge.hpp into a reduced-width
+/// wire field, exchange THAT (so @p stats accounts the compressed payload
+/// — wire bytes drop 33-66%), and decode the received faces back into
+/// @p gauge's full-precision ghost buffers.  Interior links are untouched.
+/// Collective, like the exchange it wraps.
+void exchange_gauge_halo(comm::RankHandle& h, const DistributedLattice& dl,
+                         comm::HaloExchanger& ex, comm::HaloField& gauge,
+                         GaugeFormat fmt = GaugeFormat::kFull18,
+                         comm::HaloStats* stats = nullptr);
 
 /// Apply the Wilson dslash on this rank's block.  Collective: every rank
 /// must call it with the same exchanger; the spinor halo exchange happens

@@ -41,6 +41,87 @@ MobiusOperator<T>::MobiusOperator(std::shared_ptr<const GaugeField<T>> u,
 }
 
 template <typename T>
+void MobiusOperator<T>::ensure_format() const {
+  switch (tune_.format) {
+    case GaugeFormat::kRecon12:
+      if (!u_r12_) u_r12_ = std::make_unique<CompressedGaugeField<T>>(*u_);
+      break;
+    case GaugeFormat::kRecon8:
+      if (!u_r8_) u_r8_ = std::make_unique<Recon8GaugeField<T>>(*u_);
+      break;
+    case GaugeFormat::kFixed12:
+      if (!u_x12_) u_x12_ = std::make_unique<Fixed12GaugeField<T>>(*u_);
+      break;
+    case GaugeFormat::kFull18:
+      break;
+  }
+}
+
+template <typename T>
+void MobiusOperator<T>::dslash_fmt(const SpinorView<T>& out,
+                                   const SpinorView<const T>& in,
+                                   int out_parity, bool dagger) const {
+  ensure_format();
+  switch (tune_.format) {
+    case GaugeFormat::kRecon12:
+      dslash<T>(out, *u_r12_, in, out_parity, dagger, tune_);
+      break;
+    case GaugeFormat::kRecon8:
+      dslash<T>(out, *u_r8_, in, out_parity, dagger, tune_);
+      break;
+    case GaugeFormat::kFixed12:
+      dslash<T>(out, *u_x12_, in, out_parity, dagger, tune_);
+      break;
+    case GaugeFormat::kFull18:
+      dslash<T>(out, *u_, in, out_parity, dagger, tune_);
+      break;
+  }
+}
+
+template <typename T>
+void MobiusOperator<T>::dslash_fmt_multi(
+    std::span<const SpinorView<T>> out,
+    std::span<const SpinorView<const T>> in, int out_parity,
+    bool dagger) const {
+  ensure_format();
+  switch (tune_.format) {
+    case GaugeFormat::kRecon12:
+      dslash_multi<T>(out, *u_r12_, in, out_parity, dagger, tune_);
+      break;
+    case GaugeFormat::kRecon8:
+      dslash_multi<T>(out, *u_r8_, in, out_parity, dagger, tune_);
+      break;
+    case GaugeFormat::kFixed12:
+      dslash_multi<T>(out, *u_x12_, in, out_parity, dagger, tune_);
+      break;
+    case GaugeFormat::kFull18:
+      dslash_multi<T>(out, *u_, in, out_parity, dagger, tune_);
+      break;
+  }
+}
+
+template <typename T>
+void MobiusOperator<T>::wilson_op_fmt(SpinorField<T>& out,
+                                      const SpinorField<T>& in,
+                                      bool dagger) const {
+  ensure_format();
+  switch (tune_.format) {
+    case GaugeFormat::kRecon12:
+      wilson_op<T>(out, *u_r12_, in, params_.m5, dagger, tune_);
+      break;
+    case GaugeFormat::kRecon8:
+      wilson_op<T>(out, *u_r8_, in, params_.m5, dagger, tune_);
+      break;
+    case GaugeFormat::kFixed12:
+      wilson_op<T>(out, *u_x12_, in, params_.m5, dagger, tune_);
+      break;
+    case GaugeFormat::kFull18:
+      wilson_op<T>(out, *u_, in, params_.m5, dagger, tune_);
+      break;
+  }
+}
+
+template <typename T>
 void MobiusOperator<T>::apply_full(SpinorField<T>& out,
                                    const SpinorField<T>& in,
                                    bool dagger) const {
@@ -49,13 +130,13 @@ void MobiusOperator<T>::apply_full(SpinorField<T>& out,
   if (!dagger) {
     // out = D_W (B in) + (I - Lambda) in
     b_.apply<T>(view(tmp_f_), view(in));
-    wilson_op<T>(out, *u_, tmp_f_, params_.m5, false, tune_);
+    wilson_op_fmt(out, tmp_f_, false);
     lambda_.apply<T>(view(tmp_f_), view(in));
     blas::axpy<T>(-1.0, tmp_f_, out);
     blas::axpy<T>(1.0, in, out);
   } else {
     // out = B^T D_W^dag in + (I - Lambda)^T in
-    wilson_op<T>(tmp_f_, *u_, in, params_.m5, true, tune_);
+    wilson_op_fmt(tmp_f_, in, true);
     bt_.apply<T>(view(out), cview(tmp_f_));
     lambda_.transpose().apply<T>(view(tmp_f_), view(in));
     blas::axpy<T>(-1.0, tmp_f_, out);
@@ -71,20 +152,18 @@ void MobiusOperator<T>::apply_schur(SpinorField<T>& out,
   if (!dagger) {
     // Mhat = C - 1/4 Dslash (B C^-1) Dslash B, applied right to left.
     b_.apply<T>(view(tmp_o_), view(in));
-    dslash<T>(view(tmp_e_), *u_, cview(tmp_o_), /*out_parity=*/0, false,
-              tune_);
+    dslash_fmt(view(tmp_e_), cview(tmp_o_), /*out_parity=*/0, false);
     bcinv_.apply<T>(view(tmp_e2_), cview(tmp_e_));
-    dslash<T>(view(out), *u_, cview(tmp_e2_), /*out_parity=*/1, false, tune_);
+    dslash_fmt(view(out), cview(tmp_e2_), /*out_parity=*/1, false);
     // out = C in - 1/4 out
     c_.apply<T>(view(tmp_o_), view(in));
   } else {
     // Mhat^dag = C^T - 1/4 B^T Dslash^dag (B C^-1)^T Dslash^dag, applied
     // right to left; the dagger dslash kernel with out parity p computes
     // the (p, 1-p) block of Dslash^dag.
-    dslash<T>(view(tmp_e_), *u_, view(in), /*out_parity=*/0, true, tune_);
+    dslash_fmt(view(tmp_e_), view(in), /*out_parity=*/0, true);
     bcinvt_.apply<T>(view(tmp_e2_), cview(tmp_e_));
-    dslash<T>(view(tmp_o_), *u_, cview(tmp_e2_), /*out_parity=*/1, true,
-              tune_);
+    dslash_fmt(view(tmp_o_), cview(tmp_e2_), /*out_parity=*/1, true);
     bt_.apply<T>(view(out), cview(tmp_o_));
     ct_.apply<T>(view(tmp_o_), view(in));
   }
@@ -137,14 +216,14 @@ void MobiusOperator<T>::apply_schur_multi(
     // site-diagonal fifth-dim matvecs stay per RHS (no cross-RHS reuse to
     // be had — they touch no gauge links), the two dslash stages batch.
     for (std::size_t r = 0; r < nb; ++r) b_.apply<T>(vo[r], cvin[r]);
-    dslash_multi<T>(ve, *u_, cvo, /*out_parity=*/0, false, tune_);
+    dslash_fmt_multi(ve, cvo, /*out_parity=*/0, false);
     for (std::size_t r = 0; r < nb; ++r) bcinv_.apply<T>(ve2[r], cve[r]);
-    dslash_multi<T>(vout, *u_, cve2, /*out_parity=*/1, false, tune_);
+    dslash_fmt_multi(vout, cve2, /*out_parity=*/1, false);
     for (std::size_t r = 0; r < nb; ++r) c_.apply<T>(vo[r], cvin[r]);
   } else {
-    dslash_multi<T>(ve, *u_, cvin, /*out_parity=*/0, true, tune_);
+    dslash_fmt_multi(ve, cvin, /*out_parity=*/0, true);
     for (std::size_t r = 0; r < nb; ++r) bcinvt_.apply<T>(ve2[r], cve[r]);
-    dslash_multi<T>(vo, *u_, cve2, /*out_parity=*/1, true, tune_);
+    dslash_fmt_multi(vo, cve2, /*out_parity=*/1, true);
     for (std::size_t r = 0; r < nb; ++r) {
       bt_.apply<T>(vout[r], cvo[r]);
       ct_.apply<T>(vo[r], cvin[r]);
@@ -180,8 +259,7 @@ void MobiusOperator<T>::prepare_source(SpinorField<T>& bhat_odd,
   // tmp_e = (B C^-1) b_e
   bcinv_.apply<T>(view(tmp_e_), parity_view(b_full, 0));
   // bhat = Dslash_oe tmp_e
-  dslash<T>(view(bhat_odd), *u_, cview(tmp_e_), /*out_parity=*/1, false,
-            tune_);
+  dslash_fmt(view(bhat_odd), cview(tmp_e_), /*out_parity=*/1, false);
   // bhat = b_o + 1/2 bhat
   // Copy the odd half of b into tmp_o_ first.
   const auto bo = parity_view(b_full, 1);
@@ -198,7 +276,7 @@ void MobiusOperator<T>::reconstruct(SpinorField<T>& x_full,
   assert(x_full.subset() == Subset::Full && x_odd.subset() == Subset::Odd);
   // tmp_o = B x_o ; tmp_e = Dslash_eo tmp_o
   b_.apply<T>(view(tmp_o_), view(x_odd));
-  dslash<T>(view(tmp_e_), *u_, cview(tmp_o_), /*out_parity=*/0, false, tune_);
+  dslash_fmt(view(tmp_e_), cview(tmp_o_), /*out_parity=*/0, false);
   // tmp_e = b_e + 1/2 tmp_e
   const auto be = parity_view(b_full, 0);
   const auto te = view(tmp_e2_);

@@ -578,6 +578,51 @@ void dslash_multi(std::span<const SpinorView<T>> out, const GaugeField<T>& u,
 }
 
 template <typename T>
+void dslash(const SpinorView<T>& out, const CompressedGaugeField<T>& u,
+            const SpinorView<const T>& in, int out_parity, bool dagger,
+            const DslashTuning& tune) {
+  dslash_kernel<T>(out, u, in, out_parity, dagger, tune);
+}
+
+template <typename T>
+void dslash(const SpinorView<T>& out, const Recon8GaugeField<T>& u,
+            const SpinorView<const T>& in, int out_parity, bool dagger,
+            const DslashTuning& tune) {
+  dslash_kernel<T>(out, u, in, out_parity, dagger, tune);
+}
+
+template <typename T>
+void dslash(const SpinorView<T>& out, const Fixed12GaugeField<T>& u,
+            const SpinorView<const T>& in, int out_parity, bool dagger,
+            const DslashTuning& tune) {
+  dslash_kernel<T>(out, u, in, out_parity, dagger, tune);
+}
+
+template <typename T>
+void dslash_multi(std::span<const SpinorView<T>> out,
+                  const CompressedGaugeField<T>& u,
+                  std::span<const SpinorView<const T>> in, int out_parity,
+                  bool dagger, const DslashTuning& tune) {
+  dslash_kernel_multi<T>(out, u, in, out_parity, dagger, tune);
+}
+
+template <typename T>
+void dslash_multi(std::span<const SpinorView<T>> out,
+                  const Recon8GaugeField<T>& u,
+                  std::span<const SpinorView<const T>> in, int out_parity,
+                  bool dagger, const DslashTuning& tune) {
+  dslash_kernel_multi<T>(out, u, in, out_parity, dagger, tune);
+}
+
+template <typename T>
+void dslash_multi(std::span<const SpinorView<T>> out,
+                  const Fixed12GaugeField<T>& u,
+                  std::span<const SpinorView<const T>> in, int out_parity,
+                  bool dagger, const DslashTuning& tune) {
+  dslash_kernel_multi<T>(out, u, in, out_parity, dagger, tune);
+}
+
+template <typename T>
 void dslash_compressed(const SpinorView<T>& out,
                        const CompressedGaugeField<T>& u,
                        const SpinorView<const T>& in, int out_parity,
@@ -585,16 +630,18 @@ void dslash_compressed(const SpinorView<T>& out,
   dslash_kernel<T>(out, u, in, out_parity, dagger, tune);
 }
 
-template <typename T>
-void wilson_op(SpinorField<T>& out, const GaugeField<T>& u,
-               const SpinorField<T>& in, double mass, bool dagger,
-               const DslashTuning& tune) {
+namespace {
+
+template <typename T, typename GaugeT>
+void wilson_op_kernel(SpinorField<T>& out, const GaugeT& u,
+                      const SpinorField<T>& in, double mass, bool dagger,
+                      const DslashTuning& tune) {
   assert(out.subset() == Subset::Full && in.subset() == Subset::Full);
   assert(out.l5() == in.l5());
   // Hopping term parity by parity.
   for (int par = 0; par < 2; ++par) {
-    dslash<T>(parity_view(out, par), u, parity_view(in, 1 - par), par, dagger,
-              tune);
+    dslash_kernel<T>(parity_view(out, par), u, parity_view(in, 1 - par), par,
+                     dagger, tune);
   }
   // out = (4+mass) in - 1/2 out, honoring the tuned dslash grain (given in
   // 4D sites; the BLAS kernel chunks over reals).
@@ -602,6 +649,36 @@ void wilson_op(SpinorField<T>& out, const GaugeField<T>& u,
       tune.grain * static_cast<std::size_t>(kSpinorReals) *
       static_cast<std::size_t>(out.l5());
   blas::axpby<T>(4.0 + mass, in, -0.5, out, grain_reals);
+}
+
+}  // namespace
+
+template <typename T>
+void wilson_op(SpinorField<T>& out, const GaugeField<T>& u,
+               const SpinorField<T>& in, double mass, bool dagger,
+               const DslashTuning& tune) {
+  wilson_op_kernel<T>(out, u, in, mass, dagger, tune);
+}
+
+template <typename T>
+void wilson_op(SpinorField<T>& out, const CompressedGaugeField<T>& u,
+               const SpinorField<T>& in, double mass, bool dagger,
+               const DslashTuning& tune) {
+  wilson_op_kernel<T>(out, u, in, mass, dagger, tune);
+}
+
+template <typename T>
+void wilson_op(SpinorField<T>& out, const Recon8GaugeField<T>& u,
+               const SpinorField<T>& in, double mass, bool dagger,
+               const DslashTuning& tune) {
+  wilson_op_kernel<T>(out, u, in, mass, dagger, tune);
+}
+
+template <typename T>
+void wilson_op(SpinorField<T>& out, const Fixed12GaugeField<T>& u,
+               const SpinorField<T>& in, double mass, bool dagger,
+               const DslashTuning& tune) {
+  wilson_op_kernel<T>(out, u, in, mass, dagger, tune);
 }
 
 template void dslash<double>(const SpinorView<double>&,
@@ -633,5 +710,24 @@ template void wilson_op<double>(SpinorField<double>&, const GaugeField<double>&,
 template void wilson_op<float>(SpinorField<float>&, const GaugeField<float>&,
                                const SpinorField<float>&, double, bool,
                                const DslashTuning&);
+
+#define FEMTO_INSTANTIATE_DSLASH_FMT(T, GaugeT)                              \
+  template void dslash<T>(const SpinorView<T>&, const GaugeT<T>&,            \
+                          const SpinorView<const T>&, int, bool,             \
+                          const DslashTuning&);                              \
+  template void dslash_multi<T>(std::span<const SpinorView<T>>,              \
+                                const GaugeT<T>&,                            \
+                                std::span<const SpinorView<const T>>, int,   \
+                                bool, const DslashTuning&);                  \
+  template void wilson_op<T>(SpinorField<T>&, const GaugeT<T>&,              \
+                             const SpinorField<T>&, double, bool,            \
+                             const DslashTuning&);
+FEMTO_INSTANTIATE_DSLASH_FMT(double, CompressedGaugeField)
+FEMTO_INSTANTIATE_DSLASH_FMT(float, CompressedGaugeField)
+FEMTO_INSTANTIATE_DSLASH_FMT(double, Recon8GaugeField)
+FEMTO_INSTANTIATE_DSLASH_FMT(float, Recon8GaugeField)
+FEMTO_INSTANTIATE_DSLASH_FMT(double, Fixed12GaugeField)
+FEMTO_INSTANTIATE_DSLASH_FMT(float, Fixed12GaugeField)
+#undef FEMTO_INSTANTIATE_DSLASH_FMT
 
 }  // namespace femto

@@ -45,6 +45,11 @@ inline const char* to_string(DslashVariant v) {
 struct DslashTuning {
   std::size_t grain = 512;  ///< minimum 4D sites per thread chunk
   DslashVariant variant = DslashVariant::kScalar;
+  /// Gauge storage tier the operator should read (DESIGN.md §16).  The
+  /// dslash entry points below take the container explicitly; this knob is
+  /// how the tuned selection travels through MobiusOperator, which owns
+  /// the compressed copies and dispatches on it.
+  GaugeFormat format = GaugeFormat::kFull18;
 };
 
 /// Apply the dslash from parity (1 - out_parity) sites of @p in to parity
@@ -75,10 +80,45 @@ void dslash_multi(std::span<const SpinorView<T>> out, const GaugeField<T>& u,
                   std::span<const SpinorView<const T>> in, int out_parity,
                   bool dagger, const DslashTuning& tune = {});
 
-/// The same stencil reading reconstruct-12 compressed links (QUDA's
-/// bandwidth optimisation): 2/3 the gauge traffic, third row rebuilt in
-/// registers.  Bit-compatible with the full-storage kernel on SU(3)
-/// links up to reconstruction rounding.
+/// The stencil reading compressed links (DESIGN.md §16): every variant —
+/// scalar, vector, vector_blocked — reads every storage tier, because the
+/// kernel bodies are generic over the container and only its load()
+/// differs.  recon12 is bit-compatible with full storage on SU(3) links
+/// up to reconstruction rounding; recon8/fixed12 are the approximate
+/// tiers the mixed-precision inner iterations are allowed to use.
+template <typename T>
+void dslash(const SpinorView<T>& out, const CompressedGaugeField<T>& u,
+            const SpinorView<const T>& in, int out_parity, bool dagger,
+            const DslashTuning& tune = {});
+template <typename T>
+void dslash(const SpinorView<T>& out, const Recon8GaugeField<T>& u,
+            const SpinorView<const T>& in, int out_parity, bool dagger,
+            const DslashTuning& tune = {});
+template <typename T>
+void dslash(const SpinorView<T>& out, const Fixed12GaugeField<T>& u,
+            const SpinorView<const T>& in, int out_parity, bool dagger,
+            const DslashTuning& tune = {});
+
+/// Multi-RHS over compressed links: reconstruction cost amortizes across
+/// the batch exactly like the gauge stream does (links are gathered once
+/// per site for the whole block), so compression and multi-RHS multiply.
+template <typename T>
+void dslash_multi(std::span<const SpinorView<T>> out,
+                  const CompressedGaugeField<T>& u,
+                  std::span<const SpinorView<const T>> in, int out_parity,
+                  bool dagger, const DslashTuning& tune = {});
+template <typename T>
+void dslash_multi(std::span<const SpinorView<T>> out,
+                  const Recon8GaugeField<T>& u,
+                  std::span<const SpinorView<const T>> in, int out_parity,
+                  bool dagger, const DslashTuning& tune = {});
+template <typename T>
+void dslash_multi(std::span<const SpinorView<T>> out,
+                  const Fixed12GaugeField<T>& u,
+                  std::span<const SpinorView<const T>> in, int out_parity,
+                  bool dagger, const DslashTuning& tune = {});
+
+/// Back-compat alias for the recon12 stencil (pre-tier API).
 template <typename T>
 void dslash_compressed(const SpinorView<T>& out,
                        const CompressedGaugeField<T>& u,
@@ -89,6 +129,18 @@ void dslash_compressed(const SpinorView<T>& out,
 /// Fields must be Subset::Full with matching l5.
 template <typename T>
 void wilson_op(SpinorField<T>& out, const GaugeField<T>& u,
+               const SpinorField<T>& in, double mass, bool dagger = false,
+               const DslashTuning& tune = {});
+template <typename T>
+void wilson_op(SpinorField<T>& out, const CompressedGaugeField<T>& u,
+               const SpinorField<T>& in, double mass, bool dagger = false,
+               const DslashTuning& tune = {});
+template <typename T>
+void wilson_op(SpinorField<T>& out, const Recon8GaugeField<T>& u,
+               const SpinorField<T>& in, double mass, bool dagger = false,
+               const DslashTuning& tune = {});
+template <typename T>
+void wilson_op(SpinorField<T>& out, const Fixed12GaugeField<T>& u,
                const SpinorField<T>& in, double mass, bool dagger = false,
                const DslashTuning& tune = {});
 
@@ -115,5 +167,25 @@ extern template void wilson_op<float>(SpinorField<float>&,
                                       const GaugeField<float>&,
                                       const SpinorField<float>&, double, bool,
                                       const DslashTuning&);
+
+// Compressed-container overloads, both precisions x all three tiers.
+#define FEMTO_EXTERN_DSLASH_FMT(T, GaugeT)                                   \
+  extern template void dslash<T>(const SpinorView<T>&, const GaugeT<T>&,     \
+                                 const SpinorView<const T>&, int, bool,      \
+                                 const DslashTuning&);                       \
+  extern template void dslash_multi<T>(std::span<const SpinorView<T>>,       \
+                                       const GaugeT<T>&,                     \
+                                       std::span<const SpinorView<const T>>, \
+                                       int, bool, const DslashTuning&);      \
+  extern template void wilson_op<T>(SpinorField<T>&, const GaugeT<T>&,       \
+                                    const SpinorField<T>&, double, bool,     \
+                                    const DslashTuning&);
+FEMTO_EXTERN_DSLASH_FMT(double, CompressedGaugeField)
+FEMTO_EXTERN_DSLASH_FMT(float, CompressedGaugeField)
+FEMTO_EXTERN_DSLASH_FMT(double, Recon8GaugeField)
+FEMTO_EXTERN_DSLASH_FMT(float, Recon8GaugeField)
+FEMTO_EXTERN_DSLASH_FMT(double, Fixed12GaugeField)
+FEMTO_EXTERN_DSLASH_FMT(float, Fixed12GaugeField)
+#undef FEMTO_EXTERN_DSLASH_FMT
 
 }  // namespace femto

@@ -24,6 +24,17 @@ const char* dslash_variant_name(double v) {
   return "scalar";
 }
 
+/// Decodes the dslash.format_{f,d} gauge ordinal.  Mirrors the
+/// femto::GaugeFormat encoding in lattice/compressed_gauge.hpp (same
+/// layering reason as above).
+const char* dslash_format_name(double v) {
+  const int k = static_cast<int>(v);
+  if (k == 1) return "recon12";
+  if (k == 2) return "recon8";
+  if (k == 3) return "fixed12";
+  return "full18";
+}
+
 // Ratios whose denominator never accumulated are UNDEFINED, not zero: an
 // empty run did not sustain 0 GFLOP/s, it sustained nothing.  They start
 // as quiet NaN, which json_number renders as an explicit null and the
@@ -47,6 +58,8 @@ struct Derived {
   double application_gflops = kUndefined;
   double dslash_variant_f = 0.0;
   double dslash_variant_d = 0.0;
+  double dslash_format_f = 0.0;
+  double dslash_format_d = 0.0;
   double dslash_gbytes_f = 0.0;
   double dslash_gbytes_d = 0.0;
   std::int64_t svc_completed = 0;
@@ -101,6 +114,8 @@ Derived derive() {
                             : d.sustained_gflops;
   d.dslash_variant_f = reg.gauge("dslash.variant_f").get();
   d.dslash_variant_d = reg.gauge("dslash.variant_d").get();
+  d.dslash_format_f = reg.gauge("dslash.format_f").get();
+  d.dslash_format_d = reg.gauge("dslash.format_d").get();
   d.dslash_gbytes_f = reg.gauge("dslash.gbytes_f").get();
   d.dslash_gbytes_d = reg.gauge("dslash.gbytes_d").get();
   // Async solve service (src/service): batch-occupancy mean comes from the
@@ -283,6 +298,10 @@ std::string report_json(const std::string& title) {
               quoted(dslash_variant_name(d.dslash_variant_f)), &f);
     append_kv(&out, "dslash_variant_d",
               quoted(dslash_variant_name(d.dslash_variant_d)), &f);
+    append_kv(&out, "dslash_format_f",
+              quoted(dslash_format_name(d.dslash_format_f)), &f);
+    append_kv(&out, "dslash_format_d",
+              quoted(dslash_format_name(d.dslash_format_d)), &f);
     append_kv(&out, "dslash_gbytes_f", json_number(d.dslash_gbytes_f), &f);
     append_kv(&out, "dslash_gbytes_d", json_number(d.dslash_gbytes_d), &f);
   }
@@ -347,10 +366,12 @@ std::string report_summary() {
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "  simd [%s]: float x%d, double x%d; dslash "
-                "f=%s (%.2f GB/s), d=%s (%.2f GB/s)\n",
+                "f=%s/%s (%.2f GB/s), d=%s/%s (%.2f GB/s)\n",
                 simd::kIsaName, simd::kWidth<float>, simd::kWidth<double>,
-                dslash_variant_name(d.dslash_variant_f), d.dslash_gbytes_f,
-                dslash_variant_name(d.dslash_variant_d), d.dslash_gbytes_d);
+                dslash_variant_name(d.dslash_variant_f),
+                dslash_format_name(d.dslash_format_f), d.dslash_gbytes_f,
+                dslash_variant_name(d.dslash_variant_d),
+                dslash_format_name(d.dslash_format_d), d.dslash_gbytes_d);
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "  job manager [%s]: busy %.3f s, idle %.3f s, "

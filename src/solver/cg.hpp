@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "lattice/blas.hpp"
+#include "lattice/compressed_gauge.hpp"
 #include "lattice/field.hpp"
 
 namespace femto {
@@ -45,6 +46,12 @@ struct SolverParams {
   std::size_t blas_grain = 0;  ///< chunk grain for the solver's BLAS
                                ///< kernels (0 = blas::kGrain); autotuned
                                ///< via tune::tuned_blas_grain
+  /// Gauge storage tier for the sloppy (inner) operator (DESIGN.md §16).
+  /// The approximate tiers (recon8/fixed12) are allowed exactly where
+  /// half-precision spinors already are — inner iterations — while
+  /// reliable updates always run on full-18 double links.  Autotuned via
+  /// tune::tuned_dslash_grain(..., FormatSet::kAll) in DwfSolver.
+  GaugeFormat gauge_format = GaugeFormat::kFull18;
 };
 
 /// One per-iteration point of a solve's convergence trajectory.

@@ -12,8 +12,15 @@ namespace femto {
 
 void DwfSolver::autotune() {
   FEMTO_TRACE_SCOPE("autotune", "dwf_solver_autotune");
-  op_d_.tuning() = tune::tuned_dslash_grain<double>(u_d_, mobius_.l5, 0);
-  op_f_.tuning() = tune::tuned_dslash_grain<float>(u_f_, mobius_.l5, 0);
+  // Reliable updates are pinned to full-18 double links (accuracy
+  // contract, DESIGN.md §16): the double operator only sweeps exact
+  // storage, while the sloppy float operator sweeps every tier and may
+  // pick an approximate one.
+  op_d_.tuning() = tune::tuned_dslash_grain<double>(
+      u_d_, mobius_.l5, 0, tune::FormatSet::kFullOnly);
+  op_f_.tuning() = tune::tuned_dslash_grain<float>(u_f_, mobius_.l5, 0,
+                                                   tune::FormatSet::kAll);
+  sparams_.gauge_format = op_f_.tuning().format;
   // Sloppy iterations dominate the BLAS phase, so the single-precision
   // winner sets the solver grain.
   sparams_.blas_grain = tune::tuned_blas_grain<float>(u_f_->geom_ptr(),
@@ -24,18 +31,22 @@ void DwfSolver::autotune() {
                                           << " f="
                                           << to_string(op_f_.tuning().variant)
                                           << "/" << op_f_.tuning().grain
+                                          << "/"
+                                          << gauge_format_name(
+                                                 op_f_.tuning().format)
                                           << ", blas grain "
                                           << sparams_.blas_grain);
 }
 
 std::size_t DwfSolver::autotune_multi(std::size_t bmax) {
   FEMTO_TRACE_SCOPE("autotune", "dwf_solver_autotune_multi");
-  const tune::MultiRhsTuning td =
-      tune::tuned_multi_rhs<double>(u_d_, mobius_.l5, bmax, 0);
-  const tune::MultiRhsTuning tf =
-      tune::tuned_multi_rhs<float>(u_f_, mobius_.l5, bmax, 0);
+  const tune::MultiRhsTuning td = tune::tuned_multi_rhs<double>(
+      u_d_, mobius_.l5, bmax, 0, tune::FormatSet::kFullOnly);
+  const tune::MultiRhsTuning tf = tune::tuned_multi_rhs<float>(
+      u_f_, mobius_.l5, bmax, 0, tune::FormatSet::kAll);
   op_d_.tuning() = td.dslash;
   op_f_.tuning() = tf.dslash;
+  sparams_.gauge_format = tf.dslash.format;
   sparams_.blas_grain = tune::tuned_blas_grain<float>(u_f_->geom_ptr(),
                                                      mobius_.l5, Subset::Odd);
   FEMTO_LOG_DEBUG("autotune",
@@ -44,7 +55,9 @@ std::size_t DwfSolver::autotune_multi(std::size_t bmax) {
                                          << td.nrhs << " f="
                                          << to_string(tf.dslash.variant)
                                          << "/" << tf.dslash.grain << "/B"
-                                         << tf.nrhs << ", blas grain "
+                                         << tf.nrhs << "/"
+                                         << gauge_format_name(tf.dslash.format)
+                                         << ", blas grain "
                                          << sparams_.blas_grain);
   return tf.nrhs;
 }
@@ -56,12 +69,18 @@ DwfSolver::DwfSolver(std::shared_ptr<const GaugeField<double>> u,
       u_d_(std::move(u)),
       u_f_(std::make_shared<GaugeField<float>>(u_d_->convert<float>())),
       op_d_(u_d_, mobius_),
-      op_f_(u_f_, mobius_) {}
+      op_f_(u_f_, mobius_) {
+  // Honour a caller-selected storage tier for the sloppy operator even
+  // when autotune() is never called (the double operator stays full18).
+  op_f_.tuning().format = sparams_.gauge_format;
+}
 
 SolveResult DwfSolver::solve(SpinorField<double>& x,
                              const SpinorField<double>& b) {
   FEMTO_TRACE_SCOPE("solver", "dwf_solve");
   assert(x.subset() == Subset::Full && b.subset() == Subset::Full);
+  // solver_params() is mutable: pick up a caller-set gauge_format.
+  op_f_.tuning().format = sparams_.gauge_format;
   const auto geom = b.geom_ptr();
   const int l5 = b.l5();
 
@@ -94,6 +113,7 @@ std::vector<SolveResult> DwfSolver::solve_multi(
     std::span<SpinorField<double>* const> x,
     std::span<const SpinorField<double>* const> b) {
   FEMTO_TRACE_SCOPE("solver", "dwf_solve_multi");
+  op_f_.tuning().format = sparams_.gauge_format;
   const std::size_t nb = x.size();
   FEMTO_ASSERT(b.size() == nb);
   if (nb == 0) return {};

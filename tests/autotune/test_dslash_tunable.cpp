@@ -153,3 +153,87 @@ TEST(DslashMultiTunable, TunedMultiRhsReturnsValidBatch) {
 
 }  // namespace
 }  // namespace femto::tune
+
+// ---------------------------------------------------------------------------
+// The gauge storage tier axis (DESIGN.md §16): format is an autotuned
+// dimension alongside variant and grain.
+// ---------------------------------------------------------------------------
+
+namespace femto::tune {
+namespace {
+
+std::shared_ptr<const GaugeField<double>> make_hot_gauge() {
+  // hot links: recon8's phase parameterisation degenerates on unit-like
+  // gauge, and the tuner really builds a Recon8GaugeField per candidate.
+  auto g = std::make_shared<Geometry>(4, 4, 4, 8);
+  auto u = std::make_shared<GaugeField<double>>(g);
+  hot_gauge(*u, 211);
+  return u;
+}
+
+TEST(DslashTunable, DefaultCandidatesStayFullFormat) {
+  // Callers that never opt into tiers must see the pre-tier sweep: every
+  // candidate reads full18 links.
+  auto u = make_hot_gauge();
+  DslashTunable<double> t(u, 4, 0);
+  for (const auto& p : t.candidates()) EXPECT_EQ(p.get("format", 0), 0);
+}
+
+TEST(DslashTunable, CandidatesSweepAllFormats) {
+  auto u = make_hot_gauge();
+  DslashTunable<double> t(u, 4, 0, FormatSet::kAll);
+  const auto c = t.candidates();
+  // The reference tier leads the search (front stays full18/scalar).
+  EXPECT_EQ(c.front().get("format", 0), 0);
+  EXPECT_EQ(c.front().get("variant"), 0);
+  std::set<std::int64_t> formats;
+  for (const auto& p : c) formats.insert(p.get("format", 0));
+  EXPECT_EQ(formats, (std::set<std::int64_t>{0, 1, 2, 3}));
+  // Every format gets the full variant x grain sweep.
+  EXPECT_EQ(c.size() % formats.size(), 0u);
+  DslashTunable<double> exact(u, 4, 0, FormatSet::kExact);
+  std::set<std::int64_t> exact_formats;
+  for (const auto& p : exact.candidates())
+    exact_formats.insert(p.get("format", 0));
+  EXPECT_EQ(exact_formats, (std::set<std::int64_t>{0, 1}));
+}
+
+TEST(DslashTunable, KeyEncodesFormatSet) {
+  // A cache entry tuned over the full tier sweep must not be served to a
+  // caller that only admits full18 (the stored ordinal could name a tier
+  // the caller cannot decode).
+  auto u = make_hot_gauge();
+  DslashTunable<double> full(u, 4, 0);
+  DslashTunable<double> all(u, 4, 0, FormatSet::kAll);
+  EXPECT_NE(full.key(), all.key());
+  EXPECT_NE(all.key().find(",fmt=2"), std::string::npos) << all.key();
+}
+
+TEST(DslashTunable, TunedFormatIsRecordedAndValid) {
+  Autotuner::global().clear();
+  auto u = make_hot_gauge();
+  const auto t = tuned_dslash_grain<double>(u, 2, 0, FormatSet::kAll);
+  const int f = static_cast<int>(t.format);
+  EXPECT_GE(f, 0);
+  EXPECT_LT(f, kNumGaugeFormats);
+  // The default sweep still pins full18.
+  const auto t0 = tuned_dslash_grain<double>(u, 2, 1);
+  EXPECT_EQ(t0.format, GaugeFormat::kFull18);
+  Autotuner::global().clear();
+}
+
+TEST(DslashMultiTunable, FormatAxisComposesWithBatch) {
+  auto u = make_hot_gauge();
+  DslashMultiTunable<double> t(u, 2, 0, 4, FormatSet::kExact);
+  std::set<std::int64_t> formats, nrhs;
+  for (const auto& p : t.candidates()) {
+    formats.insert(p.get("format", 0));
+    nrhs.insert(p.get("nrhs"));
+  }
+  EXPECT_EQ(formats, (std::set<std::int64_t>{0, 1}));
+  EXPECT_EQ(nrhs, (std::set<std::int64_t>{1, 2, 4}));
+  EXPECT_NE(t.key().find(",fmt=1"), std::string::npos) << t.key();
+}
+
+}  // namespace
+}  // namespace femto::tune

@@ -1,0 +1,28 @@
+// femtolint-expect: kernel-traffic
+//
+// A stencil kernel that reads a COMPRESSED gauge container but charges the
+// full-18 field's bytes.  The charge is present, so the transitive
+// coverage check passes — but it lies: recon12 streams 2/3 of the bytes,
+// so the femtoscope AI/GB/s derivations would overstate the gauge stream.
+// The charge must come from the compressed container's own bytes().
+//
+// Fixtures are lint inputs, not build inputs -- they only have to parse as
+// text, so the femto types are sketched minimally.
+
+#include <cstddef>
+
+namespace femto {
+
+template <typename T>
+void dslash_sloppy(double* out, const CompressedGaugeField<T>& u,
+                   const GaugeField<T>& u_full, const double* in,
+                   std::size_t sites) {
+  par::parallel_for(0, sites, [&](std::size_t s) {
+    out[s] = in[s] * static_cast<double>(s);  // stand-in stencil body
+  });
+  // WRONG: charges the full-18 field, not the compressed container that
+  // the kernel actually streamed.  Honest form: flops::add_bytes(u.bytes()).
+  flops::add_bytes(u_full.bytes());
+}
+
+}  // namespace femto

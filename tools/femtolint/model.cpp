@@ -412,9 +412,50 @@ class Extractor {
     else if (cls != nullptr)
       fn.class_name = cls->name;
     fn.is_ctor_or_dtor = dtor || (fn.name == fn.class_name);
+    scan_params(fn, open, close);
     scan_body(fn);
     out_.functions.push_back(std::move(fn));
     return out_.functions.back().body_end + 1;
+  }
+
+  // Record parameter names whose declared type names a compressed gauge
+  // container (kernel-traffic: the charge must read THAT container's
+  // bytes()).  The parameter name is the last identifier of each
+  // top-level comma-separated declarator.
+  void scan_params(FunctionInfo& fn, std::size_t open, std::size_t close) {
+    static const std::set<std::string> kCompressed = {
+        "CompressedGaugeField", "Recon8GaugeField", "Fixed12GaugeField"};
+    int depth = 0;
+    bool compressed = false;
+    std::string last_ident;
+    const auto flush = [&] {
+      if (compressed && !last_ident.empty())
+        fn.compressed_params.insert(last_ident);
+      compressed = false;
+      last_ident.clear();
+    };
+    for (std::size_t k = open + 1; k < close && k < n_; ++k) {
+      if (t_[k].kind == Tok::Punct) {
+        const std::string& p = t_[k].text;
+        if (p == "->") continue;  // trailing-return / lambda arrow
+        if (p == "," && depth == 0) {
+          flush();
+          continue;
+        }
+        for (const char c : p) {
+          if (c == '<' || c == '(' || c == '[' || c == '{') ++depth;
+          if (c == '>' || c == ')' || c == ']' || c == '}') --depth;
+        }
+        continue;
+      }
+      if (t_[k].kind == Tok::Ident) {
+        if (kCompressed.count(t_[k].text) != 0)
+          compressed = true;
+        else
+          last_ident = t_[k].text;
+      }
+    }
+    flush();
   }
 
   void scan_body(FunctionInfo& fn) {
@@ -424,6 +465,16 @@ class Extractor {
       if (w == "flops" && is(k + 1, "::") && k + 2 < n_ &&
           t_[k + 2].text == "add_bytes") {
         fn.charges = true;
+        if (fn.first_charge_line == 0) fn.first_charge_line = t_[k].line;
+        // Which objects' bytes() feed the charge: `X.bytes(` / `X->bytes(`
+        // identifiers inside the argument list.
+        if (is(k + 3, "(")) {
+          const std::size_t cl = match(k + 3);
+          for (std::size_t j = k + 4; j + 2 < cl; ++j)
+            if (ident_at(j) && (is(j + 1, ".") || is(j + 1, "->")) &&
+                t_[j + 2].text == "bytes")
+              fn.charge_bytes_of.insert(t_[j].text);
+        }
         continue;
       }
       if (w == "FEMTO_NONDET_OK") {

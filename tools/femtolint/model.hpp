@@ -84,6 +84,15 @@ struct FunctionInfo {
   int first_launch_line = 0;
   std::string first_launch_name;
   bool charges = false;  // body contains flops::add_bytes
+  int first_charge_line = 0;
+  // Parameter names whose declared type names a compressed gauge container
+  // (CompressedGaugeField / Recon8GaugeField / Fixed12GaugeField): their
+  // traffic charge must come from the container's own bytes(), not from a
+  // full-18 field's (kernel-traffic pass).
+  std::set<std::string> compressed_params;
+  // Identifiers X charged as `X.bytes(...)` / `X->bytes(...)` inside a
+  // flops::add_bytes argument list anywhere in the body.
+  std::set<std::string> charge_bytes_of;
 
   // Direct effects for the determinism analysis (DESIGN.md §13); the
   // transitive closures are computed per Program by run_effect_rules.

@@ -431,6 +431,33 @@ void pass_kernel_traffic(const Program& prog, std::vector<Finding>& out) {
                        "depends on every kernel recording its memory "
                        "traffic"});
   }
+
+  // Compressed-container charge honesty: a kernel that takes a compressed
+  // gauge container and charges flops::add_bytes must derive the gauge
+  // term from THAT container's bytes() — charging a full-18 field's
+  // bytes() would overstate the stream by 1.5-2.6x and silently inflate
+  // the femtoscope AI/GB/s derivations.
+  for (const Source& s : prog.sources)
+    for (const FunctionInfo& fn : s.functions) {
+      if (fn.compressed_params.empty() || !fn.charges) continue;
+      bool honest = false;
+      for (const std::string& p : fn.compressed_params)
+        if (fn.charge_bytes_of.count(p) != 0) {
+          honest = true;
+          break;
+        }
+      if (honest) continue;
+      const int line = fn.first_charge_line;
+      if (s.suppressed("kernel-traffic", line)) continue;
+      out.push_back(
+          {s.path, line, "kernel-traffic",
+           "function '" + fn.name +
+               "' takes a compressed gauge container ('" +
+               *fn.compressed_params.begin() +
+               "') but its flops::add_bytes charge never reads that "
+               "container's bytes(); compressed links must be charged at "
+               "their true stored size"});
+    }
 }
 
 // ---------------------------------------------------------------------------
